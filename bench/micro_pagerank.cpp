@@ -1,0 +1,61 @@
+/// \file micro_pagerank.cpp
+/// google-benchmark microbenchmarks of the PageRank substrate: the paper
+/// fixes 10 iterations and relies on PageRank being "very efficient and
+/// scalable" (Section IV-C); these benches quantify that on the ER sizes of
+/// the Fig. 4 sweep and on the dataset-shaped graphs of Table I.
+
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.hpp"
+#include "graph/pagerank.hpp"
+
+namespace {
+
+using namespace graphhd::graph;
+
+void BM_PagerankEr(benchmark::State& state) {
+  graphhd::hdc::Rng rng(1);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto g = erdos_renyi(n, 0.05, rng);
+  PageRankOptions options;  // 10 iterations, the paper's setting
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pagerank(g, options));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()) * 10);
+}
+BENCHMARK(BM_PagerankEr)->Arg(20)->Arg(100)->Arg(300)->Arg(980);
+
+void BM_PagerankMolecule(benchmark::State& state) {
+  // MUTAG-shaped molecule (18 vertices, sparse).
+  graphhd::hdc::Rng rng(2);
+  const auto g = random_molecule(18, 2, rng);
+  PageRankOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pagerank(g, options));
+  }
+}
+BENCHMARK(BM_PagerankMolecule);
+
+void BM_PagerankIterationScaling(benchmark::State& state) {
+  graphhd::hdc::Rng rng(3);
+  const auto g = erdos_renyi(300, 0.05, rng);
+  PageRankOptions options;
+  options.max_iterations = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pagerank(g, options));
+  }
+}
+BENCHMARK(BM_PagerankIterationScaling)->Arg(1)->Arg(10)->Arg(50);
+
+void BM_CentralityRanks(benchmark::State& state) {
+  graphhd::hdc::Rng rng(4);
+  const auto g = erdos_renyi(static_cast<std::size_t>(state.range(0)), 0.05, rng);
+  const auto scores = pagerank(g).scores;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(centrality_ranks(scores));
+  }
+}
+BENCHMARK(BM_CentralityRanks)->Arg(100)->Arg(980);
+
+}  // namespace

@@ -1,0 +1,59 @@
+/// \file custom_dataset.cpp
+/// Shows how to bring your own graphs to GraphHD:
+///   1. build graphs programmatically with GraphBuilder,
+///   2. save them in the standard TUDataset exchange format,
+///   3. load them back with the parser (the same path the benchmarks use for
+///      real TUDataset downloads placed under data/<NAME>/),
+///   4. train and evaluate.
+///
+///   $ ./custom_dataset
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/pipeline.hpp"
+#include "data/synthetic.hpp"
+#include "data/tudataset.hpp"
+#include "graph/generators.hpp"
+
+int main() {
+  using namespace graphhd;
+  namespace fs = std::filesystem;
+
+  // 1. Build a small dataset by hand: triangles-with-tails vs 9-rings-with-
+  //    tails (two ring sizes -> clearly different PageRank profiles).
+  data::GraphDataset dataset("RINGS", {}, {});
+  for (std::size_t tail = 2; tail <= 13; ++tail) {
+    for (const std::size_t ring : {3u, 9u}) {
+      graph::GraphBuilder builder;
+      for (graph::VertexId v = 0; v + 1 < ring; ++v) {
+        builder.add_edge(v, v + 1);
+      }
+      builder.add_edge(0, static_cast<graph::VertexId>(ring - 1));  // close ring
+      // Attach a path tail to vertex 0.
+      for (std::size_t t = 0; t < tail; ++t) {
+        builder.add_edge(static_cast<graph::VertexId>(t == 0 ? 0 : ring + t - 1),
+                         static_cast<graph::VertexId>(ring + t));
+      }
+      dataset.add(builder.build(), ring == 3u ? 0 : 1);
+    }
+  }
+  std::printf("built %zu graphs in memory\n", dataset.size());
+
+  // 2. Save in TUDataset format.
+  const fs::path dir = fs::temp_directory_path() / "graphhd_custom_rings";
+  data::save_tudataset(dataset, dir);
+  std::printf("saved to %s (TUDataset exchange format)\n", dir.c_str());
+
+  // 3. Load it back through the standard parser.
+  const auto loaded = data::load_tudataset(dir, "RINGS");
+  std::printf("reloaded %zu graphs, %zu classes\n", loaded.size(), loaded.num_classes());
+
+  // 4. Train GraphHD and evaluate on the training set (sanity demo).
+  core::GraphHd classifier;
+  classifier.fit(loaded);
+  std::printf("training-set accuracy: %.1f%%\n", 100.0 * classifier.score(loaded));
+
+  fs::remove_all(dir);
+  return 0;
+}

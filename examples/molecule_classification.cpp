@@ -1,0 +1,69 @@
+/// \file molecule_classification.cpp
+/// The paper's flagship scenario: mutagenicity-style molecule classification
+/// (MUTAG).  Loads the real TUDataset files from data/MUTAG/ when present,
+/// otherwise uses the synthetic replica, then compares GraphHD with the
+/// 1-WL kernel baseline under the paper's cross-validation protocol and
+/// prints a confusion matrix for GraphHD.
+///
+///   $ ./molecule_classification [scale]
+///
+/// `scale` in (0,1] shrinks the synthetic dataset (default 0.5).
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "data/synthetic.hpp"
+#include "eval/baselines.hpp"
+#include "eval/cross_validation.hpp"
+#include "ml/metrics.hpp"
+
+int main(int argc, char** argv) {
+  using namespace graphhd;
+
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.5;
+  const auto dataset = data::load_or_synthesize("data", "MUTAG", /*seed=*/2022, scale);
+  std::printf("MUTAG: %zu graphs, %zu classes, majority baseline %.1f%%\n", dataset.size(),
+              dataset.num_classes(), 100.0 * dataset.majority_class_fraction());
+
+  eval::CvConfig cv;
+  cv.folds = 10;
+  cv.repetitions = 1;
+
+  // GraphHD with the paper's configuration.
+  const auto hd_result =
+      eval::cross_validate("GraphHD", eval::make_graphhd_factory(), dataset, cv);
+  // 1-WL kernel + SVM with the paper's hyperparameter protocol.
+  const auto wl_result = eval::cross_validate(
+      "1-WL", eval::make_kernel_svm_factory(eval::KernelKind::kWlSubtree), dataset, cv);
+
+  const auto print = [](const eval::CvResult& result) {
+    const auto acc = result.accuracy();
+    std::printf("%-8s accuracy %.1f%% ± %.1f | train %.4f s/fold | infer %.2e s/graph\n",
+                result.method.c_str(), 100.0 * acc.mean, 100.0 * acc.std,
+                result.train_seconds_per_fold(), result.inference_seconds_per_graph());
+  };
+  print(hd_result);
+  print(wl_result);
+  std::printf("GraphHD trains %.1fx faster than 1-WL on this run\n",
+              wl_result.train_seconds_per_fold() / hd_result.train_seconds_per_fold());
+
+  // Confusion matrix for GraphHD on one held-out split.
+  hdc::Rng rng(7);
+  const auto split = data::stratified_split(dataset, 0.8, rng);
+  core::GraphHd classifier;
+  classifier.fit(dataset.subset(split.train));
+  const auto test = dataset.subset(split.test);
+  std::vector<std::size_t> predictions;
+  predictions.reserve(test.size());
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    predictions.push_back(classifier.predict(test.graph(i)));
+  }
+  const auto matrix = ml::confusion_matrix(predictions, test.labels(), dataset.num_classes());
+  std::printf("\nGraphHD confusion matrix (rows = true class):\n");
+  for (std::size_t t = 0; t < matrix.size(); ++t) {
+    std::printf("  class %zu:", t);
+    for (const std::size_t count : matrix[t]) std::printf(" %4zu", count);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+/// \file quickstart.cpp
+/// Minimal GraphHD walkthrough: build a dataset, train, classify, score.
+///
+///   $ ./quickstart
+///
+/// Mirrors the paper's pipeline end to end in ~40 lines: Erdős–Rényi-style
+/// synthetic data -> PageRank-based encoding -> Algorithm 1 training ->
+/// similarity inference.
+
+#include <cstdio>
+
+#include "core/pipeline.hpp"
+#include "data/dataset.hpp"
+#include "graph/generators.hpp"
+
+int main() {
+  using namespace graphhd;
+
+  // 1. Build a small two-class dataset: sparse "molecule" graphs with one
+  //    ring (class 0) vs ring-rich molecules (class 1).
+  hdc::Rng rng(42);
+  data::GraphDataset train("quickstart-train", {}, {});
+  data::GraphDataset test("quickstart-test", {}, {});
+  for (int i = 0; i < 60; ++i) {
+    auto& target = i < 40 ? train : test;
+    target.add(graph::random_molecule(24, 1, rng), 0);
+    target.add(graph::random_molecule(24, 10, rng), 1);
+  }
+  std::printf("train: %zu graphs, test: %zu graphs, %zu classes\n", train.size(), test.size(),
+              train.num_classes());
+
+  // 2. Configure GraphHD exactly like the paper: 10,000-dimensional bipolar
+  //    hypervectors, 10 PageRank iterations, cosine similarity.
+  core::GraphHdConfig config;
+  config.dimension = 10000;
+  config.pagerank_iterations = 10;
+
+  // 3. Train (Algorithm 1: encode every graph, bundle per class).
+  core::GraphHd classifier(config);
+  classifier.fit(train);
+
+  // 4. Classify one unseen graph with full per-class scores.
+  const auto probe = graph::random_molecule(20, 5, rng);
+  const auto prediction = classifier.predict_detailed(probe);
+  std::printf("probe graph => class %zu (similarity %.3f)\n", prediction.label,
+              prediction.score);
+
+  // 5. Accuracy on held-out data.
+  std::printf("test accuracy: %.1f%%\n", 100.0 * classifier.score(test));
+  return 0;
+}

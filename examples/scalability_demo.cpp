@@ -1,0 +1,35 @@
+/// \file scalability_demo.cpp
+/// Miniature version of the paper's Fig. 4 scalability experiment, runnable
+/// in seconds: Erdős–Rényi datasets (p = 0.05, 2 classes) of growing graph
+/// size, GraphHD vs GIN-ε vs WL-OA training time per fold.
+///
+///   $ ./scalability_demo [max_vertices]
+///
+/// The full-size experiment lives in bench/fig4_scalability.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "eval/experiment.hpp"
+#include "eval/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace graphhd;
+
+  const std::size_t max_vertices =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 260;
+
+  eval::ExperimentConfig config;
+  config.cv.folds = 3;
+  config.cv.repetitions = 1;
+  config.gin_max_epochs = 10;
+
+  std::vector<std::size_t> sizes;
+  for (std::size_t n = 20; n <= max_vertices; n += 80) sizes.push_back(n);
+
+  std::printf("scaling profile (p=0.05 Erdős–Rényi, 100 graphs, %zu-fold CV)\n",
+              config.cv.folds);
+  const auto points = eval::run_figure4(config, sizes);
+  std::fputs(eval::format_figure4(points).c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,73 @@
+/// \file encoder.hpp
+/// The GraphHD encoder: graphs -> hypervectors (Section IV of the paper).
+///
+/// Pipeline per graph:
+///   1. PageRank (fixed iteration count) -> per-vertex centrality *ranks*;
+///   2. vertex hypervector  Encv(v) = ItemMemory[rank(v)]
+///      (optionally bound with a label hypervector — extension VII.2);
+///   3. edge hypervector    Ence((u,v)) = Encv(u) × Encv(v)  (binding);
+///   4. graph hypervector   EncG(G) = [ Σ_e Ence(e) ]        (bundling).
+///
+/// Graphs without edges fall back to bundling the vertex hypervectors (the
+/// paper's encoder is undefined for m = 0; see DESIGN.md).
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include <deque>
+
+#include "core/config.hpp"
+#include "graph/graph.hpp"
+#include "hdc/bitslice.hpp"
+#include "hdc/hypervector.hpp"
+#include "hdc/item_memory.hpp"
+
+namespace graphhd::core {
+
+using graph::Graph;
+using hdc::Hypervector;
+
+/// Stateful encoder: owns the basis item memories (vertex ranks and vertex
+/// labels), which grow lazily and deterministically from the config seed.
+/// The same config therefore encodes the same graph to the same hypervector
+/// in any process, which is what makes train/test encodings compatible.
+class GraphHdEncoder {
+ public:
+  explicit GraphHdEncoder(const GraphHdConfig& config);
+
+  [[nodiscard]] const GraphHdConfig& config() const noexcept { return config_; }
+
+  /// Encodes one graph (structure only — the paper's baseline).
+  [[nodiscard]] Hypervector encode(const Graph& graph);
+
+  /// Encodes one graph with vertex labels (extension VII.2); `labels` must
+  /// have one entry per vertex.  Only used when config.use_vertex_labels.
+  [[nodiscard]] Hypervector encode(const Graph& graph, std::span<const std::size_t> labels);
+
+  /// The centrality ranks the encoder assigns to `graph`'s vertices
+  /// (exposed for tests and diagnostics).
+  [[nodiscard]] std::vector<std::size_t> vertex_ranks(const Graph& graph) const;
+
+  /// Basis hypervector for centrality rank `rank` (exposed for tests).
+  [[nodiscard]] const Hypervector& rank_basis(std::size_t rank);
+
+ private:
+  [[nodiscard]] Hypervector encode_impl(const Graph& graph,
+                                        std::span<const std::size_t> labels);
+  /// Structure-only fast path: XOR binding + bit-sliced majority bundling
+  /// (bit-identical to the reference path; see hdc/bitslice.hpp).
+  [[nodiscard]] Hypervector encode_bitslice(const Graph& graph,
+                                            std::span<const std::size_t> ranks);
+  /// Packed copy of rank basis vector `rank` (cached).
+  [[nodiscard]] const hdc::PackedHypervector& packed_rank_basis(std::size_t rank);
+
+  GraphHdConfig config_;
+  hdc::ItemMemory rank_memory_;
+  hdc::ItemMemory label_memory_;
+  std::deque<hdc::PackedHypervector> packed_rank_cache_;
+  std::uint64_t tie_break_seed_;
+};
+
+}  // namespace graphhd::core

@@ -1,0 +1,143 @@
+#include "core/model.hpp"
+
+#include <stdexcept>
+
+namespace graphhd::core {
+
+GraphHdModel::GraphHdModel(const GraphHdConfig& config, std::size_t num_classes)
+    : config_(config),
+      num_classes_(num_classes),
+      encoder_(config),
+      memory_(config.dimension, num_classes * config.vectors_per_class, config.metric,
+              config.quantized_model),
+      next_replica_(num_classes, 0) {
+  if (num_classes < 2) {
+    throw std::invalid_argument("GraphHdModel: need at least 2 classes");
+  }
+}
+
+hdc::Hypervector GraphHdModel::encode_sample(const data::GraphDataset& dataset,
+                                             std::size_t index) {
+  if (config_.use_vertex_labels && dataset.has_vertex_labels()) {
+    return encoder_.encode(dataset.graph(index), dataset.vertex_labels()[index]);
+  }
+  return encoder_.encode(dataset.graph(index));
+}
+
+void GraphHdModel::fit(const data::GraphDataset& train) {
+  if (fitted_) {
+    throw std::logic_error("GraphHdModel::fit: model already fitted");
+  }
+  if (train.num_classes() > num_classes_) {
+    throw std::invalid_argument("GraphHdModel::fit: dataset has more classes than the model");
+  }
+
+  // Encode once; the hypervectors are reused by the retraining passes.
+  std::vector<hdc::Hypervector> encoded;
+  encoded.reserve(train.size());
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    encoded.push_back(encode_sample(train, i));
+  }
+
+  // Algorithm 1: bundle every sample into (a prototype of) its class.
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    const std::size_t label = train.label(i);
+    const std::size_t replica = next_replica_[label];
+    next_replica_[label] = (replica + 1) % config_.vectors_per_class;
+    memory_.add(slot_of(label, replica), encoded[i]);
+  }
+
+  // Extension VII.1a: perceptron-style retraining.
+  for (std::size_t epoch = 0; epoch < config_.retrain_epochs; ++epoch) {
+    std::size_t mispredictions = 0;
+    for (std::size_t i = 0; i < train.size(); ++i) {
+      const auto result = memory_.query(encoded[i]);
+      const std::size_t predicted_class = class_of_slot(result.best_class);
+      const std::size_t true_class = train.label(i);
+      if (predicted_class == true_class) continue;
+      ++mispredictions;
+      const std::size_t target_slot = best_slot_in_class(result, true_class);
+      memory_.retrain_update(target_slot, result.best_class, encoded[i]);
+    }
+    if (mispredictions == 0) break;
+  }
+  fitted_ = true;
+}
+
+void GraphHdModel::partial_fit(const graph::Graph& graph, std::size_t label) {
+  if (label >= num_classes_) {
+    throw std::out_of_range("GraphHdModel::partial_fit: label out of range");
+  }
+  const auto encoded = encoder_.encode(graph);
+  const std::size_t replica = next_replica_[label];
+  next_replica_[label] = (replica + 1) % config_.vectors_per_class;
+  memory_.add(slot_of(label, replica), encoded);
+}
+
+std::size_t GraphHdModel::best_slot_in_class(const hdc::QueryResult& result,
+                                             std::size_t class_id) const {
+  std::size_t best = slot_of(class_id, 0);
+  for (std::size_t r = 1; r < config_.vectors_per_class; ++r) {
+    const std::size_t slot = slot_of(class_id, r);
+    if (result.similarities[slot] > result.similarities[best]) best = slot;
+  }
+  return best;
+}
+
+Prediction GraphHdModel::predict(const graph::Graph& graph) {
+  return predict_encoded(encoder_.encode(graph));
+}
+
+Prediction GraphHdModel::predict_encoded(const hdc::Hypervector& encoded) const {
+  const auto result = memory_.query(encoded);
+  Prediction prediction;
+  prediction.class_scores.assign(num_classes_, -2.0);
+  for (std::size_t slot = 0; slot < result.similarities.size(); ++slot) {
+    const std::size_t cls = class_of_slot(slot);
+    prediction.class_scores[cls] =
+        std::max(prediction.class_scores[cls], result.similarities[slot]);
+  }
+  prediction.label = class_of_slot(result.best_class);
+  prediction.score = result.best_similarity;
+  return prediction;
+}
+
+double GraphHdModel::evaluate(const data::GraphDataset& test) {
+  if (test.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    hdc::Hypervector encoded =
+        config_.use_vertex_labels && test.has_vertex_labels()
+            ? encoder_.encode(test.graph(i), test.vertex_labels()[i])
+            : encoder_.encode(test.graph(i));
+    hits += static_cast<std::size_t>(predict_encoded(encoded).label == test.label(i));
+  }
+  return static_cast<double>(hits) / static_cast<double>(test.size());
+}
+
+void GraphHdModel::restore_state(std::vector<hdc::BundleAccumulator> accumulators,
+                                 std::vector<std::size_t> sample_counts,
+                                 std::vector<std::size_t> replica_cursors, bool fitted) {
+  const std::size_t slots = num_classes_ * config_.vectors_per_class;
+  if (accumulators.size() != slots || sample_counts.size() != slots ||
+      replica_cursors.size() != num_classes_) {
+    throw std::invalid_argument("GraphHdModel::restore_state: slot layout mismatch");
+  }
+  for (std::size_t slot = 0; slot < slots; ++slot) {
+    memory_.restore(slot, std::move(accumulators[slot]), sample_counts[slot]);
+  }
+  next_replica_ = std::move(replica_cursors);
+  fitted_ = fitted;
+}
+
+std::vector<std::size_t> GraphHdModel::class_counts() const {
+  std::vector<std::size_t> counts(num_classes_, 0);
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    for (std::size_t r = 0; r < config_.vectors_per_class; ++r) {
+      counts[c] += memory_.class_count(slot_of(c, r));
+    }
+  }
+  return counts;
+}
+
+}  // namespace graphhd::core

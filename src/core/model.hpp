@@ -1,0 +1,97 @@
+/// \file model.hpp
+/// The trained GraphHD model: class prototypes + inference (Algorithm 1 and
+/// Section III-C of the paper), plus the Section VII extensions.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/encoder.hpp"
+#include "data/dataset.hpp"
+#include "hdc/assoc_memory.hpp"
+
+namespace graphhd::core {
+
+/// Classification result with per-class scores.
+struct Prediction {
+  std::size_t label = 0;
+  double score = 0.0;                 ///< similarity of the winning prototype.
+  std::vector<double> class_scores;   ///< best prototype similarity per class.
+};
+
+/// GraphHD model over `num_classes` classes.
+///
+/// Training is a single pass: encode each training graph and bundle it into
+/// its class prototype (Algorithm 1).  Optional extensions:
+///  - retraining (config.retrain_epochs > 0): perceptron-style passes that
+///    add mispredicted samples to their true class and subtract them from
+///    the predicted class;
+///  - multiple prototypes per class (config.vectors_per_class > 1): samples
+///    are dealt round-robin onto prototypes; queries take the max.
+/// The model also supports true online learning via partial_fit.
+class GraphHdModel {
+ public:
+  GraphHdModel(const GraphHdConfig& config, std::size_t num_classes);
+
+  [[nodiscard]] const GraphHdConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t num_classes() const noexcept { return num_classes_; }
+  [[nodiscard]] GraphHdEncoder& encoder() noexcept { return encoder_; }
+
+  /// Full training pass (Algorithm 1 + configured extensions).  May be
+  /// called once per model; throws on a second call.
+  void fit(const data::GraphDataset& train);
+
+  /// Online update with one labeled sample (usable before or after fit).
+  void partial_fit(const graph::Graph& graph, std::size_t label);
+
+  /// Predicts one graph.
+  [[nodiscard]] Prediction predict(const graph::Graph& graph);
+
+  /// Predicts a pre-encoded hypervector (lets callers amortize encoding).
+  [[nodiscard]] Prediction predict_encoded(const hdc::Hypervector& encoded) const;
+
+  /// Batch accuracy against a labeled dataset.
+  [[nodiscard]] double evaluate(const data::GraphDataset& test);
+
+  /// Number of training samples folded into each class so far.
+  [[nodiscard]] std::vector<std::size_t> class_counts() const;
+
+  // ---- persistence hooks (see core/serialize.hpp) ----
+
+  [[nodiscard]] const hdc::AssociativeMemory& memory() const noexcept { return memory_; }
+  [[nodiscard]] bool fitted() const noexcept { return fitted_; }
+  [[nodiscard]] const std::vector<std::size_t>& replica_cursors() const noexcept {
+    return next_replica_;
+  }
+
+  /// Deserialization hook: replaces the learned state wholesale.  Sizes must
+  /// match the model's slot layout (num_classes * vectors_per_class
+  /// accumulators/sample counts, num_classes cursors).
+  void restore_state(std::vector<hdc::BundleAccumulator> accumulators,
+                     std::vector<std::size_t> sample_counts,
+                     std::vector<std::size_t> replica_cursors, bool fitted);
+
+ private:
+  [[nodiscard]] hdc::Hypervector encode_sample(const data::GraphDataset& dataset,
+                                               std::size_t index);
+  [[nodiscard]] std::size_t slot_of(std::size_t class_id, std::size_t replica) const noexcept {
+    return class_id * config_.vectors_per_class + replica;
+  }
+  [[nodiscard]] std::size_t class_of_slot(std::size_t slot) const noexcept {
+    return slot / config_.vectors_per_class;
+  }
+  /// Best-scoring slot within a class for `encoded`.
+  [[nodiscard]] std::size_t best_slot_in_class(const hdc::QueryResult& result,
+                                               std::size_t class_id) const;
+
+  GraphHdConfig config_;
+  std::size_t num_classes_;
+  GraphHdEncoder encoder_;
+  hdc::AssociativeMemory memory_;  ///< num_classes * vectors_per_class slots.
+  std::vector<std::size_t> next_replica_;  ///< round-robin cursor per class.
+  bool fitted_ = false;
+};
+
+}  // namespace graphhd::core

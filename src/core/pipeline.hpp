@@ -1,0 +1,56 @@
+/// \file pipeline.hpp
+/// GraphHd — the user-facing fit/predict facade over encoder + model.
+///
+/// Quickstart:
+/// \code
+///   graphhd::core::GraphHd classifier;          // paper defaults
+///   classifier.fit(train_dataset);              // Algorithm 1
+///   std::size_t label = classifier.predict(g);  // nearest class vector
+///   double acc = classifier.score(test_dataset);
+/// \endcode
+
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/model.hpp"
+
+namespace graphhd::core {
+
+/// Scikit-learn style classifier wrapper.  The underlying model is created
+/// at fit() time (when the class count is known); predict/score before fit
+/// throw std::logic_error.
+class GraphHd {
+ public:
+  explicit GraphHd(GraphHdConfig config = {});
+
+  [[nodiscard]] const GraphHdConfig& config() const noexcept { return config_; }
+  [[nodiscard]] bool fitted() const noexcept { return model_.has_value(); }
+
+  /// Trains on the dataset (Algorithm 1 + configured extensions).
+  void fit(const data::GraphDataset& train);
+
+  /// Starts (or continues) an online model covering `num_classes` classes,
+  /// feeding one sample.  Interchangeable with fit(): fit() is just the
+  /// batched version with extensions.
+  void partial_fit(const graph::Graph& graph, std::size_t label, std::size_t num_classes);
+
+  /// Predicted class id for one graph.
+  [[nodiscard]] std::size_t predict(const graph::Graph& graph);
+
+  /// Full prediction with per-class scores.
+  [[nodiscard]] Prediction predict_detailed(const graph::Graph& graph);
+
+  /// Mean accuracy on a labeled dataset.
+  [[nodiscard]] double score(const data::GraphDataset& test);
+
+  /// Access to the underlying model (throws before fit/partial_fit).
+  [[nodiscard]] GraphHdModel& model();
+
+ private:
+  GraphHdConfig config_;
+  std::optional<GraphHdModel> model_;
+};
+
+}  // namespace graphhd::core

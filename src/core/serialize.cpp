@@ -1,0 +1,151 @@
+#include "core/serialize.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace graphhd::core {
+
+namespace {
+
+constexpr const char* kMagic = "GRAPHHD-MODEL";
+constexpr int kVersion = 1;
+
+void require(bool condition, const std::string& message) {
+  if (!condition) {
+    throw std::runtime_error("load_model: " + message);
+  }
+}
+
+[[nodiscard]] std::string read_line(std::istream& in, const char* what) {
+  std::string line;
+  require(static_cast<bool>(std::getline(in, line)), std::string("missing ") + what);
+  return line;
+}
+
+/// "key value..." line helpers — the header is self-describing so future
+/// versions can add fields without breaking old readers of old files.
+[[nodiscard]] std::string expect_key(const std::string& line, const std::string& key) {
+  require(line.rfind(key + " ", 0) == 0, "expected '" + key + "' line, got '" + line + "'");
+  return line.substr(key.size() + 1);
+}
+
+}  // namespace
+
+void save_model(const GraphHdModel& model, std::ostream& out) {
+  const GraphHdConfig& config = model.config();
+  out << kMagic << ' ' << kVersion << '\n';
+  out << "dimension " << config.dimension << '\n';
+  out << "pagerank_iterations " << config.pagerank_iterations << '\n';
+  out << "pagerank_damping " << config.pagerank_damping << '\n';
+  out << "identifier " << static_cast<int>(config.identifier) << '\n';
+  out << "metric " << static_cast<int>(config.metric) << '\n';
+  out << "quantized " << (config.quantized_model ? 1 : 0) << '\n';
+  out << "bitslice " << (config.use_bitslice_bundling ? 1 : 0) << '\n';
+  out << "retrain_epochs " << config.retrain_epochs << '\n';
+  out << "vectors_per_class " << config.vectors_per_class << '\n';
+  out << "use_vertex_labels " << (config.use_vertex_labels ? 1 : 0) << '\n';
+  out << "neighborhood_rounds " << config.neighborhood_rounds << '\n';
+  out << "seed " << config.seed << '\n';
+  out << "num_classes " << model.num_classes() << '\n';
+  out << "fitted " << (model.fitted() ? 1 : 0) << '\n';
+
+  out << "cursors";
+  for (const std::size_t cursor : model.replica_cursors()) out << ' ' << cursor;
+  out << '\n';
+
+  const std::size_t slots = model.num_classes() * config.vectors_per_class;
+  for (std::size_t slot = 0; slot < slots; ++slot) {
+    const auto& acc = model.memory().accumulator(slot);
+    out << "slot " << slot << ' ' << model.memory().class_count(slot) << ' ' << acc.count()
+        << ' ' << (acc.tie_free() ? 1 : 0) << '\n';
+    const auto counts = acc.counts();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      out << counts[i] << (i + 1 == counts.size() ? '\n' : ' ');
+    }
+    if (counts.empty()) out << '\n';
+  }
+  require(static_cast<bool>(out), "stream failure while writing");
+}
+
+void save_model(const GraphHdModel& model, const std::filesystem::path& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("save_model: cannot open " + path.string());
+  }
+  save_model(model, out);
+}
+
+GraphHdModel load_model(std::istream& in) {
+  {
+    std::istringstream header(read_line(in, "magic line"));
+    std::string magic;
+    int version = 0;
+    header >> magic >> version;
+    require(magic == kMagic, "bad magic '" + magic + "'");
+    require(version == kVersion, "unsupported version " + std::to_string(version));
+  }
+  GraphHdConfig config;
+  const auto read_value = [&in](const char* key) {
+    return expect_key(read_line(in, key), key);
+  };
+  config.dimension = std::stoull(read_value("dimension"));
+  config.pagerank_iterations = std::stoull(read_value("pagerank_iterations"));
+  config.pagerank_damping = std::stod(read_value("pagerank_damping"));
+  config.identifier = static_cast<VertexIdentifier>(std::stoi(read_value("identifier")));
+  config.metric = static_cast<hdc::Similarity>(std::stoi(read_value("metric")));
+  config.quantized_model = std::stoi(read_value("quantized")) != 0;
+  config.use_bitslice_bundling = std::stoi(read_value("bitslice")) != 0;
+  config.retrain_epochs = std::stoull(read_value("retrain_epochs"));
+  config.vectors_per_class = std::stoull(read_value("vectors_per_class"));
+  config.use_vertex_labels = std::stoi(read_value("use_vertex_labels")) != 0;
+  config.neighborhood_rounds = std::stoull(read_value("neighborhood_rounds"));
+  config.seed = std::stoull(read_value("seed"));
+  const std::size_t num_classes = std::stoull(read_value("num_classes"));
+  const bool fitted = std::stoi(read_value("fitted")) != 0;
+
+  std::vector<std::size_t> cursors;
+  {
+    std::istringstream line(expect_key(read_line(in, "cursors"), "cursors"));
+    std::size_t cursor = 0;
+    while (line >> cursor) cursors.push_back(cursor);
+    require(cursors.size() == num_classes, "cursor count mismatch");
+  }
+
+  GraphHdModel model(config, num_classes);
+  const std::size_t slots = num_classes * config.vectors_per_class;
+  std::vector<hdc::BundleAccumulator> accumulators;
+  std::vector<std::size_t> sample_counts;
+  accumulators.reserve(slots);
+  sample_counts.reserve(slots);
+  for (std::size_t slot = 0; slot < slots; ++slot) {
+    std::istringstream header(expect_key(read_line(in, "slot header"), "slot"));
+    std::size_t slot_id = 0, samples = 0, add_count = 0;
+    int parity = 0;
+    header >> slot_id >> samples >> add_count >> parity;
+    require(static_cast<bool>(header), "malformed slot header");
+    require(slot_id == slot, "slot order mismatch");
+
+    std::istringstream counters(read_line(in, "slot counters"));
+    std::vector<std::int32_t> counts(config.dimension);
+    for (auto& value : counts) {
+      require(static_cast<bool>(counters >> value), "short counter row");
+    }
+    accumulators.push_back(
+        hdc::BundleAccumulator::from_raw(std::move(counts), add_count, parity != 0));
+    sample_counts.push_back(samples);
+  }
+  model.restore_state(std::move(accumulators), std::move(sample_counts), std::move(cursors),
+                      fitted);
+  return model;
+}
+
+GraphHdModel load_model(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("load_model: cannot open " + path.string());
+  }
+  return load_model(in);
+}
+
+}  // namespace graphhd::core

@@ -1,0 +1,40 @@
+/// \file serialize.hpp
+/// Model persistence for GraphHD.
+///
+/// The paper's deployment target is embedded/IoT devices: a model trained
+/// off-device must be shippable as a small artifact.  A trained GraphHD
+/// model is exactly its configuration plus the integer class accumulators
+/// (the basis vectors regenerate from the seed), so the serialized form is
+/// tiny — (num_classes × vectors_per_class × dimension) 32-bit counters
+/// plus a header — and bit-exact across machines.
+///
+/// Format: a line-oriented text header (magic, version, config fields)
+/// followed by one line of whitespace-separated counters per class slot.
+/// Text keeps the artifact diffable and endian-proof; models are small
+/// enough (k × d ≈ 20k-240k ints) that parsing cost is irrelevant.
+
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+
+#include "core/model.hpp"
+
+namespace graphhd::core {
+
+/// Writes `model` to `out`.  Throws std::runtime_error on stream failure.
+void save_model(const GraphHdModel& model, std::ostream& out);
+
+/// Writes `model` to `path` (overwrites).
+void save_model(const GraphHdModel& model, const std::filesystem::path& path);
+
+/// Reads a model previously written by save_model.  The reconstructed model
+/// produces bit-identical predictions (same config seed => same basis
+/// vectors, same accumulators => same class vectors).  Throws
+/// std::runtime_error on malformed input or version mismatch.
+[[nodiscard]] GraphHdModel load_model(std::istream& in);
+
+/// Reads a model from `path`.
+[[nodiscard]] GraphHdModel load_model(const std::filesystem::path& path);
+
+}  // namespace graphhd::core

@@ -1,0 +1,133 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace graphhd::data {
+
+GraphDataset::GraphDataset(std::string name, std::vector<Graph> graphs,
+                           std::vector<std::size_t> labels)
+    : name_(std::move(name)), graphs_(std::move(graphs)), labels_(std::move(labels)) {
+  if (graphs_.size() != labels_.size()) {
+    throw std::invalid_argument("GraphDataset: graphs/labels size mismatch");
+  }
+  for (const std::size_t label : labels_) {
+    num_classes_ = std::max(num_classes_, label + 1);
+  }
+}
+
+void GraphDataset::set_vertex_labels(std::vector<std::vector<std::size_t>> vertex_labels) {
+  if (vertex_labels.size() != graphs_.size()) {
+    throw std::invalid_argument("GraphDataset::set_vertex_labels: outer size mismatch");
+  }
+  for (std::size_t i = 0; i < graphs_.size(); ++i) {
+    if (vertex_labels[i].size() != graphs_[i].num_vertices()) {
+      throw std::invalid_argument(
+          "GraphDataset::set_vertex_labels: inner size mismatch at graph " + std::to_string(i));
+    }
+  }
+  vertex_labels_ = std::move(vertex_labels);
+}
+
+void GraphDataset::add(Graph g, std::size_t label) {
+  if (has_vertex_labels()) {
+    throw std::logic_error("GraphDataset::add: cannot append after vertex labels were set");
+  }
+  graphs_.push_back(std::move(g));
+  labels_.push_back(label);
+  num_classes_ = std::max(num_classes_, label + 1);
+}
+
+std::vector<std::size_t> GraphDataset::class_counts() const {
+  std::vector<std::size_t> counts(num_classes_, 0);
+  for (const std::size_t label : labels_) ++counts[label];
+  return counts;
+}
+
+double GraphDataset::majority_class_fraction() const {
+  if (empty()) return 0.0;
+  const auto counts = class_counts();
+  const std::size_t best = *std::max_element(counts.begin(), counts.end());
+  return static_cast<double>(best) / static_cast<double>(size());
+}
+
+GraphDataset GraphDataset::subset(std::span<const std::size_t> indices) const {
+  std::vector<Graph> graphs;
+  std::vector<std::size_t> labels;
+  graphs.reserve(indices.size());
+  labels.reserve(indices.size());
+  for (const std::size_t i : indices) {
+    graphs.push_back(graph(i));
+    labels.push_back(label(i));
+  }
+  GraphDataset out(name_, std::move(graphs), std::move(labels));
+  if (has_vertex_labels()) {
+    std::vector<std::vector<std::size_t>> vls;
+    vls.reserve(indices.size());
+    for (const std::size_t i : indices) vls.push_back(vertex_labels_.at(i));
+    out.set_vertex_labels(std::move(vls));
+  }
+  return out;
+}
+
+std::vector<Split> stratified_kfold(const GraphDataset& dataset, std::size_t folds, Rng& rng) {
+  if (folds < 2) {
+    throw std::invalid_argument("stratified_kfold: need at least 2 folds");
+  }
+  if (dataset.size() < folds) {
+    throw std::invalid_argument("stratified_kfold: more folds than samples");
+  }
+  // Group indices by class, shuffle within class, then deal them round-robin
+  // into folds so each fold receives ~1/k of every class.
+  std::vector<std::vector<std::size_t>> by_class(dataset.num_classes());
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    by_class[dataset.label(i)].push_back(i);
+  }
+  std::vector<std::vector<std::size_t>> fold_members(folds);
+  std::size_t deal = 0;
+  for (auto& members : by_class) {
+    rng.shuffle(members);
+    for (const std::size_t idx : members) {
+      fold_members[deal % folds].push_back(idx);
+      ++deal;
+    }
+  }
+  std::vector<Split> splits(folds);
+  for (std::size_t f = 0; f < folds; ++f) {
+    splits[f].test = fold_members[f];
+    std::sort(splits[f].test.begin(), splits[f].test.end());
+    for (std::size_t other = 0; other < folds; ++other) {
+      if (other == f) continue;
+      splits[f].train.insert(splits[f].train.end(), fold_members[other].begin(),
+                             fold_members[other].end());
+    }
+    std::sort(splits[f].train.begin(), splits[f].train.end());
+  }
+  return splits;
+}
+
+Split stratified_split(const GraphDataset& dataset, double train_fraction, Rng& rng) {
+  if (train_fraction <= 0.0 || train_fraction >= 1.0) {
+    throw std::invalid_argument("stratified_split: train_fraction must be in (0, 1)");
+  }
+  std::vector<std::vector<std::size_t>> by_class(dataset.num_classes());
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    by_class[dataset.label(i)].push_back(i);
+  }
+  Split split;
+  for (auto& members : by_class) {
+    if (members.empty()) continue;
+    rng.shuffle(members);
+    auto take = static_cast<std::size_t>(train_fraction * static_cast<double>(members.size()));
+    take = std::clamp<std::size_t>(take, members.size() > 1 ? 1 : 0,
+                                   members.size() > 1 ? members.size() - 1 : members.size());
+    for (std::size_t j = 0; j < members.size(); ++j) {
+      (j < take ? split.train : split.test).push_back(members[j]);
+    }
+  }
+  std::sort(split.train.begin(), split.train.end());
+  std::sort(split.test.begin(), split.test.end());
+  return split;
+}
+
+}  // namespace graphhd::data

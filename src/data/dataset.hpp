@@ -1,0 +1,84 @@
+/// \file dataset.hpp
+/// In-memory graph classification dataset and split utilities.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "hdc/random.hpp"
+
+namespace graphhd::data {
+
+using graph::Graph;
+using hdc::Rng;
+
+/// A graph classification dataset: graphs, integer labels in [0, k), and
+/// optional per-graph vertex labels (used only by the attribute-aware
+/// GraphHD extension; the paper's protocol withholds them).
+class GraphDataset {
+ public:
+  GraphDataset() = default;
+  GraphDataset(std::string name, std::vector<Graph> graphs, std::vector<std::size_t> labels);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t size() const noexcept { return graphs_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return graphs_.empty(); }
+  [[nodiscard]] std::size_t num_classes() const noexcept { return num_classes_; }
+
+  [[nodiscard]] const Graph& graph(std::size_t i) const { return graphs_.at(i); }
+  [[nodiscard]] std::size_t label(std::size_t i) const { return labels_.at(i); }
+  [[nodiscard]] const std::vector<Graph>& graphs() const noexcept { return graphs_; }
+  [[nodiscard]] const std::vector<std::size_t>& labels() const noexcept { return labels_; }
+
+  /// Per-graph vertex labels; empty when the dataset has none.
+  [[nodiscard]] const std::vector<std::vector<std::size_t>>& vertex_labels() const noexcept {
+    return vertex_labels_;
+  }
+  [[nodiscard]] bool has_vertex_labels() const noexcept { return !vertex_labels_.empty(); }
+
+  /// Attaches per-graph vertex labels (outer size must equal size(); inner
+  /// sizes must match each graph's vertex count).
+  void set_vertex_labels(std::vector<std::vector<std::size_t>> vertex_labels);
+
+  /// Appends one sample.
+  void add(Graph g, std::size_t label);
+
+  /// Number of samples with each label, indexed by label.
+  [[nodiscard]] std::vector<std::size_t> class_counts() const;
+
+  /// Fraction of the most frequent class — the majority-vote accuracy floor.
+  [[nodiscard]] double majority_class_fraction() const;
+
+  /// Returns the dataset restricted to `indices` (copying).
+  [[nodiscard]] GraphDataset subset(std::span<const std::size_t> indices) const;
+
+ private:
+  std::string name_;
+  std::vector<Graph> graphs_;
+  std::vector<std::size_t> labels_;
+  std::vector<std::vector<std::size_t>> vertex_labels_;
+  std::size_t num_classes_ = 0;
+};
+
+/// One train/test split as index sets into a dataset.
+struct Split {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+
+/// Stratified k-fold cross-validation splits: class proportions are
+/// preserved per fold (up to rounding) and every sample appears in exactly
+/// one test fold.  Deterministic given the rng.
+[[nodiscard]] std::vector<Split> stratified_kfold(const GraphDataset& dataset, std::size_t folds,
+                                                  Rng& rng);
+
+/// Single stratified train/test split with `train_fraction` of each class in
+/// the training set (at least one sample of each class on each side when
+/// possible).
+[[nodiscard]] Split stratified_split(const GraphDataset& dataset, double train_fraction,
+                                     Rng& rng);
+
+}  // namespace graphhd::data

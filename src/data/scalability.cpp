@@ -1,0 +1,32 @@
+#include "data/scalability.hpp"
+
+#include <string>
+
+#include "graph/generators.hpp"
+
+namespace graphhd::data {
+
+GraphDataset make_scalability_dataset(const ScalabilityConfig& config, std::uint64_t seed) {
+  Rng rng(hdc::derive_seed(seed, "scalability-" + std::to_string(config.num_vertices)));
+  std::vector<Graph> graphs;
+  std::vector<std::size_t> labels;
+  graphs.reserve(config.num_graphs);
+  labels.reserve(config.num_graphs);
+  for (std::size_t i = 0; i < config.num_graphs; ++i) {
+    const std::size_t class_id = i % 2;
+    const double p = class_id == 0 ? config.edge_probability : config.class1_edge_probability;
+    graphs.push_back(graph::erdos_renyi(config.num_vertices, p, rng));
+    labels.push_back(class_id);
+  }
+  return GraphDataset("ER-" + std::to_string(config.num_vertices), std::move(graphs),
+                      std::move(labels));
+}
+
+std::vector<std::size_t> scalability_sizes(std::size_t max_vertices, std::size_t step) {
+  std::vector<std::size_t> sizes;
+  for (std::size_t n = 20; n <= max_vertices; n += step) sizes.push_back(n);
+  if (sizes.empty() || sizes.back() != max_vertices) sizes.push_back(max_vertices);
+  return sizes;
+}
+
+}  // namespace graphhd::data

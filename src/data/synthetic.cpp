@@ -1,0 +1,239 @@
+#include "data/synthetic.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "data/tudataset.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace graphhd::data {
+
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+// Table I of the paper, verbatim.
+const std::array<SyntheticSpec, 6> kSpecs = {{
+    {"DD", 1178, 2, 284.32, 715.66},
+    {"ENZYMES", 600, 6, 32.63, 62.14},
+    {"MUTAG", 188, 2, 17.93, 19.79},
+    {"NCI1", 4110, 2, 29.87, 32.3},
+    {"PROTEINS", 1113, 2, 39.06, 72.82},
+    {"PTC_FM", 349, 2, 14.11, 14.48},
+}};
+
+/// Caterpillar tree: a path backbone of ceil(n * backbone_fraction) vertices
+/// with the remaining vertices attached as leaves of random backbone
+/// vertices.  Chain-like chemistry, topologically distinct from uniform
+/// random trees (which are bushier).
+[[nodiscard]] Graph caterpillar_tree(std::size_t n, double backbone_fraction, Rng& rng) {
+  if (n <= 2) return graph::path_graph(n);
+  const auto backbone =
+      std::clamp<std::size_t>(static_cast<std::size_t>(backbone_fraction * static_cast<double>(n)),
+                              2, n);
+  std::vector<graph::Edge> edges;
+  for (VertexId v = 0; v + 1 < backbone; ++v) {
+    edges.push_back({v, static_cast<VertexId>(v + 1)});
+  }
+  for (std::size_t v = backbone; v < n; ++v) {
+    const auto anchor = static_cast<VertexId>(rng.next_below(backbone));
+    edges.push_back({anchor, static_cast<VertexId>(v)});
+  }
+  return Graph::from_edges(n, edges);
+}
+
+/// Adds `count` random chords to `g` (ignoring failures), returning the
+/// augmented graph.  Used to push edge counts toward a Table I target.
+[[nodiscard]] Graph add_random_chords(const Graph& g, std::size_t count, Rng& rng) {
+  graph::GraphBuilder builder(g.num_vertices());
+  for (const auto& e : g.edges()) builder.add_edge(e.u, e.v);
+  const std::size_t n = g.num_vertices();
+  if (n < 2) return builder.build();
+  std::size_t added = 0;
+  for (std::size_t attempt = 0; attempt < 16 * count + 16 && added < count; ++attempt) {
+    const auto u = static_cast<VertexId>(rng.next_below(n));
+    const auto v = static_cast<VertexId>(rng.next_below(n));
+    if (u != v && builder.add_edge(u, v)) ++added;
+  }
+  return builder.build();
+}
+
+/// Samples a vertex count uniformly in [0.6 * avg, 1.4 * avg] (mean = avg),
+/// with a floor of 5 vertices.
+[[nodiscard]] std::size_t sample_size(double avg_vertices, Rng& rng) {
+  const double lo = 0.6 * avg_vertices;
+  const double hi = 1.4 * avg_vertices;
+  const double n = rng.next_double(lo, hi);
+  return std::max<std::size_t>(5, static_cast<std::size_t>(std::lround(n)));
+}
+
+/// Even k for Watts-Strogatz, at least 2 and < n.
+[[nodiscard]] std::size_t even_ws_degree(double target, std::size_t n) {
+  auto k = static_cast<std::size_t>(std::lround(target / 2.0)) * 2;
+  k = std::max<std::size_t>(2, k);
+  while (k >= n && k > 2) k -= 2;
+  return k;
+}
+
+/// Per-dataset, per-class structural generator.  The edge budgets are tuned
+/// so that the dataset-level E[|E|] lands near Table I (validated by
+/// tests/test_synthetic.cpp within tolerance).
+[[nodiscard]] Graph make_member(const std::string& dataset, std::size_t class_id, std::size_t n,
+                                Rng& rng) {
+  if (dataset == "MUTAG") {
+    // Sparse ring chemistries, |E|/|V| ~ 1.10.  Non-mutagenic (class 0):
+    // aliphatic, branched tree-like skeletons with a couple of rings;
+    // mutagenic (class 1): aromatic ring backbones (one big rewired cycle)
+    // with extra chords.  The centrality profiles differ strongly — flat on
+    // the ring class, hub-heavy on the branched class — which is the kind of
+    // signal GraphHD's PageRank-rank identifier reads (accuracy comparable
+    // to the kernels, as in the paper's Fig. 3).
+    if (class_id == 0) return graph::random_molecule(n, 2, rng);
+    Graph ring = graph::watts_strogatz(n, 2, 0.15, rng);
+    return add_random_chords(ring, 2, rng);
+  }
+  if (dataset == "PTC_FM") {
+    // |E|/|V| ~ 1.03: barely-cyclic molecules; classes differ in backbone
+    // shape (bushy random trees vs short-spine caterpillars whose leaf
+    // clusters create hub-like centrality profiles).  PTC_FM is the paper's
+    // hardest benchmark — every method sits barely above chance — and the
+    // replica reproduces that regime.
+    if (class_id == 0) return graph::random_molecule(n, 1, rng);
+    Graph chain = caterpillar_tree(n, 0.45, rng);
+    return add_random_chords(chain, 1, rng);
+  }
+  if (dataset == "NCI1") {
+    // |E|/|V| ~ 1.08.
+    if (class_id == 0) return graph::random_molecule(n, 2, rng);
+    Graph chain = caterpillar_tree(n, 0.5, rng);
+    return add_random_chords(chain, 2, rng);
+  }
+  if (dataset == "PROTEINS") {
+    // |E|/|V| ~ 1.86: contact-map-like graphs; small-world folds vs
+    // community/clique secondary structure.
+    if (class_id == 0) {
+      return graph::watts_strogatz(n, even_ws_degree(3.7, n), 0.15, rng);
+    }
+    const std::size_t clique_size = 4;
+    const std::size_t cliques = std::max<std::size_t>(2, n / clique_size);
+    return graph::caveman(cliques, clique_size, rng);
+  }
+  if (dataset == "DD") {
+    // |E|/|V| ~ 2.52 on large graphs: dense small-world folds vs
+    // preferential-attachment hubs.
+    if (class_id == 0) {
+      return graph::watts_strogatz(n, even_ws_degree(5.0, n), 0.1, rng);
+    }
+    Graph ba = graph::barabasi_albert(n, 2, rng);
+    return add_random_chords(ba, n / 2, rng);
+  }
+  if (dataset == "ENZYMES") {
+    // Six classes, |E|/|V| ~ 1.9: one family per EC class.
+    switch (class_id) {
+      case 0:
+        return graph::watts_strogatz(n, even_ws_degree(3.8, n), 0.1, rng);
+      case 1: {
+        Graph ba = graph::barabasi_albert(n, 2, rng);
+        return ba;
+      }
+      case 2: {
+        const std::size_t d = std::min<std::size_t>(4, n - 1);
+        const std::size_t nn = (n * d) % 2 == 0 ? n : n + 1;
+        return graph::random_regular(nn, d, rng);
+      }
+      case 3: {
+        const std::size_t clique_size = 4;
+        const std::size_t cliques = std::max<std::size_t>(2, n / clique_size);
+        return graph::caveman(cliques, clique_size, rng);
+      }
+      case 4:
+        return graph::random_molecule(n, static_cast<std::size_t>(0.9 * static_cast<double>(n)),
+                                      rng);
+      default:
+        return graph::erdos_renyi_gnm(n, static_cast<std::size_t>(1.9 * static_cast<double>(n)),
+                                      rng);
+    }
+  }
+  throw std::invalid_argument("make_member: unknown dataset '" + dataset + "'");
+}
+
+/// Randomly permutes vertex ids.  Generator construction orders (ring
+/// neighbours get adjacent ids, tree roots get low ids, ...) would otherwise
+/// leak class information through vertex identity — something real datasets'
+/// arbitrary orderings do not provide and no structure-only method may rely
+/// on (GraphHD's deterministic rank tie-break would exploit it).
+[[nodiscard]] Graph shuffle_vertex_ids(const Graph& g, Rng& rng) {
+  std::vector<VertexId> mapping(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) mapping[v] = v;
+  rng.shuffle(mapping);
+  return graph::relabel(g, mapping);
+}
+
+/// Degree-bucket vertex labels (0..4); gives the attribute-aware extension
+/// something to bind without leaking the class directly.
+[[nodiscard]] std::vector<std::size_t> degree_bucket_labels(const Graph& g) {
+  std::vector<std::size_t> labels(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    labels[v] = std::min<std::size_t>(g.degree(v), 4);
+  }
+  return labels;
+}
+
+}  // namespace
+
+std::span<const SyntheticSpec> table1_specs() { return kSpecs; }
+
+const SyntheticSpec& spec_by_name(const std::string& name) {
+  for (const auto& spec : kSpecs) {
+    if (spec.name == name) return spec;
+  }
+  throw std::invalid_argument("spec_by_name: unknown dataset '" + name + "'");
+}
+
+GraphDataset make_synthetic_replica(const SyntheticSpec& spec, std::uint64_t seed, double scale) {
+  if (scale <= 0.0 || scale > 1.0) {
+    throw std::invalid_argument("make_synthetic_replica: scale must be in (0, 1]");
+  }
+  Rng rng(hdc::derive_seed(seed, "synthetic-" + spec.name));
+
+  const auto scaled_graphs = static_cast<std::size_t>(std::lround(
+      std::max(scale * static_cast<double>(spec.graphs), 4.0 * static_cast<double>(spec.classes))));
+
+  std::vector<Graph> graphs;
+  std::vector<std::size_t> labels;
+  std::vector<std::vector<std::size_t>> vertex_labels;
+  graphs.reserve(scaled_graphs);
+  labels.reserve(scaled_graphs);
+  vertex_labels.reserve(scaled_graphs);
+  for (std::size_t i = 0; i < scaled_graphs; ++i) {
+    // Round-robin over classes keeps the split exactly balanced, matching the
+    // near-balanced TUDataset benchmarks closely enough for timing purposes.
+    const std::size_t class_id = i % spec.classes;
+    const std::size_t n = sample_size(spec.avg_vertices, rng);
+    Graph g = shuffle_vertex_ids(make_member(spec.name, class_id, n, rng), rng);
+    vertex_labels.push_back(degree_bucket_labels(g));
+    graphs.push_back(std::move(g));
+    labels.push_back(class_id);
+  }
+  GraphDataset dataset(spec.name, std::move(graphs), std::move(labels));
+  dataset.set_vertex_labels(std::move(vertex_labels));
+  return dataset;
+}
+
+GraphDataset make_synthetic_replica(const std::string& name, std::uint64_t seed, double scale) {
+  return make_synthetic_replica(spec_by_name(name), seed, scale);
+}
+
+GraphDataset load_or_synthesize(const std::filesystem::path& data_dir, const std::string& name,
+                                std::uint64_t seed, double scale) {
+  if (tudataset_exists(data_dir / name, name)) {
+    return load_tudataset(data_dir / name, name);
+  }
+  return make_synthetic_replica(name, seed, scale);
+}
+
+}  // namespace graphhd::data

@@ -1,0 +1,228 @@
+#include "data/tudataset.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+namespace graphhd::data {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Strips whitespace and a trailing '#'-comment from a line.
+[[nodiscard]] std::string_view trim(std::string_view line) {
+  if (const auto hash = line.find('#'); hash != std::string_view::npos) {
+    line = line.substr(0, hash);
+  }
+  const auto first = line.find_first_not_of(" \t\r\n");
+  if (first == std::string_view::npos) return {};
+  const auto last = line.find_last_not_of(" \t\r\n");
+  return line.substr(first, last - first + 1);
+}
+
+/// Parses all integers on a line separated by commas and/or whitespace.
+[[nodiscard]] std::vector<long long> parse_ints(std::string_view line, const fs::path& file,
+                                                std::size_t line_no) {
+  std::vector<long long> values;
+  const char* it = line.data();
+  const char* end = line.data() + line.size();
+  while (it != end) {
+    while (it != end && (*it == ' ' || *it == '\t' || *it == ',')) ++it;
+    if (it == end) break;
+    long long value = 0;
+    const auto [next, ec] = std::from_chars(it, end, value);
+    if (ec != std::errc{}) {
+      throw std::runtime_error(file.string() + ":" + std::to_string(line_no) +
+                               ": expected integer, got '" + std::string(line) + "'");
+    }
+    values.push_back(value);
+    it = next;
+  }
+  return values;
+}
+
+/// Reads one integer per (non-empty) line.
+[[nodiscard]] std::vector<long long> read_int_column(const fs::path& file) {
+  std::ifstream in(file);
+  if (!in) {
+    throw std::runtime_error("tudataset: cannot open " + file.string());
+  }
+  std::vector<long long> values;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    const auto ints = parse_ints(trimmed, file, line_no);
+    if (ints.size() != 1) {
+      throw std::runtime_error(file.string() + ":" + std::to_string(line_no) +
+                               ": expected exactly one integer");
+    }
+    values.push_back(ints.front());
+  }
+  return values;
+}
+
+}  // namespace
+
+bool tudataset_exists(const fs::path& directory, const std::string& name) {
+  return fs::exists(directory / (name + "_A.txt")) &&
+         fs::exists(directory / (name + "_graph_indicator.txt")) &&
+         fs::exists(directory / (name + "_graph_labels.txt"));
+}
+
+GraphDataset load_tudataset(const fs::path& directory, const std::string& name) {
+  const fs::path adjacency_file = directory / (name + "_A.txt");
+  const fs::path indicator_file = directory / (name + "_graph_indicator.txt");
+  const fs::path labels_file = directory / (name + "_graph_labels.txt");
+  const fs::path node_labels_file = directory / (name + "_node_labels.txt");
+
+  // 1. Vertex -> graph assignment (1-based on both sides in the format).
+  const auto indicator = read_int_column(indicator_file);
+  const std::size_t total_vertices = indicator.size();
+  std::size_t num_graphs = 0;
+  for (const long long g : indicator) {
+    if (g < 1) {
+      throw std::runtime_error(indicator_file.string() + ": graph ids must be >= 1");
+    }
+    num_graphs = std::max(num_graphs, static_cast<std::size_t>(g));
+  }
+
+  // Local (per-graph) vertex ids in order of appearance.
+  std::vector<std::size_t> local_id(total_vertices);
+  std::vector<std::size_t> graph_size(num_graphs, 0);
+  for (std::size_t v = 0; v < total_vertices; ++v) {
+    const auto g = static_cast<std::size_t>(indicator[v]) - 1;
+    local_id[v] = graph_size[g]++;
+  }
+
+  // 2. Graph labels, remapped to dense 0-based ids preserving numeric order.
+  const auto raw_labels = read_int_column(labels_file);
+  if (raw_labels.size() != num_graphs) {
+    throw std::runtime_error(labels_file.string() + ": expected " + std::to_string(num_graphs) +
+                             " labels, found " + std::to_string(raw_labels.size()));
+  }
+  std::map<long long, std::size_t> label_map;
+  for (const long long l : raw_labels) label_map.emplace(l, 0);
+  std::size_t next_label = 0;
+  for (auto& [raw, dense] : label_map) dense = next_label++;
+
+  // 3. Edges.
+  std::vector<graph::GraphBuilder> builders;
+  builders.reserve(num_graphs);
+  for (std::size_t g = 0; g < num_graphs; ++g) {
+    builders.emplace_back(graph_size[g]);
+  }
+  std::ifstream adjacency_in(adjacency_file);
+  if (!adjacency_in) {
+    throw std::runtime_error("tudataset: cannot open " + adjacency_file.string());
+  }
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(adjacency_in, line)) {
+    ++line_no;
+    const auto trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    const auto ints = parse_ints(trimmed, adjacency_file, line_no);
+    if (ints.size() != 2) {
+      throw std::runtime_error(adjacency_file.string() + ":" + std::to_string(line_no) +
+                               ": expected 'i, j'");
+    }
+    const long long gi = ints[0], gj = ints[1];
+    if (gi < 1 || gj < 1 || static_cast<std::size_t>(gi) > total_vertices ||
+        static_cast<std::size_t>(gj) > total_vertices) {
+      throw std::runtime_error(adjacency_file.string() + ":" + std::to_string(line_no) +
+                               ": vertex id out of range");
+    }
+    const auto u = static_cast<std::size_t>(gi) - 1;
+    const auto v = static_cast<std::size_t>(gj) - 1;
+    if (indicator[u] != indicator[v]) {
+      throw std::runtime_error(adjacency_file.string() + ":" + std::to_string(line_no) +
+                               ": edge crosses graph boundary");
+    }
+    const auto g = static_cast<std::size_t>(indicator[u]) - 1;
+    // The builder merges the reverse direction and ignores self-loops.
+    builders[g].add_edge(static_cast<graph::VertexId>(local_id[u]),
+                         static_cast<graph::VertexId>(local_id[v]));
+  }
+
+  std::vector<Graph> graphs;
+  std::vector<std::size_t> labels;
+  graphs.reserve(num_graphs);
+  labels.reserve(num_graphs);
+  for (std::size_t g = 0; g < num_graphs; ++g) {
+    builders[g].ensure_vertices(graph_size[g]);
+    graphs.push_back(builders[g].build());
+    labels.push_back(label_map.at(raw_labels[g]));
+  }
+  GraphDataset dataset(name, std::move(graphs), std::move(labels));
+
+  // 4. Optional node labels.
+  if (fs::exists(node_labels_file)) {
+    const auto raw_node_labels = read_int_column(node_labels_file);
+    if (raw_node_labels.size() != total_vertices) {
+      throw std::runtime_error(node_labels_file.string() + ": expected " +
+                               std::to_string(total_vertices) + " node labels");
+    }
+    std::map<long long, std::size_t> node_label_map;
+    for (const long long l : raw_node_labels) node_label_map.emplace(l, 0);
+    std::size_t next_node_label = 0;
+    for (auto& [raw, dense] : node_label_map) dense = next_node_label++;
+    std::vector<std::vector<std::size_t>> vertex_labels(num_graphs);
+    for (std::size_t g = 0; g < num_graphs; ++g) {
+      vertex_labels[g].resize(graph_size[g]);
+    }
+    for (std::size_t v = 0; v < total_vertices; ++v) {
+      const auto g = static_cast<std::size_t>(indicator[v]) - 1;
+      vertex_labels[g][local_id[v]] = node_label_map.at(raw_node_labels[v]);
+    }
+    dataset.set_vertex_labels(std::move(vertex_labels));
+  }
+  return dataset;
+}
+
+void save_tudataset(const GraphDataset& dataset, const fs::path& directory) {
+  fs::create_directories(directory);
+  const std::string& name = dataset.name();
+  std::ofstream adjacency_out(directory / (name + "_A.txt"));
+  std::ofstream indicator_out(directory / (name + "_graph_indicator.txt"));
+  std::ofstream labels_out(directory / (name + "_graph_labels.txt"));
+  if (!adjacency_out || !indicator_out || !labels_out) {
+    throw std::runtime_error("tudataset: cannot create files under " + directory.string());
+  }
+
+  std::size_t global_base = 0;
+  for (std::size_t g = 0; g < dataset.size(); ++g) {
+    const Graph& graph = dataset.graph(g);
+    for (std::size_t v = 0; v < graph.num_vertices(); ++v) {
+      indicator_out << (g + 1) << '\n';
+    }
+    for (const auto& e : graph.edges()) {
+      const std::size_t u = global_base + e.u + 1;
+      const std::size_t v = global_base + e.v + 1;
+      adjacency_out << u << ", " << v << '\n';
+      adjacency_out << v << ", " << u << '\n';
+    }
+    labels_out << dataset.label(g) << '\n';
+    global_base += graph.num_vertices();
+  }
+
+  if (dataset.has_vertex_labels()) {
+    std::ofstream node_labels_out(directory / (name + "_node_labels.txt"));
+    if (!node_labels_out) {
+      throw std::runtime_error("tudataset: cannot create node labels file");
+    }
+    for (std::size_t g = 0; g < dataset.size(); ++g) {
+      for (const std::size_t label : dataset.vertex_labels()[g]) {
+        node_labels_out << label << '\n';
+      }
+    }
+  }
+}
+
+}  // namespace graphhd::data

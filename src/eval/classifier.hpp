@@ -1,0 +1,41 @@
+/// \file classifier.hpp
+/// The common interface all five evaluated methods implement.
+///
+/// The paper's protocol (Section V-A) trains on one fold's training split
+/// and times fit and predict separately; this interface is shaped so the
+/// harness can do exactly that for GraphHD, 1-WL, WL-OA, GIN-ε and
+/// GIN-ε-JK without method-specific code.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace graphhd::eval {
+
+/// A trainable graph classifier (one instance per fold).
+class GraphClassifier {
+ public:
+  virtual ~GraphClassifier() = default;
+
+  /// Human-readable method name, e.g. "GraphHD", "1-WL", "GIN-e".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Trains on the given dataset.  Called exactly once.
+  virtual void fit(const data::GraphDataset& train) = 0;
+
+  /// Predicts labels for every sample of `test` (same order).
+  [[nodiscard]] virtual std::vector<std::size_t> predict(const data::GraphDataset& test) = 0;
+};
+
+/// Creates a fresh classifier for a fold; `seed` varies per fold/repetition
+/// so stochastic methods (GIN init, inner CV shuffles) are independent
+/// across folds while remaining reproducible.
+using ClassifierFactory = std::function<std::unique_ptr<GraphClassifier>(std::uint64_t seed)>;
+
+}  // namespace graphhd::eval

@@ -1,0 +1,91 @@
+#include "eval/cross_validation.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace graphhd::eval {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+ml::MeanStd CvResult::accuracy() const {
+  std::vector<double> values;
+  values.reserve(folds.size());
+  for (const FoldResult& fold : folds) values.push_back(fold.accuracy);
+  return ml::mean_std(values);
+}
+
+double CvResult::train_seconds_per_fold() const {
+  if (folds.empty()) return 0.0;
+  double sum = 0.0;
+  for (const FoldResult& fold : folds) sum += fold.train_seconds;
+  return sum / static_cast<double>(folds.size());
+}
+
+double CvResult::train_seconds_per_graph() const {
+  if (folds.empty()) return 0.0;
+  double sum = 0.0;
+  for (const FoldResult& fold : folds) {
+    if (fold.train_size > 0) {
+      sum += fold.train_seconds / static_cast<double>(fold.train_size);
+    }
+  }
+  return sum / static_cast<double>(folds.size());
+}
+
+double CvResult::inference_seconds_per_graph() const {
+  if (folds.empty()) return 0.0;
+  double sum = 0.0;
+  for (const FoldResult& fold : folds) {
+    if (fold.test_size > 0) {
+      sum += fold.test_seconds / static_cast<double>(fold.test_size);
+    }
+  }
+  return sum / static_cast<double>(folds.size());
+}
+
+CvResult cross_validate(const std::string& method_name, const ClassifierFactory& factory,
+                        const data::GraphDataset& dataset, const CvConfig& config) {
+  if (config.repetitions == 0) {
+    throw std::invalid_argument("cross_validate: need at least 1 repetition");
+  }
+  CvResult result;
+  result.method = method_name;
+  result.dataset = dataset.name();
+  result.folds.reserve(config.repetitions * config.folds);
+
+  for (std::size_t rep = 0; rep < config.repetitions; ++rep) {
+    hdc::Rng rng(hdc::derive_seed(config.seed, rep));
+    const auto splits = data::stratified_kfold(dataset, config.folds, rng);
+    for (std::size_t f = 0; f < splits.size(); ++f) {
+      const auto train_set = dataset.subset(splits[f].train);
+      const auto test_set = dataset.subset(splits[f].test);
+      auto classifier = factory(hdc::derive_seed(config.seed, rep * 1000 + f));
+
+      FoldResult fold;
+      fold.train_size = train_set.size();
+      fold.test_size = test_set.size();
+
+      const auto train_start = Clock::now();
+      classifier->fit(train_set);
+      fold.train_seconds = seconds_since(train_start);
+
+      const auto test_start = Clock::now();
+      const auto predictions = classifier->predict(test_set);
+      fold.test_seconds = seconds_since(test_start);
+
+      fold.accuracy = ml::accuracy(predictions, test_set.labels());
+      result.folds.push_back(fold);
+    }
+  }
+  return result;
+}
+
+}  // namespace graphhd::eval

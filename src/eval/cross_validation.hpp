@@ -1,0 +1,60 @@
+/// \file cross_validation.hpp
+/// The paper's evaluation protocol: repeated stratified 10-fold CV with
+/// separate wall-clock timing of training and inference.
+///
+/// Section V-A: "We use 10-fold cross validation ... We report training and
+/// inference time per graph to normalize over varying dataset lengths.  The
+/// wall-time for one fold of training is considered the training time.  The
+/// inference time is set to be the testing wall-time of one fold.
+/// Measurements are averaged over 3 repetitions of 10-fold cross
+/// validation."
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "eval/classifier.hpp"
+#include "ml/metrics.hpp"
+
+namespace graphhd::eval {
+
+/// Protocol settings (defaults = the paper's protocol).
+struct CvConfig {
+  std::size_t folds = 10;
+  std::size_t repetitions = 3;
+  std::uint64_t seed = 0xf01d5ULL;
+};
+
+/// Result of one (repetition, fold).
+struct FoldResult {
+  double accuracy = 0.0;
+  double train_seconds = 0.0;   ///< wall time of fit() on the fold.
+  double test_seconds = 0.0;    ///< wall time of predict() on the fold.
+  std::size_t train_size = 0;
+  std::size_t test_size = 0;
+};
+
+/// Aggregated cross-validation outcome for one (method, dataset) pair.
+struct CvResult {
+  std::string method;
+  std::string dataset;
+  std::vector<FoldResult> folds;  ///< repetitions x folds entries.
+
+  [[nodiscard]] ml::MeanStd accuracy() const;
+  /// Mean wall time of one fold of training — the paper's "training time".
+  [[nodiscard]] double train_seconds_per_fold() const;
+  /// Mean training time divided by the fold's training-set size.
+  [[nodiscard]] double train_seconds_per_graph() const;
+  /// Mean inference time per graph — the paper's "inference time".
+  [[nodiscard]] double inference_seconds_per_graph() const;
+};
+
+/// Runs the full protocol for one method on one dataset.
+[[nodiscard]] CvResult cross_validate(const std::string& method_name,
+                                      const ClassifierFactory& factory,
+                                      const data::GraphDataset& dataset, const CvConfig& config);
+
+}  // namespace graphhd::eval

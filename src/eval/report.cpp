@@ -1,0 +1,228 @@
+#include "eval/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace graphhd::eval {
+
+namespace {
+
+/// Ordered unique values preserving first appearance.
+[[nodiscard]] std::vector<std::string> ordered_unique(const std::vector<CvResult>& results,
+                                                      bool datasets) {
+  std::vector<std::string> values;
+  for (const CvResult& r : results) {
+    const std::string& v = datasets ? r.dataset : r.method;
+    if (std::find(values.begin(), values.end(), v) == values.end()) values.push_back(v);
+  }
+  return values;
+}
+
+[[nodiscard]] const CvResult* find_result(const std::vector<CvResult>& results,
+                                          const std::string& dataset,
+                                          const std::string& method) {
+  for (const CvResult& r : results) {
+    if (r.dataset == dataset && r.method == method) return &r;
+  }
+  return nullptr;
+}
+
+[[nodiscard]] std::string format_cell(const CvResult& r, Figure3Panel panel) {
+  char buffer[64];
+  switch (panel) {
+    case Figure3Panel::kAccuracy: {
+      const auto acc = r.accuracy();
+      std::snprintf(buffer, sizeof(buffer), "%5.1f±%-4.1f", 100.0 * acc.mean, 100.0 * acc.std);
+      break;
+    }
+    case Figure3Panel::kTrainingTime:
+      std::snprintf(buffer, sizeof(buffer), "%10.4f", r.train_seconds_per_fold());
+      break;
+    case Figure3Panel::kInferenceTime:
+      std::snprintf(buffer, sizeof(buffer), "%.3e", r.inference_seconds_per_graph());
+      break;
+  }
+  return buffer;
+}
+
+}  // namespace
+
+std::string format_figure3(const std::vector<CvResult>& results, Figure3Panel panel) {
+  const auto datasets = ordered_unique(results, true);
+  const auto methods = ordered_unique(results, false);
+  std::ostringstream out;
+  const char* title = panel == Figure3Panel::kAccuracy      ? "Accuracy [%]"
+                      : panel == Figure3Panel::kTrainingTime ? "Training time per fold [s]"
+                                                             : "Inference time per graph [s]";
+  out << "== Figure 3 — " << title << " ==\n";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%-10s", "Dataset");
+  out << buffer;
+  for (const auto& method : methods) {
+    std::snprintf(buffer, sizeof(buffer), " %12s", method.c_str());
+    out << buffer;
+  }
+  out << '\n';
+  for (const auto& dataset : datasets) {
+    std::snprintf(buffer, sizeof(buffer), "%-10s", dataset.c_str());
+    out << buffer;
+    for (const auto& method : methods) {
+      const CvResult* r = find_result(results, dataset, method);
+      std::snprintf(buffer, sizeof(buffer), " %12s",
+                    r != nullptr ? format_cell(*r, panel).c_str() : "-");
+      out << buffer;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string format_speedups(const std::vector<CvResult>& results) {
+  const auto datasets = ordered_unique(results, true);
+  std::ostringstream out;
+  out << "== GraphHD speedups (x faster than the fastest competitor of each family) ==\n";
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer), "%-10s %14s %14s %14s %14s", "Dataset", "train vs GNN",
+                "train vs kern", "infer vs GNN", "infer vs kern");
+  out << buffer << '\n';
+
+  double train_ratio_sum = 0.0, infer_ratio_sum = 0.0;
+  std::size_t counted = 0;
+  for (const auto& dataset : datasets) {
+    const CvResult* hd = find_result(results, dataset, "GraphHD");
+    if (hd == nullptr) continue;
+    const auto best_of = [&](std::initializer_list<const char*> names, bool train) {
+      double best = -1.0;
+      for (const char* name : names) {
+        const CvResult* r = find_result(results, dataset, name);
+        if (r == nullptr) continue;
+        const double t = train ? r->train_seconds_per_fold() : r->inference_seconds_per_graph();
+        if (best < 0.0 || t < best) best = t;
+      }
+      return best;
+    };
+    const double hd_train = hd->train_seconds_per_fold();
+    const double hd_infer = hd->inference_seconds_per_graph();
+    const double gnn_train = best_of({"GIN-e", "GIN-e-JK"}, true);
+    const double kern_train = best_of({"1-WL", "WL-OA"}, true);
+    const double gnn_infer = best_of({"GIN-e", "GIN-e-JK"}, false);
+    const double kern_infer = best_of({"1-WL", "WL-OA"}, false);
+    const auto ratio = [](double other, double ours) {
+      return (ours > 0.0 && other > 0.0) ? other / ours : 0.0;
+    };
+    std::snprintf(buffer, sizeof(buffer), "%-10s %13.1fx %13.1fx %13.1fx %13.1fx",
+                  dataset.c_str(), ratio(gnn_train, hd_train), ratio(kern_train, hd_train),
+                  ratio(gnn_infer, hd_infer), ratio(kern_infer, hd_infer));
+    out << buffer << '\n';
+    // The paper's average is over all baselines; we average the per-family
+    // bests, the stricter comparison.
+    if (gnn_train > 0.0 && kern_train > 0.0) {
+      train_ratio_sum +=
+          (ratio(gnn_train, hd_train) + ratio(kern_train, hd_train)) / 2.0;
+      infer_ratio_sum +=
+          (ratio(gnn_infer, hd_infer) + ratio(kern_infer, hd_infer)) / 2.0;
+      ++counted;
+    }
+  }
+  if (counted > 0) {
+    std::snprintf(buffer, sizeof(buffer),
+                  "%-10s %13.1fx (paper: 14.6x)      %13.1fx (paper: 2.0x)", "AVERAGE",
+                  train_ratio_sum / static_cast<double>(counted),
+                  infer_ratio_sum / static_cast<double>(counted));
+    out << buffer << '\n';
+  }
+  return out.str();
+}
+
+std::string format_figure4(const std::vector<ScalabilityPoint>& points) {
+  std::vector<std::size_t> sizes;
+  std::vector<std::string> methods;
+  for (const auto& p : points) {
+    if (std::find(sizes.begin(), sizes.end(), p.num_vertices) == sizes.end()) {
+      sizes.push_back(p.num_vertices);
+    }
+    if (std::find(methods.begin(), methods.end(), p.method) == methods.end()) {
+      methods.push_back(p.method);
+    }
+  }
+  const auto find_point = [&points](std::size_t n, const std::string& method) {
+    for (const auto& p : points) {
+      if (p.num_vertices == n && p.method == method) return &p;
+    }
+    return static_cast<const ScalabilityPoint*>(nullptr);
+  };
+
+  std::ostringstream out;
+  out << "== Figure 4 — training seconds per fold vs graph size ==\n";
+  char buffer[128];
+  std::snprintf(buffer, sizeof(buffer), "%-10s", "|V|");
+  out << buffer;
+  for (const auto& method : methods) {
+    std::snprintf(buffer, sizeof(buffer), " %12s", method.c_str());
+    out << buffer;
+  }
+  out << '\n';
+  for (const std::size_t n : sizes) {
+    std::snprintf(buffer, sizeof(buffer), "%-10zu", n);
+    out << buffer;
+    for (const auto& method : methods) {
+      const ScalabilityPoint* p = find_point(n, method);
+      if (p != nullptr) {
+        std::snprintf(buffer, sizeof(buffer), " %12.4f", p->train_seconds_per_fold);
+      } else {
+        std::snprintf(buffer, sizeof(buffer), " %12s", "-");
+      }
+      out << buffer;
+    }
+    out << '\n';
+  }
+  if (!sizes.empty()) {
+    const std::size_t last = sizes.back();
+    const ScalabilityPoint* hd = find_point(last, "GraphHD");
+    const ScalabilityPoint* gin = find_point(last, "GIN-e");
+    const ScalabilityPoint* oa = find_point(last, "WL-OA");
+    if (hd != nullptr && hd->train_seconds_per_fold > 0.0) {
+      if (gin != nullptr) {
+        std::snprintf(buffer, sizeof(buffer),
+                      "At |V|=%zu: GraphHD %.1fx faster than GIN-e (paper: 6.2x)\n", last,
+                      gin->train_seconds_per_fold / hd->train_seconds_per_fold);
+        out << buffer;
+      }
+      if (oa != nullptr) {
+        std::snprintf(buffer, sizeof(buffer),
+                      "At |V|=%zu: GraphHD %.1fx faster than WL-OA (paper: 15.0x)\n", last,
+                      oa->train_seconds_per_fold / hd->train_seconds_per_fold);
+        out << buffer;
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string to_csv(const std::vector<CvResult>& results) {
+  std::ostringstream out;
+  out << "dataset,method,accuracy_mean,accuracy_std,train_s_per_fold,train_s_per_graph,"
+         "infer_s_per_graph,folds\n";
+  for (const CvResult& r : results) {
+    const auto acc = r.accuracy();
+    out << r.dataset << ',' << r.method << ',' << acc.mean << ',' << acc.std << ','
+        << r.train_seconds_per_fold() << ',' << r.train_seconds_per_graph() << ','
+        << r.inference_seconds_per_graph() << ',' << r.folds.size() << '\n';
+  }
+  return out.str();
+}
+
+std::string to_csv(const std::vector<ScalabilityPoint>& points) {
+  std::ostringstream out;
+  out << "num_vertices,method,train_s_per_fold,accuracy\n";
+  for (const auto& p : points) {
+    out << p.num_vertices << ',' << p.method << ',' << p.train_seconds_per_fold << ','
+        << p.accuracy << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace graphhd::eval

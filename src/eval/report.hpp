@@ -1,0 +1,43 @@
+/// \file report.hpp
+/// Pretty-printing of experiment results in the shape of the paper's
+/// figures: one accuracy table, one training-time table, one inference-time
+/// table (Fig. 3) and the scaling series (Fig. 4), plus the headline
+/// speedup ratios quoted in the abstract and Section VI.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "eval/cross_validation.hpp"
+#include "eval/experiment.hpp"
+
+namespace graphhd::eval {
+
+/// Which Fig. 3 panel to print.
+enum class Figure3Panel {
+  kAccuracy,       ///< left: accuracy (mean ± std over folds).
+  kTrainingTime,   ///< middle: training seconds per fold (log axis in paper).
+  kInferenceTime,  ///< right: inference seconds per graph.
+};
+
+/// Formats one Fig. 3 panel as an aligned text table, datasets as rows and
+/// methods as columns (same content as the paper's grouped bars).
+[[nodiscard]] std::string format_figure3(const std::vector<CvResult>& results,
+                                         Figure3Panel panel);
+
+/// Formats the headline speedups: GraphHD's training/inference advantage
+/// over the fastest GNN and the fastest kernel per dataset, plus averages
+/// (the paper quotes 14.6x training / 2.0x inference on average).
+[[nodiscard]] std::string format_speedups(const std::vector<CvResult>& results);
+
+/// Formats the Fig. 4 series: one row per graph size, one column per
+/// method, training seconds per fold; plus the end-point ratios (paper:
+/// 6.2x vs GIN-e and 15.0x vs WL-OA at 980 vertices).
+[[nodiscard]] std::string format_figure4(const std::vector<ScalabilityPoint>& points);
+
+/// CSV emitters (machine-readable companions; one line per measurement).
+[[nodiscard]] std::string to_csv(const std::vector<CvResult>& results);
+[[nodiscard]] std::string to_csv(const std::vector<ScalabilityPoint>& points);
+
+}  // namespace graphhd::eval

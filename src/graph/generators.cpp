@@ -1,0 +1,308 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+#include <set>
+#include <stdexcept>
+
+namespace graphhd::graph {
+
+namespace {
+
+[[nodiscard]] Graph from_edge_vector(std::size_t n, std::vector<Edge> edges) {
+  return Graph::from_edges(n, edges);
+}
+
+}  // namespace
+
+Graph erdos_renyi(std::size_t n, double p, Rng& rng) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("erdos_renyi: p must be in [0, 1]");
+  }
+  std::vector<Edge> edges;
+  if (n < 2 || p == 0.0) return from_edge_vector(n, std::move(edges));
+  if (p == 1.0) {
+    for (VertexId u = 0; u + 1 < n; ++u) {
+      for (VertexId v = u + 1; v < n; ++v) edges.push_back({u, v});
+    }
+    return from_edge_vector(n, std::move(edges));
+  }
+  edges.reserve(static_cast<std::size_t>(p * static_cast<double>(n) * static_cast<double>(n) / 2.0));
+  // Batagelj-Brandes geometric skipping over the strictly-lower-triangular
+  // pair enumeration: expected O(n + m).
+  const double log1mp = std::log(1.0 - p);
+  std::ptrdiff_t v = 1;
+  std::ptrdiff_t w = -1;
+  while (v < static_cast<std::ptrdiff_t>(n)) {
+    const double r = rng.next_double();
+    const double draw = std::log(1.0 - r) / log1mp;
+    w += 1 + static_cast<std::ptrdiff_t>(draw);
+    while (w >= v && v < static_cast<std::ptrdiff_t>(n)) {
+      w -= v;
+      ++v;
+    }
+    if (v < static_cast<std::ptrdiff_t>(n)) {
+      edges.push_back({static_cast<VertexId>(w), static_cast<VertexId>(v)});
+    }
+  }
+  return from_edge_vector(n, std::move(edges));
+}
+
+Graph erdos_renyi_gnm(std::size_t n, std::size_t m, Rng& rng) {
+  const std::size_t max_edges = n < 2 ? 0 : n * (n - 1) / 2;
+  m = std::min(m, max_edges);
+  std::set<std::uint64_t> chosen;
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  while (edges.size() < m) {
+    const auto u = static_cast<VertexId>(rng.next_below(n));
+    const auto v = static_cast<VertexId>(rng.next_below(n));
+    if (u == v) continue;
+    const auto lo = std::min(u, v), hi = std::max(u, v);
+    const std::uint64_t key = (static_cast<std::uint64_t>(hi) << 32) | lo;
+    if (chosen.insert(key).second) edges.push_back({lo, hi});
+  }
+  return from_edge_vector(n, std::move(edges));
+}
+
+Graph barabasi_albert(std::size_t n, std::size_t k, Rng& rng) {
+  if (k == 0) {
+    throw std::invalid_argument("barabasi_albert: k must be positive");
+  }
+  const std::size_t seed_size = std::min(n, std::max<std::size_t>(k, 2));
+  std::vector<Edge> edges;
+  // Repeated-endpoint list: sampling a uniform element is preferential
+  // attachment (the classic implementation trick).
+  std::vector<VertexId> endpoint_pool;
+  for (VertexId u = 0; u + 1 < seed_size; ++u) {
+    for (VertexId v = u + 1; v < seed_size; ++v) {
+      edges.push_back({u, v});
+      endpoint_pool.push_back(u);
+      endpoint_pool.push_back(v);
+    }
+  }
+  for (std::size_t vtx = seed_size; vtx < n; ++vtx) {
+    std::set<VertexId> targets;
+    const std::size_t want = std::min(k, vtx);
+    while (targets.size() < want) {
+      const VertexId t = endpoint_pool.empty()
+                             ? static_cast<VertexId>(rng.next_below(vtx))
+                             : endpoint_pool[rng.next_below(endpoint_pool.size())];
+      targets.insert(t);
+    }
+    for (const VertexId t : targets) {
+      edges.push_back({t, static_cast<VertexId>(vtx)});
+      endpoint_pool.push_back(t);
+      endpoint_pool.push_back(static_cast<VertexId>(vtx));
+    }
+  }
+  return from_edge_vector(n, std::move(edges));
+}
+
+Graph watts_strogatz(std::size_t n, std::size_t k, double beta, Rng& rng) {
+  if (k % 2 != 0 || k >= n) {
+    throw std::invalid_argument("watts_strogatz: k must be even and < n");
+  }
+  if (beta < 0.0 || beta > 1.0) {
+    throw std::invalid_argument("watts_strogatz: beta must be in [0, 1]");
+  }
+  std::set<std::uint64_t> present;
+  const auto key_of = [](VertexId a, VertexId b) {
+    const auto lo = std::min(a, b), hi = std::max(a, b);
+    return (static_cast<std::uint64_t>(hi) << 32) | lo;
+  };
+  std::vector<Edge> edges;
+  for (VertexId u = 0; u < n; ++u) {
+    for (std::size_t j = 1; j <= k / 2; ++j) {
+      const auto v = static_cast<VertexId>((u + j) % n);
+      if (present.insert(key_of(u, v)).second) {
+        edges.push_back({std::min(u, v), std::max(u, v)});
+      }
+    }
+  }
+  for (Edge& e : edges) {
+    if (!rng.next_bool(beta)) continue;
+    // Rewire the far endpoint to a uniform non-neighbor.
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      const auto w = static_cast<VertexId>(rng.next_below(n));
+      if (w == e.u || w == e.v) continue;
+      if (present.contains(key_of(e.u, w))) continue;
+      present.erase(key_of(e.u, e.v));
+      present.insert(key_of(e.u, w));
+      e = Edge{std::min(e.u, w), std::max(e.u, w)};
+      break;
+    }
+  }
+  return from_edge_vector(n, std::move(edges));
+}
+
+Graph random_regular(std::size_t n, std::size_t d, Rng& rng) {
+  if (d >= n || (n * d) % 2 != 0) {
+    throw std::invalid_argument("random_regular: need d < n and n*d even");
+  }
+  if (d == 0) return from_edge_vector(n, {});
+  // Configuration model with full restarts on collisions; for the modest
+  // n, d used in datasets and tests this converges in a handful of tries.
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    std::vector<VertexId> stubs;
+    stubs.reserve(n * d);
+    for (VertexId v = 0; v < n; ++v) {
+      for (std::size_t j = 0; j < d; ++j) stubs.push_back(v);
+    }
+    rng.shuffle(stubs);
+    std::set<std::uint64_t> seen;
+    std::vector<Edge> edges;
+    bool ok = true;
+    for (std::size_t i = 0; i < stubs.size(); i += 2) {
+      const VertexId u = stubs[i], v = stubs[i + 1];
+      if (u == v) {
+        ok = false;
+        break;
+      }
+      const auto lo = std::min(u, v), hi = std::max(u, v);
+      const std::uint64_t key = (static_cast<std::uint64_t>(hi) << 32) | lo;
+      if (!seen.insert(key).second) {
+        ok = false;
+        break;
+      }
+      edges.push_back({lo, hi});
+    }
+    if (ok) return from_edge_vector(n, std::move(edges));
+  }
+  throw std::runtime_error("random_regular: pairing failed to converge");
+}
+
+Graph random_tree(std::size_t n, Rng& rng) {
+  if (n == 0) return Graph{};
+  if (n == 1) return from_edge_vector(1, {});
+  if (n == 2) return from_edge_vector(2, {Edge{0, 1}});
+  // Uniform spanning tree via Prüfer decoding.
+  std::vector<VertexId> prufer(n - 2);
+  for (auto& p : prufer) p = static_cast<VertexId>(rng.next_below(n));
+  std::vector<std::size_t> remaining_degree(n, 1);
+  for (const VertexId p : prufer) ++remaining_degree[p];
+  std::priority_queue<VertexId, std::vector<VertexId>, std::greater<>> leaves;
+  for (VertexId v = 0; v < n; ++v) {
+    if (remaining_degree[v] == 1) leaves.push(v);
+  }
+  std::vector<Edge> edges;
+  edges.reserve(n - 1);
+  for (const VertexId p : prufer) {
+    const VertexId leaf = leaves.top();
+    leaves.pop();
+    edges.push_back({std::min(leaf, p), std::max(leaf, p)});
+    if (--remaining_degree[p] == 1) leaves.push(p);
+  }
+  const VertexId a = leaves.top();
+  leaves.pop();
+  const VertexId b = leaves.top();
+  edges.push_back({std::min(a, b), std::max(a, b)});
+  return from_edge_vector(n, std::move(edges));
+}
+
+Graph random_molecule(std::size_t n, std::size_t extra_cycles, Rng& rng) {
+  Graph tree = random_tree(n, rng);
+  std::vector<Edge> edges(tree.edges().begin(), tree.edges().end());
+  std::set<std::uint64_t> present;
+  for (const Edge& e : edges) {
+    present.insert((static_cast<std::uint64_t>(e.v) << 32) | e.u);
+  }
+  std::size_t added = 0;
+  for (int attempt = 0; attempt < 64 && added < extra_cycles && n >= 4; ++attempt) {
+    const auto u = static_cast<VertexId>(rng.next_below(n));
+    const auto v = static_cast<VertexId>(rng.next_below(n));
+    if (u == v) continue;
+    const auto lo = std::min(u, v), hi = std::max(u, v);
+    const std::uint64_t key = (static_cast<std::uint64_t>(hi) << 32) | lo;
+    if (present.contains(key)) continue;
+    present.insert(key);
+    edges.push_back({lo, hi});
+    ++added;
+  }
+  return from_edge_vector(n, std::move(edges));
+}
+
+Graph caveman(std::size_t cliques, std::size_t clique_size, Rng& rng) {
+  if (cliques == 0 || clique_size < 2) {
+    throw std::invalid_argument("caveman: need >= 1 clique of size >= 2");
+  }
+  const std::size_t n = cliques * clique_size;
+  std::set<std::uint64_t> present;
+  const auto key_of = [](VertexId a, VertexId b) {
+    const auto lo = std::min(a, b), hi = std::max(a, b);
+    return (static_cast<std::uint64_t>(hi) << 32) | lo;
+  };
+  std::vector<Edge> edges;
+  for (std::size_t c = 0; c < cliques; ++c) {
+    const auto base = static_cast<VertexId>(c * clique_size);
+    for (VertexId i = 0; i + 1 < clique_size; ++i) {
+      for (VertexId j = i + 1; j < clique_size; ++j) {
+        edges.push_back({static_cast<VertexId>(base + i), static_cast<VertexId>(base + j)});
+        present.insert(key_of(base + i, base + j));
+      }
+    }
+  }
+  if (cliques > 1) {
+    // Rewire one intra-clique edge per clique to a random vertex of the next
+    // clique, keeping the graph connected (the "connected caveman" variant).
+    for (std::size_t c = 0; c < cliques; ++c) {
+      const auto base = static_cast<VertexId>(c * clique_size);
+      const auto next_base = static_cast<VertexId>(((c + 1) % cliques) * clique_size);
+      const auto from = static_cast<VertexId>(base + rng.next_below(clique_size));
+      const auto to = static_cast<VertexId>(next_base + rng.next_below(clique_size));
+      if (!present.contains(key_of(from, to))) {
+        edges.push_back({std::min(from, to), std::max(from, to)});
+        present.insert(key_of(from, to));
+      }
+    }
+  }
+  return from_edge_vector(n, std::move(edges));
+}
+
+Graph path_graph(std::size_t n) {
+  std::vector<Edge> edges;
+  for (VertexId v = 0; v + 1 < n; ++v) edges.push_back({v, static_cast<VertexId>(v + 1)});
+  return from_edge_vector(n, std::move(edges));
+}
+
+Graph cycle_graph(std::size_t n) {
+  if (n < 3) {
+    throw std::invalid_argument("cycle_graph: need n >= 3");
+  }
+  std::vector<Edge> edges;
+  for (VertexId v = 0; v + 1 < n; ++v) edges.push_back({v, static_cast<VertexId>(v + 1)});
+  edges.push_back({0, static_cast<VertexId>(n - 1)});
+  return from_edge_vector(n, std::move(edges));
+}
+
+Graph star_graph(std::size_t n) {
+  std::vector<Edge> edges;
+  for (VertexId v = 1; v < n; ++v) edges.push_back({0, v});
+  return from_edge_vector(n, std::move(edges));
+}
+
+Graph complete_graph(std::size_t n) {
+  std::vector<Edge> edges;
+  for (VertexId u = 0; u + 1 < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) edges.push_back({u, v});
+  }
+  return from_edge_vector(n, std::move(edges));
+}
+
+Graph grid_graph(std::size_t rows, std::size_t cols) {
+  std::vector<Edge> edges;
+  const auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<VertexId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.push_back({id(r, c), id(r, c + 1)});
+      if (r + 1 < rows) edges.push_back({id(r, c), id(r + 1, c)});
+    }
+  }
+  return from_edge_vector(rows * cols, std::move(edges));
+}
+
+}  // namespace graphhd::graph

@@ -1,0 +1,71 @@
+/// \file generators.hpp
+/// Random and deterministic graph generators.
+///
+/// The paper's scalability experiment (Fig. 4) uses the Erdős–Rényi G(n, p)
+/// model with p = 0.05.  The synthetic replicas of the TUDataset benchmarks
+/// (see data/synthetic.hpp) additionally draw on preferential-attachment,
+/// small-world, regular and motif-based generators to give each class a
+/// distinct topological signature.  All generators are deterministic given
+/// the Rng they are handed.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "hdc/random.hpp"
+
+namespace graphhd::graph {
+
+using hdc::Rng;
+
+/// Erdős–Rényi / Gilbert G(n, p): every pair independently connected with
+/// probability p.  Uses geometric skipping, O(n + m) expected time.
+[[nodiscard]] Graph erdos_renyi(std::size_t n, double p, Rng& rng);
+
+/// Erdős–Rényi G(n, m): exactly m distinct edges sampled uniformly.
+/// m is clamped to the number of available pairs.
+[[nodiscard]] Graph erdos_renyi_gnm(std::size_t n, std::size_t m, Rng& rng);
+
+/// Barabási–Albert preferential attachment: starts from a clique of
+/// max(1, k) vertices, then each new vertex attaches to k existing vertices
+/// with probability proportional to degree.  Yields heavy-tailed degree
+/// distributions — a strong PageRank signal.
+[[nodiscard]] Graph barabasi_albert(std::size_t n, std::size_t k, Rng& rng);
+
+/// Watts–Strogatz small-world: ring lattice with k nearest neighbors per
+/// side, each edge rewired with probability beta.  k must be even and < n.
+[[nodiscard]] Graph watts_strogatz(std::size_t n, std::size_t k, double beta, Rng& rng);
+
+/// Random d-regular graph via the configuration model with restarts
+/// (pairing retried until simple).  Requires n*d even and d < n.
+[[nodiscard]] Graph random_regular(std::size_t n, std::size_t d, Rng& rng);
+
+/// Uniform random labeled tree on n vertices (decoded Prüfer sequence).
+[[nodiscard]] Graph random_tree(std::size_t n, Rng& rng);
+
+/// "Molecule-like" generator: a random tree backbone plus `extra_cycles`
+/// chords between random tree vertices at distance >= 3, mimicking the
+/// sparse ring-containing structures of MUTAG/NCI1/PTC chemistries.
+[[nodiscard]] Graph random_molecule(std::size_t n, std::size_t extra_cycles, Rng& rng);
+
+/// Connected caveman variant: `cliques` cliques of `clique_size` vertices,
+/// one edge from each clique rewired to the next clique — clustered,
+/// community-structured graphs (protein-like contact maps).
+[[nodiscard]] Graph caveman(std::size_t cliques, std::size_t clique_size, Rng& rng);
+
+// Deterministic fixture graphs used widely in tests and examples.
+
+/// Path graph P_n.
+[[nodiscard]] Graph path_graph(std::size_t n);
+/// Cycle graph C_n (n >= 3).
+[[nodiscard]] Graph cycle_graph(std::size_t n);
+/// Star graph: vertex 0 connected to n-1 leaves.
+[[nodiscard]] Graph star_graph(std::size_t n);
+/// Complete graph K_n.
+[[nodiscard]] Graph complete_graph(std::size_t n);
+/// 2D grid graph of rows x cols vertices.
+[[nodiscard]] Graph grid_graph(std::size_t rows, std::size_t cols);
+
+}  // namespace graphhd::graph

@@ -1,0 +1,57 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <stdexcept>
+
+namespace graphhd::graph {
+
+DatasetStats compute_stats(std::span<const Graph> graphs, std::span<const std::size_t> labels) {
+  if (!labels.empty() && labels.size() != graphs.size()) {
+    throw std::invalid_argument("compute_stats: labels/graphs size mismatch");
+  }
+  DatasetStats stats;
+  stats.graphs = graphs.size();
+  if (!labels.empty()) {
+    stats.classes = std::set<std::size_t>(labels.begin(), labels.end()).size();
+  }
+  if (graphs.empty()) return stats;
+
+  stats.min_vertices = graphs.front().num_vertices();
+  stats.max_vertices = graphs.front().num_vertices();
+  stats.min_edges = graphs.front().num_edges();
+  stats.max_edges = graphs.front().num_edges();
+  double sum_v = 0.0, sum_e = 0.0, sum_density = 0.0;
+  for (const Graph& g : graphs) {
+    sum_v += static_cast<double>(g.num_vertices());
+    sum_e += static_cast<double>(g.num_edges());
+    sum_density += g.density();
+    stats.min_vertices = std::min(stats.min_vertices, g.num_vertices());
+    stats.max_vertices = std::max(stats.max_vertices, g.num_vertices());
+    stats.min_edges = std::min(stats.min_edges, g.num_edges());
+    stats.max_edges = std::max(stats.max_edges, g.num_edges());
+  }
+  const auto count = static_cast<double>(graphs.size());
+  stats.avg_vertices = sum_v / count;
+  stats.avg_edges = sum_e / count;
+  stats.avg_density = sum_density / count;
+  return stats;
+}
+
+std::string format_stats_row(const std::string& name, const DatasetStats& stats) {
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer), "%-10s %8zu %8zu %14.2f %12.2f %10.4f", name.c_str(),
+                stats.graphs, stats.classes, stats.avg_vertices, stats.avg_edges,
+                stats.avg_density);
+  return buffer;
+}
+
+std::string stats_header() {
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer), "%-10s %8s %8s %14s %12s %10s", "Dataset", "Graphs",
+                "Classes", "Avg. vertices", "Avg. edges", "Density");
+  return buffer;
+}
+
+}  // namespace graphhd::graph

@@ -1,0 +1,41 @@
+/// \file stats.hpp
+/// Aggregate statistics over collections of graphs — the quantities reported
+/// in Table I of the paper (graph count, class count, average vertices,
+/// average edges) plus the sparsity figure quoted in Section V-A1.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace graphhd::graph {
+
+/// Statistics for a set of graphs (one dataset).
+struct DatasetStats {
+  std::size_t graphs = 0;
+  std::size_t classes = 0;
+  double avg_vertices = 0.0;
+  double avg_edges = 0.0;
+  double avg_density = 0.0;   ///< mean fraction of connected vertex pairs.
+  std::size_t min_vertices = 0;
+  std::size_t max_vertices = 0;
+  std::size_t min_edges = 0;
+  std::size_t max_edges = 0;
+};
+
+/// Computes statistics over `graphs` with `labels` (labels may be empty, in
+/// which case `classes` is 0; otherwise sizes must match).
+[[nodiscard]] DatasetStats compute_stats(std::span<const Graph> graphs,
+                                         std::span<const std::size_t> labels);
+
+/// Formats one Table-I-style row: name, graphs, classes, avg V, avg E.
+[[nodiscard]] std::string format_stats_row(const std::string& name, const DatasetStats& stats);
+
+/// Table-I header matching format_stats_row's columns.
+[[nodiscard]] std::string stats_header();
+
+}  // namespace graphhd::graph

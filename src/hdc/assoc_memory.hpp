@@ -1,0 +1,89 @@
+/// \file assoc_memory.hpp
+/// Associative memory: the trained HDC model M = {C1, ..., Ck}.
+///
+/// Training (Section III-B) bundles the encoded samples of each class into a
+/// class vector; inference (Section III-C) returns the class whose vector is
+/// most similar to the query.  This class supports both the paper's
+/// majority-quantized class vectors and the integer-accumulator ("counter")
+/// model that the retraining extension updates in place.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "hdc/hypervector.hpp"
+#include "hdc/ops.hpp"
+
+namespace graphhd::hdc {
+
+/// Result of a single associative-memory query.
+struct QueryResult {
+  std::size_t best_class = 0;           ///< argmax class index.
+  double best_similarity = -2.0;        ///< δ(query, C_best).
+  std::vector<double> similarities;     ///< δ(query, C_i) for every class.
+
+  /// Margin between best and runner-up similarity (0 if fewer than 2 classes).
+  [[nodiscard]] double margin() const noexcept;
+};
+
+/// Associative memory over `num_classes` integer class accumulators.
+class AssociativeMemory {
+ public:
+  /// \param dimension    hypervector dimensionality.
+  /// \param num_classes  number of classes k (>= 1).
+  /// \param metric       similarity δ used by queries.
+  /// \param quantized    if true, queries compare against the majority-
+  ///                     thresholded (bipolar) class vectors — the paper's
+  ///                     model; if false, against raw accumulators.
+  AssociativeMemory(std::size_t dimension, std::size_t num_classes,
+                    Similarity metric = Similarity::kCosine, bool quantized = true);
+
+  [[nodiscard]] std::size_t dimension() const noexcept { return dimension_; }
+  [[nodiscard]] std::size_t num_classes() const noexcept { return accumulators_.size(); }
+  [[nodiscard]] Similarity metric() const noexcept { return metric_; }
+  [[nodiscard]] bool quantized() const noexcept { return quantized_; }
+
+  /// Adds an encoded training sample to class `label`.
+  void add(std::size_t label, const Hypervector& encoded);
+
+  /// Signed update used by perceptron-style retraining: adds the sample to
+  /// its true class and subtracts it from the class it was mispredicted as.
+  void retrain_update(std::size_t true_label, std::size_t predicted_label,
+                      const Hypervector& encoded);
+
+  /// Number of samples added to class `label` so far.
+  [[nodiscard]] std::size_t class_count(std::size_t label) const;
+
+  /// The quantized class vector C_i (majority of the accumulator).
+  [[nodiscard]] Hypervector class_vector(std::size_t label) const;
+
+  /// Classifies `query`; requires at least one class.
+  [[nodiscard]] QueryResult query(const Hypervector& query) const;
+
+  /// Rebuilds the cached quantized class vectors; called automatically by
+  /// query() when the memory is dirty, exposed for benchmarks that want the
+  /// finalization cost outside the timed region.
+  void finalize() const;
+
+  /// Raw accumulator of one class slot (serialization / diagnostics).
+  [[nodiscard]] const BundleAccumulator& accumulator(std::size_t label) const;
+
+  /// Replaces one slot's accumulator state (deserialization).  The
+  /// accumulator's dimension must match the memory's.
+  void restore(std::size_t label, BundleAccumulator accumulator, std::size_t sample_count);
+
+ private:
+  [[nodiscard]] double score(std::size_t label, const Hypervector& query) const;
+
+  std::size_t dimension_;
+  Similarity metric_;
+  bool quantized_;
+  std::vector<BundleAccumulator> accumulators_;
+  std::vector<std::size_t> counts_;
+  mutable std::vector<Hypervector> cached_class_vectors_;
+  mutable bool dirty_ = true;
+};
+
+}  // namespace graphhd::hdc

@@ -1,0 +1,197 @@
+#include "hdc/bitslice.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace graphhd::hdc {
+
+namespace {
+
+[[nodiscard]] std::size_t words_for(std::size_t dimension) noexcept {
+  return (dimension + 63) / 64;
+}
+
+}  // namespace
+
+BitsliceBundler::BitsliceBundler(std::size_t dimension)
+    : dimension_(dimension),
+      words_(words_for(dimension)),
+      scratch_(words_, 0),
+      carry_(words_, 0) {
+  if (dimension == 0) {
+    throw std::invalid_argument("BitsliceBundler: dimension must be positive");
+  }
+}
+
+void BitsliceBundler::add_bound(const PackedHypervector& a, const PackedHypervector& b) {
+  if (a.dimension() != dimension_ || b.dimension() != dimension_) {
+    throw std::invalid_argument("BitsliceBundler::add_bound: dimension mismatch");
+  }
+  const auto wa = a.words();
+  const auto wb = b.words();
+  for (std::size_t w = 0; w < words_; ++w) scratch_[w] = wa[w] ^ wb[w];
+  add_staged();
+}
+
+void BitsliceBundler::add(const PackedHypervector& hv) {
+  if (hv.dimension() != dimension_) {
+    throw std::invalid_argument("BitsliceBundler::add: dimension mismatch");
+  }
+  const auto words = hv.words();
+  for (std::size_t w = 0; w < words_; ++w) scratch_[w] = words[w];
+  add_staged();
+}
+
+void BitsliceBundler::add_staged() {
+  // Lazy carry-save accumulation (Harley-Seal style): level k keeps one
+  // committed plane (weight 2^k of the final count) and at most one pending
+  // vector of the same weight.  Inserting at level k either parks the vector
+  // as pending (a buffer swap) or performs one full-adder step over the
+  // triple (plane, pending, incoming) and recurses with the carry — so
+  // level k is touched only once every 2^k adds, amortized O(words) per add.
+  //
+  // Invariant: the incoming vector always lives in scratch_ — add() and
+  // add_bound() stage into it, and each full-adder step swaps the carry
+  // buffer back into it.
+  for (std::size_t level = 0;; ++level) {
+    if (level >= planes_.size()) {
+      planes_.emplace_back(words_, 0);
+      pending_.emplace_back(words_, 0);
+      pending_valid_.push_back(false);
+    }
+    if (!pending_valid_[level]) {
+      pending_[level].swap(scratch_);
+      pending_valid_[level] = true;
+      break;
+    }
+    // Full adder: plane' = s ^ p ^ x (weight 2^k), carry = maj(s, p, x)
+    // (weight 2^{k+1}).
+    std::uint64_t* plane = planes_[level].data();
+    const std::uint64_t* pending = pending_[level].data();
+    const std::uint64_t* incoming = scratch_.data();
+    std::uint64_t* carry = carry_.data();
+    for (std::size_t w = 0; w < words_; ++w) {
+      const std::uint64_t s = plane[w];
+      const std::uint64_t p = pending[w];
+      const std::uint64_t x = incoming[w];
+      plane[w] = s ^ p ^ x;
+      carry[w] = (s & p) | (s & x) | (p & x);
+    }
+    pending_valid_[level] = false;
+    // The carry becomes the next level's incoming vector (kept in scratch_).
+    scratch_.swap(carry_);
+  }
+  ++count_;
+}
+
+void BitsliceBundler::flush_pending() {
+  for (std::size_t level = 0; level < pending_valid_.size(); ++level) {
+    if (!pending_valid_[level]) continue;
+    pending_valid_[level] = false;
+    // Half-adder ripple: add the pending vector (weight 2^level) into the
+    // committed planes, propagating the carry upward.
+    std::uint64_t* carry = scratch_.data();
+    const std::uint64_t* pend = pending_[level].data();
+    for (std::size_t w = 0; w < words_; ++w) carry[w] = pend[w];
+    for (std::size_t k = level;; ++k) {
+      std::uint64_t any = 0;
+      for (std::size_t w = 0; w < words_; ++w) any |= carry[w];
+      if (any == 0) break;
+      if (k == planes_.size()) {
+        planes_.emplace_back(words_, 0);
+        pending_.emplace_back(words_, 0);
+        pending_valid_.push_back(false);
+      }
+      std::uint64_t* plane = planes_[k].data();
+      for (std::size_t w = 0; w < words_; ++w) {
+        const std::uint64_t p = plane[w];
+        plane[w] = p ^ carry[w];
+        carry[w] = p & carry[w];
+      }
+    }
+  }
+}
+
+void BitsliceBundler::compare_counters(std::uint64_t threshold,
+                                       std::vector<std::uint64_t>& greater,
+                                       std::vector<std::uint64_t>& less) const {
+  greater.assign(words_, 0);
+  less.assign(words_, 0);
+  std::size_t levels = planes_.size();
+  while (levels < 64 && (threshold >> levels) != 0) ++levels;
+  // MSB-first: the first level at which the counter bit differs from the
+  // threshold bit decides the comparison for that component.
+  for (std::size_t level_plus = levels; level_plus > 0; --level_plus) {
+    const std::size_t level = level_plus - 1;
+    const std::uint64_t threshold_bit =
+        ((threshold >> level) & 1u) ? ~std::uint64_t{0} : std::uint64_t{0};
+    const std::uint64_t* plane = level < planes_.size() ? planes_[level].data() : nullptr;
+    for (std::size_t w = 0; w < words_; ++w) {
+      const std::uint64_t count_bit = plane != nullptr ? plane[w] : 0;
+      const std::uint64_t undecided = ~(greater[w] | less[w]);
+      greater[w] |= undecided & count_bit & ~threshold_bit;
+      less[w] |= undecided & ~count_bit & threshold_bit;
+    }
+  }
+}
+
+std::vector<std::uint32_t> BitsliceBundler::negative_counts() {
+  flush_pending();
+  std::vector<std::uint32_t> counts(dimension_, 0);
+  for (std::size_t level = 0; level < planes_.size(); ++level) {
+    const auto& plane = planes_[level];
+    for (std::size_t i = 0; i < dimension_; ++i) {
+      counts[i] += static_cast<std::uint32_t>((plane[i >> 6] >> (i & 63)) & 1u) << level;
+    }
+  }
+  return counts;
+}
+
+Hypervector BitsliceBundler::threshold_bipolar(std::uint64_t tie_break_seed) {
+  flush_pending();
+  std::vector<std::int8_t> out(dimension_);
+
+  // Component is -1 iff neg > count/2.  Bit-sliced comparison against the
+  // constant count/2 yields both the strict-majority mask (greater) and the
+  // tie mask (neither greater nor less == exactly count/2, only possible
+  // for even counts).
+  std::vector<std::uint64_t> greater, less;
+  compare_counters(count_ / 2, greater, less);
+
+  if ((count_ & 1u) != 0) {
+    // Odd count: neg > count/2 iff neg >= ceil(count/2) iff greater-mask
+    // (neg == count/2 exactly is impossible... for odd counts neg can equal
+    // floor(count/2), which compares as neither greater nor less — that is
+    // the +1 side).  Ties cannot happen; skip the tie stream entirely.
+    for (std::size_t i = 0; i < dimension_; ++i) {
+      out[i] = ((greater[i >> 6] >> (i & 63)) & 1u) ? std::int8_t{-1} : std::int8_t{1};
+    }
+    return Hypervector(std::move(out));
+  }
+
+  // Even count: equal-to-count/2 components are ties, resolved by the seeded
+  // stream with one draw per component (the BundleAccumulator convention).
+  Rng tie_rng(tie_break_seed);
+  for (std::size_t i = 0; i < dimension_; ++i) {
+    const int tie_sign = tie_rng.next_sign();
+    const bool is_greater = (greater[i >> 6] >> (i & 63)) & 1u;
+    const bool is_less = (less[i >> 6] >> (i & 63)) & 1u;
+    if (is_greater) {
+      out[i] = -1;
+    } else if (is_less) {
+      out[i] = 1;
+    } else {
+      out[i] = static_cast<std::int8_t>(tie_sign);
+    }
+  }
+  return Hypervector(std::move(out));
+}
+
+void BitsliceBundler::clear() noexcept {
+  planes_.clear();
+  pending_.clear();
+  pending_valid_.clear();
+  count_ = 0;
+}
+
+}  // namespace graphhd::hdc

@@ -1,0 +1,76 @@
+#include "hdc/ops.hpp"
+
+#include <stdexcept>
+
+namespace graphhd::hdc {
+
+const char* to_string(Similarity metric) noexcept {
+  switch (metric) {
+    case Similarity::kCosine:
+      return "cosine";
+    case Similarity::kInverseHamming:
+      return "inverse-hamming";
+    case Similarity::kDot:
+      return "dot";
+  }
+  return "unknown";
+}
+
+double similarity(const Hypervector& a, const Hypervector& b, Similarity metric) {
+  switch (metric) {
+    case Similarity::kCosine:
+      return a.cosine(b);
+    case Similarity::kInverseHamming: {
+      if (a.dimension() == 0) return 0.0;
+      return 1.0 - static_cast<double>(a.hamming_distance(b)) /
+                       static_cast<double>(a.dimension());
+    }
+    case Similarity::kDot: {
+      if (a.dimension() == 0) return 0.0;
+      return static_cast<double>(a.dot(b)) / static_cast<double>(a.dimension());
+    }
+  }
+  throw std::invalid_argument("similarity: unknown metric");
+}
+
+Hypervector bind(const Hypervector& a, const Hypervector& b) { return a.bind(b); }
+
+Hypervector bind_all(std::span<const Hypervector> inputs) {
+  if (inputs.empty()) {
+    throw std::invalid_argument("bind_all: empty input batch");
+  }
+  Hypervector out = inputs.front();
+  for (std::size_t i = 1; i < inputs.size(); ++i) out = out.bind(inputs[i]);
+  return out;
+}
+
+Hypervector permute(const Hypervector& a, std::ptrdiff_t shift) { return a.permute(shift); }
+
+Hypervector encode_record(std::span<const Hypervector> keys,
+                          std::span<const Hypervector> values,
+                          std::uint64_t tie_break_seed) {
+  if (keys.size() != values.size()) {
+    throw std::invalid_argument("encode_record: keys/values size mismatch");
+  }
+  if (keys.empty()) {
+    throw std::invalid_argument("encode_record: empty record");
+  }
+  BundleAccumulator acc(keys.front().dimension());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    acc.add(keys[i].bind(values[i]));
+  }
+  return acc.threshold(tie_break_seed);
+}
+
+Hypervector encode_sequence(std::span<const Hypervector> items) {
+  if (items.empty()) {
+    throw std::invalid_argument("encode_sequence: empty sequence");
+  }
+  Hypervector out = items.front();
+  for (std::size_t i = 1; i < items.size(); ++i) {
+    out = out.permute(1).bind(items[i]);
+  }
+  return out;
+}
+
+}  // namespace graphhd::hdc

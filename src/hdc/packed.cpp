@@ -1,0 +1,134 @@
+#include "hdc/packed.hpp"
+
+#include <bit>
+#include <stdexcept>
+#include <string>
+
+namespace graphhd::hdc {
+
+namespace {
+
+void require_same_dimension(std::size_t a, std::size_t b, const char* op) {
+  if (a != b) {
+    throw std::invalid_argument(std::string(op) + ": dimension mismatch (" +
+                                std::to_string(a) + " vs " + std::to_string(b) + ")");
+  }
+}
+
+[[nodiscard]] std::size_t words_for(std::size_t dimension) noexcept {
+  return (dimension + 63) / 64;
+}
+
+}  // namespace
+
+PackedHypervector::PackedHypervector(std::size_t dimension)
+    : words_(words_for(dimension), 0), dimension_(dimension) {}
+
+PackedHypervector PackedHypervector::random(std::size_t dimension, Rng& rng) {
+  PackedHypervector hv(dimension);
+  for (auto& word : hv.words_) word = rng();
+  hv.mask_tail();
+  return hv;
+}
+
+PackedHypervector PackedHypervector::from_bipolar(const Hypervector& hv) {
+  PackedHypervector packed(hv.dimension());
+  for (std::size_t i = 0; i < hv.dimension(); ++i) {
+    if (hv[i] == -1) packed.words_[i >> 6] |= (std::uint64_t{1} << (i & 63));
+  }
+  return packed;
+}
+
+Hypervector PackedHypervector::to_bipolar() const {
+  std::vector<std::int8_t> comps(dimension_);
+  for (std::size_t i = 0; i < dimension_; ++i) {
+    comps[i] = bit(i) ? std::int8_t{-1} : std::int8_t{1};
+  }
+  return Hypervector(std::move(comps));
+}
+
+void PackedHypervector::set_bit(std::size_t i, bool value) noexcept {
+  const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+  if (value) {
+    words_[i >> 6] |= mask;
+  } else {
+    words_[i >> 6] &= ~mask;
+  }
+}
+
+PackedHypervector PackedHypervector::bind(const PackedHypervector& other) const {
+  require_same_dimension(dimension_, other.dimension_, "PackedHypervector::bind");
+  PackedHypervector out(dimension_);
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    out.words_[w] = words_[w] ^ other.words_[w];
+  }
+  return out;
+}
+
+std::size_t PackedHypervector::hamming_distance(const PackedHypervector& other) const {
+  require_same_dimension(dimension_, other.dimension_, "PackedHypervector::hamming_distance");
+  std::size_t mismatches = 0;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    mismatches += static_cast<std::size_t>(std::popcount(words_[w] ^ other.words_[w]));
+  }
+  return mismatches;
+}
+
+double PackedHypervector::similarity(const PackedHypervector& other) const {
+  if (dimension_ == 0) return 0.0;
+  const double h = static_cast<double>(hamming_distance(other));
+  return 1.0 - 2.0 * h / static_cast<double>(dimension_);
+}
+
+PackedHypervector PackedHypervector::permute(std::ptrdiff_t shift) const {
+  if (dimension_ == 0) return *this;
+  PackedHypervector out(dimension_);
+  const auto d = static_cast<std::ptrdiff_t>(dimension_);
+  std::ptrdiff_t offset = shift % d;
+  if (offset < 0) offset += d;
+  for (std::size_t i = 0; i < dimension_; ++i) {
+    const std::size_t target = (i + static_cast<std::size_t>(offset)) % dimension_;
+    if (bit(i)) out.set_bit(target, true);
+  }
+  return out;
+}
+
+void PackedHypervector::mask_tail() noexcept {
+  const std::size_t tail_bits = dimension_ & 63;
+  if (tail_bits != 0 && !words_.empty()) {
+    words_.back() &= (std::uint64_t{1} << tail_bits) - 1;
+  }
+}
+
+PackedBundleAccumulator::PackedBundleAccumulator(std::size_t dimension)
+    : ones_(dimension, 0), dimension_(dimension) {}
+
+void PackedBundleAccumulator::add(const PackedHypervector& hv) {
+  require_same_dimension(dimension_, hv.dimension(), "PackedBundleAccumulator::add");
+  for (std::size_t i = 0; i < dimension_; ++i) {
+    ones_[i] += static_cast<std::int32_t>(hv.bit(i));
+  }
+  ++count_;
+}
+
+PackedHypervector PackedBundleAccumulator::threshold(std::uint64_t tie_break_seed) const {
+  PackedHypervector out(dimension_);
+  Rng tie_rng(tie_break_seed);
+  const auto total = static_cast<std::int64_t>(count_);
+  for (std::size_t i = 0; i < dimension_; ++i) {
+    // One tie draw per component regardless of need — keeps results
+    // independent of which components happen to tie (same convention as
+    // BundleAccumulator::threshold; bit=true corresponds to bipolar -1).
+    const bool tie_bit = tie_rng.next_sign() < 0;
+    const std::int64_t ones = ones_[i];
+    const std::int64_t zeros = total - ones;
+    if (ones > zeros) {
+      out.set_bit(i, true);
+    } else if (ones == zeros) {
+      out.set_bit(i, tie_bit);
+    }
+  }
+  return out;
+}
+
+}  // namespace graphhd::hdc

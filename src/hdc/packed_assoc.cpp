@@ -1,0 +1,47 @@
+#include "hdc/packed_assoc.hpp"
+
+#include <stdexcept>
+
+namespace graphhd::hdc {
+
+PackedAssociativeMemory::PackedAssociativeMemory(const AssociativeMemory& memory)
+    : dimension_(memory.dimension()) {
+  class_vectors_.reserve(memory.num_classes());
+  for (std::size_t c = 0; c < memory.num_classes(); ++c) {
+    class_vectors_.push_back(PackedHypervector::from_bipolar(memory.class_vector(c)));
+  }
+}
+
+QueryResult PackedAssociativeMemory::query(const PackedHypervector& query_hv) const {
+  if (query_hv.dimension() != dimension_) {
+    throw std::invalid_argument("PackedAssociativeMemory::query: dimension mismatch");
+  }
+  QueryResult result;
+  result.similarities.resize(class_vectors_.size());
+  for (std::size_t c = 0; c < class_vectors_.size(); ++c) {
+    const double s = class_vectors_[c].similarity(query_hv);
+    result.similarities[c] = s;
+    if (s > result.best_similarity) {
+      result.best_similarity = s;
+      result.best_class = c;
+    }
+  }
+  return result;
+}
+
+QueryResult PackedAssociativeMemory::query(const Hypervector& query_hv) const {
+  return query(PackedHypervector::from_bipolar(query_hv));
+}
+
+const PackedHypervector& PackedAssociativeMemory::class_vector(std::size_t label) const {
+  if (label >= class_vectors_.size()) {
+    throw std::out_of_range("PackedAssociativeMemory::class_vector: label out of range");
+  }
+  return class_vectors_[label];
+}
+
+std::size_t PackedAssociativeMemory::footprint_bytes() const noexcept {
+  return class_vectors_.size() * ((dimension_ + 7) / 8);
+}
+
+}  // namespace graphhd::hdc

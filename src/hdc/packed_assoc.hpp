@@ -1,0 +1,53 @@
+/// \file packed_assoc.hpp
+/// Bit-packed associative memory — hardware-style inference.
+///
+/// The paper's efficiency argument leans on associative-memory hardware
+/// (Schmuck et al.): with binary class vectors, one inference is k Hamming
+/// distances, each a row of XOR + popcount — the operation FPGA/ASIC
+/// mappings execute in a single cycle per class.  This class is the
+/// software analogue: it snapshots a trained AssociativeMemory's quantized
+/// class vectors in packed form and answers queries with word-level
+/// popcounts, producing exactly the same argmax as the bipolar memory
+/// under cosine/inverse-Hamming metrics (both are monotone in Hamming
+/// distance for fixed-norm vectors; property-tested).
+
+#pragma once
+
+#include <vector>
+
+#include "hdc/assoc_memory.hpp"
+#include "hdc/packed.hpp"
+
+namespace graphhd::hdc {
+
+/// Immutable packed snapshot of a quantized associative memory.
+class PackedAssociativeMemory {
+ public:
+  /// Snapshots `memory`'s current quantized class vectors.  Subsequent
+  /// updates to `memory` do not propagate (rebuild the snapshot instead) —
+  /// deployment artifacts are frozen models.
+  explicit PackedAssociativeMemory(const AssociativeMemory& memory);
+
+  [[nodiscard]] std::size_t dimension() const noexcept { return dimension_; }
+  [[nodiscard]] std::size_t num_classes() const noexcept { return class_vectors_.size(); }
+
+  /// Classifies a packed query: similarities are 1 - 2 h / d (equal to the
+  /// bipolar cosine), argmax equals the bipolar memory's argmax.
+  [[nodiscard]] QueryResult query(const PackedHypervector& query) const;
+
+  /// Convenience overload packing a bipolar query.
+  [[nodiscard]] QueryResult query(const Hypervector& query) const;
+
+  /// The packed class vector of one class (diagnostics/tests).
+  [[nodiscard]] const PackedHypervector& class_vector(std::size_t label) const;
+
+  /// Serialized artifact size in bytes (the IoT footprint the paper argues
+  /// for): num_classes * ceil(d / 8).
+  [[nodiscard]] std::size_t footprint_bytes() const noexcept;
+
+ private:
+  std::size_t dimension_;
+  std::vector<PackedHypervector> class_vectors_;
+};
+
+}  // namespace graphhd::hdc

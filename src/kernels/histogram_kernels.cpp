@@ -1,0 +1,60 @@
+#include "kernels/histogram_kernels.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace graphhd::kernels {
+
+namespace {
+
+[[nodiscard]] std::vector<double> degree_histogram(const Graph& g, std::size_t max_degree) {
+  std::vector<double> histogram(max_degree + 1, 0.0);
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    histogram[std::min(g.degree(v), max_degree)] += 1.0;
+  }
+  return histogram;
+}
+
+[[nodiscard]] std::vector<double> edge_pair_histogram(const Graph& g, std::size_t max_degree) {
+  std::vector<double> histogram((max_degree + 1) * (max_degree + 1), 0.0);
+  for (const auto& e : g.edges()) {
+    const std::size_t du = std::min(g.degree(e.u), max_degree);
+    const std::size_t dv = std::min(g.degree(e.v), max_degree);
+    const std::size_t lo = std::min(du, dv), hi = std::max(du, dv);
+    histogram[lo * (max_degree + 1) + hi] += 1.0;
+  }
+  return histogram;
+}
+
+[[nodiscard]] double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+}  // namespace
+
+double degree_histogram_kernel(const Graph& a, const Graph& b, std::size_t max_degree) {
+  return dot(degree_histogram(a, max_degree), degree_histogram(b, max_degree));
+}
+
+double edge_degree_kernel(const Graph& a, const Graph& b, std::size_t max_degree) {
+  return dot(edge_pair_histogram(a, max_degree), edge_pair_histogram(b, max_degree));
+}
+
+DenseMatrix degree_histogram_gram(std::span<const Graph> graphs, std::size_t max_degree) {
+  std::vector<std::vector<double>> histograms;
+  histograms.reserve(graphs.size());
+  for (const Graph& g : graphs) histograms.push_back(degree_histogram(g, max_degree));
+  DenseMatrix gram(graphs.size(), graphs.size());
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    for (std::size_t j = i; j < graphs.size(); ++j) {
+      const double k = dot(histograms[i], histograms[j]);
+      gram.at(i, j) = k;
+      gram.at(j, i) = k;
+    }
+  }
+  return gram;
+}
+
+}  // namespace graphhd::kernels

@@ -1,0 +1,33 @@
+/// \file histogram_kernels.hpp
+/// Cheap baseline kernels on raw vertex/edge statistics.
+///
+/// Not part of the paper's comparison, but standard sanity baselines for
+/// graph-kernel pipelines: if WL cannot beat a degree histogram something is
+/// wrong.  Used by tests and the ablation benches.
+
+#pragma once
+
+#include <span>
+
+#include "graph/graph.hpp"
+#include "kernels/kernel_matrix.hpp"
+
+namespace graphhd::kernels {
+
+using graph::Graph;
+
+/// Dot product of (capped) degree histograms.  Degrees above `max_degree`
+/// share one bucket.
+[[nodiscard]] double degree_histogram_kernel(const Graph& a, const Graph& b,
+                                             std::size_t max_degree = 32);
+
+/// Dot product of edge-endpoint-degree-pair histograms: each edge
+/// contributes the unordered pair (min(deg(u),deg(v)), max(...)), capped.
+[[nodiscard]] double edge_degree_kernel(const Graph& a, const Graph& b,
+                                        std::size_t max_degree = 16);
+
+/// Gram matrix of degree_histogram_kernel.
+[[nodiscard]] DenseMatrix degree_histogram_gram(std::span<const Graph> graphs,
+                                                std::size_t max_degree = 32);
+
+}  // namespace graphhd::kernels

@@ -1,0 +1,74 @@
+#include "kernels/kernel_matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace graphhd::kernels {
+
+DenseMatrix::DenseMatrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), values_(rows * cols, fill) {}
+
+double& DenseMatrix::at(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) {
+    throw std::out_of_range("DenseMatrix::at: index out of range");
+  }
+  return values_[r * cols_ + c];
+}
+
+double DenseMatrix::at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) {
+    throw std::out_of_range("DenseMatrix::at: index out of range");
+  }
+  return values_[r * cols_ + c];
+}
+
+std::span<const double> DenseMatrix::row(std::size_t r) const {
+  if (r >= rows_) {
+    throw std::out_of_range("DenseMatrix::row: index out of range");
+  }
+  return {values_.data() + r * cols_, cols_};
+}
+
+std::vector<double> cosine_normalize(DenseMatrix& gram) {
+  if (gram.rows() != gram.cols()) {
+    throw std::invalid_argument("cosine_normalize: matrix must be square");
+  }
+  const std::size_t n = gram.rows();
+  std::vector<double> diagonal(n);
+  for (std::size_t i = 0; i < n; ++i) diagonal[i] = gram.at(i, i);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double denom = std::sqrt(diagonal[i] * diagonal[j]);
+      gram.at(i, j) = denom > 0.0 ? gram.at(i, j) / denom : 0.0;
+    }
+  }
+  return diagonal;
+}
+
+void cosine_normalize_cross(DenseMatrix& cross, std::span<const double> row_self,
+                            std::span<const double> col_diagonal) {
+  if (row_self.size() != cross.rows() || col_diagonal.size() != cross.cols()) {
+    throw std::invalid_argument("cosine_normalize_cross: size mismatch");
+  }
+  for (std::size_t i = 0; i < cross.rows(); ++i) {
+    for (std::size_t j = 0; j < cross.cols(); ++j) {
+      const double denom = std::sqrt(row_self[i] * col_diagonal[j]);
+      cross.at(i, j) = denom > 0.0 ? cross.at(i, j) / denom : 0.0;
+    }
+  }
+}
+
+double max_asymmetry(const DenseMatrix& gram) {
+  if (gram.rows() != gram.cols()) {
+    throw std::invalid_argument("max_asymmetry: matrix must be square");
+  }
+  double worst = 0.0;
+  for (std::size_t i = 0; i < gram.rows(); ++i) {
+    for (std::size_t j = i + 1; j < gram.cols(); ++j) {
+      worst = std::max(worst, std::abs(gram.at(i, j) - gram.at(j, i)));
+    }
+  }
+  return worst;
+}
+
+}  // namespace graphhd::kernels

@@ -1,0 +1,48 @@
+/// \file kernel_matrix.hpp
+/// Dense kernel (Gram) matrices and normalization utilities.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace graphhd::kernels {
+
+/// Dense row-major matrix of doubles; used for square Gram matrices and for
+/// rectangular test-vs-train cross-kernel blocks.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c);
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+  [[nodiscard]] std::span<const double> row(std::size_t r) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> values_;
+};
+
+/// Cosine-normalizes a square Gram matrix in place:
+/// K'(i,j) = K(i,j) / sqrt(K(i,i) K(j,j)); rows/cols with K(i,i) == 0 are
+/// zeroed.  Returns the diagonal before normalization (needed to normalize
+/// test-vs-train blocks consistently).
+std::vector<double> cosine_normalize(DenseMatrix& gram);
+
+/// Normalizes a rectangular cross-kernel block given the self-kernels of the
+/// rows (test graphs) and the training diagonal returned by
+/// cosine_normalize.
+void cosine_normalize_cross(DenseMatrix& cross, std::span<const double> row_self,
+                            std::span<const double> col_diagonal);
+
+/// Max |K(i,j) - K(j,i)| over a square matrix (symmetry check for tests).
+[[nodiscard]] double max_asymmetry(const DenseMatrix& gram);
+
+}  // namespace graphhd::kernels

@@ -1,0 +1,89 @@
+#include "kernels/wl_oa.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace graphhd::kernels {
+
+namespace {
+
+/// Histogram intersection of two sorted sparse histograms.
+[[nodiscard]] double sparse_intersection(const SparseHistogram& a, const SparseHistogram& b) {
+  double sum = 0.0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (ia->first < ib->first) {
+      ++ia;
+    } else if (ib->first < ia->first) {
+      ++ib;
+    } else {
+      sum += static_cast<double>(std::min(ia->second, ib->second));
+      ++ia;
+      ++ib;
+    }
+  }
+  return sum;
+}
+
+}  // namespace
+
+double wl_oa_kernel(const WlFeatures& a, const WlFeatures& b, std::size_t depth) {
+  if (depth >= a.histograms.size() || depth >= b.histograms.size()) {
+    throw std::invalid_argument("wl_oa_kernel: depth exceeds feature depth");
+  }
+  double sum = 0.0;
+  for (std::size_t d = 0; d <= depth; ++d) {
+    sum += sparse_intersection(a.histograms[d], b.histograms[d]);
+  }
+  return sum;
+}
+
+double wl_oa_kernel(const WlFeatures& a, const WlFeatures& b) {
+  if (a.histograms.empty() || b.histograms.empty()) {
+    throw std::invalid_argument("wl_oa_kernel: empty features");
+  }
+  return wl_oa_kernel(a, b, std::min(a.histograms.size(), b.histograms.size()) - 1);
+}
+
+DenseMatrix wl_oa_gram(std::span<const WlFeatures> features, std::size_t depth) {
+  DenseMatrix gram(features.size(), features.size());
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    for (std::size_t j = i; j < features.size(); ++j) {
+      const double k = wl_oa_kernel(features[i], features[j], depth);
+      gram.at(i, j) = k;
+      gram.at(j, i) = k;
+    }
+  }
+  return gram;
+}
+
+std::vector<DenseMatrix> wl_oa_grams(std::span<const WlFeatures> features,
+                                     std::size_t max_depth) {
+  std::vector<DenseMatrix> grams(max_depth + 1, DenseMatrix(features.size(), features.size()));
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    for (std::size_t j = i; j < features.size(); ++j) {
+      double cumulative = 0.0;
+      for (std::size_t d = 0; d <= max_depth; ++d) {
+        cumulative +=
+            sparse_intersection(features[i].histograms.at(d), features[j].histograms.at(d));
+        grams[d].at(i, j) = cumulative;
+        grams[d].at(j, i) = cumulative;
+      }
+    }
+  }
+  return grams;
+}
+
+DenseMatrix wl_oa_cross(std::span<const WlFeatures> rows, std::span<const WlFeatures> cols,
+                        std::size_t depth) {
+  DenseMatrix cross(rows.size(), cols.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t j = 0; j < cols.size(); ++j) {
+      cross.at(i, j) = wl_oa_kernel(rows[i], cols[j], depth);
+    }
+  }
+  return cross;
+}
+
+}  // namespace graphhd::kernels

@@ -1,0 +1,95 @@
+#include "kernels/wl_refinement.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace graphhd::kernels {
+
+std::uint32_t ColorCompressor::compress(const std::string& signature) {
+  const auto [it, inserted] = table_.emplace(signature, next_color_);
+  if (inserted) ++next_color_;
+  return it->second;
+}
+
+WlRefiner::WlRefiner(std::size_t iterations) : compressors_(iterations + 1) {}
+
+std::vector<Coloring> WlRefiner::refine(const Graph& graph, std::span<const std::size_t> initial) {
+  if (!initial.empty() && initial.size() != graph.num_vertices()) {
+    throw std::invalid_argument("WlRefiner::refine: initial color size mismatch");
+  }
+  const std::size_t n = graph.num_vertices();
+  std::vector<Coloring> colorings;
+  colorings.reserve(compressors_.size());
+
+  // Depth 0: compress the initial labels through the shared palette so that
+  // label ids are globally consistent.
+  Coloring current(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::size_t label = initial.empty() ? 0 : initial[v];
+    current[v] = compressors_[0].compress(std::to_string(label));
+  }
+  colorings.push_back(current);
+
+  std::string signature;
+  for (std::size_t depth = 1; depth < compressors_.size(); ++depth) {
+    Coloring next(n);
+    for (graph::VertexId v = 0; v < n; ++v) {
+      std::vector<std::uint32_t> neighbor_colors;
+      neighbor_colors.reserve(graph.degree(v));
+      for (const graph::VertexId u : graph.neighbors(v)) {
+        neighbor_colors.push_back(current[u]);
+      }
+      std::sort(neighbor_colors.begin(), neighbor_colors.end());
+      signature.clear();
+      signature += std::to_string(current[v]);
+      for (const std::uint32_t c : neighbor_colors) {
+        signature += ',';
+        signature += std::to_string(c);
+      }
+      next[v] = compressors_[depth].compress(signature);
+    }
+    current = next;
+    colorings.push_back(std::move(next));
+  }
+  return colorings;
+}
+
+std::size_t WlRefiner::palette_size(std::size_t depth) const {
+  if (depth >= compressors_.size()) {
+    throw std::out_of_range("WlRefiner::palette_size: depth out of range");
+  }
+  return compressors_[depth].palette_size();
+}
+
+std::vector<std::size_t> wl_partition_history(const Graph& graph, std::size_t max_iterations) {
+  const std::size_t n = graph.num_vertices();
+  std::vector<std::size_t> history;
+  std::vector<std::uint32_t> current(n, 0);
+  history.push_back(n == 0 ? 0 : 1);
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    // Local (per-graph) compression is enough for a partition history.
+    std::map<std::pair<std::uint32_t, std::vector<std::uint32_t>>, std::uint32_t> palette;
+    std::vector<std::uint32_t> next(n);
+    for (graph::VertexId v = 0; v < n; ++v) {
+      std::vector<std::uint32_t> neighbor_colors;
+      neighbor_colors.reserve(graph.degree(v));
+      for (const graph::VertexId u : graph.neighbors(v)) {
+        neighbor_colors.push_back(current[u]);
+      }
+      std::sort(neighbor_colors.begin(), neighbor_colors.end());
+      const auto key = std::make_pair(current[v], std::move(neighbor_colors));
+      const auto [it, inserted] =
+          palette.emplace(key, static_cast<std::uint32_t>(palette.size()));
+      next[v] = it->second;
+    }
+    const std::size_t classes = palette.size();
+    const bool stable = !history.empty() && classes == history.back();
+    current = std::move(next);
+    history.push_back(classes);
+    if (stable) break;  // the partition can never get coarser again
+  }
+  return history;
+}
+
+}  // namespace graphhd::kernels

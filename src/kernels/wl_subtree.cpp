@@ -1,0 +1,128 @@
+#include "kernels/wl_subtree.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace graphhd::kernels {
+
+namespace {
+
+/// Builds the sorted sparse histogram of one coloring.
+[[nodiscard]] SparseHistogram histogram_of(const Coloring& colors) {
+  SparseHistogram histogram;
+  std::vector<std::uint32_t> sorted(colors);
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size();) {
+    std::size_t j = i;
+    while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
+    histogram.emplace_back(sorted[i], static_cast<std::uint32_t>(j - i));
+    i = j;
+  }
+  return histogram;
+}
+
+/// Sparse dot product of two sorted histograms.
+[[nodiscard]] double sparse_dot(const SparseHistogram& a, const SparseHistogram& b) {
+  double sum = 0.0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (ia->first < ib->first) {
+      ++ia;
+    } else if (ib->first < ia->first) {
+      ++ib;
+    } else {
+      sum += static_cast<double>(ia->second) * static_cast<double>(ib->second);
+      ++ia;
+      ++ib;
+    }
+  }
+  return sum;
+}
+
+}  // namespace
+
+std::size_t WlFeatures::num_vertices() const {
+  if (histograms.empty()) return 0;
+  std::size_t total = 0;
+  for (const auto& [color, count] : histograms.front()) total += count;
+  return total;
+}
+
+WlFeaturizer::WlFeaturizer(std::size_t iterations) : refiner_(iterations) {}
+
+WlFeatures WlFeaturizer::transform(const Graph& graph, std::span<const std::size_t> initial) {
+  WlFeatures features;
+  const auto colorings = refiner_.refine(graph, initial);
+  features.histograms.reserve(colorings.size());
+  for (const Coloring& coloring : colorings) {
+    features.histograms.push_back(histogram_of(coloring));
+  }
+  return features;
+}
+
+std::vector<WlFeatures> WlFeaturizer::transform(std::span<const Graph> graphs) {
+  std::vector<WlFeatures> features;
+  features.reserve(graphs.size());
+  for (const Graph& g : graphs) features.push_back(transform(g, {}));
+  return features;
+}
+
+double wl_subtree_kernel(const WlFeatures& a, const WlFeatures& b, std::size_t depth) {
+  if (depth >= a.histograms.size() || depth >= b.histograms.size()) {
+    throw std::invalid_argument("wl_subtree_kernel: depth exceeds feature depth");
+  }
+  double sum = 0.0;
+  for (std::size_t d = 0; d <= depth; ++d) {
+    sum += sparse_dot(a.histograms[d], b.histograms[d]);
+  }
+  return sum;
+}
+
+double wl_subtree_kernel(const WlFeatures& a, const WlFeatures& b) {
+  if (a.histograms.empty() || b.histograms.empty()) {
+    throw std::invalid_argument("wl_subtree_kernel: empty features");
+  }
+  return wl_subtree_kernel(a, b, std::min(a.histograms.size(), b.histograms.size()) - 1);
+}
+
+DenseMatrix wl_subtree_gram(std::span<const WlFeatures> features, std::size_t depth) {
+  DenseMatrix gram(features.size(), features.size());
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    for (std::size_t j = i; j < features.size(); ++j) {
+      const double k = wl_subtree_kernel(features[i], features[j], depth);
+      gram.at(i, j) = k;
+      gram.at(j, i) = k;
+    }
+  }
+  return gram;
+}
+
+std::vector<DenseMatrix> wl_subtree_grams(std::span<const WlFeatures> features,
+                                          std::size_t max_depth) {
+  std::vector<DenseMatrix> grams(max_depth + 1, DenseMatrix(features.size(), features.size()));
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    for (std::size_t j = i; j < features.size(); ++j) {
+      double cumulative = 0.0;
+      for (std::size_t d = 0; d <= max_depth; ++d) {
+        cumulative += sparse_dot(features[i].histograms.at(d), features[j].histograms.at(d));
+        grams[d].at(i, j) = cumulative;
+        grams[d].at(j, i) = cumulative;
+      }
+    }
+  }
+  return grams;
+}
+
+DenseMatrix wl_subtree_cross(std::span<const WlFeatures> rows, std::span<const WlFeatures> cols,
+                             std::size_t depth) {
+  DenseMatrix cross(rows.size(), cols.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t j = 0; j < cols.size(); ++j) {
+      cross.at(i, j) = wl_subtree_kernel(rows[i], cols[j], depth);
+    }
+  }
+  return cross;
+}
+
+}  // namespace graphhd::kernels

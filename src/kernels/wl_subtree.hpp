@@ -1,0 +1,76 @@
+/// \file wl_subtree.hpp
+/// The Weisfeiler-Lehman subtree kernel (1-WL) of Shervashidze et al.
+/// (JMLR 2011) — one of the two kernel baselines in the paper.
+///
+/// k_WL(G, G') = sum over depths 0..h of <phi_d(G), phi_d(G')>, where
+/// phi_d(G) is the histogram of WL colors of G at depth d.  Colors come from
+/// a palette shared across the dataset (see WlRefiner).
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "kernels/kernel_matrix.hpp"
+#include "kernels/wl_refinement.hpp"
+
+namespace graphhd::kernels {
+
+/// Sparse color histogram: (color, count) pairs sorted by color.
+using SparseHistogram = std::vector<std::pair<std::uint32_t, std::uint32_t>>;
+
+/// WL feature maps of one graph: one sparse histogram per depth 0..h.
+struct WlFeatures {
+  std::vector<SparseHistogram> histograms;
+
+  /// Total number of vertices (== sum of any depth's counts).
+  [[nodiscard]] std::size_t num_vertices() const;
+};
+
+/// Computes WL feature maps for graphs against a shared, extensible palette.
+/// Fit/transform asymmetry matters only in that the palette keeps growing;
+/// the featurizer may be used incrementally (train first, then test).
+class WlFeaturizer {
+ public:
+  explicit WlFeaturizer(std::size_t iterations);
+
+  [[nodiscard]] std::size_t iterations() const noexcept { return refiner_.iterations(); }
+
+  /// Features of one graph; `initial` as in WlRefiner::refine.
+  [[nodiscard]] WlFeatures transform(const Graph& graph,
+                                     std::span<const std::size_t> initial = {});
+
+  /// Features of a whole collection (no initial labels — the paper's
+  /// structure-only protocol).
+  [[nodiscard]] std::vector<WlFeatures> transform(std::span<const Graph> graphs);
+
+ private:
+  WlRefiner refiner_;
+};
+
+/// <phi(a), phi(b)> restricted to depths 0..depth (inclusive); depth must be
+/// within both feature maps.
+[[nodiscard]] double wl_subtree_kernel(const WlFeatures& a, const WlFeatures& b,
+                                       std::size_t depth);
+
+/// Full-depth convenience overload.
+[[nodiscard]] double wl_subtree_kernel(const WlFeatures& a, const WlFeatures& b);
+
+/// Gram matrix over a feature collection at the given depth.
+[[nodiscard]] DenseMatrix wl_subtree_gram(std::span<const WlFeatures> features,
+                                          std::size_t depth);
+
+/// Cumulative Gram matrices for every depth 0..max_depth in one pass over
+/// the pairs: result[d] equals wl_subtree_gram(features, d).  This is what
+/// the hyperparameter grid search uses — one pair enumeration instead of
+/// max_depth+1.
+[[nodiscard]] std::vector<DenseMatrix> wl_subtree_grams(std::span<const WlFeatures> features,
+                                                        std::size_t max_depth);
+
+/// Rectangular rows-vs-cols kernel block at the given depth.
+[[nodiscard]] DenseMatrix wl_subtree_cross(std::span<const WlFeatures> rows,
+                                           std::span<const WlFeatures> cols, std::size_t depth);
+
+}  // namespace graphhd::kernels

@@ -1,0 +1,164 @@
+#include "ml/grid_search.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "hdc/random.hpp"
+#include "ml/metrics.hpp"
+
+namespace graphhd::ml {
+
+namespace {
+
+using kernels::DenseMatrix;
+
+/// Extracts the square sub-Gram over `indices`.
+[[nodiscard]] DenseMatrix sub_gram(const DenseMatrix& gram, std::span<const std::size_t> indices) {
+  DenseMatrix sub(indices.size(), indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    for (std::size_t j = 0; j < indices.size(); ++j) {
+      sub.at(i, j) = gram.at(indices[i], indices[j]);
+    }
+  }
+  return sub;
+}
+
+/// Extracts the rectangular block rows x cols.
+[[nodiscard]] DenseMatrix sub_cross(const DenseMatrix& gram, std::span<const std::size_t> rows,
+                                    std::span<const std::size_t> cols) {
+  DenseMatrix cross(rows.size(), cols.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t j = 0; j < cols.size(); ++j) {
+      cross.at(i, j) = gram.at(rows[i], cols[j]);
+    }
+  }
+  return cross;
+}
+
+}  // namespace
+
+std::vector<std::vector<std::size_t>> stratified_fold_indices(
+    std::span<const std::size_t> labels, std::size_t folds, std::uint64_t seed) {
+  if (folds < 2) {
+    throw std::invalid_argument("stratified_fold_indices: need at least 2 folds");
+  }
+  if (labels.size() < folds) {
+    throw std::invalid_argument("stratified_fold_indices: more folds than samples");
+  }
+  std::size_t num_classes = 0;
+  for (const std::size_t label : labels) num_classes = std::max(num_classes, label + 1);
+  std::vector<std::vector<std::size_t>> by_class(num_classes);
+  for (std::size_t i = 0; i < labels.size(); ++i) by_class[labels[i]].push_back(i);
+
+  hdc::Rng rng(seed);
+  std::vector<std::vector<std::size_t>> fold_members(folds);
+  std::size_t deal = 0;
+  for (auto& members : by_class) {
+    rng.shuffle(members);
+    for (const std::size_t idx : members) {
+      fold_members[deal % folds].push_back(idx);
+      ++deal;
+    }
+  }
+  for (auto& members : fold_members) std::sort(members.begin(), members.end());
+  return fold_members;
+}
+
+KernelGridResult select_kernel_hyperparameters(std::span<const DenseMatrix> grams_by_depth,
+                                               std::span<const std::size_t> labels,
+                                               const KernelGridConfig& config) {
+  if (grams_by_depth.empty()) {
+    throw std::invalid_argument("select_kernel_hyperparameters: no Gram matrices");
+  }
+  if (config.c_grid.empty()) {
+    throw std::invalid_argument("select_kernel_hyperparameters: empty C grid");
+  }
+  const std::size_t n = labels.size();
+  for (const DenseMatrix& gram : grams_by_depth) {
+    if (gram.rows() != n || gram.cols() != n) {
+      throw std::invalid_argument("select_kernel_hyperparameters: gram size mismatch");
+    }
+  }
+
+  // Clamp the fold count so every inner fold can hold at least one sample
+  // of the smallest class (tiny datasets and tests would otherwise produce
+  // unusable single-class inner training splits).
+  std::vector<std::size_t> class_counts;
+  for (const std::size_t label : labels) {
+    if (label >= class_counts.size()) class_counts.resize(label + 1, 0);
+    ++class_counts[label];
+  }
+  std::size_t min_class = n;
+  for (const std::size_t count : class_counts) {
+    if (count > 0) min_class = std::min(min_class, count);
+  }
+  const std::size_t inner_folds =
+      std::clamp<std::size_t>(config.inner_folds, 2, std::max<std::size_t>(2, min_class));
+
+  const auto folds = stratified_fold_indices(labels, inner_folds, config.seed);
+  // Precompute complementary train index lists.
+  std::vector<std::vector<std::size_t>> train_indices(folds.size());
+  for (std::size_t f = 0; f < folds.size(); ++f) {
+    for (std::size_t other = 0; other < folds.size(); ++other) {
+      if (other == f) continue;
+      train_indices[f].insert(train_indices[f].end(), folds[other].begin(), folds[other].end());
+    }
+    std::sort(train_indices[f].begin(), train_indices[f].end());
+  }
+
+  KernelGridResult best;
+  best.best_score = -1.0;
+  for (std::size_t depth = 0; depth < grams_by_depth.size(); ++depth) {
+    for (const double c : config.c_grid) {
+      double score_sum = 0.0;
+      std::size_t scored_folds = 0;
+      for (std::size_t f = 0; f < folds.size(); ++f) {
+        const auto& test = folds[f];
+        const auto& train = train_indices[f];
+        std::vector<std::size_t> train_labels;
+        train_labels.reserve(train.size());
+        for (const std::size_t i : train) train_labels.push_back(labels[i]);
+        // A fold can lose a whole class on tiny datasets; skip such folds.
+        std::vector<bool> present(0);
+        std::size_t distinct = 0;
+        {
+          std::vector<std::size_t> counts;
+          for (const std::size_t l : train_labels) {
+            if (l >= counts.size()) counts.resize(l + 1, 0);
+            ++counts[l];
+          }
+          for (const std::size_t count : counts) distinct += count > 0 ? 1 : 0;
+        }
+        if (distinct < 2) continue;
+
+        SvmConfig svm_config = config.svm;
+        svm_config.C = c;
+        const OneVsOneSvm machine(sub_gram(grams_by_depth[depth], train), train_labels,
+                                  svm_config);
+        const auto cross = sub_cross(grams_by_depth[depth], test, train);
+        const auto predictions = machine.predict(cross);
+        std::vector<std::size_t> expected;
+        expected.reserve(test.size());
+        for (const std::size_t i : test) expected.push_back(labels[i]);
+        score_sum += accuracy(predictions, expected);
+        ++scored_folds;
+      }
+      if (scored_folds == 0) continue;
+      const double score = score_sum / static_cast<double>(scored_folds);
+      ++best.cells_evaluated;
+      // Strictly-greater keeps the cheapest winning cell (smaller depth, then
+      // smaller C, given the loop order).
+      if (score > best.best_score) {
+        best.best_score = score;
+        best.best_depth = depth;
+        best.best_c = c;
+      }
+    }
+  }
+  if (best.best_score < 0.0) {
+    throw std::runtime_error("select_kernel_hyperparameters: no cell could be evaluated");
+  }
+  return best;
+}
+
+}  // namespace graphhd::ml

@@ -1,0 +1,65 @@
+#include "ml/metrics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace graphhd::ml {
+
+double accuracy(std::span<const std::size_t> predicted, std::span<const std::size_t> expected) {
+  if (predicted.size() != expected.size()) {
+    throw std::invalid_argument("accuracy: size mismatch");
+  }
+  if (predicted.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    hits += static_cast<std::size_t>(predicted[i] == expected[i]);
+  }
+  return static_cast<double>(hits) / static_cast<double>(predicted.size());
+}
+
+std::vector<std::vector<std::size_t>> confusion_matrix(std::span<const std::size_t> predicted,
+                                                       std::span<const std::size_t> expected,
+                                                       std::size_t num_classes) {
+  if (predicted.size() != expected.size()) {
+    throw std::invalid_argument("confusion_matrix: size mismatch");
+  }
+  std::vector<std::vector<std::size_t>> matrix(num_classes,
+                                               std::vector<std::size_t>(num_classes, 0));
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    if (expected[i] >= num_classes || predicted[i] >= num_classes) {
+      throw std::out_of_range("confusion_matrix: label out of range");
+    }
+    ++matrix[expected[i]][predicted[i]];
+  }
+  return matrix;
+}
+
+double balanced_accuracy(std::span<const std::size_t> predicted,
+                         std::span<const std::size_t> expected, std::size_t num_classes) {
+  const auto matrix = confusion_matrix(predicted, expected, num_classes);
+  double recall_sum = 0.0;
+  std::size_t present_classes = 0;
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    std::size_t total = 0;
+    for (std::size_t p = 0; p < num_classes; ++p) total += matrix[c][p];
+    if (total == 0) continue;
+    recall_sum += static_cast<double>(matrix[c][c]) / static_cast<double>(total);
+    ++present_classes;
+  }
+  return present_classes == 0 ? 0.0 : recall_sum / static_cast<double>(present_classes);
+}
+
+MeanStd mean_std(std::span<const double> values) {
+  MeanStd result;
+  if (values.empty()) return result;
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  result.mean = sum / static_cast<double>(values.size());
+  if (values.size() < 2) return result;
+  double sq = 0.0;
+  for (const double v : values) sq += (v - result.mean) * (v - result.mean);
+  result.std = std::sqrt(sq / static_cast<double>(values.size() - 1));
+  return result;
+}
+
+}  // namespace graphhd::ml

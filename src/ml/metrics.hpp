@@ -1,0 +1,36 @@
+/// \file metrics.hpp
+/// Classification metrics used by the evaluation harness.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace graphhd::ml {
+
+/// Fraction of positions where predicted == expected; 0 for empty input.
+/// Sizes must match.
+[[nodiscard]] double accuracy(std::span<const std::size_t> predicted,
+                              std::span<const std::size_t> expected);
+
+/// Row-major k x k confusion matrix; entry (t, p) counts samples of true
+/// class t predicted as p.
+[[nodiscard]] std::vector<std::vector<std::size_t>> confusion_matrix(
+    std::span<const std::size_t> predicted, std::span<const std::size_t> expected,
+    std::size_t num_classes);
+
+/// Unweighted mean of per-class recalls (balanced accuracy).  Classes absent
+/// from `expected` are skipped.
+[[nodiscard]] double balanced_accuracy(std::span<const std::size_t> predicted,
+                                       std::span<const std::size_t> expected,
+                                       std::size_t num_classes);
+
+/// Mean and sample standard deviation of a series (std is 0 for size < 2).
+struct MeanStd {
+  double mean = 0.0;
+  double std = 0.0;
+};
+[[nodiscard]] MeanStd mean_std(std::span<const double> values);
+
+}  // namespace graphhd::ml

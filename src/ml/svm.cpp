@@ -1,0 +1,232 @@
+#include "ml/svm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace graphhd::ml {
+
+namespace {
+
+/// Membership tests for Keerthi's index sets.  I_up holds indices whose F
+/// may still decrease the violation from above, I_low from below.
+[[nodiscard]] bool in_up(double alpha, int y, double C) noexcept {
+  return (y == 1 && alpha < C) || (y == -1 && alpha > 0.0);
+}
+
+[[nodiscard]] bool in_low(double alpha, int y, double C) noexcept {
+  return (y == 1 && alpha > 0.0) || (y == -1 && alpha < C);
+}
+
+}  // namespace
+
+double BinarySvm::decision(std::span<const double> kernel_row) const {
+  double sum = bias;
+  for (std::size_t s = 0; s < support_indices.size(); ++s) {
+    sum += dual_coefficients[s] * kernel_row[support_indices[s]];
+  }
+  return sum;
+}
+
+BinarySvm train_binary_svm(const DenseMatrix& gram, std::span<const int> labels,
+                           const SvmConfig& config) {
+  const std::size_t n = labels.size();
+  if (gram.rows() != n || gram.cols() != n) {
+    throw std::invalid_argument("train_binary_svm: gram/labels size mismatch");
+  }
+  if (config.C <= 0.0) {
+    throw std::invalid_argument("train_binary_svm: C must be positive");
+  }
+  bool has_pos = false, has_neg = false;
+  for (const int y : labels) {
+    if (y == 1) {
+      has_pos = true;
+    } else if (y == -1) {
+      has_neg = true;
+    } else {
+      throw std::invalid_argument("train_binary_svm: labels must be +1/-1");
+    }
+  }
+  if (!has_pos || !has_neg) {
+    throw std::invalid_argument("train_binary_svm: need both classes present");
+  }
+
+  const double C = config.C;
+  std::vector<double> alpha(n, 0.0);
+  // F_i = sum_j alpha_j y_j K_ij - y_i; with alpha = 0, F_i = -y_i.
+  std::vector<double> F(n);
+  for (std::size_t i = 0; i < n; ++i) F[i] = -static_cast<double>(labels[i]);
+
+  BinarySvm model;
+  std::size_t iterations = 0;
+  while (iterations < config.max_iterations) {
+    // Maximal violating pair.
+    std::size_t i_up = n, i_low = n;
+    double f_up = std::numeric_limits<double>::infinity();
+    double f_low = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (in_up(alpha[i], labels[i], C) && F[i] < f_up) {
+        f_up = F[i];
+        i_up = i;
+      }
+      if (in_low(alpha[i], labels[i], C) && F[i] > f_low) {
+        f_low = F[i];
+        i_low = i;
+      }
+    }
+    if (i_up == n || i_low == n || f_low - f_up <= 2.0 * config.tolerance) break;
+
+    // Two-variable analytic update (Platt), i1 = violator from below,
+    // i2 = from above.
+    const std::size_t i1 = i_low, i2 = i_up;
+    const int y1 = labels[i1], y2 = labels[i2];
+    const double a1_old = alpha[i1], a2_old = alpha[i2];
+    const double s = static_cast<double>(y1) * static_cast<double>(y2);
+
+    double L = 0.0, H = 0.0;
+    if (y1 != y2) {
+      L = std::max(0.0, a2_old - a1_old);
+      H = std::min(C, C + a2_old - a1_old);
+    } else {
+      L = std::max(0.0, a1_old + a2_old - C);
+      H = std::min(C, a1_old + a2_old);
+    }
+    if (L >= H) {
+      // Degenerate box: nothing to optimize on this pair; the pair cannot be
+      // selected again with a strictly smaller violation, so stop.
+      break;
+    }
+
+    const double k11 = gram.at(i1, i1), k22 = gram.at(i2, i2), k12 = gram.at(i1, i2);
+    const double eta = k11 + k22 - 2.0 * k12;
+    double a2_new = 0.0;
+    if (eta > 1e-12) {
+      a2_new = a2_old + static_cast<double>(y2) * (F[i1] - F[i2]) / eta;
+      a2_new = std::clamp(a2_new, L, H);
+    } else {
+      // Non-positive curvature (possible with indefinite inputs): move to
+      // whichever bound improves the dual objective; evaluate both ends.
+      const double delta = static_cast<double>(y2) * (F[i1] - F[i2]);
+      a2_new = delta > 0.0 ? H : L;
+    }
+    if (std::abs(a2_new - a2_old) < 1e-14) break;
+    const double a1_new = a1_old + s * (a2_old - a2_new);
+
+    alpha[i1] = a1_new;
+    alpha[i2] = a2_new;
+    const double delta1 = static_cast<double>(y1) * (a1_new - a1_old);
+    const double delta2 = static_cast<double>(y2) * (a2_new - a2_old);
+    for (std::size_t k = 0; k < n; ++k) {
+      F[k] += delta1 * gram.at(i1, k) + delta2 * gram.at(i2, k);
+    }
+    ++iterations;
+  }
+
+  // Bias: on free support vectors F_i == -b exactly at optimality.
+  double bias_sum = 0.0;
+  std::size_t free_count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (alpha[i] > 1e-12 && alpha[i] < C - 1e-12) {
+      bias_sum += -F[i];
+      ++free_count;
+    }
+  }
+  if (free_count > 0) {
+    model.bias = bias_sum / static_cast<double>(free_count);
+  } else {
+    double f_up = std::numeric_limits<double>::infinity();
+    double f_low = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (in_up(alpha[i], labels[i], C)) f_up = std::min(f_up, F[i]);
+      if (in_low(alpha[i], labels[i], C)) f_low = std::max(f_low, F[i]);
+    }
+    model.bias = -(f_up + f_low) / 2.0;
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (alpha[i] > 1e-12) {
+      model.support_indices.push_back(i);
+      model.dual_coefficients.push_back(alpha[i] * static_cast<double>(labels[i]));
+    }
+  }
+  model.iterations = iterations;
+  return model;
+}
+
+OneVsOneSvm::OneVsOneSvm(const DenseMatrix& gram, std::span<const std::size_t> labels,
+                         const SvmConfig& config) {
+  const std::size_t n = labels.size();
+  if (gram.rows() != n || gram.cols() != n) {
+    throw std::invalid_argument("OneVsOneSvm: gram/labels size mismatch");
+  }
+  for (const std::size_t label : labels) {
+    num_classes_ = std::max(num_classes_, label + 1);
+  }
+  if (num_classes_ < 2) {
+    throw std::invalid_argument("OneVsOneSvm: need at least 2 classes");
+  }
+
+  std::vector<std::vector<std::size_t>> by_class(num_classes_);
+  for (std::size_t i = 0; i < n; ++i) by_class[labels[i]].push_back(i);
+
+  for (std::size_t a = 0; a + 1 < num_classes_; ++a) {
+    for (std::size_t b = a + 1; b < num_classes_; ++b) {
+      if (by_class[a].empty() || by_class[b].empty()) continue;
+      // Sub-problem over the union of the two classes.
+      std::vector<std::size_t> indices = by_class[a];
+      indices.insert(indices.end(), by_class[b].begin(), by_class[b].end());
+      std::sort(indices.begin(), indices.end());
+      DenseMatrix sub(indices.size(), indices.size());
+      std::vector<int> sub_labels(indices.size());
+      for (std::size_t i = 0; i < indices.size(); ++i) {
+        sub_labels[i] = labels[indices[i]] == a ? 1 : -1;
+        for (std::size_t j = 0; j < indices.size(); ++j) {
+          sub.at(i, j) = gram.at(indices[i], indices[j]);
+        }
+      }
+      PairMachine machine;
+      machine.class_a = a;
+      machine.class_b = b;
+      machine.svm = train_binary_svm(sub, sub_labels, config);
+      // Remap sub-problem support indices to full-training-set indices so
+      // that prediction can consume rows of the full cross-kernel.
+      for (auto& support : machine.svm.support_indices) {
+        support = indices[support];
+      }
+      machines_.push_back(std::move(machine));
+    }
+  }
+  if (machines_.empty()) {
+    throw std::invalid_argument("OneVsOneSvm: no trainable class pair");
+  }
+}
+
+std::size_t OneVsOneSvm::predict(std::span<const double> kernel_row) const {
+  std::vector<double> votes(num_classes_, 0.0);
+  std::vector<double> margins(num_classes_, 0.0);
+  for (const PairMachine& machine : machines_) {
+    const double decision = machine.svm.decision(kernel_row);
+    const std::size_t winner = decision >= 0.0 ? machine.class_a : machine.class_b;
+    votes[winner] += 1.0;
+    margins[winner] += std::abs(decision);
+  }
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < num_classes_; ++c) {
+    if (votes[c] > votes[best] || (votes[c] == votes[best] && margins[c] > margins[best])) {
+      best = c;
+    }
+  }
+  return best;
+}
+
+std::vector<std::size_t> OneVsOneSvm::predict(const DenseMatrix& cross) const {
+  std::vector<std::size_t> predictions;
+  predictions.reserve(cross.rows());
+  for (std::size_t t = 0; t < cross.rows(); ++t) {
+    predictions.push_back(predict(cross.row(t)));
+  }
+  return predictions;
+}
+
+}  // namespace graphhd::ml

@@ -1,0 +1,44 @@
+#include "nn/adam.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace graphhd::nn {
+
+Adam::Adam(std::vector<Parameter*> parameters, const AdamConfig& config)
+    : parameters_(std::move(parameters)), config_(config) {
+  if (parameters_.empty()) {
+    throw std::invalid_argument("Adam: no parameters");
+  }
+  first_moment_.reserve(parameters_.size());
+  second_moment_.reserve(parameters_.size());
+  for (const Parameter* p : parameters_) {
+    first_moment_.emplace_back(p->value.rows(), p->value.cols());
+    second_moment_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::step(double learning_rate) {
+  ++steps_;
+  const double bias1 = 1.0 - std::pow(config_.beta1, static_cast<double>(steps_));
+  const double bias2 = 1.0 - std::pow(config_.beta2, static_cast<double>(steps_));
+  for (std::size_t p = 0; p < parameters_.size(); ++p) {
+    auto values = parameters_[p]->value.data();
+    const auto grads = parameters_[p]->grad.data();
+    auto m = first_moment_[p].data();
+    auto v = second_moment_[p].data();
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      m[i] = config_.beta1 * m[i] + (1.0 - config_.beta1) * grads[i];
+      v[i] = config_.beta2 * v[i] + (1.0 - config_.beta2) * grads[i] * grads[i];
+      const double m_hat = m[i] / bias1;
+      const double v_hat = v[i] / bias2;
+      values[i] -= learning_rate * m_hat / (std::sqrt(v_hat) + config_.epsilon);
+    }
+  }
+}
+
+void Adam::zero_grad() {
+  for (Parameter* p : parameters_) p->zero_grad();
+}
+
+}  // namespace graphhd::nn

@@ -1,0 +1,45 @@
+/// \file adam.hpp
+/// Adam optimizer (Kingma & Ba, 2015) — the optimizer the paper uses for the
+/// GNN baselines ("We use the Adam optimizer with a learning rate scheduler
+/// starting at 0.01").
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/modules.hpp"
+
+namespace graphhd::nn {
+
+/// Adam hyperparameters (defaults are the standard ones).
+struct AdamConfig {
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+};
+
+/// First/second moment state per parameter; learning rate is passed per step
+/// so the plateau scheduler can drive it.
+class Adam {
+ public:
+  explicit Adam(std::vector<Parameter*> parameters, const AdamConfig& config = {});
+
+  /// Applies one update using current gradients, then leaves gradients
+  /// untouched (call zero_grad separately, PyTorch-style).
+  void step(double learning_rate);
+
+  /// Zeroes all parameter gradients.
+  void zero_grad();
+
+  [[nodiscard]] std::size_t steps_taken() const noexcept { return steps_; }
+
+ private:
+  std::vector<Parameter*> parameters_;
+  std::vector<Matrix> first_moment_;
+  std::vector<Matrix> second_moment_;
+  AdamConfig config_;
+  std::size_t steps_ = 0;
+};
+
+}  // namespace graphhd::nn

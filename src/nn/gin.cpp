@@ -1,0 +1,117 @@
+#include "nn/gin.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace graphhd::nn {
+
+namespace {
+
+[[nodiscard]] Mlp make_mlp(const GinConfig& config) {
+  Rng rng(hdc::derive_seed(config.seed, "gin-mlp"));
+  return Mlp(1, config.hidden_units, config.hidden_units, rng);
+}
+
+[[nodiscard]] Linear make_classifier(const GinConfig& config) {
+  Rng rng(hdc::derive_seed(config.seed, "gin-classifier"));
+  const std::size_t readout =
+      config.jumping_knowledge ? config.hidden_units + 1 : config.hidden_units;
+  return Linear(readout, config.num_classes, rng);
+}
+
+}  // namespace
+
+GinNetwork::GinNetwork(const GinConfig& config)
+    : config_(config),
+      mlp_(make_mlp(config)),
+      classifier_(make_classifier(config)),
+      epsilon_(Matrix(1, 1, config.initial_epsilon)) {
+  if (config.hidden_units == 0 || config.num_classes < 2) {
+    throw std::invalid_argument("GinNetwork: invalid architecture");
+  }
+}
+
+Matrix GinNetwork::forward(const Graph& graph) {
+  const std::size_t n = graph.num_vertices();
+  if (n == 0) {
+    throw std::invalid_argument("GinNetwork: cannot classify the empty graph");
+  }
+  cached_n_ = n;
+  cached_x0_ = Matrix(n, 1, 1.0);
+
+  // Aggregation: z_v = (1 + ε) x_v + Σ_{u ∈ N(v)} x_u.
+  const double eps = epsilon_.value.at(0, 0);
+  Matrix aggregated(n, 1);
+  for (graph::VertexId v = 0; v < n; ++v) {
+    double sum = (1.0 + eps) * cached_x0_.at(v, 0);
+    for (const graph::VertexId u : graph.neighbors(v)) {
+      sum += cached_x0_.at(u, 0);
+    }
+    aggregated.at(v, 0) = sum;
+  }
+
+  cached_h1_ = mlp_.forward(aggregated);
+  Matrix readout = column_sums(cached_h1_);
+  if (config_.jumping_knowledge) {
+    readout = hconcat(column_sums(cached_x0_), readout);
+  }
+  return classifier_.forward(readout);
+}
+
+double GinNetwork::accumulate_gradients(const Graph& graph, std::size_t label) {
+  const Matrix logits_row = forward(graph);
+  Matrix grad_logits;
+  const double loss = cross_entropy_with_grad(logits_row, label, grad_logits);
+
+  const Matrix grad_readout = classifier_.backward(grad_logits);
+
+  // Split the readout gradient (JK prepends the pooled input feature).
+  const std::size_t hidden = config_.hidden_units;
+  const std::size_t offset = config_.jumping_knowledge ? 1 : 0;
+  Matrix grad_h1(cached_n_, hidden);
+  for (std::size_t v = 0; v < cached_n_; ++v) {
+    for (std::size_t j = 0; j < hidden; ++j) {
+      // Sum pooling broadcasts the pooled gradient to every vertex.
+      grad_h1.at(v, j) = grad_readout.at(0, offset + j);
+    }
+  }
+  const Matrix grad_aggregated = mlp_.backward(grad_h1);
+
+  // ∂z_v/∂ε = x_v, so dε accumulates Σ_v dZ_v · x_v.  (Gradients into the
+  // constant input features are discarded.)
+  double grad_eps = 0.0;
+  for (std::size_t v = 0; v < cached_n_; ++v) {
+    grad_eps += grad_aggregated.at(v, 0) * cached_x0_.at(v, 0);
+  }
+  epsilon_.grad.at(0, 0) += grad_eps;
+  return loss;
+}
+
+std::vector<double> GinNetwork::logits(const Graph& graph) {
+  const Matrix logits_row = forward(graph);
+  std::vector<double> out(logits_row.cols());
+  for (std::size_t j = 0; j < out.size(); ++j) out[j] = logits_row.at(0, j);
+  return out;
+}
+
+std::size_t GinNetwork::predict(const Graph& graph) {
+  const auto scores = logits(graph);
+  return static_cast<std::size_t>(
+      std::max_element(scores.begin(), scores.end()) - scores.begin());
+}
+
+std::vector<Parameter*> GinNetwork::parameters() {
+  std::vector<Parameter*> params = mlp_.parameters();
+  const auto head = classifier_.parameters();
+  params.insert(params.end(), head.begin(), head.end());
+  params.push_back(&epsilon_);
+  return params;
+}
+
+std::size_t GinNetwork::parameter_count() {
+  std::size_t count = 0;
+  for (const Parameter* p : parameters()) count += p->value.size();
+  return count;
+}
+
+}  // namespace graphhd::nn

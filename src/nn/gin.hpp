@@ -1,0 +1,77 @@
+/// \file gin.hpp
+/// Graph Isomorphism Network baselines: GIN-ε and GIN-ε-JK.
+///
+/// Following the paper's protocol (Section V-A2): one GIN layer with 32
+/// units, with the jumping-knowledge variant concatenating the readouts of
+/// all representation levels (Xu et al., ICML 2018).  Vertex/edge labels are
+/// withheld, so the input feature of every vertex is the constant scalar 1 —
+/// the network sees pure structure through message passing.
+///
+/// One GIN-ε layer computes, per vertex v,
+///     h_v = MLP((1 + ε) x_v + Σ_{u ∈ N(v)} x_u),
+/// with ε a learnable scalar.  The graph readout is sum pooling; GIN-ε-JK
+/// concatenates the pooled input features with the pooled layer output
+/// before the classifier.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "nn/adam.hpp"
+#include "nn/modules.hpp"
+
+namespace graphhd::nn {
+
+using graph::Graph;
+
+/// Architecture and initialization settings.
+struct GinConfig {
+  std::size_t hidden_units = 32;     ///< paper: 32.
+  std::size_t num_classes = 2;
+  bool jumping_knowledge = false;    ///< false = GIN-ε, true = GIN-ε-JK.
+  double initial_epsilon = 0.0;
+  std::uint64_t seed = 0x5eedULL;
+};
+
+/// One-layer GIN classifier with manual backprop.
+class GinNetwork {
+ public:
+  explicit GinNetwork(const GinConfig& config);
+
+  [[nodiscard]] const GinConfig& config() const noexcept { return config_; }
+  [[nodiscard]] double epsilon() const noexcept { return epsilon_.value.at(0, 0); }
+
+  /// Forward + backward for one labeled graph; accumulates parameter
+  /// gradients and returns the cross-entropy loss.
+  double accumulate_gradients(const Graph& graph, std::size_t label);
+
+  /// Forward only: class logits for one graph.
+  [[nodiscard]] std::vector<double> logits(const Graph& graph);
+
+  /// argmax of logits.
+  [[nodiscard]] std::size_t predict(const Graph& graph);
+
+  /// All trainable parameters (MLP, classifier head, ε).
+  [[nodiscard]] std::vector<Parameter*> parameters();
+
+  /// Total scalar parameter count (reporting).
+  [[nodiscard]] std::size_t parameter_count();
+
+ private:
+  /// Shared forward pass; fills the caches used by backward.
+  [[nodiscard]] Matrix forward(const Graph& graph);
+
+  GinConfig config_;
+  Mlp mlp_;                 ///< 1 -> hidden -> hidden.
+  Linear classifier_;       ///< readout -> num_classes.
+  Parameter epsilon_;       ///< 1 x 1 learnable scalar.
+  // Caches for backward.
+  Matrix cached_x0_;        ///< n x 1 input features.
+  Matrix cached_h1_;        ///< n x hidden layer output.
+  std::size_t cached_n_ = 0;
+};
+
+}  // namespace graphhd::nn

@@ -1,0 +1,39 @@
+#include "nn/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace graphhd::nn {
+
+ReduceLrOnPlateau::ReduceLrOnPlateau(double initial_lr, double factor, std::size_t patience,
+                                     double min_lr, double improvement_threshold)
+    : lr_(initial_lr),
+      factor_(factor),
+      patience_(patience),
+      min_lr_(min_lr),
+      threshold_(improvement_threshold) {
+  if (initial_lr <= 0.0 || factor <= 0.0 || factor >= 1.0 || min_lr < 0.0) {
+    throw std::invalid_argument("ReduceLrOnPlateau: invalid configuration");
+  }
+}
+
+double ReduceLrOnPlateau::observe(double loss) {
+  if (loss < best_loss_ - threshold_) {
+    best_loss_ = loss;
+    bad_epochs_ = 0;
+    return lr_;
+  }
+  ++bad_epochs_;
+  if (bad_epochs_ > patience_) {
+    bad_epochs_ = 0;
+    if (lr_ <= min_lr_) {
+      exhausted_ = true;
+    } else {
+      lr_ = std::max(min_lr_, lr_ * factor_);
+      ++reductions_;
+    }
+  }
+  return lr_;
+}
+
+}  // namespace graphhd::nn

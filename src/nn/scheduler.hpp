@@ -1,0 +1,42 @@
+/// \file scheduler.hpp
+/// Reduce-on-plateau learning-rate schedule.
+///
+/// Paper, Section V-A2: "a learning rate scheduler starting at 0.01 with a
+/// patience parameter of 5 which decays with 0.5 till a minimum of 1e-6".
+
+#pragma once
+
+#include <cstddef>
+#include <limits>
+
+namespace graphhd::nn {
+
+/// Monitors a loss; when it fails to improve for `patience` consecutive
+/// observations the learning rate is multiplied by `factor`, never dropping
+/// below `min_lr`.  `exhausted()` becomes true when a reduction is requested
+/// while already at the floor — the trainer's early-stop signal.
+class ReduceLrOnPlateau {
+ public:
+  ReduceLrOnPlateau(double initial_lr, double factor, std::size_t patience, double min_lr,
+                    double improvement_threshold = 1e-4);
+
+  /// Reports the epoch loss; returns the learning rate to use next.
+  double observe(double loss);
+
+  [[nodiscard]] double learning_rate() const noexcept { return lr_; }
+  [[nodiscard]] bool exhausted() const noexcept { return exhausted_; }
+  [[nodiscard]] std::size_t reductions() const noexcept { return reductions_; }
+
+ private:
+  double lr_;
+  double factor_;
+  std::size_t patience_;
+  double min_lr_;
+  double threshold_;
+  double best_loss_ = std::numeric_limits<double>::infinity();
+  std::size_t bad_epochs_ = 0;
+  std::size_t reductions_ = 0;
+  bool exhausted_ = false;
+};
+
+}  // namespace graphhd::nn

@@ -1,0 +1,121 @@
+#include "nn/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace graphhd::nn {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), values_(rows * cols, fill) {}
+
+Matrix Matrix::glorot(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  const double bound = std::sqrt(6.0 / static_cast<double>(rows + cols));
+  for (double& v : m.values_) v = rng.next_double(-bound, bound);
+  return m;
+}
+
+void Matrix::fill(double value) noexcept { std::fill(values_.begin(), values_.end(), value); }
+
+void Matrix::add_in_place(const Matrix& other) {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    throw std::invalid_argument("Matrix::add_in_place: shape mismatch");
+  }
+  for (std::size_t i = 0; i < values_.size(); ++i) values_[i] += other.values_[i];
+}
+
+void Matrix::add_scaled(const Matrix& other, double scale) {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    throw std::invalid_argument("Matrix::add_scaled: shape mismatch");
+  }
+  for (std::size_t i = 0; i < values_.size(); ++i) values_[i] += scale * other.values_[i];
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("matmul: inner dimension mismatch");
+  }
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a.at(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        c.at(i, j) += aik * b.at(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+Matrix matmul_bt(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.cols()) {
+    throw std::invalid_argument("matmul_bt: inner dimension mismatch");
+  }
+  Matrix c(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) sum += a.at(i, k) * b.at(j, k);
+      c.at(i, j) = sum;
+    }
+  }
+  return c;
+}
+
+Matrix matmul_at(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows()) {
+    throw std::invalid_argument("matmul_at: inner dimension mismatch");
+  }
+  Matrix c(a.cols(), b.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const double aki = a.at(k, i);
+      if (aki == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        c.at(i, j) += aki * b.at(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+Matrix column_sums(const Matrix& a) {
+  Matrix sums(1, a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      sums.at(0, j) += a.at(i, j);
+    }
+  }
+  return sums;
+}
+
+Matrix hconcat(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows()) {
+    throw std::invalid_argument("hconcat: row count mismatch");
+  }
+  Matrix c(a.rows(), a.cols() + b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) c.at(i, j) = a.at(i, j);
+    for (std::size_t j = 0; j < b.cols(); ++j) c.at(i, a.cols() + j) = b.at(i, j);
+  }
+  return c;
+}
+
+std::vector<double> log_softmax_row(const Matrix& logits) {
+  if (logits.rows() != 1 || logits.cols() == 0) {
+    throw std::invalid_argument("log_softmax_row: expects a non-empty 1 x k row");
+  }
+  const std::size_t k = logits.cols();
+  double max_logit = logits.at(0, 0);
+  for (std::size_t j = 1; j < k; ++j) max_logit = std::max(max_logit, logits.at(0, j));
+  double sum_exp = 0.0;
+  for (std::size_t j = 0; j < k; ++j) sum_exp += std::exp(logits.at(0, j) - max_logit);
+  const double log_sum = max_logit + std::log(sum_exp);
+  std::vector<double> out(k);
+  for (std::size_t j = 0; j < k; ++j) out[j] = logits.at(0, j) - log_sum;
+  return out;
+}
+
+}  // namespace graphhd::nn

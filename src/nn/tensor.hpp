@@ -1,0 +1,73 @@
+/// \file tensor.hpp
+/// Minimal dense matrix type for the GIN baselines.
+///
+/// The GNN baselines (GIN-ε, GIN-ε-JK) are tiny — one message-passing layer
+/// with 32 units — so a straightforward row-major double matrix with loop
+/// kernels is both sufficient and easy to verify.  Gradients are computed
+/// manually per module (see modules.hpp); there is no autograd graph.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "hdc/random.hpp"
+
+namespace graphhd::nn {
+
+using hdc::Rng;
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Glorot/Xavier uniform initialization: U(-a, a), a = sqrt(6/(in+out)).
+  /// Rows are treated as output dimension, columns as input dimension.
+  [[nodiscard]] static Matrix glorot(std::size_t rows, std::size_t cols, Rng& rng);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) noexcept {
+    return values_[r * cols_ + c];
+  }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const noexcept {
+    return values_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::span<double> data() noexcept { return values_; }
+  [[nodiscard]] std::span<const double> data() const noexcept { return values_; }
+
+  void fill(double value) noexcept;
+
+  /// this += other (same shape required).
+  void add_in_place(const Matrix& other);
+  /// this += scale * other.
+  void add_scaled(const Matrix& other, double scale);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> values_;
+};
+
+/// C = A * B.
+[[nodiscard]] Matrix matmul(const Matrix& a, const Matrix& b);
+/// C = A * B^T.
+[[nodiscard]] Matrix matmul_bt(const Matrix& a, const Matrix& b);
+/// C = A^T * B.
+[[nodiscard]] Matrix matmul_at(const Matrix& a, const Matrix& b);
+/// 1 x cols row vector of column sums.
+[[nodiscard]] Matrix column_sums(const Matrix& a);
+/// Horizontal concatenation [a | b] (same row count).
+[[nodiscard]] Matrix hconcat(const Matrix& a, const Matrix& b);
+
+/// Numerically stable log-softmax of a 1 x k row vector.
+[[nodiscard]] std::vector<double> log_softmax_row(const Matrix& logits);
+
+}  // namespace graphhd::nn

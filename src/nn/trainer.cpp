@@ -1,0 +1,63 @@
+#include "nn/trainer.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "nn/adam.hpp"
+
+namespace graphhd::nn {
+
+GinTrainStats train_gin(GinNetwork& network, const data::GraphDataset& dataset,
+                        const GinTrainConfig& config) {
+  if (dataset.empty()) {
+    throw std::invalid_argument("train_gin: empty dataset");
+  }
+  if (config.batch_size == 0) {
+    throw std::invalid_argument("train_gin: batch_size must be positive");
+  }
+
+  Adam optimizer(network.parameters());
+  ReduceLrOnPlateau scheduler(config.learning_rate, config.decay, config.patience,
+                              config.min_learning_rate);
+  Rng rng(hdc::derive_seed(config.seed, "gin-batches"));
+
+  std::vector<std::size_t> order(dataset.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  GinTrainStats stats;
+  double learning_rate = config.learning_rate;
+  for (std::size_t epoch = 0; epoch < config.max_epochs; ++epoch) {
+    rng.shuffle(order);
+    double epoch_loss = 0.0;
+    for (std::size_t start = 0; start < order.size(); start += config.batch_size) {
+      const std::size_t end = std::min(order.size(), start + config.batch_size);
+      optimizer.zero_grad();
+      double batch_loss = 0.0;
+      for (std::size_t i = start; i < end; ++i) {
+        batch_loss +=
+            network.accumulate_gradients(dataset.graph(order[i]), dataset.label(order[i]));
+      }
+      // Mean-reduce over the batch, matching the usual cross-entropy
+      // reduction: scale accumulated gradients by 1/|batch|.
+      const double inv = 1.0 / static_cast<double>(end - start);
+      for (Parameter* p : network.parameters()) {
+        for (double& g : p->grad.data()) g *= inv;
+      }
+      optimizer.step(learning_rate);
+      epoch_loss += batch_loss;
+    }
+    epoch_loss /= static_cast<double>(order.size());
+    stats.loss_history.push_back(epoch_loss);
+    stats.epochs = epoch + 1;
+    learning_rate = scheduler.observe(epoch_loss);
+    if (scheduler.exhausted()) {
+      stats.schedule_exhausted = true;
+      break;
+    }
+  }
+  stats.final_loss = stats.loss_history.empty() ? 0.0 : stats.loss_history.back();
+  stats.final_learning_rate = scheduler.learning_rate();
+  return stats;
+}
+
+}  // namespace graphhd::nn

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/adam.hpp"
+#include "nn/scheduler.hpp"
+
+namespace {
+
+using namespace graphhd::nn;
+
+TEST(Adam, RejectsEmptyParameterList) {
+  EXPECT_THROW(Adam({}), std::invalid_argument);
+}
+
+TEST(Adam, MinimizesQuadraticBowl) {
+  // f(w) = sum (w_i - t_i)^2 with targets t = (1, -2, 3).
+  Parameter w(Matrix(1, 3, 0.0));
+  const double targets[3] = {1.0, -2.0, 3.0};
+  Adam optimizer({&w});
+  for (int step = 0; step < 2000; ++step) {
+    optimizer.zero_grad();
+    for (std::size_t i = 0; i < 3; ++i) {
+      w.grad.at(0, i) = 2.0 * (w.value.at(0, i) - targets[i]);
+    }
+    optimizer.step(0.05);
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(w.value.at(0, i), targets[i], 1e-3);
+  }
+  EXPECT_EQ(optimizer.steps_taken(), 2000u);
+}
+
+TEST(Adam, ZeroGradClearsAllParameters) {
+  Parameter a(Matrix(2, 2, 1.0)), b(Matrix(1, 4, 1.0));
+  a.grad.fill(9.0);
+  b.grad.fill(9.0);
+  Adam optimizer({&a, &b});
+  optimizer.zero_grad();
+  for (const double g : a.grad.data()) EXPECT_DOUBLE_EQ(g, 0.0);
+  for (const double g : b.grad.data()) EXPECT_DOUBLE_EQ(g, 0.0);
+}
+
+TEST(Adam, FirstStepMovesByLearningRateScale) {
+  // With bias correction, the very first Adam step is ~lr * sign(grad).
+  Parameter w(Matrix(1, 1, 0.0));
+  Adam optimizer({&w});
+  w.grad.at(0, 0) = 0.5;
+  optimizer.step(0.1);
+  EXPECT_NEAR(w.value.at(0, 0), -0.1, 1e-6);
+}
+
+TEST(Adam, StationaryAtZeroGradient) {
+  Parameter w(Matrix(1, 2, 3.0));
+  Adam optimizer({&w});
+  optimizer.zero_grad();
+  optimizer.step(0.1);
+  EXPECT_NEAR(w.value.at(0, 0), 3.0, 1e-9);
+}
+
+TEST(Scheduler, ValidatesConfiguration) {
+  EXPECT_THROW(ReduceLrOnPlateau(0.0, 0.5, 5, 1e-6), std::invalid_argument);
+  EXPECT_THROW(ReduceLrOnPlateau(0.1, 1.5, 5, 1e-6), std::invalid_argument);
+  EXPECT_THROW(ReduceLrOnPlateau(0.1, 0.5, 5, -1.0), std::invalid_argument);
+}
+
+TEST(Scheduler, KeepsLrWhileImproving) {
+  ReduceLrOnPlateau scheduler(0.01, 0.5, 2, 1e-6);
+  double loss = 1.0;
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    EXPECT_DOUBLE_EQ(scheduler.observe(loss), 0.01);
+    loss *= 0.9;
+  }
+  EXPECT_EQ(scheduler.reductions(), 0u);
+}
+
+TEST(Scheduler, ReducesAfterPatienceExceeded) {
+  // Patience 2: the 3rd consecutive bad epoch triggers the cut.
+  ReduceLrOnPlateau scheduler(0.01, 0.5, 2, 1e-6);
+  (void)scheduler.observe(1.0);
+  EXPECT_DOUBLE_EQ(scheduler.observe(1.0), 0.01);  // bad 1
+  EXPECT_DOUBLE_EQ(scheduler.observe(1.0), 0.01);  // bad 2
+  EXPECT_DOUBLE_EQ(scheduler.observe(1.0), 0.005);  // bad 3 -> cut
+  EXPECT_EQ(scheduler.reductions(), 1u);
+}
+
+TEST(Scheduler, PaperScheduleDecaysToFloor) {
+  // Paper: start 0.01, factor 0.5, patience 5, min 1e-6.
+  ReduceLrOnPlateau scheduler(0.01, 0.5, 5, 1e-6);
+  // Never-improving loss: every 6 observations halve the lr.
+  for (int i = 0; i < 200 && !scheduler.exhausted(); ++i) {
+    (void)scheduler.observe(1.0);
+  }
+  EXPECT_TRUE(scheduler.exhausted());
+  EXPECT_LE(scheduler.learning_rate(), 2e-6);
+  EXPECT_GE(scheduler.learning_rate(), 1e-6);
+}
+
+TEST(Scheduler, ImprovementResetsPatience) {
+  ReduceLrOnPlateau scheduler(0.01, 0.5, 2, 1e-6);
+  (void)scheduler.observe(1.0);
+  (void)scheduler.observe(1.0);   // bad 1
+  (void)scheduler.observe(1.0);   // bad 2
+  (void)scheduler.observe(0.5);   // improvement resets
+  (void)scheduler.observe(0.5);   // bad 1
+  (void)scheduler.observe(0.5);   // bad 2
+  EXPECT_EQ(scheduler.reductions(), 0u);
+  EXPECT_DOUBLE_EQ(scheduler.observe(0.5), 0.005);  // bad 3 -> cut
+}
+
+TEST(Scheduler, TinyImprovementsCountAsPlateau) {
+  ReduceLrOnPlateau scheduler(0.01, 0.5, 1, 1e-6, /*improvement_threshold=*/1e-2);
+  (void)scheduler.observe(1.0);
+  (void)scheduler.observe(0.999);  // below threshold: bad 1
+  EXPECT_DOUBLE_EQ(scheduler.observe(0.998), 0.005);  // bad 2 -> cut
+}
+
+TEST(Scheduler, NotExhaustedBeforeFloor) {
+  ReduceLrOnPlateau scheduler(0.01, 0.5, 1, 1e-3);
+  for (int i = 0; i < 6; ++i) (void)scheduler.observe(1.0);
+  EXPECT_FALSE(scheduler.exhausted() && scheduler.learning_rate() > 1e-3);
+}
+
+}  // namespace

@@ -1,0 +1,128 @@
+#include "hdc/bitslice.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/encoder.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace graphhd::hdc;
+
+TEST(BitsliceBundler, RejectsZeroDimension) {
+  EXPECT_THROW(BitsliceBundler bundler(0), std::invalid_argument);
+}
+
+TEST(BitsliceBundler, SingleAddThresholdsToInput) {
+  Rng rng(3);
+  const auto hv = Hypervector::random(500, rng);
+  BitsliceBundler bundler(500);
+  bundler.add(PackedHypervector::from_bipolar(hv));
+  EXPECT_EQ(bundler.threshold_bipolar(), hv);
+  EXPECT_EQ(bundler.count(), 1u);
+}
+
+TEST(BitsliceBundler, NegativeCountsMatchBruteForce) {
+  Rng rng(5);
+  std::vector<Hypervector> batch;
+  for (int i = 0; i < 9; ++i) batch.push_back(Hypervector::random(300, rng));
+  BitsliceBundler bundler(300);
+  for (const auto& hv : batch) bundler.add(PackedHypervector::from_bipolar(hv));
+  const auto counts = bundler.negative_counts();
+  for (std::size_t i = 0; i < 300; ++i) {
+    std::uint32_t expected = 0;
+    for (const auto& hv : batch) expected += hv[i] == -1 ? 1 : 0;
+    ASSERT_EQ(counts[i], expected) << "component " << i;
+  }
+}
+
+TEST(BitsliceBundler, MatchesBundleAccumulatorIncludingTies) {
+  // Even input count forces ties; both paths must agree bit-for-bit because
+  // they share the tie-break convention.
+  Rng rng(7);
+  std::vector<Hypervector> batch;
+  for (int i = 0; i < 6; ++i) batch.push_back(Hypervector::random(1000, rng));
+
+  BundleAccumulator reference(1000);
+  BitsliceBundler bitslice(1000);
+  for (const auto& hv : batch) {
+    reference.add(hv);
+    bitslice.add(PackedHypervector::from_bipolar(hv));
+  }
+  EXPECT_EQ(bitslice.threshold_bipolar(42), reference.threshold(42));
+}
+
+TEST(BitsliceBundler, AddBoundMatchesBindThenAdd) {
+  Rng rng(11);
+  const auto a = Hypervector::random(700, rng);
+  const auto b = Hypervector::random(700, rng);
+  BitsliceBundler via_bound(700), via_add(700);
+  via_bound.add_bound(PackedHypervector::from_bipolar(a), PackedHypervector::from_bipolar(b));
+  via_add.add(PackedHypervector::from_bipolar(a.bind(b)));
+  EXPECT_EQ(via_bound.threshold_bipolar(), via_add.threshold_bipolar());
+}
+
+TEST(BitsliceBundler, ManyAddsStressCarryPropagation) {
+  // 1000 adds exercise carry chains up to 10 planes.
+  Rng rng(13);
+  BundleAccumulator reference(256);
+  BitsliceBundler bitslice(256);
+  for (int i = 0; i < 1000; ++i) {
+    const auto hv = Hypervector::random(256, rng);
+    reference.add(hv);
+    bitslice.add(PackedHypervector::from_bipolar(hv));
+  }
+  EXPECT_EQ(bitslice.count(), 1000u);
+  EXPECT_EQ(bitslice.threshold_bipolar(9), reference.threshold(9));
+}
+
+TEST(BitsliceBundler, DimensionMismatchThrows) {
+  BitsliceBundler bundler(64);
+  Rng rng(17);
+  const auto wrong = PackedHypervector::random(32, rng);
+  EXPECT_THROW(bundler.add(wrong), std::invalid_argument);
+  const auto ok = PackedHypervector::random(64, rng);
+  EXPECT_THROW(bundler.add_bound(ok, wrong), std::invalid_argument);
+}
+
+TEST(BitsliceBundler, ClearResets) {
+  Rng rng(19);
+  BitsliceBundler bundler(128);
+  bundler.add(PackedHypervector::random(128, rng));
+  bundler.clear();
+  EXPECT_EQ(bundler.count(), 0u);
+  for (const auto count : bundler.negative_counts()) EXPECT_EQ(count, 0u);
+}
+
+/// The load-bearing property: the encoder's bit-sliced fast path produces
+/// exactly the reference path's encodings on every kind of graph.
+class BitsliceEncoderEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BitsliceEncoderEquivalence, FastPathBitIdenticalToReference) {
+  graphhd::core::GraphHdConfig fast_config;
+  fast_config.dimension = 2048;
+  fast_config.use_bitslice_bundling = true;
+  graphhd::core::GraphHdConfig reference_config = fast_config;
+  reference_config.use_bitslice_bundling = false;
+
+  graphhd::core::GraphHdEncoder fast(fast_config);
+  graphhd::core::GraphHdEncoder reference(reference_config);
+
+  Rng rng(GetParam());
+  const auto graphs = {
+      graphhd::graph::erdos_renyi(40, 0.1, rng),
+      graphhd::graph::barabasi_albert(30, 2, rng),
+      graphhd::graph::random_molecule(25, 3, rng),
+      graphhd::graph::star_graph(12),
+      graphhd::graph::cycle_graph(9),
+  };
+  for (const auto& g : graphs) {
+    EXPECT_EQ(fast.encode(g), reference.encode(g)) << graphhd::graph::to_string(g);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitsliceEncoderEquivalence, ::testing::Values(1, 2, 3));
+
+}  // namespace

@@ -1,0 +1,168 @@
+#include "data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace graphhd::data;
+using graphhd::graph::cycle_graph;
+using graphhd::graph::path_graph;
+using graphhd::graph::star_graph;
+
+GraphDataset make_dataset(std::size_t per_class, std::size_t classes = 2) {
+  GraphDataset dataset("toy", {}, {});
+  for (std::size_t c = 0; c < classes; ++c) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      dataset.add(c == 0 ? path_graph(4 + i % 3) : cycle_graph(4 + i % 3), c);
+    }
+  }
+  return dataset;
+}
+
+TEST(GraphDataset, ConstructionValidatesSizes) {
+  EXPECT_THROW(GraphDataset("x", {path_graph(3)}, {0, 1}), std::invalid_argument);
+}
+
+TEST(GraphDataset, TracksNumClasses) {
+  const auto dataset = make_dataset(3, 4);
+  EXPECT_EQ(dataset.num_classes(), 4u);
+  EXPECT_EQ(dataset.size(), 12u);
+}
+
+TEST(GraphDataset, AddAppends) {
+  GraphDataset dataset("x", {}, {});
+  EXPECT_TRUE(dataset.empty());
+  dataset.add(path_graph(3), 1);
+  EXPECT_EQ(dataset.size(), 1u);
+  EXPECT_EQ(dataset.label(0), 1u);
+  EXPECT_EQ(dataset.num_classes(), 2u);
+}
+
+TEST(GraphDataset, ClassCounts) {
+  const auto dataset = make_dataset(5, 3);
+  const auto counts = dataset.class_counts();
+  ASSERT_EQ(counts.size(), 3u);
+  for (const auto c : counts) EXPECT_EQ(c, 5u);
+}
+
+TEST(GraphDataset, MajorityFraction) {
+  GraphDataset dataset("x", {}, {});
+  dataset.add(path_graph(3), 0);
+  dataset.add(path_graph(3), 0);
+  dataset.add(path_graph(3), 0);
+  dataset.add(cycle_graph(3), 1);
+  EXPECT_DOUBLE_EQ(dataset.majority_class_fraction(), 0.75);
+  EXPECT_DOUBLE_EQ(GraphDataset("e", {}, {}).majority_class_fraction(), 0.0);
+}
+
+TEST(GraphDataset, SubsetSelectsAndPreservesOrder) {
+  const auto dataset = make_dataset(3);
+  const std::vector<std::size_t> indices{4, 0, 2};
+  const auto sub = dataset.subset(indices);
+  EXPECT_EQ(sub.size(), 3u);
+  EXPECT_EQ(sub.label(0), dataset.label(4));
+  EXPECT_EQ(sub.graph(1), dataset.graph(0));
+}
+
+TEST(GraphDataset, VertexLabelsValidated) {
+  GraphDataset dataset("x", {path_graph(3)}, {0});
+  EXPECT_THROW(dataset.set_vertex_labels({{0, 1}}), std::invalid_argument);    // wrong inner
+  EXPECT_THROW(dataset.set_vertex_labels({{0, 1, 2}, {0}}), std::invalid_argument);  // outer
+  dataset.set_vertex_labels({{0, 1, 2}});
+  EXPECT_TRUE(dataset.has_vertex_labels());
+}
+
+TEST(GraphDataset, SubsetCarriesVertexLabels) {
+  GraphDataset dataset("x", {path_graph(2), path_graph(3)}, {0, 1});
+  dataset.set_vertex_labels({{5, 6}, {7, 8, 9}});
+  const auto sub = dataset.subset(std::vector<std::size_t>{1});
+  ASSERT_TRUE(sub.has_vertex_labels());
+  EXPECT_EQ(sub.vertex_labels()[0], (std::vector<std::size_t>{7, 8, 9}));
+}
+
+TEST(GraphDataset, AddAfterVertexLabelsThrows) {
+  GraphDataset dataset("x", {path_graph(2)}, {0});
+  dataset.set_vertex_labels({{0, 1}});
+  EXPECT_THROW(dataset.add(path_graph(2), 1), std::logic_error);
+}
+
+TEST(StratifiedKfold, PartitionsAllSamples) {
+  const auto dataset = make_dataset(13);  // 26 samples
+  graphhd::hdc::Rng rng(3);
+  const auto splits = stratified_kfold(dataset, 5, rng);
+  ASSERT_EQ(splits.size(), 5u);
+  std::set<std::size_t> all_test;
+  for (const auto& split : splits) {
+    for (const auto i : split.test) {
+      EXPECT_TRUE(all_test.insert(i).second) << "sample " << i << " in two test folds";
+    }
+    // Train and test are disjoint and cover everything.
+    std::set<std::size_t> train(split.train.begin(), split.train.end());
+    for (const auto i : split.test) EXPECT_FALSE(train.contains(i));
+    EXPECT_EQ(split.train.size() + split.test.size(), dataset.size());
+  }
+  EXPECT_EQ(all_test.size(), dataset.size());
+}
+
+TEST(StratifiedKfold, PreservesClassBalance) {
+  const auto dataset = make_dataset(20);  // 40 samples, balanced
+  graphhd::hdc::Rng rng(5);
+  const auto splits = stratified_kfold(dataset, 4, rng);
+  for (const auto& split : splits) {
+    std::size_t class0 = 0;
+    for (const auto i : split.test) class0 += dataset.label(i) == 0 ? 1 : 0;
+    EXPECT_EQ(class0, split.test.size() / 2);
+  }
+}
+
+TEST(StratifiedKfold, DeterministicPerSeed) {
+  const auto dataset = make_dataset(10);
+  graphhd::hdc::Rng a(7), b(7);
+  const auto splits_a = stratified_kfold(dataset, 5, a);
+  const auto splits_b = stratified_kfold(dataset, 5, b);
+  for (std::size_t f = 0; f < splits_a.size(); ++f) {
+    EXPECT_EQ(splits_a[f].test, splits_b[f].test);
+    EXPECT_EQ(splits_a[f].train, splits_b[f].train);
+  }
+}
+
+TEST(StratifiedKfold, ValidatesArguments) {
+  const auto dataset = make_dataset(2);
+  graphhd::hdc::Rng rng(11);
+  EXPECT_THROW((void)stratified_kfold(dataset, 1, rng), std::invalid_argument);
+  EXPECT_THROW((void)stratified_kfold(dataset, 100, rng), std::invalid_argument);
+}
+
+TEST(StratifiedSplit, FractionRespectedPerClass) {
+  const auto dataset = make_dataset(10);  // 10 per class
+  graphhd::hdc::Rng rng(13);
+  const auto split = stratified_split(dataset, 0.8, rng);
+  EXPECT_EQ(split.train.size(), 16u);
+  EXPECT_EQ(split.test.size(), 4u);
+  std::size_t train_class0 = 0;
+  for (const auto i : split.train) train_class0 += dataset.label(i) == 0 ? 1 : 0;
+  EXPECT_EQ(train_class0, 8u);
+}
+
+TEST(StratifiedSplit, AlwaysLeavesTestSamples) {
+  const auto dataset = make_dataset(2);  // tiny: 2 per class
+  graphhd::hdc::Rng rng(17);
+  const auto split = stratified_split(dataset, 0.9, rng);
+  EXPECT_FALSE(split.test.empty());
+  EXPECT_FALSE(split.train.empty());
+}
+
+TEST(StratifiedSplit, ValidatesFraction) {
+  const auto dataset = make_dataset(5);
+  graphhd::hdc::Rng rng(19);
+  EXPECT_THROW((void)stratified_split(dataset, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW((void)stratified_split(dataset, 1.0, rng), std::invalid_argument);
+}
+
+}  // namespace

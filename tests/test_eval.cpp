@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "eval/baselines.hpp"
+#include "eval/cross_validation.hpp"
+#include "eval/report.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace graphhd::eval;
+using graphhd::data::GraphDataset;
+using graphhd::graph::cycle_graph;
+using graphhd::graph::star_graph;
+namespace core = graphhd::core;
+namespace nn = graphhd::nn;
+
+GraphDataset toy_dataset(std::size_t per_class) {
+  GraphDataset dataset("toy", {}, {});
+  for (std::size_t i = 0; i < per_class; ++i) {
+    dataset.add(star_graph(8 + i % 4), 0);
+    dataset.add(cycle_graph(8 + i % 4), 1);
+  }
+  return dataset;
+}
+
+core::GraphHdConfig fast_hd_config() {
+  core::GraphHdConfig config;
+  config.dimension = 2048;
+  return config;
+}
+
+TEST(Factories, ProduceFreshClassifiersPerSeed) {
+  const auto factory = make_graphhd_factory(fast_hd_config());
+  auto a = factory(1);
+  auto b = factory(2);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(a->name(), "GraphHD");
+}
+
+TEST(Factories, NamesMatchThePaper) {
+  EXPECT_EQ(make_kernel_svm_factory(KernelKind::kWlSubtree)(1)->name(), "1-WL");
+  EXPECT_EQ(make_kernel_svm_factory(KernelKind::kWlOa)(1)->name(), "WL-OA");
+  EXPECT_EQ(make_gin_factory(false)(1)->name(), "GIN-e");
+  EXPECT_EQ(make_gin_factory(true)(1)->name(), "GIN-e-JK");
+}
+
+TEST(Factories, PaperSuiteHasFiveMethodsInOrder) {
+  const auto suite = paper_method_suite(5);
+  ASSERT_EQ(suite.size(), 5u);
+  EXPECT_EQ(suite[0].first, "GraphHD");
+  EXPECT_EQ(suite[1].first, "1-WL");
+  EXPECT_EQ(suite[2].first, "WL-OA");
+  EXPECT_EQ(suite[3].first, "GIN-e");
+  EXPECT_EQ(suite[4].first, "GIN-e-JK");
+}
+
+TEST(Classifiers, EachMethodLearnsStarsVsCycles) {
+  const auto train = toy_dataset(10);
+  const auto test = toy_dataset(4);
+
+  nn::GinTrainConfig gin_training;
+  gin_training.max_epochs = 200;
+  gin_training.batch_size = 8;
+  std::vector<std::pair<std::string, ClassifierFactory>> methods;
+  methods.emplace_back("GraphHD", make_graphhd_factory(fast_hd_config()));
+  methods.emplace_back("1-WL", make_kernel_svm_factory(KernelKind::kWlSubtree, 2));
+  methods.emplace_back("WL-OA", make_kernel_svm_factory(KernelKind::kWlOa, 2));
+  methods.emplace_back("GIN-e", make_gin_factory(false, {}, gin_training));
+  methods.emplace_back("GIN-e-JK", make_gin_factory(true, {}, gin_training));
+
+  for (const auto& [name, factory] : methods) {
+    auto classifier = factory(7);
+    classifier->fit(train);
+    const auto predictions = classifier->predict(test);
+    ASSERT_EQ(predictions.size(), test.size());
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < test.size(); ++i) {
+      hits += predictions[i] == test.label(i) ? 1 : 0;
+    }
+    EXPECT_GE(static_cast<double>(hits) / static_cast<double>(test.size()), 0.75)
+        << name << " failed to learn an easy structure problem";
+  }
+}
+
+TEST(Classifiers, PredictBeforeFitThrows) {
+  auto kernel = make_kernel_svm_factory(KernelKind::kWlSubtree)(1);
+  EXPECT_THROW((void)kernel->predict(toy_dataset(2)), std::logic_error);
+  auto gin = make_gin_factory(false)(1);
+  EXPECT_THROW((void)gin->predict(toy_dataset(2)), std::logic_error);
+}
+
+TEST(CrossValidate, ProducesFoldsTimesRepetitionsResults) {
+  CvConfig config;
+  config.folds = 4;
+  config.repetitions = 2;
+  const auto result = cross_validate("GraphHD", make_graphhd_factory(fast_hd_config()),
+                                     toy_dataset(8), config);
+  EXPECT_EQ(result.folds.size(), 8u);
+  EXPECT_EQ(result.method, "GraphHD");
+  EXPECT_EQ(result.dataset, "toy");
+}
+
+TEST(CrossValidate, TimesArePositiveAndAccuracyHigh) {
+  CvConfig config;
+  config.folds = 3;
+  config.repetitions = 1;
+  const auto result = cross_validate("GraphHD", make_graphhd_factory(fast_hd_config()),
+                                     toy_dataset(9), config);
+  EXPECT_GE(result.accuracy().mean, 0.9);
+  EXPECT_GT(result.train_seconds_per_fold(), 0.0);
+  EXPECT_GT(result.inference_seconds_per_graph(), 0.0);
+  EXPECT_GT(result.train_seconds_per_graph(), 0.0);
+  for (const auto& fold : result.folds) {
+    EXPECT_GT(fold.train_size, 0u);
+    EXPECT_GT(fold.test_size, 0u);
+  }
+}
+
+TEST(CrossValidate, DeterministicFoldAssignment) {
+  CvConfig config;
+  config.folds = 3;
+  config.repetitions = 1;
+  config.seed = 77;
+  const auto a = cross_validate("GraphHD", make_graphhd_factory(fast_hd_config()),
+                                toy_dataset(9), config);
+  const auto b = cross_validate("GraphHD", make_graphhd_factory(fast_hd_config()),
+                                toy_dataset(9), config);
+  ASSERT_EQ(a.folds.size(), b.folds.size());
+  for (std::size_t f = 0; f < a.folds.size(); ++f) {
+    EXPECT_DOUBLE_EQ(a.folds[f].accuracy, b.folds[f].accuracy);
+  }
+}
+
+TEST(CrossValidate, ValidatesRepetitions) {
+  CvConfig config;
+  config.repetitions = 0;
+  EXPECT_THROW((void)cross_validate("GraphHD", make_graphhd_factory(fast_hd_config()),
+                                    toy_dataset(8), config),
+               std::invalid_argument);
+}
+
+TEST(Report, Figure3TablesContainMethodsAndDatasets) {
+  CvConfig config;
+  config.folds = 3;
+  config.repetitions = 1;
+  std::vector<CvResult> results;
+  results.push_back(cross_validate("GraphHD", make_graphhd_factory(fast_hd_config()),
+                                   toy_dataset(6), config));
+  results.push_back(cross_validate("1-WL",
+                                   make_kernel_svm_factory(KernelKind::kWlSubtree, 2),
+                                   toy_dataset(6), config));
+  for (const auto panel : {Figure3Panel::kAccuracy, Figure3Panel::kTrainingTime,
+                           Figure3Panel::kInferenceTime}) {
+    const auto table = format_figure3(results, panel);
+    EXPECT_NE(table.find("GraphHD"), std::string::npos);
+    EXPECT_NE(table.find("1-WL"), std::string::npos);
+    EXPECT_NE(table.find("toy"), std::string::npos);
+  }
+  const auto csv = to_csv(results);
+  EXPECT_NE(csv.find("dataset,method"), std::string::npos);
+  EXPECT_NE(csv.find("toy,GraphHD"), std::string::npos);
+}
+
+TEST(Report, SpeedupTableComputesRatios) {
+  // Two fabricated results: GraphHD 10x faster than the kernel.
+  CvResult hd;
+  hd.method = "GraphHD";
+  hd.dataset = "toy";
+  hd.folds.push_back({.accuracy = 1.0, .train_seconds = 0.1, .test_seconds = 0.01,
+                      .train_size = 10, .test_size = 10});
+  CvResult wl = hd;
+  wl.method = "1-WL";
+  wl.folds[0].train_seconds = 1.0;
+  wl.folds[0].test_seconds = 0.1;
+  CvResult gin = hd;
+  gin.method = "GIN-e";
+  gin.folds[0].train_seconds = 0.5;
+  gin.folds[0].test_seconds = 0.05;
+  const auto table = format_speedups({hd, wl, gin});
+  EXPECT_NE(table.find("10.0x"), std::string::npos);
+  EXPECT_NE(table.find("5.0x"), std::string::npos);
+}
+
+TEST(Report, Figure4SeriesAndEndpointRatios) {
+  std::vector<ScalabilityPoint> points;
+  points.push_back({.num_vertices = 100, .method = "GraphHD",
+                    .train_seconds_per_fold = 0.1, .accuracy = 0.9});
+  points.push_back({.num_vertices = 100, .method = "GIN-e",
+                    .train_seconds_per_fold = 0.62, .accuracy = 0.9});
+  points.push_back({.num_vertices = 100, .method = "WL-OA",
+                    .train_seconds_per_fold = 1.5, .accuracy = 0.9});
+  const auto table = format_figure4(points);
+  EXPECT_NE(table.find("GraphHD"), std::string::npos);
+  EXPECT_NE(table.find("6.2x"), std::string::npos);   // 0.62/0.1
+  EXPECT_NE(table.find("15.0x"), std::string::npos);  // 1.5/0.1
+  const auto csv = to_csv(points);
+  EXPECT_NE(csv.find("num_vertices,method"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,261 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/algorithms.hpp"
+
+namespace {
+
+using namespace graphhd::graph;
+using graphhd::hdc::Rng;
+
+TEST(ErdosRenyi, ZeroProbabilityMeansNoEdges) {
+  Rng rng(1);
+  EXPECT_EQ(erdos_renyi(50, 0.0, rng).num_edges(), 0u);
+}
+
+TEST(ErdosRenyi, FullProbabilityMeansComplete) {
+  Rng rng(2);
+  const auto g = erdos_renyi(10, 1.0, rng);
+  EXPECT_EQ(g.num_edges(), 45u);
+}
+
+TEST(ErdosRenyi, RejectsInvalidProbability) {
+  Rng rng(3);
+  EXPECT_THROW((void)erdos_renyi(10, -0.1, rng), std::invalid_argument);
+  EXPECT_THROW((void)erdos_renyi(10, 1.1, rng), std::invalid_argument);
+}
+
+TEST(ErdosRenyi, EdgeCountConcentratesAroundExpectation) {
+  Rng rng(5);
+  const std::size_t n = 400;
+  const double p = 0.05;
+  double total = 0.0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    total += static_cast<double>(erdos_renyi(n, p, rng).num_edges());
+  }
+  const double expected = p * static_cast<double>(n * (n - 1) / 2);
+  EXPECT_NEAR(total / trials, expected, 0.05 * expected);
+}
+
+TEST(ErdosRenyi, DeterministicGivenRngState) {
+  Rng a(7), b(7);
+  EXPECT_EQ(erdos_renyi(100, 0.1, a), erdos_renyi(100, 0.1, b));
+}
+
+TEST(ErdosRenyiGnm, ExactEdgeCount) {
+  Rng rng(11);
+  const auto g = erdos_renyi_gnm(30, 60, rng);
+  EXPECT_EQ(g.num_edges(), 60u);
+  EXPECT_EQ(g.num_vertices(), 30u);
+}
+
+TEST(ErdosRenyiGnm, ClampsToMaxPairs) {
+  Rng rng(13);
+  const auto g = erdos_renyi_gnm(5, 1000, rng);
+  EXPECT_EQ(g.num_edges(), 10u);
+}
+
+TEST(BarabasiAlbert, DegreesAndEdgeCount) {
+  Rng rng(17);
+  const std::size_t n = 100, k = 2;
+  const auto g = barabasi_albert(n, k, rng);
+  EXPECT_EQ(g.num_vertices(), n);
+  // Seed clique of size 2 contributes 1 edge, each of the n-2 later vertices
+  // adds exactly k edges.
+  EXPECT_EQ(g.num_edges(), 1u + (n - 2) * k);
+  // Preferential attachment yields hubs: max degree far above k.
+  std::size_t max_degree = 0;
+  for (VertexId v = 0; v < n; ++v) max_degree = std::max(max_degree, g.degree(v));
+  EXPECT_GT(max_degree, 3 * k);
+}
+
+TEST(BarabasiAlbert, RejectsZeroAttachment) {
+  Rng rng(19);
+  EXPECT_THROW((void)barabasi_albert(10, 0, rng), std::invalid_argument);
+}
+
+TEST(BarabasiAlbert, ConnectedByConstruction) {
+  Rng rng(23);
+  EXPECT_TRUE(is_connected(barabasi_albert(200, 2, rng)));
+}
+
+TEST(WattsStrogatz, EdgeCountIsRingLatticeCount) {
+  Rng rng(29);
+  const auto g = watts_strogatz(60, 4, 0.1, rng);
+  EXPECT_EQ(g.num_edges(), 60u * 2u);
+}
+
+TEST(WattsStrogatz, ZeroBetaIsExactRingLattice) {
+  Rng rng(31);
+  const auto g = watts_strogatz(20, 4, 0.0, rng);
+  for (VertexId v = 0; v < 20; ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(0, 19));
+  EXPECT_TRUE(g.has_edge(0, 18));
+}
+
+TEST(WattsStrogatz, ValidatesArguments) {
+  Rng rng(37);
+  EXPECT_THROW((void)watts_strogatz(10, 3, 0.1, rng), std::invalid_argument);   // odd k
+  EXPECT_THROW((void)watts_strogatz(4, 4, 0.1, rng), std::invalid_argument);    // k >= n
+  EXPECT_THROW((void)watts_strogatz(10, 4, -0.5, rng), std::invalid_argument);  // bad beta
+}
+
+TEST(RandomRegular, DegreesAreExact) {
+  Rng rng(41);
+  const auto g = random_regular(20, 3, rng);
+  for (VertexId v = 0; v < 20; ++v) EXPECT_EQ(g.degree(v), 3u);
+}
+
+TEST(RandomRegular, ValidatesParity) {
+  Rng rng(43);
+  EXPECT_THROW((void)random_regular(5, 3, rng), std::invalid_argument);  // n*d odd
+  EXPECT_THROW((void)random_regular(4, 4, rng), std::invalid_argument);  // d >= n
+}
+
+TEST(RandomRegular, ZeroDegreeIsEdgeless) {
+  Rng rng(47);
+  EXPECT_EQ(random_regular(6, 0, rng).num_edges(), 0u);
+}
+
+TEST(RandomTree, IsTree) {
+  Rng rng(53);
+  for (const std::size_t n : {1u, 2u, 3u, 10u, 100u}) {
+    const auto g = random_tree(n, rng);
+    EXPECT_EQ(g.num_vertices(), n);
+    if (n > 0) {
+      EXPECT_EQ(g.num_edges(), n - 1);
+      EXPECT_TRUE(is_connected(g));
+      EXPECT_FALSE(has_cycle(g));
+    }
+  }
+}
+
+TEST(RandomTree, PruferIsUniformish) {
+  // Smoke check on shape variability: max degree should vary across draws.
+  Rng rng(59);
+  std::size_t distinct_max_degrees = 0;
+  std::size_t previous = 0;
+  for (int t = 0; t < 10; ++t) {
+    const auto g = random_tree(30, rng);
+    std::size_t max_degree = 0;
+    for (VertexId v = 0; v < 30; ++v) max_degree = std::max(max_degree, g.degree(v));
+    if (max_degree != previous) ++distinct_max_degrees;
+    previous = max_degree;
+  }
+  EXPECT_GT(distinct_max_degrees, 1u);
+}
+
+TEST(RandomMolecule, EdgeBudget) {
+  Rng rng(61);
+  const auto g = random_molecule(30, 3, rng);
+  EXPECT_EQ(g.num_vertices(), 30u);
+  EXPECT_GE(g.num_edges(), 29u);      // at least the tree
+  EXPECT_LE(g.num_edges(), 32u);      // tree + at most 3 chords
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(RandomMolecule, ZeroCyclesIsTree) {
+  Rng rng(67);
+  const auto g = random_molecule(25, 0, rng);
+  EXPECT_EQ(g.num_edges(), 24u);
+  EXPECT_FALSE(has_cycle(g));
+}
+
+TEST(Caveman, CliquesArePresent) {
+  Rng rng(71);
+  const auto g = caveman(4, 5, rng);
+  EXPECT_EQ(g.num_vertices(), 20u);
+  // Every intra-clique pair must be connected.
+  for (std::size_t c = 0; c < 4; ++c) {
+    for (VertexId i = 0; i < 5; ++i) {
+      for (VertexId j = i + 1; j < 5; ++j) {
+        EXPECT_TRUE(g.has_edge(static_cast<VertexId>(c * 5 + i),
+                               static_cast<VertexId>(c * 5 + j)));
+      }
+    }
+  }
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Caveman, ValidatesArguments) {
+  Rng rng(73);
+  EXPECT_THROW((void)caveman(0, 4, rng), std::invalid_argument);
+  EXPECT_THROW((void)caveman(3, 1, rng), std::invalid_argument);
+}
+
+TEST(FixtureGraphs, PathProperties) {
+  const auto g = path_graph(5);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 2u);
+  EXPECT_FALSE(has_cycle(g));
+}
+
+TEST(FixtureGraphs, CycleProperties) {
+  const auto g = cycle_graph(6);
+  EXPECT_EQ(g.num_edges(), 6u);
+  for (VertexId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_TRUE(has_cycle(g));
+  EXPECT_THROW((void)cycle_graph(2), std::invalid_argument);
+}
+
+TEST(FixtureGraphs, StarProperties) {
+  const auto g = star_graph(7);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_EQ(g.degree(0), 6u);
+  for (VertexId v = 1; v < 7; ++v) EXPECT_EQ(g.degree(v), 1u);
+}
+
+TEST(FixtureGraphs, CompleteProperties) {
+  const auto g = complete_graph(6);
+  EXPECT_EQ(g.num_edges(), 15u);
+  EXPECT_DOUBLE_EQ(g.density(), 1.0);
+}
+
+TEST(FixtureGraphs, GridProperties) {
+  const auto g = grid_graph(3, 4);
+  EXPECT_EQ(g.num_vertices(), 12u);
+  // Edges: 3 rows * 3 horizontal + 2 * 4 vertical = 9 + 8.
+  EXPECT_EQ(g.num_edges(), 17u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+/// Property sweep over seeds: generated graphs are simple (no self-loops /
+/// duplicates — enforced by Graph::from_edges, which would throw) and the
+/// generators are deterministic per seed.
+class GeneratorDeterminism : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorDeterminism, AllGeneratorsDeterministic) {
+  const std::uint64_t seed = GetParam();
+  {
+    Rng a(seed), b(seed);
+    EXPECT_EQ(erdos_renyi(60, 0.08, a), erdos_renyi(60, 0.08, b));
+  }
+  {
+    Rng a(seed), b(seed);
+    EXPECT_EQ(barabasi_albert(60, 2, a), barabasi_albert(60, 2, b));
+  }
+  {
+    Rng a(seed), b(seed);
+    EXPECT_EQ(watts_strogatz(60, 4, 0.2, a), watts_strogatz(60, 4, 0.2, b));
+  }
+  {
+    Rng a(seed), b(seed);
+    EXPECT_EQ(random_tree(60, a), random_tree(60, b));
+  }
+  {
+    Rng a(seed), b(seed);
+    EXPECT_EQ(random_molecule(30, 2, a), random_molecule(30, 2, b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorDeterminism, ::testing::Values(1, 42, 1337, 9999));
+
+}  // namespace

@@ -1,0 +1,234 @@
+#include "nn/gin.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "data/dataset.hpp"
+#include "graph/generators.hpp"
+#include "nn/trainer.hpp"
+
+namespace {
+
+using namespace graphhd::nn;
+using graphhd::data::GraphDataset;
+using graphhd::graph::cycle_graph;
+using graphhd::graph::path_graph;
+using graphhd::graph::star_graph;
+
+GinConfig small_config(bool jk = false) {
+  GinConfig config;
+  config.hidden_units = 8;
+  config.num_classes = 2;
+  config.jumping_knowledge = jk;
+  config.seed = 0xbeef;
+  return config;
+}
+
+TEST(GinNetwork, ValidatesArchitecture) {
+  GinConfig config = small_config();
+  config.hidden_units = 0;
+  EXPECT_THROW(GinNetwork network(config), std::invalid_argument);
+  config = small_config();
+  config.num_classes = 1;
+  EXPECT_THROW(GinNetwork network(config), std::invalid_argument);
+}
+
+TEST(GinNetwork, LogitsHaveClassDimension) {
+  GinConfig config = small_config();
+  config.num_classes = 4;
+  GinNetwork network(config);
+  EXPECT_EQ(network.logits(path_graph(5)).size(), 4u);
+}
+
+TEST(GinNetwork, RejectsEmptyGraph) {
+  GinNetwork network(small_config());
+  EXPECT_THROW((void)network.logits(graphhd::graph::Graph{}), std::invalid_argument);
+}
+
+TEST(GinNetwork, DeterministicPerSeed) {
+  GinNetwork a(small_config()), b(small_config());
+  const auto la = a.logits(cycle_graph(6));
+  const auto lb = b.logits(cycle_graph(6));
+  for (std::size_t j = 0; j < la.size(); ++j) EXPECT_DOUBLE_EQ(la[j], lb[j]);
+}
+
+TEST(GinNetwork, DifferentSeedsDiffer) {
+  GinConfig other = small_config();
+  other.seed = 0xcafe;
+  GinNetwork a(small_config()), b(other);
+  const auto la = a.logits(cycle_graph(6));
+  const auto lb = b.logits(cycle_graph(6));
+  bool any_difference = false;
+  for (std::size_t j = 0; j < la.size(); ++j) {
+    any_difference = any_difference || std::abs(la[j] - lb[j]) > 1e-12;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(GinNetwork, ParameterCountMatchesArchitecture) {
+  GinNetwork plain(small_config(false));
+  // MLP: (8x1+8)+(8x8+8); head: (2x8+2); epsilon: 1.
+  EXPECT_EQ(plain.parameter_count(), 8u + 8u + 64u + 8u + 16u + 2u + 1u);
+  GinNetwork jk(small_config(true));
+  // JK head takes 9 inputs.
+  EXPECT_EQ(jk.parameter_count(), 8u + 8u + 64u + 8u + 18u + 2u + 1u);
+}
+
+TEST(GinNetwork, JkAndPlainDiffer) {
+  GinNetwork plain(small_config(false)), jk(small_config(true));
+  const auto lp = plain.logits(star_graph(7));
+  const auto lj = jk.logits(star_graph(7));
+  bool any_difference = false;
+  for (std::size_t j = 0; j < lp.size(); ++j) {
+    any_difference = any_difference || std::abs(lp[j] - lj[j]) > 1e-12;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(GinNetwork, GradientsMatchNumericalCheck) {
+  GinConfig config = small_config();
+  config.hidden_units = 4;
+  GinNetwork network(config);
+  const auto g = star_graph(5);
+  const std::size_t label = 1;
+
+  for (Parameter* p : network.parameters()) p->zero_grad();
+  (void)network.accumulate_gradients(g, label);
+
+  // Numerical check on every parameter of every tensor (small net).
+  for (Parameter* p : network.parameters()) {
+    for (std::size_t i = 0; i < p->value.data().size(); ++i) {
+      double& entry = p->value.data()[i];
+      const double saved = entry;
+      const double eps = 1e-5;
+      entry = saved + eps;
+      // Evaluate the loss through the same network with the perturbed weight.
+      const auto loss_at = [&]() {
+        const auto scores = network.logits(g);
+        // recompute cross-entropy by hand
+        double max_logit = scores[0];
+        for (const double s : scores) max_logit = std::max(max_logit, s);
+        double sum_exp = 0.0;
+        for (const double s : scores) sum_exp += std::exp(s - max_logit);
+        return -(scores[label] - max_logit - std::log(sum_exp));
+      };
+      const double plus = loss_at();
+      entry = saved - eps;
+      const double minus = loss_at();
+      entry = saved;
+      const double expected = (plus - minus) / (2.0 * eps);
+      EXPECT_NEAR(p->grad.data()[i], expected, 5e-4);
+    }
+  }
+}
+
+TEST(GinNetwork, JkGradientsMatchNumericalCheck) {
+  GinConfig config = small_config(true);
+  config.hidden_units = 3;
+  GinNetwork network(config);
+  const auto g = path_graph(4);
+  for (Parameter* p : network.parameters()) p->zero_grad();
+  (void)network.accumulate_gradients(g, 0);
+  for (Parameter* p : network.parameters()) {
+    for (std::size_t i = 0; i < p->value.data().size(); ++i) {
+      double& entry = p->value.data()[i];
+      const double saved = entry;
+      const double eps = 1e-5;
+      const auto loss_at = [&]() {
+        const auto scores = network.logits(g);
+        double max_logit = scores[0];
+        for (const double s : scores) max_logit = std::max(max_logit, s);
+        double sum_exp = 0.0;
+        for (const double s : scores) sum_exp += std::exp(s - max_logit);
+        return -(scores[0] - max_logit - std::log(sum_exp));
+      };
+      entry = saved + eps;
+      const double plus = loss_at();
+      entry = saved - eps;
+      const double minus = loss_at();
+      entry = saved;
+      EXPECT_NEAR(p->grad.data()[i], (plus - minus) / (2.0 * eps), 5e-4);
+    }
+  }
+}
+
+GraphDataset stars_vs_cycles(std::size_t per_class) {
+  GraphDataset dataset("toy", {}, {});
+  for (std::size_t i = 0; i < per_class; ++i) {
+    dataset.add(star_graph(6 + i % 4), 0);
+    dataset.add(cycle_graph(6 + i % 4), 1);
+  }
+  return dataset;
+}
+
+TEST(GinTrainer, LossDecreasesOnSeparableData) {
+  GinNetwork network(small_config());
+  GinTrainConfig training;
+  training.max_epochs = 40;
+  training.batch_size = 8;
+  const auto stats = train_gin(network, stars_vs_cycles(10), training);
+  ASSERT_GE(stats.loss_history.size(), 2u);
+  EXPECT_LT(stats.final_loss, stats.loss_history.front());
+}
+
+TEST(GinTrainer, FitsSeparableStructuresPerfectly) {
+  // Stars and cycles differ in degree structure, which one GIN layer sees.
+  GinNetwork network(small_config());
+  GinTrainConfig training;
+  training.max_epochs = 150;
+  training.batch_size = 16;
+  const auto dataset = stars_vs_cycles(12);
+  (void)train_gin(network, dataset, training);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    hits += network.predict(dataset.graph(i)) == dataset.label(i) ? 1 : 0;
+  }
+  EXPECT_GE(static_cast<double>(hits) / static_cast<double>(dataset.size()), 0.95);
+}
+
+TEST(GinTrainer, StopsWhenScheduleExhausted) {
+  GinNetwork network(small_config());
+  GinTrainConfig training;
+  training.max_epochs = 100000;  // must stop well before this
+  training.patience = 1;
+  training.min_learning_rate = 5e-3;
+  training.learning_rate = 0.01;
+  const auto stats = train_gin(network, stars_vs_cycles(2), training);
+  EXPECT_LT(stats.epochs, 100000u);
+}
+
+TEST(GinTrainer, DeterministicGivenSeeds) {
+  GinNetwork a(small_config()), b(small_config());
+  GinTrainConfig training;
+  training.max_epochs = 10;
+  training.seed = 99;
+  const auto dataset = stars_vs_cycles(5);
+  (void)train_gin(a, dataset, training);
+  (void)train_gin(b, dataset, training);
+  const auto la = a.logits(star_graph(9));
+  const auto lb = b.logits(star_graph(9));
+  for (std::size_t j = 0; j < la.size(); ++j) EXPECT_DOUBLE_EQ(la[j], lb[j]);
+}
+
+TEST(GinTrainer, ValidatesInputs) {
+  GinNetwork network(small_config());
+  GinTrainConfig training;
+  EXPECT_THROW((void)train_gin(network, GraphDataset("e", {}, {}), training),
+               std::invalid_argument);
+  training.batch_size = 0;
+  EXPECT_THROW((void)train_gin(network, stars_vs_cycles(2), training), std::invalid_argument);
+}
+
+TEST(GinNetwork, EpsilonReceivesGradient) {
+  GinNetwork network(small_config());
+  for (Parameter* p : network.parameters()) p->zero_grad();
+  (void)network.accumulate_gradients(star_graph(6), 0);
+  // Epsilon is the last parameter by construction.
+  const auto params = network.parameters();
+  const double eps_grad = params.back()->grad.at(0, 0);
+  EXPECT_NE(eps_grad, 0.0);
+}
+
+}  // namespace

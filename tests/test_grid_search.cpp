@@ -1,0 +1,127 @@
+#include "ml/grid_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+#include "kernels/wl_subtree.hpp"
+
+namespace {
+
+using namespace graphhd::ml;
+using graphhd::graph::cycle_graph;
+using graphhd::graph::Graph;
+using graphhd::graph::path_graph;
+using graphhd::graph::star_graph;
+using graphhd::kernels::DenseMatrix;
+
+TEST(StratifiedFoldIndices, PartitionsSamples) {
+  const std::vector<std::size_t> labels{0, 0, 0, 0, 1, 1, 1, 1, 1, 1};
+  const auto folds = stratified_fold_indices(labels, 3, 42);
+  ASSERT_EQ(folds.size(), 3u);
+  std::set<std::size_t> seen;
+  for (const auto& fold : folds) {
+    for (const auto i : fold) {
+      EXPECT_TRUE(seen.insert(i).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), labels.size());
+}
+
+TEST(StratifiedFoldIndices, KeepsClassBalance) {
+  std::vector<std::size_t> labels;
+  for (int i = 0; i < 30; ++i) labels.push_back(i % 2);
+  const auto folds = stratified_fold_indices(labels, 3, 7);
+  for (const auto& fold : folds) {
+    std::size_t zeros = 0;
+    for (const auto i : fold) zeros += labels[i] == 0 ? 1 : 0;
+    EXPECT_EQ(zeros, fold.size() / 2);
+  }
+}
+
+TEST(StratifiedFoldIndices, DeterministicPerSeed) {
+  std::vector<std::size_t> labels;
+  for (int i = 0; i < 20; ++i) labels.push_back(i % 2);
+  EXPECT_EQ(stratified_fold_indices(labels, 4, 5), stratified_fold_indices(labels, 4, 5));
+}
+
+TEST(StratifiedFoldIndices, Validates) {
+  const std::vector<std::size_t> labels{0, 1};
+  EXPECT_THROW((void)stratified_fold_indices(labels, 1, 1), std::invalid_argument);
+  EXPECT_THROW((void)stratified_fold_indices(labels, 3, 1), std::invalid_argument);
+}
+
+/// Builds normalized WL grams at depths 0..2 for an easy structure-vs-
+/// structure problem (paths vs stars: separable from depth 1 on, but NOT at
+/// depth 0 where only |V| matters and sizes overlap).
+struct GridFixture {
+  std::vector<DenseMatrix> grams;
+  std::vector<std::size_t> labels;
+};
+
+GridFixture make_grid_fixture() {
+  std::vector<Graph> graphs;
+  GridFixture fixture;
+  for (std::size_t i = 0; i < 12; ++i) {
+    graphs.push_back(path_graph(6 + i % 3));
+    fixture.labels.push_back(0);
+    graphs.push_back(star_graph(6 + i % 3));
+    fixture.labels.push_back(1);
+  }
+  graphhd::kernels::WlFeaturizer featurizer(2);
+  const auto features = featurizer.transform(graphs);
+  fixture.grams = graphhd::kernels::wl_subtree_grams(features, 2);
+  for (auto& gram : fixture.grams) (void)graphhd::kernels::cosine_normalize(gram);
+  return fixture;
+}
+
+TEST(GridSearch, FindsPerfectCell) {
+  const auto fixture = make_grid_fixture();
+  KernelGridConfig config;
+  config.inner_folds = 3;
+  const auto result = select_kernel_hyperparameters(fixture.grams, fixture.labels, config);
+  EXPECT_DOUBLE_EQ(result.best_score, 1.0);
+  // Depth 0 cannot separate the classes (size-only feature, sizes shared),
+  // so the winner must use at least one WL iteration.
+  EXPECT_GE(result.best_depth, 1u);
+  EXPECT_GT(result.cells_evaluated, 0u);
+}
+
+TEST(GridSearch, TiesPreferCheapestCell) {
+  const auto fixture = make_grid_fixture();
+  KernelGridConfig config;
+  config.inner_folds = 3;
+  const auto result = select_kernel_hyperparameters(fixture.grams, fixture.labels, config);
+  // Depth 1 already separates perfectly, so the tie-break must not pick 2.
+  EXPECT_EQ(result.best_depth, 1u);
+}
+
+TEST(GridSearch, ValidatesInputs) {
+  const auto fixture = make_grid_fixture();
+  KernelGridConfig config;
+  EXPECT_THROW(
+      (void)select_kernel_hyperparameters({}, fixture.labels, config),
+      std::invalid_argument);
+  KernelGridConfig empty_grid = config;
+  empty_grid.c_grid.clear();
+  EXPECT_THROW(
+      (void)select_kernel_hyperparameters(fixture.grams, fixture.labels, empty_grid),
+      std::invalid_argument);
+  const std::vector<std::size_t> wrong_labels{0, 1};
+  EXPECT_THROW(
+      (void)select_kernel_hyperparameters(fixture.grams, wrong_labels, config),
+      std::invalid_argument);
+}
+
+TEST(GridSearch, ReportsCellCount) {
+  const auto fixture = make_grid_fixture();
+  KernelGridConfig config;
+  config.c_grid = {0.1, 1.0};
+  config.inner_folds = 2;
+  const auto result = select_kernel_hyperparameters(fixture.grams, fixture.labels, config);
+  EXPECT_EQ(result.cells_evaluated, 3u * 2u);  // depths 0..2 x 2 C values
+}
+
+}  // namespace

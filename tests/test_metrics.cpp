@@ -1,0 +1,91 @@
+#include "ml/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace {
+
+using namespace graphhd::ml;
+
+TEST(Accuracy, PerfectAndZero) {
+  const std::vector<std::size_t> a{0, 1, 2};
+  const std::vector<std::size_t> b{0, 1, 2};
+  const std::vector<std::size_t> c{1, 2, 0};
+  EXPECT_DOUBLE_EQ(accuracy(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(accuracy(a, c), 0.0);
+}
+
+TEST(Accuracy, Partial) {
+  const std::vector<std::size_t> predicted{0, 1, 1, 0};
+  const std::vector<std::size_t> expected{0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(accuracy(predicted, expected), 0.5);
+}
+
+TEST(Accuracy, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(accuracy({}, {}), 0.0);
+}
+
+TEST(Accuracy, SizeMismatchThrows) {
+  const std::vector<std::size_t> a{0};
+  const std::vector<std::size_t> b{0, 1};
+  EXPECT_THROW((void)accuracy(a, b), std::invalid_argument);
+}
+
+TEST(ConfusionMatrix, CountsByTrueThenPredicted) {
+  const std::vector<std::size_t> predicted{0, 1, 1, 0, 1};
+  const std::vector<std::size_t> expected{0, 0, 1, 1, 1};
+  const auto matrix = confusion_matrix(predicted, expected, 2);
+  EXPECT_EQ(matrix[0][0], 1u);
+  EXPECT_EQ(matrix[0][1], 1u);
+  EXPECT_EQ(matrix[1][0], 1u);
+  EXPECT_EQ(matrix[1][1], 2u);
+}
+
+TEST(ConfusionMatrix, ValidatesLabels) {
+  const std::vector<std::size_t> predicted{5};
+  const std::vector<std::size_t> expected{0};
+  EXPECT_THROW((void)confusion_matrix(predicted, expected, 2), std::out_of_range);
+}
+
+TEST(BalancedAccuracy, WeighsClassesEqually) {
+  // 9 correct of class 0, 1 of 1 correct of class 1 -> plain accuracy 10/11,
+  // balanced accuracy (1.0 + 1.0)/2 when both fully correct... construct an
+  // imbalanced case instead: class 0 all right, class 1 all wrong.
+  std::vector<std::size_t> predicted(10, 0);
+  std::vector<std::size_t> expected(10, 0);
+  predicted.push_back(0);
+  expected.push_back(1);
+  EXPECT_NEAR(accuracy(predicted, expected), 10.0 / 11.0, 1e-12);
+  EXPECT_DOUBLE_EQ(balanced_accuracy(predicted, expected, 2), 0.5);
+}
+
+TEST(BalancedAccuracy, SkipsAbsentClasses) {
+  const std::vector<std::size_t> predicted{0, 0};
+  const std::vector<std::size_t> expected{0, 0};
+  EXPECT_DOUBLE_EQ(balanced_accuracy(predicted, expected, 3), 1.0);
+}
+
+TEST(MeanStd, EmptyIsZero) {
+  const auto ms = mean_std({});
+  EXPECT_DOUBLE_EQ(ms.mean, 0.0);
+  EXPECT_DOUBLE_EQ(ms.std, 0.0);
+}
+
+TEST(MeanStd, SingleValueHasZeroStd) {
+  const std::vector<double> values{3.5};
+  const auto ms = mean_std(values);
+  EXPECT_DOUBLE_EQ(ms.mean, 3.5);
+  EXPECT_DOUBLE_EQ(ms.std, 0.0);
+}
+
+TEST(MeanStd, KnownSeries) {
+  const std::vector<double> values{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const auto ms = mean_std(values);
+  EXPECT_DOUBLE_EQ(ms.mean, 5.0);
+  // Sample std with n-1 = 7: sqrt(32/7).
+  EXPECT_NEAR(ms.std, std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,164 @@
+#include "hdc/packed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace {
+
+using graphhd::hdc::BundleAccumulator;
+using graphhd::hdc::Hypervector;
+using graphhd::hdc::PackedBundleAccumulator;
+using graphhd::hdc::PackedHypervector;
+using graphhd::hdc::Rng;
+
+TEST(PackedHypervector, RoundTripsThroughBipolar) {
+  Rng rng(3);
+  const auto bipolar = Hypervector::random(1000, rng);
+  EXPECT_EQ(PackedHypervector::from_bipolar(bipolar).to_bipolar(), bipolar);
+}
+
+TEST(PackedHypervector, RoundTripsNonWordMultipleDimensions) {
+  Rng rng(5);
+  for (const std::size_t d : {1u, 63u, 64u, 65u, 127u, 129u}) {
+    const auto bipolar = Hypervector::random(d, rng);
+    EXPECT_EQ(PackedHypervector::from_bipolar(bipolar).to_bipolar(), bipolar) << "d=" << d;
+  }
+}
+
+TEST(PackedHypervector, BitConventionMapsMinusOneToSetBit) {
+  const Hypervector bipolar(std::vector<std::int8_t>{1, -1, 1, -1});
+  const auto packed = PackedHypervector::from_bipolar(bipolar);
+  EXPECT_FALSE(packed.bit(0));
+  EXPECT_TRUE(packed.bit(1));
+  EXPECT_FALSE(packed.bit(2));
+  EXPECT_TRUE(packed.bit(3));
+}
+
+TEST(PackedHypervector, XorBindMatchesBipolarMultiply) {
+  Rng rng(7);
+  const auto a = Hypervector::random(1000, rng);
+  const auto b = Hypervector::random(1000, rng);
+  const auto packed_bound =
+      PackedHypervector::from_bipolar(a).bind(PackedHypervector::from_bipolar(b));
+  EXPECT_EQ(packed_bound.to_bipolar(), a.bind(b));
+}
+
+TEST(PackedHypervector, HammingMatchesBipolar) {
+  Rng rng(11);
+  const auto a = Hypervector::random(777, rng);
+  const auto b = Hypervector::random(777, rng);
+  EXPECT_EQ(
+      PackedHypervector::from_bipolar(a).hamming_distance(PackedHypervector::from_bipolar(b)),
+      a.hamming_distance(b));
+}
+
+TEST(PackedHypervector, SimilarityMatchesCosine) {
+  Rng rng(13);
+  const auto a = Hypervector::random(2048, rng);
+  const auto b = Hypervector::random(2048, rng);
+  EXPECT_NEAR(
+      PackedHypervector::from_bipolar(a).similarity(PackedHypervector::from_bipolar(b)),
+      a.cosine(b), 1e-12);
+}
+
+TEST(PackedHypervector, RandomIsDeterministic) {
+  Rng a(17), b(17);
+  EXPECT_EQ(PackedHypervector::random(500, a), PackedHypervector::random(500, b));
+}
+
+TEST(PackedHypervector, RandomMasksTailBits) {
+  Rng rng(19);
+  const auto hv = PackedHypervector::random(70, rng);
+  // Bits beyond dimension 70 in the last word must be zero, otherwise
+  // hamming distances would be corrupted.
+  const auto words = hv.words();
+  EXPECT_EQ(words.size(), 2u);
+  EXPECT_EQ(words[1] >> 6, 0u);
+}
+
+TEST(PackedHypervector, SetBitReadsBack) {
+  PackedHypervector hv(128);
+  hv.set_bit(77, true);
+  EXPECT_TRUE(hv.bit(77));
+  hv.set_bit(77, false);
+  EXPECT_FALSE(hv.bit(77));
+}
+
+TEST(PackedHypervector, BindDimensionMismatchThrows) {
+  PackedHypervector a(64), b(128);
+  EXPECT_THROW((void)a.bind(b), std::invalid_argument);
+  EXPECT_THROW((void)a.hamming_distance(b), std::invalid_argument);
+}
+
+TEST(PackedHypervector, PermuteMatchesBipolarPermute) {
+  Rng rng(23);
+  const auto bipolar = Hypervector::random(130, rng);
+  const auto packed = PackedHypervector::from_bipolar(bipolar);
+  for (const std::ptrdiff_t shift : {0, 1, 7, 64, 129, -3}) {
+    EXPECT_EQ(packed.permute(shift).to_bipolar(), bipolar.permute(shift)) << shift;
+  }
+}
+
+TEST(PackedBundle, MatchesBipolarBundleIncludingTies) {
+  Rng rng(29);
+  // Even count forces ties; both accumulators must resolve them identically
+  // because they share the tie-break seed convention.
+  std::vector<Hypervector> batch;
+  for (int i = 0; i < 4; ++i) batch.push_back(Hypervector::random(600, rng));
+
+  BundleAccumulator bipolar_acc(600);
+  PackedBundleAccumulator packed_acc(600);
+  for (const auto& hv : batch) {
+    bipolar_acc.add(hv);
+    packed_acc.add(PackedHypervector::from_bipolar(hv));
+  }
+  EXPECT_EQ(packed_acc.threshold(99).to_bipolar(), bipolar_acc.threshold(99));
+}
+
+TEST(PackedBundle, OddMajorityExact) {
+  Rng rng(31);
+  std::vector<Hypervector> batch;
+  for (int i = 0; i < 5; ++i) batch.push_back(Hypervector::random(512, rng));
+  BundleAccumulator bipolar_acc(512);
+  PackedBundleAccumulator packed_acc(512);
+  for (const auto& hv : batch) {
+    bipolar_acc.add(hv);
+    packed_acc.add(PackedHypervector::from_bipolar(hv));
+  }
+  EXPECT_EQ(packed_acc.threshold().to_bipolar(), bipolar_acc.threshold());
+}
+
+TEST(PackedBundle, CountsAdds) {
+  PackedBundleAccumulator acc(64);
+  Rng rng(37);
+  acc.add(PackedHypervector::random(64, rng));
+  acc.add(PackedHypervector::random(64, rng));
+  EXPECT_EQ(acc.count(), 2u);
+}
+
+TEST(PackedBundle, DimensionMismatchThrows) {
+  PackedBundleAccumulator acc(64);
+  Rng rng(41);
+  EXPECT_THROW(acc.add(PackedHypervector::random(32, rng)), std::invalid_argument);
+}
+
+/// The packed representation exists for the hardware-efficiency argument;
+/// sanity-check that binding through either representation commutes with
+/// conversion across dimensions.
+class PackedEquivalence : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PackedEquivalence, BindCommutesWithConversion) {
+  const std::size_t d = GetParam();
+  Rng rng(43 + d);
+  const auto a = Hypervector::random(d, rng);
+  const auto b = Hypervector::random(d, rng);
+  const auto via_packed =
+      PackedHypervector::from_bipolar(a).bind(PackedHypervector::from_bipolar(b)).to_bipolar();
+  EXPECT_EQ(via_packed, a.bind(b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Dimensions, PackedEquivalence,
+                         ::testing::Values(1, 32, 64, 100, 1000, 10000));
+
+}  // namespace

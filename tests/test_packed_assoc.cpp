@@ -1,0 +1,86 @@
+#include "hdc/packed_assoc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace {
+
+using namespace graphhd::hdc;
+
+AssociativeMemory trained_memory(std::size_t dimension, std::size_t classes,
+                                 std::uint64_t seed,
+                                 std::vector<Hypervector>* prototypes_out = nullptr) {
+  Rng rng(seed);
+  AssociativeMemory memory(dimension, classes);
+  std::vector<Hypervector> prototypes;
+  for (std::size_t c = 0; c < classes; ++c) {
+    prototypes.push_back(Hypervector::random(dimension, rng));
+    for (int s = 0; s < 3; ++s) {
+      memory.add(c, prototypes.back().with_noise(dimension / 10, rng));
+    }
+  }
+  if (prototypes_out != nullptr) *prototypes_out = std::move(prototypes);
+  return memory;
+}
+
+TEST(PackedAssociativeMemory, AgreesWithBipolarMemoryOnArgmax) {
+  std::vector<Hypervector> prototypes;
+  const auto memory = trained_memory(4096, 4, 3, &prototypes);
+  const PackedAssociativeMemory packed(memory);
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto query = prototypes[trial % 4].with_noise(800, rng);
+    EXPECT_EQ(packed.query(query).best_class, memory.query(query).best_class)
+        << "trial " << trial;
+  }
+}
+
+TEST(PackedAssociativeMemory, SimilaritiesEqualBipolarCosine) {
+  const auto memory = trained_memory(2048, 3, 5);
+  const PackedAssociativeMemory packed(memory);
+  Rng rng(11);
+  const auto query = Hypervector::random(2048, rng);
+  const auto bipolar_result = memory.query(query);
+  const auto packed_result = packed.query(query);
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_NEAR(packed_result.similarities[c], bipolar_result.similarities[c], 1e-12);
+  }
+}
+
+TEST(PackedAssociativeMemory, QueryValidatesDimension) {
+  const auto memory = trained_memory(256, 2, 13);
+  const PackedAssociativeMemory packed(memory);
+  Rng rng(17);
+  EXPECT_THROW((void)packed.query(PackedHypervector::random(128, rng)),
+               std::invalid_argument);
+}
+
+TEST(PackedAssociativeMemory, ClassVectorsMatchSource) {
+  const auto memory = trained_memory(512, 2, 19);
+  const PackedAssociativeMemory packed(memory);
+  for (std::size_t c = 0; c < 2; ++c) {
+    EXPECT_EQ(packed.class_vector(c).to_bipolar(), memory.class_vector(c));
+  }
+  EXPECT_THROW((void)packed.class_vector(2), std::out_of_range);
+}
+
+TEST(PackedAssociativeMemory, SnapshotIsFrozen) {
+  auto memory = trained_memory(1024, 2, 23);
+  const PackedAssociativeMemory packed(memory);
+  const auto before = packed.class_vector(0);
+  // Mutate the source; the snapshot must not change.
+  Rng rng(29);
+  for (int i = 0; i < 8; ++i) memory.add(0, Hypervector::random(1024, rng));
+  EXPECT_EQ(packed.class_vector(0), before);
+}
+
+TEST(PackedAssociativeMemory, FootprintIsBitsNotBytes) {
+  const auto memory = trained_memory(10000, 6, 31);
+  const PackedAssociativeMemory packed(memory);
+  // 6 classes x ceil(10000/8) = 7500 bytes — the deployable-model size the
+  // paper's IoT argument relies on.
+  EXPECT_EQ(packed.footprint_bytes(), 6u * 1250u);
+}
+
+}  // namespace

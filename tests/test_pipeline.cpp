@@ -1,0 +1,113 @@
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace graphhd::core;
+using graphhd::data::GraphDataset;
+using graphhd::graph::cycle_graph;
+using graphhd::graph::star_graph;
+
+GraphHdConfig fast_config() {
+  GraphHdConfig config;
+  config.dimension = 4096;
+  return config;
+}
+
+GraphDataset toy_dataset(std::size_t per_class) {
+  GraphDataset dataset("toy", {}, {});
+  for (std::size_t i = 0; i < per_class; ++i) {
+    dataset.add(star_graph(8 + i % 3), 0);
+    dataset.add(cycle_graph(8 + i % 3), 1);
+  }
+  return dataset;
+}
+
+TEST(GraphHd, PredictBeforeFitThrows) {
+  GraphHd classifier(fast_config());
+  EXPECT_FALSE(classifier.fitted());
+  EXPECT_THROW((void)classifier.predict(star_graph(5)), std::logic_error);
+  EXPECT_THROW((void)classifier.score(toy_dataset(2)), std::logic_error);
+  EXPECT_THROW((void)classifier.model(), std::logic_error);
+}
+
+TEST(GraphHd, FitPredictScore) {
+  GraphHd classifier(fast_config());
+  classifier.fit(toy_dataset(10));
+  EXPECT_TRUE(classifier.fitted());
+  EXPECT_EQ(classifier.predict(star_graph(9)), 0u);
+  EXPECT_EQ(classifier.predict(cycle_graph(9)), 1u);
+  EXPECT_GE(classifier.score(toy_dataset(5)), 0.9);
+}
+
+TEST(GraphHd, PredictDetailedExposesScores) {
+  GraphHd classifier(fast_config());
+  classifier.fit(toy_dataset(8));
+  const auto prediction = classifier.predict_detailed(star_graph(10));
+  EXPECT_EQ(prediction.label, 0u);
+  EXPECT_EQ(prediction.class_scores.size(), 2u);
+}
+
+TEST(GraphHd, FitRequiresTwoClasses) {
+  GraphHd classifier(fast_config());
+  GraphDataset single("x", {}, {});
+  single.add(star_graph(5), 0);
+  EXPECT_THROW(classifier.fit(single), std::invalid_argument);
+}
+
+TEST(GraphHd, RefitReplacesModel) {
+  GraphHd classifier(fast_config());
+  classifier.fit(toy_dataset(6));
+  // Swap the labels and refit; predictions must flip.
+  GraphDataset flipped("toy", {}, {});
+  for (std::size_t i = 0; i < 6; ++i) {
+    flipped.add(star_graph(8 + i % 3), 1);
+    flipped.add(cycle_graph(8 + i % 3), 0);
+  }
+  classifier.fit(flipped);
+  EXPECT_EQ(classifier.predict(star_graph(9)), 1u);
+}
+
+TEST(GraphHd, PartialFitStreamsOnline) {
+  GraphHd classifier(fast_config());
+  const auto train = toy_dataset(10);
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    classifier.partial_fit(train.graph(i), train.label(i), 2);
+  }
+  EXPECT_TRUE(classifier.fitted());
+  EXPECT_GE(classifier.score(toy_dataset(4)), 0.9);
+}
+
+TEST(GraphHd, PartialFitClassCountChangeThrows) {
+  GraphHd classifier(fast_config());
+  classifier.partial_fit(star_graph(5), 0, 2);
+  EXPECT_THROW(classifier.partial_fit(star_graph(5), 0, 3), std::invalid_argument);
+}
+
+TEST(GraphHd, ConfigValidatedAtConstruction) {
+  GraphHdConfig config = fast_config();
+  config.dimension = 0;
+  EXPECT_THROW(GraphHd classifier(config), std::invalid_argument);
+}
+
+TEST(GraphHd, OnlineLearningImprovesWithMoreData) {
+  GraphHd classifier(fast_config());
+  const auto probe = toy_dataset(10);
+  // Feed one sample per class, then measure; feed more, accuracy must not
+  // collapse (typically improves or stays perfect on this easy task).
+  classifier.partial_fit(star_graph(8), 0, 2);
+  classifier.partial_fit(cycle_graph(8), 1, 2);
+  const double early = classifier.score(probe);
+  const auto more = toy_dataset(8);
+  for (std::size_t i = 0; i < more.size(); ++i) {
+    classifier.partial_fit(more.graph(i), more.label(i), 2);
+  }
+  EXPECT_GE(classifier.score(probe), early - 0.05);
+}
+
+}  // namespace

@@ -1,0 +1,111 @@
+/// Cross-module property: every synthetic replica survives a full
+/// TUDataset-format write/read cycle exactly (graphs, labels, vertex
+/// labels), and the reloaded dataset trains GraphHD to the same model.
+/// This is the paper's full data path — generator -> disk format -> loader
+/// -> encoder — exercised end to end per benchmark.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <map>
+
+#include "core/pipeline.hpp"
+#include "data/synthetic.hpp"
+#include "data/tudataset.hpp"
+#include "graph/stats.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using graphhd::data::GraphDataset;
+
+class ReplicaRoundTrip : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("graphhd_rt_" + std::to_string(::getpid()) + "_" + GetParam());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+TEST_P(ReplicaRoundTrip, DiskFormatIsLossless) {
+  const auto original = graphhd::data::make_synthetic_replica(GetParam(), 99, 0.1);
+  graphhd::data::save_tudataset(original, dir_);
+  ASSERT_TRUE(graphhd::data::tudataset_exists(dir_, GetParam()));
+  const auto reloaded = graphhd::data::load_tudataset(dir_, GetParam());
+
+  ASSERT_EQ(reloaded.size(), original.size());
+  ASSERT_EQ(reloaded.num_classes(), original.num_classes());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    ASSERT_EQ(reloaded.graph(i), original.graph(i)) << GetParam() << " graph " << i;
+    ASSERT_EQ(reloaded.label(i), original.label(i)) << GetParam() << " label " << i;
+  }
+  ASSERT_TRUE(reloaded.has_vertex_labels());
+  // The loader densifies node labels preserving numeric order (TUDataset
+  // label values are arbitrary ids), so compare modulo that mapping.
+  std::map<std::size_t, std::size_t> dense;
+  for (const auto& labels : original.vertex_labels()) {
+    for (const std::size_t label : labels) dense.emplace(label, 0);
+  }
+  std::size_t next = 0;
+  for (auto& [raw, mapped] : dense) mapped = next++;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const auto& raw = original.vertex_labels()[i];
+    const auto& round_tripped = reloaded.vertex_labels()[i];
+    ASSERT_EQ(round_tripped.size(), raw.size());
+    for (std::size_t v = 0; v < raw.size(); ++v) {
+      ASSERT_EQ(round_tripped[v], dense.at(raw[v])) << "graph " << i << " vertex " << v;
+    }
+  }
+}
+
+TEST_P(ReplicaRoundTrip, ReloadedDataTrainsIdenticalModel) {
+  const auto original = graphhd::data::make_synthetic_replica(GetParam(), 7, 0.08);
+  graphhd::data::save_tudataset(original, dir_);
+  const auto reloaded = graphhd::data::load_tudataset(dir_, GetParam());
+
+  graphhd::core::GraphHdConfig config;
+  config.dimension = 1024;
+  graphhd::core::GraphHd a(config), b(config);
+  a.fit(original);
+  b.fit(reloaded);
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    ASSERT_EQ(a.predict(original.graph(i)), b.predict(reloaded.graph(i)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSix, ReplicaRoundTrip,
+                         ::testing::Values("DD", "ENZYMES", "MUTAG", "NCI1", "PROTEINS",
+                                           "PTC_FM"));
+
+TEST(ReplicaStats, SubsetPreservesPerClassShape) {
+  // Stratified splits keep per-class structure: the per-class average vertex
+  // counts of a split match the full dataset within tolerance.
+  const auto dataset = graphhd::data::make_synthetic_replica("PROTEINS", 3, 0.3);
+  graphhd::hdc::Rng rng(5);
+  const auto split = graphhd::data::stratified_split(dataset, 0.5, rng);
+  const auto train = dataset.subset(split.train);
+
+  const auto avg_vertices_of = [](const GraphDataset& ds, std::size_t cls) {
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+      if (ds.label(i) != cls) continue;
+      sum += static_cast<double>(ds.graph(i).num_vertices());
+      ++count;
+    }
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  };
+  for (std::size_t cls = 0; cls < dataset.num_classes(); ++cls) {
+    const double full = avg_vertices_of(dataset, cls);
+    const double sub = avg_vertices_of(train, cls);
+    EXPECT_NEAR(sub, full, 0.2 * full) << "class " << cls;
+  }
+}
+
+}  // namespace

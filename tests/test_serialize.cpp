@@ -1,0 +1,138 @@
+#include "core/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace graphhd::core;
+using graphhd::data::GraphDataset;
+using graphhd::graph::cycle_graph;
+using graphhd::graph::star_graph;
+
+GraphHdConfig small_config() {
+  GraphHdConfig config;
+  config.dimension = 1024;
+  config.seed = 0x51a1;
+  return config;
+}
+
+GraphDataset toy_dataset(std::size_t per_class) {
+  GraphDataset dataset("toy", {}, {});
+  for (std::size_t i = 0; i < per_class; ++i) {
+    dataset.add(star_graph(8 + i % 3), 0);
+    dataset.add(cycle_graph(8 + i % 3), 1);
+  }
+  return dataset;
+}
+
+GraphHdModel trained_model(GraphHdConfig config = small_config()) {
+  GraphHdModel model(config, 2);
+  model.fit(toy_dataset(8));
+  return model;
+}
+
+TEST(Serialize, RoundTripPreservesPredictions) {
+  auto original = trained_model();
+  std::stringstream buffer;
+  save_model(original, buffer);
+  auto restored = load_model(buffer);
+
+  const auto probes = toy_dataset(5);
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    const auto a = original.predict(probes.graph(i));
+    const auto b = restored.predict(probes.graph(i));
+    EXPECT_EQ(a.label, b.label) << "probe " << i;
+    EXPECT_DOUBLE_EQ(a.score, b.score) << "probe " << i;
+  }
+}
+
+TEST(Serialize, RoundTripPreservesConfig) {
+  GraphHdConfig config = small_config();
+  config.vectors_per_class = 2;
+  config.quantized_model = false;
+  config.metric = graphhd::hdc::Similarity::kInverseHamming;
+  config.pagerank_iterations = 7;
+  config.neighborhood_rounds = 1;
+  auto original = trained_model(config);
+  std::stringstream buffer;
+  save_model(original, buffer);
+  const auto restored = load_model(buffer);
+  EXPECT_EQ(restored.config().dimension, config.dimension);
+  EXPECT_EQ(restored.config().vectors_per_class, 2u);
+  EXPECT_FALSE(restored.config().quantized_model);
+  EXPECT_EQ(restored.config().metric, graphhd::hdc::Similarity::kInverseHamming);
+  EXPECT_EQ(restored.config().pagerank_iterations, 7u);
+  EXPECT_EQ(restored.config().neighborhood_rounds, 1u);
+  EXPECT_EQ(restored.config().seed, config.seed);
+  EXPECT_EQ(restored.num_classes(), 2u);
+  EXPECT_TRUE(restored.fitted());
+}
+
+TEST(Serialize, RoundTripPreservesClassCounts) {
+  auto original = trained_model();
+  std::stringstream buffer;
+  save_model(original, buffer);
+  const auto restored = load_model(buffer);
+  EXPECT_EQ(restored.class_counts(), original.class_counts());
+}
+
+TEST(Serialize, RestoredModelSupportsOnlineUpdates) {
+  auto original = trained_model();
+  std::stringstream buffer;
+  save_model(original, buffer);
+  auto restored = load_model(buffer);
+  // partial_fit continues from the restored state without throwing, and the
+  // model still classifies.
+  restored.partial_fit(star_graph(10), 0);
+  EXPECT_EQ(restored.predict(star_graph(9)).label, 0u);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  namespace fs = std::filesystem;
+  const fs::path path = fs::temp_directory_path() / "graphhd_model_test.ghd";
+  auto original = trained_model();
+  save_model(original, path);
+  auto restored = load_model(path);
+  EXPECT_EQ(restored.predict(cycle_graph(9)).label, original.predict(cycle_graph(9)).label);
+  fs::remove(path);
+}
+
+TEST(Serialize, RejectsBadMagic) {
+  std::stringstream buffer("NOT-A-MODEL 1\n");
+  EXPECT_THROW((void)load_model(buffer), std::runtime_error);
+}
+
+TEST(Serialize, RejectsWrongVersion) {
+  std::stringstream buffer("GRAPHHD-MODEL 999\n");
+  EXPECT_THROW((void)load_model(buffer), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTruncatedFile) {
+  auto original = trained_model();
+  std::stringstream buffer;
+  save_model(original, buffer);
+  const std::string full = buffer.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW((void)load_model(truncated), std::runtime_error);
+}
+
+TEST(Serialize, RejectsMissingFile) {
+  EXPECT_THROW((void)load_model(std::filesystem::path("/nonexistent/model.ghd")),
+               std::runtime_error);
+}
+
+TEST(Serialize, ArtifactIsCompact) {
+  // A 1024-dimensional 2-class model serializes to a few KB of text — the
+  // deployable-artifact property the IoT story needs.
+  auto original = trained_model();
+  std::stringstream buffer;
+  save_model(original, buffer);
+  EXPECT_LT(buffer.str().size(), 32u * 1024u);
+}
+
+}  // namespace

@@ -1,0 +1,79 @@
+#include "graph/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace graphhd::graph;
+
+TEST(DatasetStats, EmptyCollection) {
+  const auto stats = compute_stats({}, {});
+  EXPECT_EQ(stats.graphs, 0u);
+  EXPECT_EQ(stats.classes, 0u);
+  EXPECT_DOUBLE_EQ(stats.avg_vertices, 0.0);
+}
+
+TEST(DatasetStats, KnownAverages) {
+  const std::vector<Graph> graphs{path_graph(4), cycle_graph(6)};
+  const std::vector<std::size_t> labels{0, 1};
+  const auto stats = compute_stats(graphs, labels);
+  EXPECT_EQ(stats.graphs, 2u);
+  EXPECT_EQ(stats.classes, 2u);
+  EXPECT_DOUBLE_EQ(stats.avg_vertices, 5.0);
+  EXPECT_DOUBLE_EQ(stats.avg_edges, 4.5);
+  EXPECT_EQ(stats.min_vertices, 4u);
+  EXPECT_EQ(stats.max_vertices, 6u);
+  EXPECT_EQ(stats.min_edges, 3u);
+  EXPECT_EQ(stats.max_edges, 6u);
+}
+
+TEST(DatasetStats, ClassesCountDistinctLabels) {
+  const std::vector<Graph> graphs{path_graph(3), path_graph(3), path_graph(3)};
+  const std::vector<std::size_t> labels{0, 0, 2};
+  EXPECT_EQ(compute_stats(graphs, labels).classes, 2u);
+}
+
+TEST(DatasetStats, EmptyLabelsAllowed) {
+  const std::vector<Graph> graphs{path_graph(3)};
+  const auto stats = compute_stats(graphs, {});
+  EXPECT_EQ(stats.classes, 0u);
+  EXPECT_EQ(stats.graphs, 1u);
+}
+
+TEST(DatasetStats, MismatchedLabelsThrow) {
+  const std::vector<Graph> graphs{path_graph(3)};
+  const std::vector<std::size_t> labels{0, 1};
+  EXPECT_THROW((void)compute_stats(graphs, labels), std::invalid_argument);
+}
+
+TEST(DatasetStats, DensityAveraged) {
+  const std::vector<Graph> graphs{complete_graph(4), Graph::from_edges(4, {})};
+  const auto stats = compute_stats(graphs, {});
+  EXPECT_DOUBLE_EQ(stats.avg_density, 0.5);
+}
+
+TEST(StatsFormatting, RowContainsAllFields) {
+  DatasetStats stats;
+  stats.graphs = 188;
+  stats.classes = 2;
+  stats.avg_vertices = 17.93;
+  stats.avg_edges = 19.79;
+  const auto row = format_stats_row("MUTAG", stats);
+  EXPECT_NE(row.find("MUTAG"), std::string::npos);
+  EXPECT_NE(row.find("188"), std::string::npos);
+  EXPECT_NE(row.find("17.93"), std::string::npos);
+  EXPECT_NE(row.find("19.79"), std::string::npos);
+}
+
+TEST(StatsFormatting, HeaderAlignsWithRow) {
+  const auto header = stats_header();
+  EXPECT_NE(header.find("Dataset"), std::string::npos);
+  EXPECT_NE(header.find("Graphs"), std::string::npos);
+  EXPECT_NE(header.find("Avg. vertices"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,209 @@
+#include "ml/svm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "hdc/random.hpp"
+
+namespace {
+
+using namespace graphhd::ml;
+using graphhd::hdc::Rng;
+using graphhd::kernels::DenseMatrix;
+
+/// Linear kernel Gram of 2-D points — a precomputed kernel whose geometry is
+/// easy to reason about.
+DenseMatrix linear_gram(const std::vector<std::array<double, 2>>& points) {
+  DenseMatrix gram(points.size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      gram.at(i, j) = points[i][0] * points[j][0] + points[i][1] * points[j][1];
+    }
+  }
+  return gram;
+}
+
+std::vector<double> kernel_row(const std::vector<std::array<double, 2>>& train,
+                               const std::array<double, 2>& x) {
+  std::vector<double> row(train.size());
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    row[i] = train[i][0] * x[0] + train[i][1] * x[1];
+  }
+  return row;
+}
+
+/// RBF kernel Gram — strictly positive definite, separates anything.
+DenseMatrix rbf_gram(const std::vector<std::array<double, 2>>& points, double gamma) {
+  DenseMatrix gram(points.size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      const double dx = points[i][0] - points[j][0];
+      const double dy = points[i][1] - points[j][1];
+      gram.at(i, j) = std::exp(-gamma * (dx * dx + dy * dy));
+    }
+  }
+  return gram;
+}
+
+TEST(BinarySvm, SeparatesLinearlySeparableData) {
+  const std::vector<std::array<double, 2>> points{
+      {2.0, 1.0}, {2.5, 0.5}, {3.0, 1.5}, {-2.0, -1.0}, {-2.5, -0.2}, {-3.0, -1.5}};
+  const std::vector<int> labels{1, 1, 1, -1, -1, -1};
+  const auto model = train_binary_svm(linear_gram(points), labels, {.C = 10.0});
+
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double decision = model.decision(kernel_row(points, points[i]));
+    EXPECT_GT(decision * labels[i], 0.0) << "sample " << i;
+  }
+  // Separable with large C: margins reach at least 1 - tol.
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_GT(model.decision(kernel_row(points, points[i])) * labels[i], 0.9);
+  }
+}
+
+TEST(BinarySvm, UnseenPointsClassifiedByHalfspace) {
+  const std::vector<std::array<double, 2>> points{
+      {1.0, 0.0}, {2.0, 0.0}, {-1.0, 0.0}, {-2.0, 0.0}};
+  const std::vector<int> labels{1, 1, -1, -1};
+  const auto model = train_binary_svm(linear_gram(points), labels, {.C = 1.0});
+  EXPECT_GT(model.decision(kernel_row(points, {5.0, 3.0})), 0.0);
+  EXPECT_LT(model.decision(kernel_row(points, {-5.0, -3.0})), 0.0);
+}
+
+TEST(BinarySvm, DualCoefficientsRespectBoxAndBalance) {
+  Rng rng(3);
+  std::vector<std::array<double, 2>> points;
+  std::vector<int> labels;
+  for (int i = 0; i < 30; ++i) {
+    const double offset = i % 2 == 0 ? 1.5 : -1.5;
+    points.push_back({offset + rng.next_gaussian(), rng.next_gaussian()});
+    labels.push_back(i % 2 == 0 ? 1 : -1);
+  }
+  const double C = 2.0;
+  const auto model = train_binary_svm(linear_gram(points), labels, {.C = C});
+  double sum = 0.0;
+  for (std::size_t s = 0; s < model.support_indices.size(); ++s) {
+    const double coef = model.dual_coefficients[s];
+    EXPECT_LE(std::abs(coef), C + 1e-9);      // |alpha y| <= C
+    EXPECT_GT(std::abs(coef), 0.0);
+    sum += coef;                              // sum alpha_i y_i == 0
+  }
+  EXPECT_NEAR(sum, 0.0, 1e-6);
+}
+
+TEST(BinarySvm, KktHolds) {
+  // On a soft-margin solution: y f(x) >= 1 - tol for free/zero alphas, and
+  // bounded alphas sit inside or on the margin.
+  const std::vector<std::array<double, 2>> points{
+      {1.0, 1.0}, {2.0, 0.5}, {1.5, 2.0}, {-1.0, -1.0}, {-2.0, -0.5}, {-1.5, -2.0}};
+  const std::vector<int> labels{1, 1, 1, -1, -1, -1};
+  const double C = 5.0;
+  const auto model = train_binary_svm(linear_gram(points), labels, {.C = C, .tolerance = 1e-4});
+  std::vector<double> alpha(points.size(), 0.0);
+  for (std::size_t s = 0; s < model.support_indices.size(); ++s) {
+    alpha[model.support_indices[s]] =
+        std::abs(model.dual_coefficients[s]);
+  }
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double margin = labels[i] * model.decision(kernel_row(points, points[i]));
+    if (alpha[i] < 1e-8) {
+      EXPECT_GE(margin, 1.0 - 1e-2) << "zero-alpha sample inside margin";
+    } else if (alpha[i] < C - 1e-8) {
+      EXPECT_NEAR(margin, 1.0, 1e-2) << "free SV must sit on the margin";
+    }
+  }
+}
+
+TEST(BinarySvm, SmallCUnderfitsLargeCFits) {
+  // Slightly noisy data: tiny C leaves training errors, big C fixes them.
+  Rng rng(7);
+  std::vector<std::array<double, 2>> points;
+  std::vector<int> labels;
+  for (int i = 0; i < 40; ++i) {
+    const int y = i % 2 == 0 ? 1 : -1;
+    points.push_back({y * 1.0 + 0.6 * rng.next_gaussian(), rng.next_gaussian()});
+    labels.push_back(y);
+  }
+  const auto gram = rbf_gram(points, 2.0);
+  const auto strict = train_binary_svm(gram, labels, {.C = 1000.0});
+  std::size_t errors_strict = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    std::vector<double> row(points.size());
+    for (std::size_t j = 0; j < points.size(); ++j) row[j] = gram.at(j, i);
+    errors_strict += strict.decision(row) * labels[i] <= 0.0 ? 1 : 0;
+  }
+  // RBF with huge C interpolates the training set.
+  EXPECT_EQ(errors_strict, 0u);
+}
+
+TEST(BinarySvm, ValidatesInputs) {
+  const std::vector<int> labels{1, -1};
+  EXPECT_THROW((void)train_binary_svm(DenseMatrix(3, 3), labels, {}), std::invalid_argument);
+  DenseMatrix gram(2, 2);
+  EXPECT_THROW((void)train_binary_svm(gram, std::vector<int>{1, 2}, {}),
+               std::invalid_argument);
+  EXPECT_THROW((void)train_binary_svm(gram, std::vector<int>{1, 1}, {}),
+               std::invalid_argument);
+  EXPECT_THROW((void)train_binary_svm(gram, labels, {.C = -1.0}), std::invalid_argument);
+}
+
+TEST(OneVsOne, ThreeClassProblem) {
+  // Three well-separated clusters on a line; linear kernel.
+  std::vector<std::array<double, 2>> points;
+  std::vector<std::size_t> labels;
+  Rng rng(11);
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 8; ++i) {
+      points.push_back({static_cast<double>(c) * 4.0 + 0.3 * rng.next_gaussian(),
+                        0.3 * rng.next_gaussian()});
+      labels.push_back(static_cast<std::size_t>(c));
+    }
+  }
+  const auto gram = rbf_gram(points, 1.0);
+  const OneVsOneSvm machine(gram, labels, {.C = 10.0});
+  EXPECT_EQ(machine.num_classes(), 3u);
+
+  DenseMatrix cross(points.size(), points.size());
+  for (std::size_t t = 0; t < points.size(); ++t) {
+    for (std::size_t i = 0; i < points.size(); ++i) cross.at(t, i) = gram.at(t, i);
+  }
+  const auto predictions = machine.predict(cross);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(predictions[i], labels[i]) << "sample " << i;
+  }
+}
+
+TEST(OneVsOne, BinaryReducesToSingleMachine) {
+  const std::vector<std::array<double, 2>> points{
+      {1.0, 0.0}, {2.0, 0.0}, {-1.0, 0.0}, {-2.0, 0.0}};
+  const std::vector<std::size_t> labels{0, 0, 1, 1};
+  const OneVsOneSvm machine(linear_gram(points), labels, {.C = 1.0});
+  EXPECT_EQ(machine.predict(kernel_row(points, {3.0, 0.0})), 0u);
+  EXPECT_EQ(machine.predict(kernel_row(points, {-3.0, 0.0})), 1u);
+}
+
+TEST(OneVsOne, ValidatesInputs) {
+  DenseMatrix gram(2, 2);
+  EXPECT_THROW(OneVsOneSvm(gram, std::vector<std::size_t>{0, 0}, {}), std::invalid_argument);
+  EXPECT_THROW(OneVsOneSvm(gram, std::vector<std::size_t>{0, 1, 1}, {}),
+               std::invalid_argument);
+}
+
+TEST(BinarySvm, IterationCapRespected) {
+  Rng rng(13);
+  std::vector<std::array<double, 2>> points;
+  std::vector<int> labels;
+  for (int i = 0; i < 20; ++i) {
+    points.push_back({rng.next_gaussian(), rng.next_gaussian()});
+    labels.push_back(i % 2 == 0 ? 1 : -1);  // random labels: hard problem
+  }
+  SvmConfig config;
+  config.max_iterations = 5;
+  const auto model = train_binary_svm(linear_gram(points), labels, config);
+  EXPECT_LE(model.iterations, 5u);
+}
+
+}  // namespace

@@ -1,0 +1,170 @@
+#include "data/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "data/scalability.hpp"
+#include "graph/stats.hpp"
+
+namespace {
+
+using namespace graphhd::data;
+
+TEST(Table1Specs, ContainsAllSixBenchmarks) {
+  const auto specs = table1_specs();
+  ASSERT_EQ(specs.size(), 6u);
+  EXPECT_EQ(specs[0].name, "DD");
+  EXPECT_EQ(specs[1].name, "ENZYMES");
+  EXPECT_EQ(specs[2].name, "MUTAG");
+  EXPECT_EQ(specs[3].name, "NCI1");
+  EXPECT_EQ(specs[4].name, "PROTEINS");
+  EXPECT_EQ(specs[5].name, "PTC_FM");
+}
+
+TEST(Table1Specs, ValuesMatchThePaper) {
+  const auto& mutag = spec_by_name("MUTAG");
+  EXPECT_EQ(mutag.graphs, 188u);
+  EXPECT_EQ(mutag.classes, 2u);
+  EXPECT_DOUBLE_EQ(mutag.avg_vertices, 17.93);
+  EXPECT_DOUBLE_EQ(mutag.avg_edges, 19.79);
+  const auto& enzymes = spec_by_name("ENZYMES");
+  EXPECT_EQ(enzymes.classes, 6u);
+  const auto& nci1 = spec_by_name("NCI1");
+  EXPECT_EQ(nci1.graphs, 4110u);
+}
+
+TEST(Table1Specs, UnknownNameThrows) {
+  EXPECT_THROW((void)spec_by_name("IMDB"), std::invalid_argument);
+}
+
+TEST(SyntheticReplica, DeterministicPerSeed) {
+  const auto a = make_synthetic_replica("MUTAG", 7, 1.0);
+  const auto b = make_synthetic_replica("MUTAG", 7, 1.0);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.graph(i), b.graph(i));
+    EXPECT_EQ(a.label(i), b.label(i));
+  }
+}
+
+TEST(SyntheticReplica, DifferentSeedsDiffer) {
+  const auto a = make_synthetic_replica("MUTAG", 1, 1.0);
+  const auto b = make_synthetic_replica("MUTAG", 2, 1.0);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.size() && !any_difference; ++i) {
+    any_difference = !(a.graph(i) == b.graph(i));
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(SyntheticReplica, ScaleShrinksGraphCountOnly) {
+  const auto full = make_synthetic_replica("PTC_FM", 3, 1.0);
+  const auto small = make_synthetic_replica("PTC_FM", 3, 0.1);
+  EXPECT_EQ(full.size(), 349u);
+  EXPECT_LT(small.size(), 60u);
+  EXPECT_GE(small.size(), 8u);
+  // Graph sizes stay faithful (averages in the same band).
+  const auto full_stats = graphhd::graph::compute_stats(full.graphs(), full.labels());
+  const auto small_stats = graphhd::graph::compute_stats(small.graphs(), small.labels());
+  EXPECT_NEAR(small_stats.avg_vertices, full_stats.avg_vertices,
+              0.25 * full_stats.avg_vertices);
+}
+
+TEST(SyntheticReplica, RejectsBadScale) {
+  EXPECT_THROW((void)make_synthetic_replica("MUTAG", 1, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)make_synthetic_replica("MUTAG", 1, 1.5), std::invalid_argument);
+}
+
+TEST(SyntheticReplica, ClassesAreBalancedRoundRobin) {
+  const auto dataset = make_synthetic_replica("ENZYMES", 11, 1.0);
+  const auto counts = dataset.class_counts();
+  ASSERT_EQ(counts.size(), 6u);
+  for (const auto c : counts) EXPECT_EQ(c, 100u);
+}
+
+TEST(SyntheticReplica, VertexLabelsAttached) {
+  const auto dataset = make_synthetic_replica("MUTAG", 13, 0.5);
+  ASSERT_TRUE(dataset.has_vertex_labels());
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    EXPECT_EQ(dataset.vertex_labels()[i].size(), dataset.graph(i).num_vertices());
+  }
+}
+
+/// Statistics fidelity sweep: every replica must land near the Table I
+/// row it imitates (vertices within 12%, edges within 30% — the edge count
+/// is generator-implied, see synthetic.cpp).
+class ReplicaFidelity : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ReplicaFidelity, MatchesTable1Statistics) {
+  const auto& spec = spec_by_name(GetParam());
+  // DD and NCI1 are big; a half/quarter-scale sample is statistically ample.
+  const double scale = spec.graphs > 1000 ? 0.25 : 1.0;
+  const auto dataset = make_synthetic_replica(spec, 1234, scale);
+  const auto stats = graphhd::graph::compute_stats(dataset.graphs(), dataset.labels());
+
+  EXPECT_EQ(stats.classes, spec.classes);
+  EXPECT_NEAR(stats.avg_vertices, spec.avg_vertices, 0.12 * spec.avg_vertices);
+  EXPECT_NEAR(stats.avg_edges, spec.avg_edges, 0.30 * spec.avg_edges);
+  if (scale == 1.0) {
+    EXPECT_EQ(stats.graphs, spec.graphs);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSix, ReplicaFidelity,
+                         ::testing::Values("DD", "ENZYMES", "MUTAG", "NCI1", "PROTEINS",
+                                           "PTC_FM"));
+
+TEST(LoadOrSynthesize, FallsBackToReplicaWhenFilesAbsent) {
+  const auto dataset = load_or_synthesize("/nonexistent-data-dir", "MUTAG", 5, 0.2);
+  EXPECT_GT(dataset.size(), 0u);
+  EXPECT_EQ(dataset.name(), "MUTAG");
+}
+
+TEST(ScalabilityDataset, MatchesPaperProtocol) {
+  ScalabilityConfig config;
+  config.num_vertices = 100;
+  const auto dataset = make_scalability_dataset(config, 3);
+  EXPECT_EQ(dataset.size(), 100u);
+  EXPECT_EQ(dataset.num_classes(), 2u);
+  const auto counts = dataset.class_counts();
+  EXPECT_EQ(counts[0], 50u);
+  EXPECT_EQ(counts[1], 50u);
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    EXPECT_EQ(dataset.graph(i).num_vertices(), 100u);
+  }
+}
+
+TEST(ScalabilityDataset, EdgeCountTracksProbability) {
+  ScalabilityConfig config;
+  config.num_vertices = 200;
+  const auto dataset = make_scalability_dataset(config, 7);
+  double avg_edges = 0.0;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    avg_edges += static_cast<double>(dataset.graph(i).num_edges());
+  }
+  avg_edges /= static_cast<double>(dataset.size());
+  // Expected edges ~ p_avg * C(200, 2) with p_avg = (0.05 + 0.055)/2.
+  const double expected = 0.0525 * (200.0 * 199.0 / 2.0);
+  EXPECT_NEAR(avg_edges, expected, 0.08 * expected);
+}
+
+TEST(ScalabilityDataset, DeterministicPerSeed) {
+  ScalabilityConfig config;
+  const auto a = make_scalability_dataset(config, 11);
+  const auto b = make_scalability_dataset(config, 11);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.graph(i), b.graph(i));
+  }
+}
+
+TEST(ScalabilitySizes, CoversRequestedRange) {
+  const auto sizes = scalability_sizes(980, 120);
+  ASSERT_FALSE(sizes.empty());
+  EXPECT_EQ(sizes.front(), 20u);
+  EXPECT_EQ(sizes.back(), 980u);
+  for (std::size_t i = 1; i < sizes.size(); ++i) EXPECT_GT(sizes[i], sizes[i - 1]);
+}
+
+}  // namespace

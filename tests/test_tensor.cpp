@@ -1,0 +1,153 @@
+#include "nn/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace {
+
+using namespace graphhd::nn;
+using graphhd::hdc::Rng;
+
+Matrix make(std::initializer_list<std::initializer_list<double>> rows) {
+  const std::size_t r = rows.size();
+  const std::size_t c = rows.begin()->size();
+  Matrix m(r, c);
+  std::size_t i = 0;
+  for (const auto& row : rows) {
+    std::size_t j = 0;
+    for (const double v : row) m.at(i, j++) = v;
+    ++i;
+  }
+  return m;
+}
+
+TEST(Matrix, ConstructionAndFill) {
+  Matrix m(2, 3, 7.0);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 7.0);
+  m.fill(0.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.0);
+}
+
+TEST(Matrix, GlorotWithinBounds) {
+  Rng rng(3);
+  const auto m = Matrix::glorot(32, 64, rng);
+  const double bound = std::sqrt(6.0 / 96.0);
+  for (const double v : m.data()) {
+    EXPECT_GE(v, -bound);
+    EXPECT_LE(v, bound);
+  }
+}
+
+TEST(Matrix, GlorotIsSeedDeterministic) {
+  Rng a(5), b(5);
+  const auto ma = Matrix::glorot(4, 4, a);
+  const auto mb = Matrix::glorot(4, 4, b);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) EXPECT_DOUBLE_EQ(ma.at(i, j), mb.at(i, j));
+  }
+}
+
+TEST(Matrix, AddInPlaceAndScaled) {
+  auto a = make({{1, 2}, {3, 4}});
+  const auto b = make({{10, 20}, {30, 40}});
+  a.add_in_place(b);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), 44.0);
+  a.add_scaled(b, -0.5);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), 24.0);
+  Matrix wrong(1, 2);
+  EXPECT_THROW(a.add_in_place(wrong), std::invalid_argument);
+}
+
+TEST(Matmul, HandComputed) {
+  const auto a = make({{1, 2, 3}, {4, 5, 6}});
+  const auto b = make({{7, 8}, {9, 10}, {11, 12}});
+  const auto c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 154.0);
+}
+
+TEST(Matmul, ValidatesShapes) {
+  EXPECT_THROW((void)matmul(Matrix(2, 3), Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(MatmulBt, EqualsMatmulWithTranspose) {
+  Rng rng(7);
+  const auto a = Matrix::glorot(3, 5, rng);
+  const auto b = Matrix::glorot(4, 5, rng);
+  const auto fused = matmul_bt(a, b);
+  // Transpose b manually.
+  Matrix bt(5, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) bt.at(j, i) = b.at(i, j);
+  }
+  const auto reference = matmul(a, bt);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(fused.at(i, j), reference.at(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(MatmulAt, EqualsTransposedMatmul) {
+  Rng rng(11);
+  const auto a = Matrix::glorot(5, 3, rng);
+  const auto b = Matrix::glorot(5, 4, rng);
+  const auto fused = matmul_at(a, b);
+  Matrix at(3, 5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) at.at(j, i) = a.at(i, j);
+  }
+  const auto reference = matmul(at, b);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(fused.at(i, j), reference.at(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(ColumnSums, HandComputed) {
+  const auto sums = column_sums(make({{1, 2}, {3, 4}, {5, 6}}));
+  EXPECT_EQ(sums.rows(), 1u);
+  EXPECT_DOUBLE_EQ(sums.at(0, 0), 9.0);
+  EXPECT_DOUBLE_EQ(sums.at(0, 1), 12.0);
+}
+
+TEST(Hconcat, JoinsColumns) {
+  const auto c = hconcat(make({{1}, {2}}), make({{3, 4}, {5, 6}}));
+  EXPECT_EQ(c.cols(), 3u);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(c.at(0, 2), 4.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 5.0);
+  EXPECT_THROW((void)hconcat(Matrix(1, 1), Matrix(2, 1)), std::invalid_argument);
+}
+
+TEST(LogSoftmax, SumsToOneInProbabilitySpace) {
+  const auto logits = make({{1.0, 2.0, 3.0}});
+  const auto log_probs = log_softmax_row(logits);
+  double sum = 0.0;
+  for (const double lp : log_probs) sum += std::exp(lp);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_GT(log_probs[2], log_probs[1]);
+  EXPECT_GT(log_probs[1], log_probs[0]);
+}
+
+TEST(LogSoftmax, NumericallyStableForLargeLogits) {
+  const auto logits = make({{1000.0, 1001.0}});
+  const auto log_probs = log_softmax_row(logits);
+  EXPECT_TRUE(std::isfinite(log_probs[0]));
+  EXPECT_TRUE(std::isfinite(log_probs[1]));
+  EXPECT_NEAR(std::exp(log_probs[0]) + std::exp(log_probs[1]), 1.0, 1e-12);
+}
+
+TEST(LogSoftmax, ValidatesShape) {
+  EXPECT_THROW((void)log_softmax_row(Matrix(2, 3)), std::invalid_argument);
+  EXPECT_THROW((void)log_softmax_row(Matrix(1, 0)), std::invalid_argument);
+}
+
+}  // namespace
