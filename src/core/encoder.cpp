@@ -20,7 +20,9 @@ void GraphHdConfig::validate() const {
   if (dimension == 0) {
     throw std::invalid_argument("GraphHdConfig: dimension must be positive");
   }
-  if (pagerank_damping < 0.0 || pagerank_damping >= 1.0) {
+  // Negated interval check so NaN (which fails every comparison) is rejected
+  // too — a NaN damping would silently poison every PageRank score.
+  if (!(pagerank_damping >= 0.0 && pagerank_damping < 1.0)) {
     throw std::invalid_argument("GraphHdConfig: damping must be in [0, 1)");
   }
   if (vectors_per_class == 0) {

@@ -1,6 +1,9 @@
 #include "core/model.hpp"
 
+#include <optional>
 #include <stdexcept>
+
+#include "parallel/thread_pool.hpp"
 
 namespace graphhd::core {
 
@@ -24,6 +27,30 @@ hdc::Hypervector GraphHdModel::encode_sample(const data::GraphDataset& dataset,
   return encoder_.encode(dataset.graph(index));
 }
 
+std::vector<hdc::Hypervector> GraphHdModel::encode_batch(const data::GraphDataset& dataset) {
+  std::vector<hdc::Hypervector> encoded(dataset.size());
+  parallel::parallel_for_chunks(
+      dataset.size(), [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+        // Chunk 0 runs on the caller thread and uses the member encoder (so
+        // its lazily grown basis caches keep warming up, as in the serial
+        // path).  Every other chunk owns a private encoder built from the
+        // same config; basis memories are seed-deterministic, so the
+        // resulting hypervectors are bit-identical to the serial loop.  The
+        // private encoders re-derive their basis vectors on every batch call
+        // — a deliberate trade: keeping them would add cross-call mutable
+        // state for a cost that is amortized over the whole chunk anyway.
+        const bool labeled = config_.use_vertex_labels && dataset.has_vertex_labels();
+        std::optional<GraphHdEncoder> local;
+        if (chunk != 0) local.emplace(config_);
+        GraphHdEncoder& enc = chunk == 0 ? encoder_ : *local;
+        for (std::size_t i = begin; i < end; ++i) {
+          encoded[i] = labeled ? enc.encode(dataset.graph(i), dataset.vertex_labels()[i])
+                               : enc.encode(dataset.graph(i));
+        }
+      });
+  return encoded;
+}
+
 void GraphHdModel::fit(const data::GraphDataset& train) {
   if (fitted_) {
     throw std::logic_error("GraphHdModel::fit: model already fitted");
@@ -32,12 +59,9 @@ void GraphHdModel::fit(const data::GraphDataset& train) {
     throw std::invalid_argument("GraphHdModel::fit: dataset has more classes than the model");
   }
 
-  // Encode once; the hypervectors are reused by the retraining passes.
-  std::vector<hdc::Hypervector> encoded;
-  encoded.reserve(train.size());
-  for (std::size_t i = 0; i < train.size(); ++i) {
-    encoded.push_back(encode_sample(train, i));
-  }
+  // Encode once (in parallel — see encode_batch); the hypervectors are
+  // reused by the retraining passes.
+  std::vector<hdc::Hypervector> encoded = encode_batch(train);
 
   // Algorithm 1: bundle every sample into (a prototype of) its class.
   for (std::size_t i = 0; i < train.size(); ++i) {
@@ -102,15 +126,23 @@ Prediction GraphHdModel::predict_encoded(const hdc::Hypervector& encoded) const 
   return prediction;
 }
 
+std::vector<Prediction> GraphHdModel::predict_batch(const data::GraphDataset& test) {
+  // Rebuild the lazy quantized class vectors once up front so the concurrent
+  // query() calls below are pure reads.
+  memory_.finalize();
+  const std::vector<hdc::Hypervector> encoded = encode_batch(test);
+  std::vector<Prediction> predictions(test.size());
+  parallel::parallel_for(test.size(),
+                         [&](std::size_t i) { predictions[i] = predict_encoded(encoded[i]); });
+  return predictions;
+}
+
 double GraphHdModel::evaluate(const data::GraphDataset& test) {
   if (test.empty()) return 0.0;
+  const auto predictions = predict_batch(test);
   std::size_t hits = 0;
   for (std::size_t i = 0; i < test.size(); ++i) {
-    hdc::Hypervector encoded =
-        config_.use_vertex_labels && test.has_vertex_labels()
-            ? encoder_.encode(test.graph(i), test.vertex_labels()[i])
-            : encoder_.encode(test.graph(i));
-    hits += static_cast<std::size_t>(predict_encoded(encoded).label == test.label(i));
+    hits += static_cast<std::size_t>(predictions[i].label == test.label(i));
   }
   return static_cast<double>(hits) / static_cast<double>(test.size());
 }

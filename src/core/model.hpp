@@ -49,6 +49,16 @@ class GraphHdModel {
   /// Predicts one graph.
   [[nodiscard]] Prediction predict(const graph::Graph& graph);
 
+  /// Predicts every sample of a dataset (same order).  Graphs are encoded in
+  /// parallel over the process-wide thread pool (parallel/thread_pool.hpp);
+  /// the encoders are seed-deterministic and each sample is independent, so
+  /// results are bit-identical at any thread count.  Samples are encoded
+  /// exactly as fit()/evaluate() encode them — in particular, when
+  /// config.use_vertex_labels is set and `test` carries vertex labels they
+  /// are bound in, which single-graph predict() (no label argument) cannot
+  /// do.
+  [[nodiscard]] std::vector<Prediction> predict_batch(const data::GraphDataset& test);
+
   /// Predicts a pre-encoded hypervector (lets callers amortize encoding).
   [[nodiscard]] Prediction predict_encoded(const hdc::Hypervector& encoded) const;
 
@@ -76,6 +86,8 @@ class GraphHdModel {
  private:
   [[nodiscard]] hdc::Hypervector encode_sample(const data::GraphDataset& dataset,
                                                std::size_t index);
+  /// Encodes every sample of `dataset` (parallel over the process pool).
+  [[nodiscard]] std::vector<hdc::Hypervector> encode_batch(const data::GraphDataset& dataset);
   [[nodiscard]] std::size_t slot_of(std::size_t class_id, std::size_t replica) const noexcept {
     return class_id * config_.vectors_per_class + replica;
   }

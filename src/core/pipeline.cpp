@@ -32,6 +32,14 @@ Prediction GraphHd::predict_detailed(const graph::Graph& graph) {
   return model().predict(graph);
 }
 
+std::vector<std::size_t> GraphHd::predict_batch(const data::GraphDataset& test) {
+  const auto predictions = model().predict_batch(test);
+  std::vector<std::size_t> labels;
+  labels.reserve(predictions.size());
+  for (const Prediction& p : predictions) labels.push_back(p.label);
+  return labels;
+}
+
 double GraphHd::score(const data::GraphDataset& test) { return model().evaluate(test); }
 
 GraphHdModel& GraphHd::model() {

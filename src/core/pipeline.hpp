@@ -39,6 +39,14 @@ class GraphHd {
   /// Predicted class id for one graph.
   [[nodiscard]] std::size_t predict(const graph::Graph& graph);
 
+  /// Predicted class ids for every sample of `test` (same order).  Encodes
+  /// and queries in parallel over the process-wide thread pool; bit-identical
+  /// at any thread count.  Encodes like fit()/score() do: with
+  /// config.use_vertex_labels on a labeled dataset the labels are bound in
+  /// (single-graph predict() has no label argument and encodes structure
+  /// only).
+  [[nodiscard]] std::vector<std::size_t> predict_batch(const data::GraphDataset& test);
+
   /// Full prediction with per-class scores.
   [[nodiscard]] Prediction predict_detailed(const graph::Graph& graph);
 

@@ -1,7 +1,9 @@
 #include "core/serialize.hpp"
 
+#include <cstdint>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 namespace graphhd::core {
@@ -28,6 +30,46 @@ void require(bool condition, const std::string& message) {
 [[nodiscard]] std::string expect_key(const std::string& line, const std::string& key) {
   require(line.rfind(key + " ", 0) == 0, "expected '" + key + "' line, got '" + line + "'");
   return line.substr(key.size() + 1);
+}
+
+/// Strict numeric parser that names the offending key.  The stoX family is
+/// too lenient for a corrupt-file gate: std::stoull("-1") silently wraps to
+/// 2^64-1 (which would pass validate() and then die in an allocation) and
+/// "123abc" parses as 123.  Every value here is a whole single token, so we
+/// require the conversion to consume the entire string.
+template <typename Value, typename Convert>
+[[nodiscard]] Value parse_number(const std::string& text, const char* key, Convert convert) {
+  try {
+    std::size_t consumed = 0;
+    const Value value = convert(text, &consumed);
+    require(consumed == text.size(),
+            "bad value '" + text + "' for key '" + key + "' (trailing garbage)");
+    return value;
+  } catch (const std::runtime_error&) {
+    throw;  // the require() above.
+  } catch (const std::exception&) {
+    throw std::runtime_error("load_model: bad value '" + text + "' for key '" + key + "'");
+  }
+}
+
+[[nodiscard]] std::uint64_t parse_u64(const std::string& text, const char* key) {
+  // Must start with a digit: stoull would skip leading whitespace and wrap a
+  // negative sign to 2^64-1, so checking text[0] != '-' alone is bypassable
+  // with ' -1'.
+  require(!text.empty() && text[0] >= '0' && text[0] <= '9',
+          "bad value '" + text + "' for key '" + key + "' (must be a non-negative integer)");
+  return parse_number<std::uint64_t>(
+      text, key, [](const std::string& s, std::size_t* pos) { return std::stoull(s, pos); });
+}
+
+[[nodiscard]] int parse_int(const std::string& text, const char* key) {
+  return parse_number<int>(text, key,
+                           [](const std::string& s, std::size_t* pos) { return std::stoi(s, pos); });
+}
+
+[[nodiscard]] double parse_double(const std::string& text, const char* key) {
+  return parse_number<double>(
+      text, key, [](const std::string& s, std::size_t* pos) { return std::stod(s, pos); });
 }
 
 }  // namespace
@@ -89,20 +131,40 @@ GraphHdModel load_model(std::istream& in) {
   const auto read_value = [&in](const char* key) {
     return expect_key(read_line(in, key), key);
   };
-  config.dimension = std::stoull(read_value("dimension"));
-  config.pagerank_iterations = std::stoull(read_value("pagerank_iterations"));
-  config.pagerank_damping = std::stod(read_value("pagerank_damping"));
-  config.identifier = static_cast<VertexIdentifier>(std::stoi(read_value("identifier")));
-  config.metric = static_cast<hdc::Similarity>(std::stoi(read_value("metric")));
-  config.quantized_model = std::stoi(read_value("quantized")) != 0;
-  config.use_bitslice_bundling = std::stoi(read_value("bitslice")) != 0;
-  config.retrain_epochs = std::stoull(read_value("retrain_epochs"));
-  config.vectors_per_class = std::stoull(read_value("vectors_per_class"));
-  config.use_vertex_labels = std::stoi(read_value("use_vertex_labels")) != 0;
-  config.neighborhood_rounds = std::stoull(read_value("neighborhood_rounds"));
-  config.seed = std::stoull(read_value("seed"));
-  const std::size_t num_classes = std::stoull(read_value("num_classes"));
-  const bool fitted = std::stoi(read_value("fitted")) != 0;
+  config.dimension = parse_u64(read_value("dimension"), "dimension");
+  config.pagerank_iterations =
+      parse_u64(read_value("pagerank_iterations"), "pagerank_iterations");
+  config.pagerank_damping = parse_double(read_value("pagerank_damping"), "pagerank_damping");
+
+  // Enums arrive as raw ints; an out-of-range value would otherwise produce
+  // an enumerator with no meaning and undefined behavior in every later
+  // switch over it.
+  const int identifier_raw = parse_int(read_value("identifier"), "identifier");
+  require(identifier_raw >= 0 &&
+              identifier_raw <= static_cast<int>(VertexIdentifier::kHarmonic),
+          "identifier enum value " + std::to_string(identifier_raw) + " out of range");
+  config.identifier = static_cast<VertexIdentifier>(identifier_raw);
+  const int metric_raw = parse_int(read_value("metric"), "metric");
+  require(metric_raw >= 0 && metric_raw <= static_cast<int>(hdc::Similarity::kDot),
+          "metric enum value " + std::to_string(metric_raw) + " out of range");
+  config.metric = static_cast<hdc::Similarity>(metric_raw);
+
+  config.quantized_model = parse_int(read_value("quantized"), "quantized") != 0;
+  config.use_bitslice_bundling = parse_int(read_value("bitslice"), "bitslice") != 0;
+  config.retrain_epochs = parse_u64(read_value("retrain_epochs"), "retrain_epochs");
+  config.vectors_per_class = parse_u64(read_value("vectors_per_class"), "vectors_per_class");
+  config.use_vertex_labels = parse_int(read_value("use_vertex_labels"), "use_vertex_labels") != 0;
+  config.neighborhood_rounds =
+      parse_u64(read_value("neighborhood_rounds"), "neighborhood_rounds");
+  config.seed = parse_u64(read_value("seed"), "seed");
+  try {
+    config.validate();
+  } catch (const std::exception& error) {
+    throw std::runtime_error(std::string("load_model: invalid config: ") + error.what());
+  }
+  const std::size_t num_classes = parse_u64(read_value("num_classes"), "num_classes");
+  require(num_classes >= 2, "num_classes must be >= 2, got " + std::to_string(num_classes));
+  const bool fitted = parse_int(read_value("fitted"), "fitted") != 0;
 
   std::vector<std::size_t> cursors;
   {

@@ -25,12 +25,7 @@ class GraphHdClassifier final : public GraphClassifier {
   void fit(const GraphDataset& train) override { classifier_.fit(train); }
 
   [[nodiscard]] std::vector<std::size_t> predict(const GraphDataset& test) override {
-    std::vector<std::size_t> predictions;
-    predictions.reserve(test.size());
-    for (std::size_t i = 0; i < test.size(); ++i) {
-      predictions.push_back(classifier_.predict(test.graph(i)));
-    }
-    return predictions;
+    return classifier_.predict_batch(test);
   }
 
  private:

@@ -2,6 +2,9 @@
 
 #include <chrono>
 #include <stdexcept>
+#include <utility>
+
+#include "parallel/thread_pool.hpp"
 
 namespace graphhd::eval {
 
@@ -56,34 +59,63 @@ CvResult cross_validate(const std::string& method_name, const ClassifierFactory&
   if (config.repetitions == 0) {
     throw std::invalid_argument("cross_validate: need at least 1 repetition");
   }
+  if (config.folds < 2) {
+    throw std::invalid_argument(
+        "cross_validate: config.folds must be >= 2 (got " + std::to_string(config.folds) +
+        ") — k-fold cross-validation needs at least one held-out fold");
+  }
   CvResult result;
   result.method = method_name;
   result.dataset = dataset.name();
-  result.folds.reserve(config.repetitions * config.folds);
 
+  // Fold splits are drawn serially so the shuffles are identical to the
+  // serial protocol no matter how the fold jobs are scheduled below.
+  struct FoldJob {
+    std::size_t rep = 0;
+    std::size_t fold = 0;
+    data::Split split;
+  };
+  std::vector<FoldJob> jobs;
+  jobs.reserve(config.repetitions * config.folds);
   for (std::size_t rep = 0; rep < config.repetitions; ++rep) {
     hdc::Rng rng(hdc::derive_seed(config.seed, rep));
-    const auto splits = data::stratified_kfold(dataset, config.folds, rng);
+    auto splits = data::stratified_kfold(dataset, config.folds, rng);
     for (std::size_t f = 0; f < splits.size(); ++f) {
-      const auto train_set = dataset.subset(splits[f].train);
-      const auto test_set = dataset.subset(splits[f].test);
-      auto classifier = factory(hdc::derive_seed(config.seed, rep * 1000 + f));
-
-      FoldResult fold;
-      fold.train_size = train_set.size();
-      fold.test_size = test_set.size();
-
-      const auto train_start = Clock::now();
-      classifier->fit(train_set);
-      fold.train_seconds = seconds_since(train_start);
-
-      const auto test_start = Clock::now();
-      const auto predictions = classifier->predict(test_set);
-      fold.test_seconds = seconds_since(test_start);
-
-      fold.accuracy = ml::accuracy(predictions, test_set.labels());
-      result.folds.push_back(fold);
+      jobs.push_back({rep, f, std::move(splits[f])});
     }
+  }
+
+  // Folds are independent (each gets a fresh classifier from a per-fold
+  // seed), so they run in parallel when config.parallel_folds is set.  The
+  // per-fold timers still measure that fold's own fit/predict wall time —
+  // under contention the *absolute* numbers inflate, which is why the
+  // figure-level timing harnesses keep parallel_folds off.
+  result.folds.assign(jobs.size(), FoldResult{});
+  const auto run_job = [&](std::size_t j) {
+    const FoldJob& job = jobs[j];
+    const auto train_set = dataset.subset(job.split.train);
+    const auto test_set = dataset.subset(job.split.test);
+    auto classifier = factory(hdc::derive_seed(config.seed, job.rep * 1000 + job.fold));
+
+    FoldResult fold;
+    fold.train_size = train_set.size();
+    fold.test_size = test_set.size();
+
+    const auto train_start = Clock::now();
+    classifier->fit(train_set);
+    fold.train_seconds = seconds_since(train_start);
+
+    const auto test_start = Clock::now();
+    const auto predictions = classifier->predict(test_set);
+    fold.test_seconds = seconds_since(test_start);
+
+    fold.accuracy = ml::accuracy(predictions, test_set.labels());
+    result.folds[j] = fold;
+  };
+  if (config.parallel_folds) {
+    parallel::parallel_for(jobs.size(), run_job);
+  } else {
+    for (std::size_t j = 0; j < jobs.size(); ++j) run_job(j);
   }
   return result;
 }

@@ -26,6 +26,16 @@ struct CvConfig {
   std::size_t folds = 10;
   std::size_t repetitions = 3;
   std::uint64_t seed = 0xf01d5ULL;
+
+  /// Run the (repetition, fold) jobs in parallel over the process-wide
+  /// thread pool.  Accuracy results are identical to the serial protocol
+  /// (splits are drawn serially, every fold is independently seeded); only
+  /// the per-fold wall-clock *timings* are affected by core contention, so
+  /// the paper's timing harnesses (fig3/fig4) leave this off.  When set, the
+  /// ClassifierFactory is invoked concurrently from pool workers — it (and
+  /// the classifiers it returns) must not share unsynchronized mutable state
+  /// across calls.
+  bool parallel_folds = false;
 };
 
 /// Result of one (repetition, fold).

@@ -1,0 +1,224 @@
+#include "parallel/thread_pool.hpp"
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace graphhd::parallel {
+
+namespace {
+
+/// True on threads owned by some ThreadPool — nested parallel sections run
+/// inline on the worker instead of re-entering a pool.
+thread_local bool t_inside_worker = false;
+
+[[nodiscard]] std::size_t hardware_threads() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  using ChunkBody = std::function<void(std::size_t, std::size_t, std::size_t)>;
+
+  std::vector<std::thread> workers;
+  std::mutex batch_mutex;  ///< serializes top-level for_each_chunk batches.
+  std::mutex mutex;
+  std::condition_variable work_ready;
+  std::condition_variable work_done;
+
+  // One batch at a time: the partition of the current for_each_chunk call.
+  const ChunkBody* body = nullptr;
+  std::size_t batch_n = 0;
+  std::size_t batch_chunks = 0;
+  std::size_t next_chunk = 0;      ///< next chunk index to hand out.
+  std::size_t pending_chunks = 0;  ///< chunks not yet finished.
+  std::uint64_t generation = 0;    ///< bumped per batch so workers wake once.
+  std::exception_ptr first_error;
+  bool stopping = false;
+
+  explicit Impl(std::size_t num_threads) {
+    const std::size_t count = num_threads == 0 ? hardware_threads() : num_threads;
+    workers.reserve(count > 1 ? count : 0);
+    for (std::size_t t = 1; t < count; ++t) {  // worker 0 is the caller thread.
+      workers.emplace_back([this] { worker_loop(); });
+    }
+    size = count;
+  }
+
+  std::size_t size = 1;
+
+  ~Impl() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      stopping = true;
+    }
+    work_ready.notify_all();
+    for (std::thread& w : workers) w.join();
+  }
+
+  /// [begin, end) of chunk `c` in the fixed partition of n into k chunks.
+  static void chunk_bounds(std::size_t n, std::size_t k, std::size_t c, std::size_t& begin,
+                           std::size_t& end) {
+    begin = c * n / k;
+    end = (c + 1) * n / k;
+  }
+
+  void run_chunk(std::size_t c) {
+    std::size_t begin = 0, end = 0;
+    chunk_bounds(batch_n, batch_chunks, c, begin, end);
+    (*body)(begin, end, c);
+  }
+
+  void worker_loop() {
+    t_inside_worker = true;
+    std::unique_lock<std::mutex> lock(mutex);
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+      work_ready.wait(lock, [&] {
+        return stopping || (body != nullptr && generation != seen_generation);
+      });
+      if (stopping) return;
+      seen_generation = generation;
+      while (next_chunk < batch_chunks) {
+        const std::size_t c = next_chunk++;
+        lock.unlock();
+        std::exception_ptr error;
+        try {
+          run_chunk(c);
+        } catch (...) {
+          error = std::current_exception();
+        }
+        lock.lock();
+        if (error && !first_error) first_error = error;
+        if (--pending_chunks == 0) work_done.notify_all();
+      }
+    }
+  }
+
+  void for_each_chunk(std::size_t n, const ChunkBody& chunk_body) {
+    if (n == 0) return;
+    const std::size_t chunks = n < size ? n : size;
+    if (chunks <= 1 || t_inside_worker) {
+      chunk_body(0, n, 0);
+      return;
+    }
+
+    // One batch at a time: concurrent top-level sections from different user
+    // threads serialize here instead of corrupting the shared batch state.
+    std::lock_guard<std::mutex> batch_lock(batch_mutex);
+    // Chunk 0 of this batch runs on the caller thread below; mark it a worker
+    // so a nested parallel section issued from the body runs inline.
+    struct InsideWorkerGuard {
+      bool previous = t_inside_worker;
+      InsideWorkerGuard() { t_inside_worker = true; }
+      ~InsideWorkerGuard() { t_inside_worker = previous; }
+    } inside_guard;
+
+    std::unique_lock<std::mutex> lock(mutex);
+    body = &chunk_body;
+    batch_n = n;
+    batch_chunks = chunks;
+    next_chunk = 0;
+    pending_chunks = chunks;
+    first_error = nullptr;
+    ++generation;
+    lock.unlock();
+    work_ready.notify_all();
+
+    // The caller thread participates as a worker ("worker 0").
+    lock.lock();
+    while (next_chunk < batch_chunks) {
+      const std::size_t c = next_chunk++;
+      lock.unlock();
+      std::exception_ptr error;
+      try {
+        run_chunk(c);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      lock.lock();
+      if (error && !first_error) first_error = error;
+      --pending_chunks;
+    }
+    work_done.wait(lock, [&] { return pending_chunks == 0; });
+    body = nullptr;
+    const std::exception_ptr error = first_error;
+    first_error = nullptr;
+    lock.unlock();
+    if (error) std::rethrow_exception(error);
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t num_threads) : impl_(new Impl(num_threads)) {}
+
+ThreadPool::~ThreadPool() { delete impl_; }
+
+std::size_t ThreadPool::size() const noexcept { return impl_->size; }
+
+void ThreadPool::for_each_chunk(
+    std::size_t n, const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  impl_->for_each_chunk(n, body);
+}
+
+void ThreadPool::for_each_index(std::size_t n, const std::function<void(std::size_t)>& body) {
+  impl_->for_each_chunk(n, [&body](std::size_t begin, std::size_t end, std::size_t) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+  });
+}
+
+namespace {
+
+std::mutex g_pool_mutex;
+std::shared_ptr<ThreadPool> g_pool;           // guarded by g_pool_mutex.
+std::size_t g_override_threads = 0;           // 0 = use configured_threads().
+
+[[nodiscard]] std::shared_ptr<ThreadPool> acquire_pool() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  const std::size_t want = g_override_threads == 0 ? configured_threads() : g_override_threads;
+  if (!g_pool || g_pool->size() != want) {
+    g_pool = std::make_shared<ThreadPool>(want);
+  }
+  return g_pool;
+}
+
+}  // namespace
+
+std::size_t configured_threads() {
+  const char* raw = std::getenv("GRAPHHD_THREADS");
+  if (raw != nullptr && *raw != '\0') {
+    try {
+      const long long value = std::stoll(raw);
+      if (value >= 1) return static_cast<std::size_t>(value);
+    } catch (const std::exception&) {
+      // fall through to the hardware default on unparsable values.
+    }
+  }
+  return hardware_threads();
+}
+
+void set_threads(std::size_t num_threads) {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  g_override_threads = num_threads;
+  g_pool.reset();  // rebuilt lazily at the requested size.
+}
+
+std::size_t current_threads() { return acquire_pool()->size(); }
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body) {
+  acquire_pool()->for_each_index(n, body);
+}
+
+void parallel_for_chunks(
+    std::size_t n, const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  acquire_pool()->for_each_chunk(n, body);
+}
+
+}  // namespace graphhd::parallel

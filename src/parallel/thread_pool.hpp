@@ -1,0 +1,74 @@
+/// \file thread_pool.hpp
+/// Deterministic data-parallel execution for batch hot paths.
+///
+/// Design constraints (see DESIGN notes in ISSUE 1):
+///  - *work-stealing-free*: an index range [0, n) is split into at most
+///    `size()` contiguous chunks with a fixed arithmetic partition, so the
+///    set of indices each worker executes depends only on (n, size()) —
+///    never on timing.  Combined with per-index seeding in the callers,
+///    parallel results are bit-identical to the serial loop.
+///  - *nestable*: a parallel_for issued from inside a worker runs inline on
+///    that worker (no deadlock, same results).
+///  - *globally configurable*: the shared pool honours the GRAPHHD_THREADS
+///    environment variable and can be resized at runtime with set_threads()
+///    (used by tests and the bench thread sweeps).
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+
+namespace graphhd::parallel {
+
+/// Fixed-size pool of worker threads executing contiguous index chunks.
+class ThreadPool {
+ public:
+  /// \param num_threads worker count; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of workers (>= 1).
+  [[nodiscard]] std::size_t size() const noexcept;
+
+  /// Runs `body(begin, end, chunk)` over a fixed partition of [0, n) into
+  /// `min(size(), n)` contiguous chunks.  Blocks until every chunk finished;
+  /// the first exception thrown by any chunk is rethrown on the caller.
+  /// Runs inline (single chunk) when n <= 1, size() == 1, or when called
+  /// from inside one of this pool's workers.
+  void for_each_chunk(std::size_t n,
+                      const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
+
+  /// Runs `body(i)` for every i in [0, n); chunked as for_each_chunk.
+  void for_each_index(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Threads implied by the environment: GRAPHHD_THREADS when set to a
+/// positive integer, otherwise std::thread::hardware_concurrency() (>= 1).
+[[nodiscard]] std::size_t configured_threads();
+
+/// Overrides the worker count of the process-wide pool (0 = back to
+/// configured_threads()).  Rebuilds the pool on next use; thread-safe.
+void set_threads(std::size_t num_threads);
+
+/// Worker count the process-wide pool currently uses.
+[[nodiscard]] std::size_t current_threads();
+
+/// parallel_for over the process-wide pool: body(i) for i in [0, n).
+/// (The pool itself is an implementation detail — set_threads() reset would
+/// dangle any exposed reference, so only these entry points hold it.)
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+/// Chunked parallel_for over the process-wide pool:
+/// body(begin, end, chunk) per contiguous chunk.
+void parallel_for_chunks(std::size_t n,
+                         const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
+
+}  // namespace graphhd::parallel

@@ -126,6 +126,98 @@ TEST(Serialize, RejectsMissingFile) {
                std::runtime_error);
 }
 
+/// Serializes a trained model, rewrites the value of `key` to `value`, and
+/// returns the corrupted artifact as a stream-ready string.
+std::string corrupt_field(const std::string& key, const std::string& value) {
+  auto original = trained_model();
+  std::stringstream buffer;
+  save_model(original, buffer);
+  std::stringstream in(buffer.str());
+  std::string line, out;
+  while (std::getline(in, line)) {
+    if (line.rfind(key + " ", 0) == 0) line = key + " " + value;
+    out += line + "\n";
+  }
+  return out;
+}
+
+TEST(Serialize, RejectsOutOfRangeIdentifierEnum) {
+  // An unchecked cast of 99 into VertexIdentifier would be UB in every later
+  // switch over the enum; the loader must reject it instead.
+  std::stringstream corrupted(corrupt_field("identifier", "99"));
+  EXPECT_THROW((void)load_model(corrupted), std::runtime_error);
+}
+
+TEST(Serialize, RejectsNegativeIdentifierEnum) {
+  std::stringstream corrupted(corrupt_field("identifier", "-1"));
+  EXPECT_THROW((void)load_model(corrupted), std::runtime_error);
+}
+
+TEST(Serialize, RejectsOutOfRangeMetricEnum) {
+  std::stringstream corrupted(corrupt_field("metric", "42"));
+  EXPECT_THROW((void)load_model(corrupted), std::runtime_error);
+}
+
+TEST(Serialize, RejectsNonNumericValueNamingTheKey) {
+  std::stringstream corrupted(corrupt_field("dimension", "banana"));
+  try {
+    (void)load_model(corrupted);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("dimension"), std::string::npos)
+        << "error should name the offending key: " << error.what();
+  }
+}
+
+TEST(Serialize, RejectsNegativeUnsignedValue) {
+  // std::stoull would silently wrap "-1" to 2^64-1, which passes validate()
+  // and then dies allocating a ~2^64-bit hypervector; the loader must catch
+  // the sign instead.
+  std::stringstream corrupted(corrupt_field("dimension", "-1"));
+  EXPECT_THROW((void)load_model(corrupted), std::runtime_error);
+  std::stringstream epochs(corrupt_field("retrain_epochs", "-1"));
+  EXPECT_THROW((void)load_model(epochs), std::runtime_error);
+  // Leading whitespace must not smuggle the sign past the check (stoull
+  // skips blanks before a '-').
+  std::stringstream padded(corrupt_field("dimension", " -1"));
+  EXPECT_THROW((void)load_model(padded), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTrailingGarbageInNumericValue) {
+  std::stringstream corrupted(corrupt_field("dimension", "1024abc"));
+  EXPECT_THROW((void)load_model(corrupted), std::runtime_error);
+}
+
+TEST(Serialize, RejectsInvalidConfigValues) {
+  // Parses fine but fails GraphHdConfig::validate() (dimension must be > 0).
+  std::stringstream zero_dim(corrupt_field("dimension", "0"));
+  EXPECT_THROW((void)load_model(zero_dim), std::runtime_error);
+  std::stringstream bad_damping(corrupt_field("pagerank_damping", "1.5"));
+  EXPECT_THROW((void)load_model(bad_damping), std::runtime_error);
+  // NaN fails every comparison, so a naive range check would accept it and
+  // poison PageRank; validate() uses a negated interval check to catch it.
+  std::stringstream nan_damping(corrupt_field("pagerank_damping", "nan"));
+  EXPECT_THROW((void)load_model(nan_damping), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTooFewClasses) {
+  std::stringstream corrupted(corrupt_field("num_classes", "1"));
+  EXPECT_THROW((void)load_model(corrupted), std::runtime_error);
+}
+
+TEST(Serialize, RoundTripSurvivesEveryFieldIntact) {
+  // Guard for the hardening: a *valid* file still loads after the stricter
+  // checks, and the restored model predicts identically.
+  auto original = trained_model();
+  std::stringstream buffer;
+  save_model(original, buffer);
+  auto restored = load_model(buffer);
+  for (std::size_t n = 6; n < 12; ++n) {
+    EXPECT_EQ(restored.predict(star_graph(n)).label, original.predict(star_graph(n)).label);
+    EXPECT_EQ(restored.predict(cycle_graph(n)).label, original.predict(cycle_graph(n)).label);
+  }
+}
+
 TEST(Serialize, ArtifactIsCompact) {
   // A 1024-dimensional 2-class model serializes to a few KB of text — the
   // deployable-artifact property the IoT story needs.
