@@ -20,6 +20,8 @@
 ///   GRAPHHD_SWEEP_VERTICES  graph size of the thread-sweep dataset (default 300)
 ///   GRAPHHD_THREADS       worker count of the process pool for part 2
 ///   GRAPHHD_SKIP_FIGURE   when set, run only the thread sweep
+///   GRAPHHD_BACKEND       dense (default) or packed — selects the GraphHD
+///                         backend for both the sweep and the figure curve
 
 #include <chrono>
 #include <cstdio>
@@ -58,8 +60,11 @@ bool run_thread_sweep() {
     sweep.push_back(configured);
   }
 
-  std::printf("== batch encode/predict thread sweep (n=%zu, %zu graphs) ==\n",
-              spec.num_vertices, dataset.size());
+  graphhd::core::GraphHdConfig config;
+  config.backend = graphhd::core::backend_from_env(config.backend);
+
+  std::printf("== batch encode/predict thread sweep (n=%zu, %zu graphs, backend=%s) ==\n",
+              spec.num_vertices, dataset.size(), graphhd::core::to_string(config.backend));
   std::printf("%8s %12s %12s %10s %10s\n", "threads", "fit_s", "predict_s", "speedup",
               "identical");
 
@@ -68,7 +73,7 @@ bool run_thread_sweep() {
   double serial_seconds = 0.0;
   for (const std::size_t threads : sweep) {
     parallel::set_threads(threads);
-    graphhd::core::GraphHd classifier;
+    graphhd::core::GraphHd classifier(config);
 
     const auto fit_start = Clock::now();
     classifier.fit(dataset);

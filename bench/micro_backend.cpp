@@ -1,0 +1,185 @@
+/// \file micro_backend.cpp
+/// Dense vs packed backend micro-benchmark — the efficiency half of the
+/// paper, measured end to end.
+///
+/// Trains one GraphHD model per backend (kDenseBipolar, kPackedBinary) on a
+/// synthetic Erdős–Rényi dataset, *verifies the two backends predict
+/// bit-identically* (exit code 1 otherwise — CI runs this as a gate), then
+/// times:
+///   * encode throughput  — graphs/s through each backend's encoder;
+///   * query  throughput  — class-memory queries/s on pre-encoded vectors,
+///     the associative-memory op the paper's hardware argument is about.
+///
+/// Output is a single JSON object on stdout (progress goes to stderr) so CI
+/// can archive it as an artifact.
+///
+/// Environment knobs:
+///   GRAPHHD_MICRO_DIM          hypervector dimension   (default 10000)
+///   GRAPHHD_MICRO_VERTICES     vertices per graph      (default 80)
+///   GRAPHHD_MICRO_GRAPHS       graphs in the dataset   (default 40)
+///   GRAPHHD_MICRO_ENCODE_REPS  timed encode passes     (default 3)
+///   GRAPHHD_MICRO_QUERY_REPS   timed query passes      (default 200)
+///   GRAPHHD_MIN_QUERY_SPEEDUP  fail (exit 1) when the packed query speedup
+///                              falls below this factor (default 0 = report
+///                              only; CI sets 4)
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/model.hpp"
+#include "data/scalability.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  const long long value = std::atoll(raw);
+  return value < 1 ? fallback : static_cast<std::size_t>(value);
+}
+
+double env_double(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(raw, &end);
+  return end == raw ? fallback : value;
+}
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace graphhd;
+
+  const std::size_t dimension = env_size("GRAPHHD_MICRO_DIM", 10000);
+  const std::size_t vertices = env_size("GRAPHHD_MICRO_VERTICES", 80);
+  const std::size_t graphs = env_size("GRAPHHD_MICRO_GRAPHS", 40);
+  const std::size_t encode_reps = env_size("GRAPHHD_MICRO_ENCODE_REPS", 3);
+  const std::size_t query_reps = env_size("GRAPHHD_MICRO_QUERY_REPS", 200);
+  const double min_speedup = env_double("GRAPHHD_MIN_QUERY_SPEEDUP", 0.0);
+
+  data::ScalabilityConfig spec;
+  spec.num_vertices = vertices;
+  spec.num_graphs = graphs;
+  const auto dataset = data::make_scalability_dataset(spec, /*seed=*/0xbac40ULL);
+
+  core::GraphHdConfig dense_config;
+  dense_config.dimension = dimension;
+  dense_config.backend = core::Backend::kDenseBipolar;
+  core::GraphHdConfig packed_config = dense_config;
+  packed_config.backend = core::Backend::kPackedBinary;
+
+  std::fprintf(stderr, "micro_backend: d=%zu, %zu graphs of %zu vertices\n", dimension,
+               dataset.size(), vertices);
+
+  core::GraphHdModel dense_model(dense_config, 2);
+  core::GraphHdModel packed_model(packed_config, 2);
+  dense_model.fit(dataset);
+  packed_model.fit(dataset);
+
+  // --- correctness gate: the packed backend must be a faithful fast path.
+  const auto dense_predictions = dense_model.predict_batch(dataset);
+  const auto packed_predictions = packed_model.predict_batch(dataset);
+  bool identical = dense_predictions.size() == packed_predictions.size();
+  for (std::size_t i = 0; identical && i < dense_predictions.size(); ++i) {
+    identical = dense_predictions[i].label == packed_predictions[i].label &&
+                dense_predictions[i].score == packed_predictions[i].score;
+  }
+  if (!identical) {
+    std::fprintf(stderr, "micro_backend: FAIL — packed predictions diverge from dense\n");
+  }
+
+  // --- encode throughput (fresh encoders so both start with cold caches).
+  const auto time_encode = [&](const core::GraphHdConfig& config, bool packed) {
+    core::GraphHdEncoder encoder(config);
+    const auto start = Clock::now();
+    for (std::size_t rep = 0; rep < encode_reps; ++rep) {
+      for (std::size_t i = 0; i < dataset.size(); ++i) {
+        if (packed) {
+          (void)encoder.encode_packed(dataset.graph(i));
+        } else {
+          (void)encoder.encode(dataset.graph(i));
+        }
+      }
+    }
+    const double elapsed = seconds_since(start);
+    return static_cast<double>(encode_reps * dataset.size()) / elapsed;
+  };
+  const double dense_encode_gps = time_encode(dense_config, /*packed=*/false);
+  const double packed_encode_gps = time_encode(packed_config, /*packed=*/true);
+
+  // --- query throughput on pre-encoded vectors (the paper's inference op).
+  std::vector<hdc::Hypervector> dense_encoded(dataset.size());
+  std::vector<hdc::PackedHypervector> packed_encoded(dataset.size());
+  {
+    core::GraphHdEncoder dense_encoder(dense_config);
+    core::GraphHdEncoder packed_encoder(packed_config);
+    for (std::size_t i = 0; i < dataset.size(); ++i) {
+      dense_encoded[i] = dense_encoder.encode(dataset.graph(i));
+      packed_encoded[i] = packed_encoder.encode_packed(dataset.graph(i));
+    }
+  }
+  dense_model.memory().finalize();
+  packed_model.packed_memory().finalize();
+
+  const auto start_dense = Clock::now();
+  std::size_t dense_sink = 0;
+  for (std::size_t rep = 0; rep < query_reps; ++rep) {
+    for (const auto& hv : dense_encoded) dense_sink += dense_model.memory().query(hv).best_class;
+  }
+  const double dense_query_seconds = seconds_since(start_dense);
+
+  const auto start_packed = Clock::now();
+  std::size_t packed_sink = 0;
+  for (std::size_t rep = 0; rep < query_reps; ++rep) {
+    for (const auto& hv : packed_encoded) {
+      packed_sink += packed_model.packed_memory().query(hv).best_class;
+    }
+  }
+  const double packed_query_seconds = seconds_since(start_packed);
+
+  if (dense_sink != packed_sink) {
+    std::fprintf(stderr, "micro_backend: FAIL — query argmax sums diverge (%zu vs %zu)\n",
+                 dense_sink, packed_sink);
+    identical = false;
+  }
+
+  const double total_queries = static_cast<double>(query_reps * dataset.size());
+  const double dense_qps = total_queries / dense_query_seconds;
+  const double packed_qps = total_queries / packed_query_seconds;
+  const double query_speedup = packed_qps / dense_qps;
+  const std::size_t dense_footprint =
+      2 * packed_config.vectors_per_class * dimension;  // int8 per component.
+  const std::size_t packed_footprint = packed_model.packed_memory().footprint_bytes();
+
+  std::printf("{\n");
+  std::printf("  \"dimension\": %zu,\n", dimension);
+  std::printf("  \"graphs\": %zu,\n", dataset.size());
+  std::printf("  \"vertices_per_graph\": %zu,\n", vertices);
+  std::printf("  \"predictions_identical\": %s,\n", identical ? "true" : "false");
+  std::printf("  \"encode\": {\"dense_graphs_per_s\": %.1f, \"packed_graphs_per_s\": %.1f, "
+              "\"speedup\": %.3f},\n",
+              dense_encode_gps, packed_encode_gps, packed_encode_gps / dense_encode_gps);
+  std::printf("  \"query\": {\"dense_queries_per_s\": %.1f, \"packed_queries_per_s\": %.1f, "
+              "\"speedup\": %.3f},\n",
+              dense_qps, packed_qps, query_speedup);
+  std::printf("  \"class_memory_bytes\": {\"dense\": %zu, \"packed\": %zu}\n", dense_footprint,
+              packed_footprint);
+  std::printf("}\n");
+
+  if (!identical) return 1;
+  if (min_speedup > 0.0 && query_speedup < min_speedup) {
+    std::fprintf(stderr, "micro_backend: FAIL — packed query speedup %.2fx below required %.2fx\n",
+                 query_speedup, min_speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -4,6 +4,7 @@
 ///
 ///   graphhd_cli train   --data DIR --name DS --out MODEL [--dimension N]
 ///                       [--seed S] [--retrain K] [--prototypes P]
+///                       [--backend dense|packed]  (GRAPHHD_BACKEND also works)
 ///   graphhd_cli predict --model MODEL --data DIR --name DS
 ///   graphhd_cli eval    --data DIR --name DS [--folds K] [--reps R]
 ///   graphhd_cli synth   --name DS --out DIR [--scale X] [--seed S]
@@ -76,7 +77,20 @@ class Args {
   config.seed = std::stoull(args.get("model-seed", "0x9badb055"), nullptr, 0);
   config.retrain_epochs = std::stoull(args.get("retrain", "0"));
   config.vectors_per_class = std::stoull(args.get("prototypes", "1"));
-  if (config.retrain_epochs > 0) config.quantized_model = false;
+  // Backend: --backend flag wins over GRAPHHD_BACKEND wins over the default.
+  config.backend = core::backend_from_env(config.backend);
+  if (const std::string flag = args.get("backend", ""); !flag.empty()) {
+    const auto parsed = core::parse_backend(flag);
+    if (!parsed.has_value()) {
+      throw std::runtime_error("--backend: expected dense|bipolar|packed|binary, got " + flag);
+    }
+    config.backend = *parsed;
+  }
+  // Retraining queries the raw accumulators on the dense backend (slightly
+  // more accurate); the packed backend is quantized by construction.
+  if (config.retrain_epochs > 0 && config.backend == core::Backend::kDenseBipolar) {
+    config.quantized_model = false;
+  }
   return config;
 }
 
@@ -110,8 +124,11 @@ int cmd_eval(const Args& args) {
   eval::CvConfig cv;
   cv.folds = std::stoull(args.get("folds", "10"));
   cv.repetitions = std::stoull(args.get("reps", "1"));
+  // config_from already resolved flag-beats-env precedence; the factory must
+  // not re-apply the env on top of an explicit --backend.
   const auto result = eval::cross_validate(
-      "GraphHD", eval::make_graphhd_factory(config_from(args)), dataset, cv);
+      "GraphHD",
+      eval::make_graphhd_factory(config_from(args), /*honor_backend_env=*/false), dataset, cv);
   const auto acc = result.accuracy();
   std::printf("GraphHD on %s: accuracy %.1f%% ± %.1f (%zux%zu-fold CV)\n",
               dataset.name().c_str(), 100.0 * acc.mean, 100.0 * acc.std, cv.repetitions,
@@ -148,8 +165,10 @@ void usage() {
   std::fprintf(stderr,
                "usage: graphhd_cli <train|predict|eval|synth> [--flag value ...]\n"
                "  train   --data DIR --name DS --out MODEL [--dimension N] [--retrain K]\n"
+               "          [--backend dense|packed]   (or GRAPHHD_BACKEND env)\n"
                "  predict --model MODEL --data DIR --name DS\n"
                "  eval    --data DIR --name DS [--folds K] [--reps R] [--scale X]\n"
+               "          [--backend dense|packed]\n"
                "  synth   --name DS --out DIR [--scale X] [--seed S]\n"
                "  stats   --data DIR --name DS\n");
 }

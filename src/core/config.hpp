@@ -4,6 +4,8 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string_view>
 
 #include "graph/pagerank.hpp"
 #include "hdc/ops.hpp"
@@ -22,6 +24,28 @@ enum class VertexIdentifier {
 
 [[nodiscard]] const char* to_string(VertexIdentifier id) noexcept;
 
+/// Which numeric representation the end-to-end pipeline runs on.
+enum class Backend {
+  kDenseBipolar,  ///< int8 bipolar vectors — the paper-exact reference path.
+  kPackedBinary,  ///< 64-bit packed binary words: XOR binding, popcount
+                  ///< Hamming similarity, packed class memory — the hardware
+                  ///< mapping the paper's efficiency claim appeals to.
+                  ///< Predictions are bit-identical to the dense quantized
+                  ///< model (enforced by tests/test_backend.cpp).
+};
+
+[[nodiscard]] const char* to_string(Backend backend) noexcept;
+
+/// Parses a backend name: "dense"/"bipolar" -> kDenseBipolar,
+/// "packed"/"binary" -> kPackedBinary; nullopt for anything else.
+[[nodiscard]] std::optional<Backend> parse_backend(std::string_view text) noexcept;
+
+/// Backend selected by the GRAPHHD_BACKEND environment variable, `fallback`
+/// when the variable is unset or empty.  Throws std::runtime_error (naming
+/// the accepted values) on an unparsable value — a silently ignored typo
+/// would run every benchmark on the wrong backend.
+[[nodiscard]] Backend backend_from_env(Backend fallback);
+
 /// All knobs of GraphHD.  Defaults reproduce the paper's setup:
 /// 10,000-dimensional bipolar hypervectors, 10 PageRank iterations, cosine
 /// similarity, majority-quantized class vectors, no extensions.
@@ -31,6 +55,11 @@ struct GraphHdConfig {
   double pagerank_damping = 0.85;
   VertexIdentifier identifier = VertexIdentifier::kPageRank;
   hdc::Similarity metric = hdc::Similarity::kCosine;
+
+  /// Numeric representation of the whole fit/predict pipeline.  The packed
+  /// backend requires quantized_model (binary class vectors are
+  /// majority-quantized by construction); validate() enforces this.
+  Backend backend = Backend::kDenseBipolar;
 
   /// true  = class vectors are majority-thresholded bipolar vectors
   ///         (Algorithm 1 of the paper);

@@ -1,6 +1,8 @@
 #include "core/encoder.hpp"
 
+#include <cstdlib>
 #include <stdexcept>
+#include <string>
 
 namespace graphhd::core {
 
@@ -16,6 +18,34 @@ const char* to_string(VertexIdentifier id) noexcept {
   return "unknown";
 }
 
+const char* to_string(Backend backend) noexcept {
+  switch (backend) {
+    case Backend::kDenseBipolar:
+      return "dense";
+    case Backend::kPackedBinary:
+      return "packed";
+  }
+  return "unknown";
+}
+
+std::optional<Backend> parse_backend(std::string_view text) noexcept {
+  if (text == "dense" || text == "bipolar") return Backend::kDenseBipolar;
+  if (text == "packed" || text == "binary") return Backend::kPackedBinary;
+  return std::nullopt;
+}
+
+Backend backend_from_env(Backend fallback) {
+  const char* raw = std::getenv("GRAPHHD_BACKEND");
+  if (raw == nullptr || *raw == '\0') return fallback;
+  const auto parsed = parse_backend(raw);
+  if (!parsed.has_value()) {
+    throw std::runtime_error(
+        std::string("GRAPHHD_BACKEND: unknown backend '") + raw +
+        "' (expected dense|bipolar|packed|binary)");
+  }
+  return *parsed;
+}
+
 void GraphHdConfig::validate() const {
   if (dimension == 0) {
     throw std::invalid_argument("GraphHdConfig: dimension must be positive");
@@ -27,6 +57,11 @@ void GraphHdConfig::validate() const {
   }
   if (vectors_per_class == 0) {
     throw std::invalid_argument("GraphHdConfig: vectors_per_class must be >= 1");
+  }
+  if (backend == Backend::kPackedBinary && !quantized_model) {
+    throw std::invalid_argument(
+        "GraphHdConfig: the packed backend requires quantized_model — binary "
+        "class vectors are majority-quantized by construction");
   }
 }
 
@@ -145,7 +180,38 @@ Hypervector GraphHdEncoder::encode_impl(const Graph& graph,
   return accumulator.threshold(tie_break_seed_);
 }
 
+hdc::PackedHypervector GraphHdEncoder::encode_packed(const Graph& graph) {
+  if (graph.num_vertices() == 0) {
+    throw std::invalid_argument("GraphHdEncoder: cannot encode the empty graph");
+  }
+  if (config_.neighborhood_rounds == 0 && config_.use_bitslice_bundling) {
+    // Fully packed path: XOR-bound basis vectors through the bit-sliced
+    // majority, thresholded straight into packed words.  For edgeless graphs
+    // the bundler holds the vertex vectors instead (the documented encoder
+    // fallback); the bitslice majority is bit-identical to the dense
+    // BundleAccumulator, so this still matches from_bipolar(encode(graph)).
+    const auto ranks = vertex_ranks(graph);
+    hdc::BitsliceBundler bundler(config_.dimension);
+    bundle_packed(graph, ranks, bundler);
+    return bundler.threshold_packed(tie_break_seed_);
+  }
+  // Extension paths (message passing) and the reference-bundling benchmark
+  // mode reuse the dense encoder and pack at the boundary.
+  return hdc::PackedHypervector::from_bipolar(encode_impl(graph, {}));
+}
+
+hdc::PackedHypervector GraphHdEncoder::encode_packed(const Graph& graph,
+                                                     std::span<const std::size_t> labels) {
+  // Label binding entangles every vertex vector with its label vector; the
+  // packed fast path only covers the shared-basis baseline, so encode dense
+  // and pack at the boundary (bit-identical by construction).
+  return hdc::PackedHypervector::from_bipolar(encode(graph, labels));
+}
+
 const hdc::PackedHypervector& GraphHdEncoder::packed_rank_basis(std::size_t rank) {
+  if (rank >= kPackedRankCacheCap) {
+    throw std::logic_error("GraphHdEncoder::packed_rank_basis: rank beyond cache cap");
+  }
   while (rank >= packed_rank_cache_.size()) {
     packed_rank_cache_.push_back(
         hdc::PackedHypervector::from_bipolar(rank_memory_.get(packed_rank_cache_.size())));
@@ -153,19 +219,38 @@ const hdc::PackedHypervector& GraphHdEncoder::packed_rank_basis(std::size_t rank
   return packed_rank_cache_[rank];
 }
 
-Hypervector GraphHdEncoder::encode_bitslice(const Graph& graph,
-                                            std::span<const std::size_t> ranks) {
+void GraphHdEncoder::bundle_packed(const Graph& graph, std::span<const std::size_t> ranks,
+                                   hdc::BitsliceBundler& bundler) {
   // Identical math to the reference path: per edge the bound vector is the
   // component-wise sign product, i.e. the XOR of the packed operands; the
   // bundle is the per-component majority with the same seeded tie-break.
+  // Ranks below the cap come from the bounded cache; the (rare) tail of a
+  // huge graph is packed into per-call scratch storage so the cache never
+  // grows past kPackedRankCacheCap.
   std::vector<const hdc::PackedHypervector*> vertex_hvs(graph.num_vertices());
+  std::deque<hdc::PackedHypervector> overflow;
   for (graph::VertexId v = 0; v < graph.num_vertices(); ++v) {
-    vertex_hvs[v] = &packed_rank_basis(ranks[v]);
+    const std::size_t rank = ranks[v];
+    if (rank < kPackedRankCacheCap) {
+      vertex_hvs[v] = &packed_rank_basis(rank);
+    } else {
+      overflow.push_back(hdc::PackedHypervector::from_bipolar(rank_memory_.get(rank)));
+      vertex_hvs[v] = &overflow.back();
+    }
   }
-  hdc::BitsliceBundler bundler(config_.dimension);
+  if (graph.num_edges() == 0) {
+    for (const hdc::PackedHypervector* hv : vertex_hvs) bundler.add(*hv);
+    return;
+  }
   for (const auto& e : graph.edges()) {
     bundler.add_bound(*vertex_hvs[e.u], *vertex_hvs[e.v]);
   }
+}
+
+Hypervector GraphHdEncoder::encode_bitslice(const Graph& graph,
+                                            std::span<const std::size_t> ranks) {
+  hdc::BitsliceBundler bundler(config_.dimension);
+  bundle_packed(graph, ranks, bundler);
   return bundler.threshold_bipolar(tie_break_seed_);
 }
 

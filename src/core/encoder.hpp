@@ -10,6 +10,12 @@
 ///
 /// Graphs without edges fall back to bundling the vertex hypervectors (the
 /// paper's encoder is undefined for m = 0; see DESIGN.md).
+///
+/// The encoder serves both backends: encode() produces the dense bipolar
+/// representation, encode_packed() the bit-packed binary one.  The two are
+/// exact images of each other — encode_packed(g) is always bit-identical to
+/// PackedHypervector::from_bipolar(encode(g)) — but the packed baseline path
+/// (no labels, no message passing) never materializes a bipolar vector.
 
 #pragma once
 
@@ -35,6 +41,14 @@ using hdc::Hypervector;
 /// in any process, which is what makes train/test encodings compatible.
 class GraphHdEncoder {
  public:
+  /// Hard cap on the packed rank-basis cache (entries).  The dense rank
+  /// memory must grow with the largest graph seen (references into it are
+  /// handed out), but the packed mirror is a pure cache — without a cap it
+  /// would silently double the basis memory footprint on huge graphs.
+  /// 1024 entries at d = 10,000 is ~1.3 MB; ranks beyond the cap are packed
+  /// into per-call scratch storage instead.
+  static constexpr std::size_t kPackedRankCacheCap = 1024;
+
   explicit GraphHdEncoder(const GraphHdConfig& config);
 
   [[nodiscard]] const GraphHdConfig& config() const noexcept { return config_; }
@@ -46,12 +60,30 @@ class GraphHdEncoder {
   /// have one entry per vertex.  Only used when config.use_vertex_labels.
   [[nodiscard]] Hypervector encode(const Graph& graph, std::span<const std::size_t> labels);
 
+  /// Encodes one graph straight into the packed binary representation
+  /// (kPackedBinary backend).  The structure-only baseline path runs
+  /// entirely on packed words (XOR bind + bit-sliced majority); the
+  /// extension paths (labels, message passing, bitslice disabled) fall back
+  /// to packing the dense encoding.  Always bit-identical to
+  /// from_bipolar(encode(...)).
+  [[nodiscard]] hdc::PackedHypervector encode_packed(const Graph& graph);
+
+  /// Packed encoding with vertex labels (extension VII.2).
+  [[nodiscard]] hdc::PackedHypervector encode_packed(const Graph& graph,
+                                                     std::span<const std::size_t> labels);
+
   /// The centrality ranks the encoder assigns to `graph`'s vertices
   /// (exposed for tests and diagnostics).
   [[nodiscard]] std::vector<std::size_t> vertex_ranks(const Graph& graph) const;
 
   /// Basis hypervector for centrality rank `rank` (exposed for tests).
   [[nodiscard]] const Hypervector& rank_basis(std::size_t rank);
+
+  /// Entries currently held by the packed rank-basis cache (always
+  /// <= kPackedRankCacheCap; exposed for the cache-bound regression tests).
+  [[nodiscard]] std::size_t packed_rank_cache_size() const noexcept {
+    return packed_rank_cache_.size();
+  }
 
  private:
   [[nodiscard]] Hypervector encode_impl(const Graph& graph,
@@ -60,7 +92,12 @@ class GraphHdEncoder {
   /// (bit-identical to the reference path; see hdc/bitslice.hpp).
   [[nodiscard]] Hypervector encode_bitslice(const Graph& graph,
                                             std::span<const std::size_t> ranks);
-  /// Packed copy of rank basis vector `rank` (cached).
+  /// Fills `bundler` with the packed edge (or, for edgeless graphs, vertex)
+  /// encodings — the shared core of the bitslice and packed paths.
+  void bundle_packed(const Graph& graph, std::span<const std::size_t> ranks,
+                     hdc::BitsliceBundler& bundler);
+  /// Packed copy of rank basis vector `rank` (cached; requires
+  /// rank < kPackedRankCacheCap).
   [[nodiscard]] const hdc::PackedHypervector& packed_rank_basis(std::size_t rank);
 
   GraphHdConfig config_;

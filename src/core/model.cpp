@@ -11,12 +11,30 @@ GraphHdModel::GraphHdModel(const GraphHdConfig& config, std::size_t num_classes)
     : config_(config),
       num_classes_(num_classes),
       encoder_(config),
-      memory_(config.dimension, num_classes * config.vectors_per_class, config.metric,
-              config.quantized_model),
       next_replica_(num_classes, 0) {
   if (num_classes < 2) {
     throw std::invalid_argument("GraphHdModel: need at least 2 classes");
   }
+  const std::size_t slots = num_classes * config.vectors_per_class;
+  if (config.backend == Backend::kPackedBinary) {
+    packed_memory_.emplace(config.dimension, slots, config.metric);
+  } else {
+    dense_memory_.emplace(config.dimension, slots, config.metric, config.quantized_model);
+  }
+}
+
+const hdc::AssociativeMemory& GraphHdModel::memory() const {
+  if (!dense_memory_.has_value()) {
+    throw std::logic_error("GraphHdModel::memory: model runs on the packed backend");
+  }
+  return *dense_memory_;
+}
+
+const hdc::PackedClassMemory& GraphHdModel::packed_memory() const {
+  if (!packed_memory_.has_value()) {
+    throw std::logic_error("GraphHdModel::packed_memory: model runs on the dense backend");
+  }
+  return *packed_memory_;
 }
 
 hdc::Hypervector GraphHdModel::encode_sample(const data::GraphDataset& dataset,
@@ -51,6 +69,26 @@ std::vector<hdc::Hypervector> GraphHdModel::encode_batch(const data::GraphDatase
   return encoded;
 }
 
+std::vector<hdc::PackedHypervector> GraphHdModel::encode_batch_packed(
+    const data::GraphDataset& dataset) {
+  // Same chunking/determinism contract as encode_batch — only the output
+  // representation differs.
+  std::vector<hdc::PackedHypervector> encoded(dataset.size());
+  parallel::parallel_for_chunks(
+      dataset.size(), [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+        const bool labeled = config_.use_vertex_labels && dataset.has_vertex_labels();
+        std::optional<GraphHdEncoder> local;
+        if (chunk != 0) local.emplace(config_);
+        GraphHdEncoder& enc = chunk == 0 ? encoder_ : *local;
+        for (std::size_t i = begin; i < end; ++i) {
+          encoded[i] = labeled
+                           ? enc.encode_packed(dataset.graph(i), dataset.vertex_labels()[i])
+                           : enc.encode_packed(dataset.graph(i));
+        }
+      });
+  return encoded;
+}
+
 void GraphHdModel::fit(const data::GraphDataset& train) {
   if (fitted_) {
     throw std::logic_error("GraphHdModel::fit: model already fitted");
@@ -60,30 +98,39 @@ void GraphHdModel::fit(const data::GraphDataset& train) {
   }
 
   // Encode once (in parallel — see encode_batch); the hypervectors are
-  // reused by the retraining passes.
-  std::vector<hdc::Hypervector> encoded = encode_batch(train);
-
-  // Algorithm 1: bundle every sample into (a prototype of) its class.
-  for (std::size_t i = 0; i < train.size(); ++i) {
-    const std::size_t label = train.label(i);
-    const std::size_t replica = next_replica_[label];
-    next_replica_[label] = (replica + 1) % config_.vectors_per_class;
-    memory_.add(slot_of(label, replica), encoded[i]);
-  }
-
-  // Extension VII.1a: perceptron-style retraining.
-  for (std::size_t epoch = 0; epoch < config_.retrain_epochs; ++epoch) {
-    std::size_t mispredictions = 0;
+  // reused by the retraining passes.  Both backends run the same Algorithm 1
+  // + retraining schedule — only the vector representation and the memory
+  // type differ, and the packed similarity doubles equal the dense ones, so
+  // the two training runs stay in lockstep (bit-identical class counters).
+  const auto bundle_and_retrain = [&](auto& memory, const auto& encoded) {
+    // Algorithm 1: bundle every sample into (a prototype of) its class.
     for (std::size_t i = 0; i < train.size(); ++i) {
-      const auto result = memory_.query(encoded[i]);
-      const std::size_t predicted_class = class_of_slot(result.best_class);
-      const std::size_t true_class = train.label(i);
-      if (predicted_class == true_class) continue;
-      ++mispredictions;
-      const std::size_t target_slot = best_slot_in_class(result, true_class);
-      memory_.retrain_update(target_slot, result.best_class, encoded[i]);
+      const std::size_t label = train.label(i);
+      const std::size_t replica = next_replica_[label];
+      next_replica_[label] = (replica + 1) % config_.vectors_per_class;
+      memory.add(slot_of(label, replica), encoded[i]);
     }
-    if (mispredictions == 0) break;
+
+    // Extension VII.1a: perceptron-style retraining.
+    for (std::size_t epoch = 0; epoch < config_.retrain_epochs; ++epoch) {
+      std::size_t mispredictions = 0;
+      for (std::size_t i = 0; i < train.size(); ++i) {
+        const auto result = memory.query(encoded[i]);
+        const std::size_t predicted_class = class_of_slot(result.best_class);
+        const std::size_t true_class = train.label(i);
+        if (predicted_class == true_class) continue;
+        ++mispredictions;
+        const std::size_t target_slot = best_slot_in_class(result, true_class);
+        memory.retrain_update(target_slot, result.best_class, encoded[i]);
+      }
+      if (mispredictions == 0) break;
+    }
+  };
+
+  if (packed_memory_.has_value()) {
+    bundle_and_retrain(*packed_memory_, encode_batch_packed(train));
+  } else {
+    bundle_and_retrain(*dense_memory_, encode_batch(train));
   }
   fitted_ = true;
 }
@@ -92,10 +139,13 @@ void GraphHdModel::partial_fit(const graph::Graph& graph, std::size_t label) {
   if (label >= num_classes_) {
     throw std::out_of_range("GraphHdModel::partial_fit: label out of range");
   }
-  const auto encoded = encoder_.encode(graph);
   const std::size_t replica = next_replica_[label];
   next_replica_[label] = (replica + 1) % config_.vectors_per_class;
-  memory_.add(slot_of(label, replica), encoded);
+  if (packed_memory_.has_value()) {
+    packed_memory_->add(slot_of(label, replica), encoder_.encode_packed(graph));
+  } else {
+    dense_memory_->add(slot_of(label, replica), encoder_.encode(graph));
+  }
 }
 
 std::size_t GraphHdModel::best_slot_in_class(const hdc::QueryResult& result,
@@ -109,11 +159,13 @@ std::size_t GraphHdModel::best_slot_in_class(const hdc::QueryResult& result,
 }
 
 Prediction GraphHdModel::predict(const graph::Graph& graph) {
+  if (packed_memory_.has_value()) {
+    return predict_encoded(encoder_.encode_packed(graph));
+  }
   return predict_encoded(encoder_.encode(graph));
 }
 
-Prediction GraphHdModel::predict_encoded(const hdc::Hypervector& encoded) const {
-  const auto result = memory_.query(encoded);
+Prediction GraphHdModel::prediction_from(const hdc::QueryResult& result) const {
   Prediction prediction;
   prediction.class_scores.assign(num_classes_, -2.0);
   for (std::size_t slot = 0; slot < result.similarities.size(); ++slot) {
@@ -126,12 +178,33 @@ Prediction GraphHdModel::predict_encoded(const hdc::Hypervector& encoded) const 
   return prediction;
 }
 
+Prediction GraphHdModel::predict_encoded(const hdc::Hypervector& encoded) const {
+  if (packed_memory_.has_value()) {
+    return prediction_from(packed_memory_->query(hdc::PackedHypervector::from_bipolar(encoded)));
+  }
+  return prediction_from(dense_memory_->query(encoded));
+}
+
+Prediction GraphHdModel::predict_encoded(const hdc::PackedHypervector& encoded) const {
+  if (packed_memory_.has_value()) {
+    return prediction_from(packed_memory_->query(encoded));
+  }
+  return prediction_from(dense_memory_->query(encoded.to_bipolar()));
+}
+
 std::vector<Prediction> GraphHdModel::predict_batch(const data::GraphDataset& test) {
   // Rebuild the lazy quantized class vectors once up front so the concurrent
   // query() calls below are pure reads.
-  memory_.finalize();
-  const std::vector<hdc::Hypervector> encoded = encode_batch(test);
   std::vector<Prediction> predictions(test.size());
+  if (packed_memory_.has_value()) {
+    packed_memory_->finalize();
+    const std::vector<hdc::PackedHypervector> encoded = encode_batch_packed(test);
+    parallel::parallel_for(test.size(),
+                           [&](std::size_t i) { predictions[i] = predict_encoded(encoded[i]); });
+    return predictions;
+  }
+  dense_memory_->finalize();
+  const std::vector<hdc::Hypervector> encoded = encode_batch(test);
   parallel::parallel_for(test.size(),
                          [&](std::size_t i) { predictions[i] = predict_encoded(encoded[i]); });
   return predictions;
@@ -156,17 +229,32 @@ void GraphHdModel::restore_state(std::vector<hdc::BundleAccumulator> accumulator
     throw std::invalid_argument("GraphHdModel::restore_state: slot layout mismatch");
   }
   for (std::size_t slot = 0; slot < slots; ++slot) {
-    memory_.restore(slot, std::move(accumulators[slot]), sample_counts[slot]);
+    if (packed_memory_.has_value()) {
+      // The raw signed-counter state is backend-agnostic; rewrap it.
+      const auto counts = accumulators[slot].counts();
+      packed_memory_->restore(slot,
+                              hdc::PackedBundleAccumulator::from_raw(
+                                  std::vector<std::int32_t>(counts.begin(), counts.end()),
+                                  accumulators[slot].count(), accumulators[slot].tie_free()),
+                              sample_counts[slot]);
+    } else {
+      dense_memory_->restore(slot, std::move(accumulators[slot]), sample_counts[slot]);
+    }
   }
   next_replica_ = std::move(replica_cursors);
   fitted_ = fitted;
+}
+
+std::size_t GraphHdModel::slot_count(std::size_t slot) const {
+  return packed_memory_.has_value() ? packed_memory_->class_count(slot)
+                                    : dense_memory_->class_count(slot);
 }
 
 std::vector<std::size_t> GraphHdModel::class_counts() const {
   std::vector<std::size_t> counts(num_classes_, 0);
   for (std::size_t c = 0; c < num_classes_; ++c) {
     for (std::size_t r = 0; r < config_.vectors_per_class; ++r) {
-      counts[c] += memory_.class_count(slot_of(c, r));
+      counts[c] += slot_count(slot_of(c, r));
     }
   }
   return counts;

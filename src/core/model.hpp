@@ -5,12 +5,14 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <vector>
 
 #include "core/config.hpp"
 #include "core/encoder.hpp"
 #include "data/dataset.hpp"
 #include "hdc/assoc_memory.hpp"
+#include "hdc/packed_assoc.hpp"
 
 namespace graphhd::core {
 
@@ -31,6 +33,13 @@ struct Prediction {
 ///  - multiple prototypes per class (config.vectors_per_class > 1): samples
 ///    are dealt round-robin onto prototypes; queries take the max.
 /// The model also supports true online learning via partial_fit.
+///
+/// config.backend selects the numeric representation end to end:
+/// kDenseBipolar keeps the paper-exact int8 pipeline; kPackedBinary encodes
+/// graphs into packed words and classifies with XOR + popcount against a
+/// packed class memory.  The two backends produce bit-identical predictions
+/// for the quantized model (tests/test_backend.cpp); packed is the
+/// hardware-shaped fast path.
 class GraphHdModel {
  public:
   GraphHdModel(const GraphHdConfig& config, std::size_t num_classes);
@@ -38,6 +47,7 @@ class GraphHdModel {
   [[nodiscard]] const GraphHdConfig& config() const noexcept { return config_; }
   [[nodiscard]] std::size_t num_classes() const noexcept { return num_classes_; }
   [[nodiscard]] GraphHdEncoder& encoder() noexcept { return encoder_; }
+  [[nodiscard]] Backend backend() const noexcept { return config_.backend; }
 
   /// Full training pass (Algorithm 1 + configured extensions).  May be
   /// called once per model; throws on a second call.
@@ -60,7 +70,13 @@ class GraphHdModel {
   [[nodiscard]] std::vector<Prediction> predict_batch(const data::GraphDataset& test);
 
   /// Predicts a pre-encoded hypervector (lets callers amortize encoding).
+  /// On the packed backend the query is packed first (one conversion, then
+  /// popcount scoring).
   [[nodiscard]] Prediction predict_encoded(const hdc::Hypervector& encoded) const;
+
+  /// Predicts a pre-encoded packed hypervector.  On the dense backend the
+  /// query is unpacked first — prefer matching the model's backend.
+  [[nodiscard]] Prediction predict_encoded(const hdc::PackedHypervector& encoded) const;
 
   /// Batch accuracy against a labeled dataset.
   [[nodiscard]] double evaluate(const data::GraphDataset& test);
@@ -70,7 +86,11 @@ class GraphHdModel {
 
   // ---- persistence hooks (see core/serialize.hpp) ----
 
-  [[nodiscard]] const hdc::AssociativeMemory& memory() const noexcept { return memory_; }
+  /// Dense training state; throws std::logic_error on the packed backend
+  /// (use packed_memory() there).
+  [[nodiscard]] const hdc::AssociativeMemory& memory() const;
+  /// Packed training state; throws std::logic_error on the dense backend.
+  [[nodiscard]] const hdc::PackedClassMemory& packed_memory() const;
   [[nodiscard]] bool fitted() const noexcept { return fitted_; }
   [[nodiscard]] const std::vector<std::size_t>& replica_cursors() const noexcept {
     return next_replica_;
@@ -78,7 +98,9 @@ class GraphHdModel {
 
   /// Deserialization hook: replaces the learned state wholesale.  Sizes must
   /// match the model's slot layout (num_classes * vectors_per_class
-  /// accumulators/sample counts, num_classes cursors).
+  /// accumulators/sample counts, num_classes cursors).  The accumulators are
+  /// the backend-agnostic signed-counter representation; on the packed
+  /// backend they are converted to packed accumulators (same raw state).
   void restore_state(std::vector<hdc::BundleAccumulator> accumulators,
                      std::vector<std::size_t> sample_counts,
                      std::vector<std::size_t> replica_cursors, bool fitted);
@@ -88,6 +110,11 @@ class GraphHdModel {
                                                std::size_t index);
   /// Encodes every sample of `dataset` (parallel over the process pool).
   [[nodiscard]] std::vector<hdc::Hypervector> encode_batch(const data::GraphDataset& dataset);
+  /// Packed-backend batch encode (same chunking and determinism guarantees).
+  [[nodiscard]] std::vector<hdc::PackedHypervector> encode_batch_packed(
+      const data::GraphDataset& dataset);
+  [[nodiscard]] Prediction prediction_from(const hdc::QueryResult& result) const;
+  [[nodiscard]] std::size_t slot_count(std::size_t slot) const;
   [[nodiscard]] std::size_t slot_of(std::size_t class_id, std::size_t replica) const noexcept {
     return class_id * config_.vectors_per_class + replica;
   }
@@ -101,7 +128,10 @@ class GraphHdModel {
   GraphHdConfig config_;
   std::size_t num_classes_;
   GraphHdEncoder encoder_;
-  hdc::AssociativeMemory memory_;  ///< num_classes * vectors_per_class slots.
+  /// Exactly one of the two memories exists, selected by config_.backend;
+  /// both span num_classes * vectors_per_class slots.
+  std::optional<hdc::AssociativeMemory> dense_memory_;
+  std::optional<hdc::PackedClassMemory> packed_memory_;
   std::vector<std::size_t> next_replica_;  ///< round-robin cursor per class.
   bool fitted_ = false;
 };

@@ -11,7 +11,12 @@ namespace graphhd::core {
 namespace {
 
 constexpr const char* kMagic = "GRAPHHD-MODEL";
-constexpr int kVersion = 1;
+/// Version 1: dense-backend models, no `backend` header line.
+/// Version 2: adds the `backend` line (dense and packed models).  The slot
+/// counter rows are backend-agnostic signed counters in both versions, so a
+/// version-1 file is simply a version-2 file with an implicit dense backend
+/// — load_model still accepts it.
+constexpr int kVersion = 2;
 
 void require(bool condition, const std::string& message) {
   if (!condition) {
@@ -77,6 +82,7 @@ template <typename Value, typename Convert>
 void save_model(const GraphHdModel& model, std::ostream& out) {
   const GraphHdConfig& config = model.config();
   out << kMagic << ' ' << kVersion << '\n';
+  out << "backend " << static_cast<int>(config.backend) << '\n';
   out << "dimension " << config.dimension << '\n';
   out << "pagerank_iterations " << config.pagerank_iterations << '\n';
   out << "pagerank_damping " << config.pagerank_damping << '\n';
@@ -96,16 +102,27 @@ void save_model(const GraphHdModel& model, std::ostream& out) {
   for (const std::size_t cursor : model.replica_cursors()) out << ' ' << cursor;
   out << '\n';
 
-  const std::size_t slots = model.num_classes() * config.vectors_per_class;
-  for (std::size_t slot = 0; slot < slots; ++slot) {
-    const auto& acc = model.memory().accumulator(slot);
-    out << "slot " << slot << ' ' << model.memory().class_count(slot) << ' ' << acc.count()
-        << ' ' << (acc.tie_free() ? 1 : 0) << '\n';
+  // Both backends keep the same signed-counter slot state; only where it
+  // lives differs.  Writing the shared raw form keeps the file format
+  // backend-portable (a packed model can be reloaded as a dense one by
+  // editing the header, and vice versa — same predictions either way).
+  const auto write_slot = [&out](std::size_t slot, std::size_t samples, const auto& acc) {
+    out << "slot " << slot << ' ' << samples << ' ' << acc.count() << ' '
+        << (acc.tie_free() ? 1 : 0) << '\n';
     const auto counts = acc.counts();
     for (std::size_t i = 0; i < counts.size(); ++i) {
       out << counts[i] << (i + 1 == counts.size() ? '\n' : ' ');
     }
     if (counts.empty()) out << '\n';
+  };
+  const std::size_t slots = model.num_classes() * config.vectors_per_class;
+  for (std::size_t slot = 0; slot < slots; ++slot) {
+    if (config.backend == Backend::kPackedBinary) {
+      write_slot(slot, model.packed_memory().class_count(slot),
+                 model.packed_memory().accumulator(slot));
+    } else {
+      write_slot(slot, model.memory().class_count(slot), model.memory().accumulator(slot));
+    }
   }
   require(static_cast<bool>(out), "stream failure while writing");
 }
@@ -119,18 +136,25 @@ void save_model(const GraphHdModel& model, const std::filesystem::path& path) {
 }
 
 GraphHdModel load_model(std::istream& in) {
+  int version = 0;
   {
     std::istringstream header(read_line(in, "magic line"));
     std::string magic;
-    int version = 0;
     header >> magic >> version;
     require(magic == kMagic, "bad magic '" + magic + "'");
-    require(version == kVersion, "unsupported version " + std::to_string(version));
+    require(version >= 1 && version <= kVersion,
+            "unsupported version " + std::to_string(version));
   }
   GraphHdConfig config;
   const auto read_value = [&in](const char* key) {
     return expect_key(read_line(in, key), key);
   };
+  if (version >= 2) {
+    const int backend_raw = parse_int(read_value("backend"), "backend");
+    require(backend_raw >= 0 && backend_raw <= static_cast<int>(Backend::kPackedBinary),
+            "backend enum value " + std::to_string(backend_raw) + " out of range");
+    config.backend = static_cast<Backend>(backend_raw);
+  }  // version 1 predates the backend knob: implicit dense.
   config.dimension = parse_u64(read_value("dimension"), "dimension");
   config.pagerank_iterations =
       parse_u64(read_value("pagerank_iterations"), "pagerank_iterations");
@@ -193,6 +217,14 @@ GraphHdModel load_model(std::istream& in) {
     for (auto& value : counts) {
       require(static_cast<bool>(counters >> value), "short counter row");
     }
+    // A counter row must hold *exactly* `dimension` tokens: extra tokens
+    // mean the header's dimension and the rows disagree (e.g. a corrupted
+    // dimension line), and a garbled token after the last counter would
+    // otherwise be silently dropped.
+    std::string trailing;
+    const bool has_trailing = static_cast<bool>(counters >> trailing);
+    require(!has_trailing, "trailing garbage '" + trailing + "' after counter row of slot " +
+                               std::to_string(slot));
     accumulators.push_back(
         hdc::BundleAccumulator::from_raw(std::move(counts), add_count, parity != 0));
     sample_counts.push_back(samples);

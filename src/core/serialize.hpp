@@ -12,6 +12,10 @@
 /// followed by one line of whitespace-separated counters per class slot.
 /// Text keeps the artifact diffable and endian-proof; models are small
 /// enough (k × d ≈ 20k-240k ints) that parsing cost is irrelevant.
+///
+/// Version 2 adds a `backend` header line; the counter rows are the
+/// backend-agnostic signed accumulator state, so dense and packed models
+/// share one format and version-1 (dense-only) files still load.
 
 #pragma once
 

@@ -141,7 +141,11 @@ class GinClassifier final : public GraphClassifier {
 
 }  // namespace
 
-ClassifierFactory make_graphhd_factory(core::GraphHdConfig config) {
+ClassifierFactory make_graphhd_factory(core::GraphHdConfig config, bool honor_backend_env) {
+  // Eval-layer knob: GRAPHHD_BACKEND flips every GraphHD instance built by
+  // this factory (cross_validate folds, fig3/fig4 harnesses) to the chosen
+  // backend without recompiling; the config's own backend is the fallback.
+  if (honor_backend_env) config.backend = core::backend_from_env(config.backend);
   return [config](std::uint64_t seed) -> std::unique_ptr<GraphClassifier> {
     core::GraphHdConfig fold_config = config;
     fold_config.seed = hdc::derive_seed(config.seed, seed);

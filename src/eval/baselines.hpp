@@ -19,8 +19,13 @@ enum class KernelKind {
 };
 
 /// GraphHD with the given base config (the per-fold seed is mixed into
-/// config.seed).
-[[nodiscard]] ClassifierFactory make_graphhd_factory(core::GraphHdConfig config = {});
+/// config.seed).  When `honor_backend_env` is true (default), the
+/// GRAPHHD_BACKEND environment variable overrides config.backend for every
+/// classifier the factory builds — the eval harnesses and CI select the
+/// packed backend this way.  Callers that resolve the backend themselves
+/// (e.g. a CLI flag that must beat the env) pass false.
+[[nodiscard]] ClassifierFactory make_graphhd_factory(core::GraphHdConfig config = {},
+                                                     bool honor_backend_env = true);
 
 /// Kernel + one-vs-one SVM with the paper's hyperparameter protocol:
 /// WL depth from {0..max_wl_iterations}, C from grid.c_grid, chosen by inner

@@ -187,6 +187,31 @@ Hypervector BitsliceBundler::threshold_bipolar(std::uint64_t tie_break_seed) {
   return Hypervector(std::move(out));
 }
 
+PackedHypervector BitsliceBundler::threshold_packed(std::uint64_t tie_break_seed) {
+  flush_pending();
+  std::vector<std::uint64_t> greater, less;
+  compare_counters(count_ / 2, greater, less);
+
+  if ((count_ & 1u) != 0) {
+    // Odd count: ties are impossible and the strict-majority mask *is* the
+    // packed result (bit set == component -1).  Tail bits of `greater` are
+    // clear because the planes never carry data past the dimension.
+    return PackedHypervector::from_words(std::move(greater), dimension_);
+  }
+
+  // Even count: tie components (neither greater nor less) take the seeded
+  // stream, one draw per component as in threshold_bipolar.
+  PackedHypervector out = PackedHypervector::from_words(std::move(greater), dimension_);
+  Rng tie_rng(tie_break_seed);
+  for (std::size_t i = 0; i < dimension_; ++i) {
+    const int tie_sign = tie_rng.next_sign();
+    const bool is_greater = out.bit(i);
+    const bool is_less = (less[i >> 6] >> (i & 63)) & 1u;
+    if (!is_greater && !is_less && tie_sign < 0) out.set_bit(i, true);
+  }
+  return out;
+}
+
 void BitsliceBundler::clear() noexcept {
   planes_.clear();
   pending_.clear();

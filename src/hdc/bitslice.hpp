@@ -56,6 +56,13 @@ class BitsliceBundler {
   [[nodiscard]] Hypervector threshold_bipolar(
       std::uint64_t tie_break_seed = 0x7fb5d329728ea185ULL);
 
+  /// Same majority + tie-break as threshold_bipolar, but produces the packed
+  /// representation directly (no bipolar round-trip) — the encoder's output
+  /// for the packed-binary backend.  Guaranteed bit-identical to
+  /// `PackedHypervector::from_bipolar(threshold_bipolar(seed))`.
+  [[nodiscard]] PackedHypervector threshold_packed(
+      std::uint64_t tie_break_seed = 0x7fb5d329728ea185ULL);
+
   void clear() noexcept;
 
  private:

@@ -1,5 +1,6 @@
 #include "hdc/packed.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <stdexcept>
 #include <string>
@@ -39,21 +40,40 @@ PackedHypervector PackedHypervector::from_bipolar(const Hypervector& hv) {
   return packed;
 }
 
+PackedHypervector PackedHypervector::from_words(std::vector<std::uint64_t> words,
+                                                std::size_t dimension) {
+  if (words.size() != words_for(dimension)) {
+    throw std::invalid_argument("PackedHypervector::from_words: " + std::to_string(words.size()) +
+                                " words cannot hold dimension " + std::to_string(dimension));
+  }
+  PackedHypervector packed;
+  packed.words_ = std::move(words);
+  packed.dimension_ = dimension;
+  packed.mask_tail();
+  return packed;
+}
+
 Hypervector PackedHypervector::to_bipolar() const {
   std::vector<std::int8_t> comps(dimension_);
   for (std::size_t i = 0; i < dimension_; ++i) {
-    comps[i] = bit(i) ? std::int8_t{-1} : std::int8_t{1};
+    comps[i] = bit_unchecked(i) ? std::int8_t{-1} : std::int8_t{1};
   }
   return Hypervector(std::move(comps));
 }
 
-void PackedHypervector::set_bit(std::size_t i, bool value) noexcept {
+void PackedHypervector::set_bit_unchecked(std::size_t i, bool value) noexcept {
   const std::uint64_t mask = std::uint64_t{1} << (i & 63);
   if (value) {
     words_[i >> 6] |= mask;
   } else {
     words_[i >> 6] &= ~mask;
   }
+}
+
+void PackedHypervector::throw_index_error(const char* op, std::size_t i) const {
+  throw std::out_of_range("PackedHypervector::" + std::string(op) + ": index " +
+                          std::to_string(i) + " out of range for dimension " +
+                          std::to_string(dimension_));
 }
 
 PackedHypervector PackedHypervector::bind(const PackedHypervector& other) const {
@@ -88,7 +108,7 @@ PackedHypervector PackedHypervector::permute(std::ptrdiff_t shift) const {
   if (offset < 0) offset += d;
   for (std::size_t i = 0; i < dimension_; ++i) {
     const std::size_t target = (i + static_cast<std::size_t>(offset)) % dimension_;
-    if (bit(i)) out.set_bit(target, true);
+    if (bit_unchecked(i)) out.set_bit_unchecked(target, true);
   }
   return out;
 }
@@ -101,34 +121,57 @@ void PackedHypervector::mask_tail() noexcept {
 }
 
 PackedBundleAccumulator::PackedBundleAccumulator(std::size_t dimension)
-    : ones_(dimension, 0), dimension_(dimension) {}
+    : counts_(dimension, 0) {}
 
-void PackedBundleAccumulator::add(const PackedHypervector& hv) {
-  require_same_dimension(dimension_, hv.dimension(), "PackedBundleAccumulator::add");
-  for (std::size_t i = 0; i < dimension_; ++i) {
-    ones_[i] += static_cast<std::int32_t>(hv.bit(i));
+PackedBundleAccumulator PackedBundleAccumulator::from_raw(std::vector<std::int32_t> counts,
+                                                          std::size_t count,
+                                                          bool weight_parity_odd) {
+  PackedBundleAccumulator acc;
+  acc.counts_ = std::move(counts);
+  acc.count_ = count;
+  acc.weight_parity_odd_ = weight_parity_odd;
+  return acc;
+}
+
+void PackedBundleAccumulator::add(const PackedHypervector& hv, std::int32_t weight) {
+  require_same_dimension(counts_.size(), hv.dimension(), "PackedBundleAccumulator::add");
+  const auto words = hv.words();
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const bool bit = (words[i >> 6] >> (i & 63)) & 1u;
+    counts_[i] += bit ? -weight : weight;
   }
   ++count_;
+  // Every component moves by ±weight, so all counters share one parity.
+  if ((weight & 1) != 0) weight_parity_odd_ = !weight_parity_odd_;
 }
 
 PackedHypervector PackedBundleAccumulator::threshold(std::uint64_t tie_break_seed) const {
-  PackedHypervector out(dimension_);
+  PackedHypervector out(counts_.size());
+  if (weight_parity_odd_) {
+    // Odd total weight: no counter can be zero, the tie stream is never
+    // consulted — skip generating it (identical result, faster).
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      if (counts_[i] < 0) out.set_bit(i, true);
+    }
+    return out;
+  }
   Rng tie_rng(tie_break_seed);
-  const auto total = static_cast<std::int64_t>(count_);
-  for (std::size_t i = 0; i < dimension_; ++i) {
-    // One tie draw per component regardless of need — keeps results
-    // independent of which components happen to tie (same convention as
-    // BundleAccumulator::threshold; bit=true corresponds to bipolar -1).
-    const bool tie_bit = tie_rng.next_sign() < 0;
-    const std::int64_t ones = ones_[i];
-    const std::int64_t zeros = total - ones;
-    if (ones > zeros) {
+  // Consume one sign per component (not per tie) so that the result for a
+  // given counter vector does not depend on *which* components are tied —
+  // the BundleAccumulator convention (bit set corresponds to bipolar -1).
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const int tie_sign = tie_rng.next_sign();
+    if (counts_[i] < 0 || (counts_[i] == 0 && tie_sign < 0)) {
       out.set_bit(i, true);
-    } else if (ones == zeros) {
-      out.set_bit(i, tie_bit);
     }
   }
   return out;
+}
+
+void PackedBundleAccumulator::clear() noexcept {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  weight_parity_odd_ = false;
 }
 
 }  // namespace graphhd::hdc

@@ -37,6 +37,13 @@ class PackedHypervector {
   /// Packs a bipolar hypervector (bit = 1 where component == -1).
   [[nodiscard]] static PackedHypervector from_bipolar(const Hypervector& hv);
 
+  /// Adopts raw words (e.g. a bit-sliced comparator mask) as a packed vector.
+  /// `words.size()` must be exactly ceil(dimension / 64); bits beyond
+  /// `dimension` in the last word are cleared.  Throws std::invalid_argument
+  /// on a size mismatch.
+  [[nodiscard]] static PackedHypervector from_words(std::vector<std::uint64_t> words,
+                                                    std::size_t dimension);
+
   /// Unpacks to the bipolar representation.
   [[nodiscard]] Hypervector to_bipolar() const;
 
@@ -44,13 +51,21 @@ class PackedHypervector {
   [[nodiscard]] bool empty() const noexcept { return dimension_ == 0; }
   [[nodiscard]] std::span<const std::uint64_t> words() const noexcept { return words_; }
 
-  /// Reads bit `i` (true means bipolar component -1).
-  [[nodiscard]] bool bit(std::size_t i) const noexcept {
-    return (words_[i >> 6] >> (i & 63)) & 1u;
+  /// Reads bit `i` (true means bipolar component -1).  Throws
+  /// std::out_of_range when `i >= dimension()` — an unchecked read past the
+  /// tail word would be undefined behaviour, and reads inside the tail slack
+  /// would silently return the masked padding.
+  [[nodiscard]] bool bit(std::size_t i) const {
+    if (i >= dimension_) throw_index_error("bit", i);
+    return bit_unchecked(i);
   }
 
-  /// Sets bit `i`.
-  void set_bit(std::size_t i, bool value) noexcept;
+  /// Sets bit `i`.  Throws std::out_of_range when `i >= dimension()` (a
+  /// write into the tail slack would corrupt every later Hamming distance).
+  void set_bit(std::size_t i, bool value) {
+    if (i >= dimension_) throw_index_error("set_bit", i);
+    set_bit_unchecked(i, value);
+  }
 
   /// XOR binding — the binary counterpart of bipolar multiplication.
   [[nodiscard]] PackedHypervector bind(const PackedHypervector& other) const;
@@ -68,6 +83,11 @@ class PackedHypervector {
   friend bool operator==(const PackedHypervector&, const PackedHypervector&) = default;
 
  private:
+  [[nodiscard]] bool bit_unchecked(std::size_t i) const noexcept {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+  void set_bit_unchecked(std::size_t i, bool value) noexcept;
+  [[noreturn]] void throw_index_error(const char* op, std::size_t i) const;
   [[nodiscard]] std::size_t word_count() const noexcept { return words_.size(); }
   /// Zeroes the unused high bits of the last word (class invariant).
   void mask_tail() noexcept;
@@ -76,28 +96,55 @@ class PackedHypervector {
   std::size_t dimension_ = 0;
 };
 
-/// Majority bundling of packed vectors via per-bit counters.  Matches
-/// `bundle()` on the corresponding bipolar vectors (same tie-break seed
-/// convention).
+/// Majority bundling of packed vectors via per-component signed counters.
+/// Mirrors BundleAccumulator exactly — same counter convention (+weight for
+/// a clear bit / bipolar +1, -weight for a set bit / bipolar -1), same
+/// seeded tie-break, same serialized raw state — so a packed class memory
+/// trained through this accumulator is bit-identical to the dense quantized
+/// model (property-tested in tests/test_packed.cpp).
 class PackedBundleAccumulator {
  public:
   PackedBundleAccumulator() = default;
   explicit PackedBundleAccumulator(std::size_t dimension);
 
-  [[nodiscard]] std::size_t dimension() const noexcept { return dimension_; }
+  /// Reconstructs an accumulator from its serialized state (see
+  /// BundleAccumulator::from_raw — the raw representation is shared).
+  [[nodiscard]] static PackedBundleAccumulator from_raw(std::vector<std::int32_t> counts,
+                                                        std::size_t count,
+                                                        bool weight_parity_odd);
+
+  [[nodiscard]] std::size_t dimension() const noexcept { return counts_.size(); }
   [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] std::span<const std::int32_t> counts() const noexcept { return counts_; }
 
-  void add(const PackedHypervector& hv);
+  /// Adds one packed vector to the bundle.
+  void add(const PackedHypervector& hv) { add(hv, 1); }
 
-  /// Majority threshold: bit set iff strictly more than half of the added
-  /// vectors had it set; exact halves resolved by the seeded tie vector.
+  /// Adds a packed vector with an integer weight (perceptron-style
+  /// retraining adds the sample to the true class and subtracts it from the
+  /// mispredicted one).
+  void add(const PackedHypervector& hv, std::int32_t weight);
+
+  /// Removes one previously added vector (weight -1 shortcut).
+  void subtract(const PackedHypervector& hv) { add(hv, -1); }
+
+  /// Majority threshold: bit set iff the signed counter is negative (the
+  /// bipolar sign convention); zero counters resolved by the seeded ±1
+  /// stream with one draw per component.  Identical output to
+  /// BundleAccumulator::threshold followed by from_bipolar.
   [[nodiscard]] PackedHypervector threshold(
       std::uint64_t tie_break_seed = 0x7fb5d329728ea185ULL) const;
 
+  /// True when ties are impossible (odd total absolute weight).
+  [[nodiscard]] bool tie_free() const noexcept { return weight_parity_odd_; }
+
+  /// Resets to all-zero counters (dimension preserved).
+  void clear() noexcept;
+
  private:
-  std::vector<std::int32_t> ones_;  // per-bit count of set bits
-  std::size_t dimension_ = 0;
+  std::vector<std::int32_t> counts_;  ///< signed per-component counters.
   std::size_t count_ = 0;
+  bool weight_parity_odd_ = false;  ///< parity of the total absolute weight.
 };
 
 }  // namespace graphhd::hdc

@@ -44,4 +44,128 @@ std::size_t PackedAssociativeMemory::footprint_bytes() const noexcept {
   return class_vectors_.size() * ((dimension_ + 7) / 8);
 }
 
+PackedClassMemory::PackedClassMemory(std::size_t dimension, std::size_t num_classes,
+                                     Similarity metric)
+    : dimension_(dimension), metric_(metric) {
+  if (dimension == 0) {
+    throw std::invalid_argument("PackedClassMemory: dimension must be positive");
+  }
+  if (num_classes == 0) {
+    throw std::invalid_argument("PackedClassMemory: need at least one class");
+  }
+  accumulators_.assign(num_classes, PackedBundleAccumulator(dimension));
+  counts_.assign(num_classes, 0);
+}
+
+void PackedClassMemory::add(std::size_t label, const PackedHypervector& encoded) {
+  if (label >= accumulators_.size()) {
+    throw std::out_of_range("PackedClassMemory::add: label out of range");
+  }
+  accumulators_[label].add(encoded);
+  ++counts_[label];
+  dirty_ = true;
+}
+
+void PackedClassMemory::retrain_update(std::size_t true_label, std::size_t predicted_label,
+                                       const PackedHypervector& encoded) {
+  if (true_label >= accumulators_.size() || predicted_label >= accumulators_.size()) {
+    throw std::out_of_range("PackedClassMemory::retrain_update: label out of range");
+  }
+  if (true_label == predicted_label) return;
+  accumulators_[true_label].add(encoded, 1);
+  accumulators_[predicted_label].add(encoded, -1);
+  dirty_ = true;
+}
+
+std::size_t PackedClassMemory::class_count(std::size_t label) const {
+  if (label >= counts_.size()) {
+    throw std::out_of_range("PackedClassMemory::class_count: label out of range");
+  }
+  return counts_[label];
+}
+
+PackedHypervector PackedClassMemory::class_vector(std::size_t label) const {
+  if (label >= accumulators_.size()) {
+    throw std::out_of_range("PackedClassMemory::class_vector: label out of range");
+  }
+  finalize();
+  return cached_class_vectors_[label];
+}
+
+const PackedBundleAccumulator& PackedClassMemory::accumulator(std::size_t label) const {
+  if (label >= accumulators_.size()) {
+    throw std::out_of_range("PackedClassMemory::accumulator: label out of range");
+  }
+  return accumulators_[label];
+}
+
+void PackedClassMemory::restore(std::size_t label, PackedBundleAccumulator accumulator,
+                                std::size_t sample_count) {
+  if (label >= accumulators_.size()) {
+    throw std::out_of_range("PackedClassMemory::restore: label out of range");
+  }
+  if (accumulator.dimension() != dimension_) {
+    throw std::invalid_argument("PackedClassMemory::restore: dimension mismatch");
+  }
+  accumulators_[label] = std::move(accumulator);
+  counts_[label] = sample_count;
+  dirty_ = true;
+}
+
+void PackedClassMemory::finalize() const {
+  if (!dirty_) return;
+  cached_class_vectors_.clear();
+  cached_class_vectors_.reserve(accumulators_.size());
+  for (std::size_t c = 0; c < accumulators_.size(); ++c) {
+    // Per-class tie-break stream, same seed constant as
+    // AssociativeMemory::finalize — the packed class vectors must be the
+    // exact packing of the dense quantized class vectors.
+    cached_class_vectors_.push_back(
+        accumulators_[c].threshold(derive_seed(0x7fb5d329728ea185ULL, c)));
+  }
+  dirty_ = false;
+}
+
+double PackedClassMemory::score(std::size_t label, const PackedHypervector& query) const {
+  const std::size_t h = cached_class_vectors_[label].hamming_distance(query);
+  // Reproduce the dense quantized memory's arithmetic *exactly* so the
+  // similarity doubles (not just the argmax) are bit-identical: on bipolar
+  // vectors dot == d - 2h, so cosine and the 1/d-scaled dot are the same
+  // division the dense path performs, and inverse Hamming shares its
+  // expression with hdc::similarity().
+  const auto d = static_cast<double>(dimension_);
+  switch (metric_) {
+    case Similarity::kCosine:
+    case Similarity::kDot:
+      return static_cast<double>(static_cast<std::int64_t>(dimension_) -
+                                 2 * static_cast<std::int64_t>(h)) /
+             d;
+    case Similarity::kInverseHamming:
+      return 1.0 - static_cast<double>(h) / d;
+  }
+  throw std::invalid_argument("PackedClassMemory::score: unknown metric");
+}
+
+QueryResult PackedClassMemory::query(const PackedHypervector& query_hv) const {
+  if (query_hv.dimension() != dimension_) {
+    throw std::invalid_argument("PackedClassMemory::query: dimension mismatch");
+  }
+  finalize();
+  QueryResult result;
+  result.similarities.resize(accumulators_.size());
+  for (std::size_t c = 0; c < accumulators_.size(); ++c) {
+    const double s = score(c, query_hv);
+    result.similarities[c] = s;
+    if (s > result.best_similarity) {
+      result.best_similarity = s;
+      result.best_class = c;
+    }
+  }
+  return result;
+}
+
+std::size_t PackedClassMemory::footprint_bytes() const noexcept {
+  return accumulators_.size() * ((dimension_ + 7) / 8);
+}
+
 }  // namespace graphhd::hdc

@@ -4,18 +4,24 @@
 /// The paper's efficiency argument leans on associative-memory hardware
 /// (Schmuck et al.): with binary class vectors, one inference is k Hamming
 /// distances, each a row of XOR + popcount — the operation FPGA/ASIC
-/// mappings execute in a single cycle per class.  This class is the
-/// software analogue: it snapshots a trained AssociativeMemory's quantized
-/// class vectors in packed form and answers queries with word-level
-/// popcounts, producing exactly the same argmax as the bipolar memory
-/// under cosine/inverse-Hamming metrics (both are monotone in Hamming
-/// distance for fixed-norm vectors; property-tested).
+/// mappings execute in a single cycle per class.  Two software analogues
+/// live here:
+///
+///  * PackedAssociativeMemory — an immutable packed snapshot of a trained
+///    dense AssociativeMemory (the deployment artifact);
+///  * PackedClassMemory — the *trainable* packed counterpart used by the
+///    kPackedBinary backend: per-slot PackedBundleAccumulators (same signed
+///    counters as the dense model) plus popcount-Hamming queries whose
+///    similarity values are bit-identical doubles to the dense quantized
+///    memory, so the packed pipeline's predictions match the dense model
+///    exactly (property-tested in tests/test_packed_assoc.cpp).
 
 #pragma once
 
 #include <vector>
 
 #include "hdc/assoc_memory.hpp"
+#include "hdc/ops.hpp"
 #include "hdc/packed.hpp"
 
 namespace graphhd::hdc {
@@ -48,6 +54,70 @@ class PackedAssociativeMemory {
  private:
   std::size_t dimension_;
   std::vector<PackedHypervector> class_vectors_;
+};
+
+/// Trainable packed associative memory over `num_classes` signed-counter
+/// class accumulators — the kPackedBinary counterpart of AssociativeMemory.
+///
+/// The class vectors are always majority-quantized (binary vectors *are*
+/// quantized by construction), matching AssociativeMemory with
+/// quantized == true: identical per-slot tie-break seeds, identical
+/// similarity doubles (cosine and dot reduce to (d - 2h)/d on bipolar data,
+/// inverse Hamming to 1 - h/d), hence identical argmax and scores.
+class PackedClassMemory {
+ public:
+  /// \param dimension    hypervector dimensionality.
+  /// \param num_classes  number of class slots k (>= 1).
+  /// \param metric       similarity δ used by queries.
+  PackedClassMemory(std::size_t dimension, std::size_t num_classes,
+                    Similarity metric = Similarity::kCosine);
+
+  [[nodiscard]] std::size_t dimension() const noexcept { return dimension_; }
+  [[nodiscard]] std::size_t num_classes() const noexcept { return accumulators_.size(); }
+  [[nodiscard]] Similarity metric() const noexcept { return metric_; }
+
+  /// Adds an encoded training sample to class `label`.
+  void add(std::size_t label, const PackedHypervector& encoded);
+
+  /// Signed update used by perceptron-style retraining: adds the sample to
+  /// its true class and subtracts it from the class it was mispredicted as.
+  void retrain_update(std::size_t true_label, std::size_t predicted_label,
+                      const PackedHypervector& encoded);
+
+  /// Number of samples added to class `label` so far.
+  [[nodiscard]] std::size_t class_count(std::size_t label) const;
+
+  /// The quantized (packed) class vector C_i.
+  [[nodiscard]] PackedHypervector class_vector(std::size_t label) const;
+
+  /// Classifies `query` with XOR + popcount; requires at least one class.
+  [[nodiscard]] QueryResult query(const PackedHypervector& query) const;
+
+  /// Rebuilds the cached packed class vectors; called automatically by
+  /// query() when the memory is dirty, exposed so batch predict paths can
+  /// finalize once before querying concurrently from pool workers.
+  void finalize() const;
+
+  /// Raw accumulator of one class slot (serialization / diagnostics).
+  [[nodiscard]] const PackedBundleAccumulator& accumulator(std::size_t label) const;
+
+  /// Replaces one slot's accumulator state (deserialization).  The
+  /// accumulator's dimension must match the memory's.
+  void restore(std::size_t label, PackedBundleAccumulator accumulator,
+               std::size_t sample_count);
+
+  /// Inference-time artifact size in bytes: num_classes * ceil(d / 8).
+  [[nodiscard]] std::size_t footprint_bytes() const noexcept;
+
+ private:
+  [[nodiscard]] double score(std::size_t label, const PackedHypervector& query) const;
+
+  std::size_t dimension_;
+  Similarity metric_;
+  std::vector<PackedBundleAccumulator> accumulators_;
+  std::vector<std::size_t> counts_;
+  mutable std::vector<PackedHypervector> cached_class_vectors_;
+  mutable bool dirty_ = true;
 };
 
 }  // namespace graphhd::hdc

@@ -62,15 +62,18 @@ Rng::result_type Rng::operator()() noexcept {
 }
 
 std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
-  // Lemire's nearly-divisionless unbiased bounded generation.
+  // Lemire's nearly-divisionless unbiased bounded generation.  The 128-bit
+  // product is a GCC/Clang extension; __extension__ keeps it legal under
+  // -Wpedantic -Werror (the CI warnings gate).
+  __extension__ using Uint128 = unsigned __int128;
   std::uint64_t x = (*this)();
-  unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+  Uint128 m = static_cast<Uint128>(x) * bound;
   auto low = static_cast<std::uint64_t>(m);
   if (low < bound) {
     const std::uint64_t threshold = (0 - bound) % bound;
     while (low < threshold) {
       x = (*this)();
-      m = static_cast<unsigned __int128>(x) * bound;
+      m = static_cast<Uint128>(x) * bound;
       low = static_cast<std::uint64_t>(m);
     }
   }

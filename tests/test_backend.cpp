@@ -1,0 +1,237 @@
+/// Tests of the kPackedBinary backend: the packed pipeline must be a
+/// *faithful* fast path — bit-identical predictions (labels and similarity
+/// doubles) to the dense quantized model, on synthetic and TUDataset-format
+/// fixtures, at any thread count, through every extension that composes
+/// with it, and across serialization.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+
+#include "core/model.hpp"
+#include "core/pipeline.hpp"
+#include "core/serialize.hpp"
+#include "data/scalability.hpp"
+#include "data/synthetic.hpp"
+#include "data/tudataset.hpp"
+#include "graph/generators.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace {
+
+using namespace graphhd::core;
+using graphhd::data::GraphDataset;
+using graphhd::graph::cycle_graph;
+using graphhd::graph::star_graph;
+namespace parallel = graphhd::parallel;
+
+/// Restores the process-wide pool so tests don't leak thread settings.
+struct ThreadGuard {
+  ~ThreadGuard() { parallel::set_threads(0); }
+};
+
+GraphHdConfig base_config() {
+  GraphHdConfig config;
+  config.dimension = 2048;  // smaller than the paper's 10k: same math, faster tests.
+  config.seed = 0xbacc;
+  return config;
+}
+
+GraphDataset synthetic_dataset(std::size_t num_vertices = 40) {
+  graphhd::data::ScalabilityConfig spec;
+  spec.num_vertices = num_vertices;
+  spec.num_graphs = 30;
+  return graphhd::data::make_scalability_dataset(spec, /*seed=*/0x5e7ULL);
+}
+
+/// A small dataset that went through the TUDataset on-disk format (write +
+/// re-read), as the CI fixtures would.
+GraphDataset tudataset_fixture() {
+  namespace fs = std::filesystem;
+  const auto replica =
+      graphhd::data::make_synthetic_replica("MUTAG", /*seed=*/0x70d5ULL, /*scale=*/0.1);
+  const fs::path dir = fs::temp_directory_path() / "graphhd_backend_fixture";
+  graphhd::data::save_tudataset(replica, dir);
+  auto loaded = graphhd::data::load_tudataset(dir, replica.name());
+  fs::remove_all(dir);
+  return loaded;
+}
+
+void expect_identical_predictions(const std::vector<Prediction>& dense,
+                                  const std::vector<Prediction>& packed,
+                                  const char* context) {
+  ASSERT_EQ(dense.size(), packed.size()) << context;
+  for (std::size_t i = 0; i < dense.size(); ++i) {
+    EXPECT_EQ(dense[i].label, packed[i].label) << context << " sample " << i;
+    // Bit-identical doubles, not just close: the packed scorer reproduces
+    // the dense arithmetic exactly.
+    EXPECT_EQ(dense[i].score, packed[i].score) << context << " sample " << i;
+    EXPECT_EQ(dense[i].class_scores, packed[i].class_scores) << context << " sample " << i;
+  }
+}
+
+void expect_backends_agree(GraphHdConfig config, const GraphDataset& dataset,
+                           const char* context) {
+  ThreadGuard guard;
+  config.backend = Backend::kDenseBipolar;
+  GraphHdModel dense(config, dataset.num_classes());
+  config.backend = Backend::kPackedBinary;
+  GraphHdModel packed(config, dataset.num_classes());
+
+  parallel::set_threads(1);
+  dense.fit(dataset);
+  packed.fit(dataset);
+  const auto reference = dense.predict_batch(dataset);
+
+  // The issue's contract: identical at 1, 2 and 8 threads.
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    parallel::set_threads(threads);
+    expect_identical_predictions(reference, packed.predict_batch(dataset), context);
+  }
+}
+
+TEST(PackedBackend, MatchesDenseOnSyntheticDataset) {
+  expect_backends_agree(base_config(), synthetic_dataset(), "synthetic");
+}
+
+TEST(PackedBackend, MatchesDenseOnTuDatasetFixture) {
+  expect_backends_agree(base_config(), tudataset_fixture(), "tudataset");
+}
+
+TEST(PackedBackend, MatchesDenseWithVertexLabels) {
+  // Labels route the packed encoder through its dense-then-pack fallback.
+  GraphHdConfig config = base_config();
+  config.use_vertex_labels = true;
+  expect_backends_agree(config, tudataset_fixture(), "tudataset+labels");
+}
+
+TEST(PackedBackend, MatchesDenseWithRetraining) {
+  GraphHdConfig config = base_config();
+  config.retrain_epochs = 3;
+  expect_backends_agree(config, synthetic_dataset(), "retraining");
+}
+
+TEST(PackedBackend, MatchesDenseWithMultiplePrototypes) {
+  GraphHdConfig config = base_config();
+  config.vectors_per_class = 3;
+  expect_backends_agree(config, synthetic_dataset(), "prototypes");
+}
+
+TEST(PackedBackend, MatchesDenseWithInverseHammingMetric) {
+  GraphHdConfig config = base_config();
+  config.metric = graphhd::hdc::Similarity::kInverseHamming;
+  expect_backends_agree(config, synthetic_dataset(), "inverse-hamming");
+}
+
+TEST(PackedBackend, MatchesDenseWithNeighborhoodRounds) {
+  GraphHdConfig config = base_config();
+  config.dimension = 512;  // message passing is O(rounds * d * (V+2E)).
+  config.neighborhood_rounds = 1;
+  expect_backends_agree(config, synthetic_dataset(20), "message-passing");
+}
+
+TEST(PackedBackend, MatchesDenseWithoutBitsliceBundling) {
+  GraphHdConfig config = base_config();
+  config.use_bitslice_bundling = false;
+  expect_backends_agree(config, synthetic_dataset(20), "reference-bundling");
+}
+
+TEST(PackedBackend, EncoderPackedMatchesPackedDenseEncoding) {
+  // encode_packed must be the exact image of encode under from_bipolar —
+  // including the edgeless-graph fallback.
+  GraphHdConfig config = base_config();
+  GraphHdEncoder a(config), b(config);
+  const auto edgeless = graphhd::graph::Graph::from_edges(5, {});
+  for (const auto& graph : {star_graph(9), cycle_graph(12), edgeless}) {
+    EXPECT_EQ(a.encode_packed(graph),
+              graphhd::hdc::PackedHypervector::from_bipolar(b.encode(graph)));
+  }
+}
+
+TEST(PackedBackend, PartialFitMatchesDense) {
+  GraphHdConfig config = base_config();
+  GraphHdModel dense(config, 2);
+  config.backend = Backend::kPackedBinary;
+  GraphHdModel packed(config, 2);
+  for (std::size_t n = 6; n < 14; ++n) {
+    dense.partial_fit(star_graph(n), 0);
+    packed.partial_fit(star_graph(n), 0);
+    dense.partial_fit(cycle_graph(n), 1);
+    packed.partial_fit(cycle_graph(n), 1);
+  }
+  for (std::size_t n = 5; n < 16; ++n) {
+    const auto d = dense.predict(cycle_graph(n));
+    const auto p = packed.predict(cycle_graph(n));
+    EXPECT_EQ(d.label, p.label) << n;
+    EXPECT_EQ(d.score, p.score) << n;
+  }
+}
+
+TEST(PackedBackend, PredictEncodedAcceptsEitherRepresentation) {
+  GraphHdConfig config = base_config();
+  config.backend = Backend::kPackedBinary;
+  GraphHdModel model(config, 2);
+  model.partial_fit(star_graph(8), 0);
+  model.partial_fit(cycle_graph(8), 1);
+  const auto dense_hv = model.encoder().encode(star_graph(10));
+  const auto packed_hv = model.encoder().encode_packed(star_graph(10));
+  const auto via_dense = model.predict_encoded(dense_hv);
+  const auto via_packed = model.predict_encoded(packed_hv);
+  EXPECT_EQ(via_dense.label, via_packed.label);
+  EXPECT_EQ(via_dense.score, via_packed.score);
+}
+
+TEST(PackedBackend, RejectsNonQuantizedModel) {
+  GraphHdConfig config = base_config();
+  config.backend = Backend::kPackedBinary;
+  config.quantized_model = false;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  EXPECT_THROW(GraphHdModel(config, 2), std::invalid_argument);
+}
+
+TEST(PackedBackend, MemoryAccessorsMatchBackend) {
+  GraphHdConfig config = base_config();
+  GraphHdModel dense(config, 2);
+  EXPECT_NO_THROW((void)dense.memory());
+  EXPECT_THROW((void)dense.packed_memory(), std::logic_error);
+  config.backend = Backend::kPackedBinary;
+  GraphHdModel packed(config, 2);
+  EXPECT_NO_THROW((void)packed.packed_memory());
+  EXPECT_THROW((void)packed.memory(), std::logic_error);
+}
+
+TEST(PackedBackend, GraphHdFacadeRunsPacked) {
+  GraphHdConfig config = base_config();
+  config.backend = Backend::kPackedBinary;
+  GraphHd classifier(config);
+  const auto dataset = synthetic_dataset(25);
+  classifier.fit(dataset);
+  EXPECT_GT(classifier.score(dataset), 0.5);  // learnable signal by design.
+}
+
+TEST(BackendConfig, ParseAndToString) {
+  EXPECT_STREQ(to_string(Backend::kDenseBipolar), "dense");
+  EXPECT_STREQ(to_string(Backend::kPackedBinary), "packed");
+  EXPECT_EQ(parse_backend("dense"), Backend::kDenseBipolar);
+  EXPECT_EQ(parse_backend("bipolar"), Backend::kDenseBipolar);
+  EXPECT_EQ(parse_backend("packed"), Backend::kPackedBinary);
+  EXPECT_EQ(parse_backend("binary"), Backend::kPackedBinary);
+  EXPECT_EQ(parse_backend("simd"), std::nullopt);
+  EXPECT_EQ(parse_backend(""), std::nullopt);
+}
+
+TEST(BackendConfig, EnvSelectionAndErrors) {
+  // Single-threaded test process: setenv is safe here.
+  ASSERT_EQ(setenv("GRAPHHD_BACKEND", "packed", 1), 0);
+  EXPECT_EQ(backend_from_env(Backend::kDenseBipolar), Backend::kPackedBinary);
+  ASSERT_EQ(setenv("GRAPHHD_BACKEND", "dense", 1), 0);
+  EXPECT_EQ(backend_from_env(Backend::kPackedBinary), Backend::kDenseBipolar);
+  ASSERT_EQ(setenv("GRAPHHD_BACKEND", "typo", 1), 0);
+  EXPECT_THROW((void)backend_from_env(Backend::kDenseBipolar), std::runtime_error);
+  ASSERT_EQ(unsetenv("GRAPHHD_BACKEND"), 0);
+  EXPECT_EQ(backend_from_env(Backend::kPackedBinary), Backend::kPackedBinary);
+}
+
+}  // namespace

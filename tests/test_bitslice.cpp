@@ -125,4 +125,38 @@ TEST_P(BitsliceEncoderEquivalence, FastPathBitIdenticalToReference) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BitsliceEncoderEquivalence, ::testing::Values(1, 2, 3));
 
+/// threshold_packed is the packed backend's encoder output: it must be the
+/// exact packing of threshold_bipolar — same majority, same seeded
+/// tie-break — for both odd (tie-free) and even (tie-bearing) add counts
+/// and at non-word-multiple dimensions.
+TEST(BitsliceBundler, ThresholdPackedMatchesBipolarOddAndEven) {
+  Rng rng(71);
+  for (const std::size_t d : {70u, 300u, 1024u}) {
+    for (const std::size_t adds : {1u, 3u, 4u, 8u}) {
+      BitsliceBundler a(d);
+      BitsliceBundler b(d);
+      for (std::size_t i = 0; i < adds; ++i) {
+        const auto hv = PackedHypervector::random(d, rng);
+        a.add(hv);
+        b.add(hv);
+      }
+      EXPECT_EQ(a.threshold_packed(17), PackedHypervector::from_bipolar(b.threshold_bipolar(17)))
+          << "d=" << d << " adds=" << adds;
+    }
+  }
+}
+
+TEST(BitsliceBundler, ThresholdPackedOnBoundPairs) {
+  Rng rng(73);
+  BitsliceBundler a(500);
+  BitsliceBundler b(500);
+  for (int i = 0; i < 6; ++i) {
+    const auto x = PackedHypervector::random(500, rng);
+    const auto y = PackedHypervector::random(500, rng);
+    a.add_bound(x, y);
+    b.add_bound(x, y);
+  }
+  EXPECT_EQ(a.threshold_packed(), PackedHypervector::from_bipolar(b.threshold_bipolar()));
+}
+
 }  // namespace

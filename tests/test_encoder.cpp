@@ -42,6 +42,38 @@ TEST(GraphHdConfig, IdentifierNames) {
   EXPECT_STREQ(to_string(VertexIdentifier::kDegree), "degree");
 }
 
+TEST(Encoder, PackedRankCacheIsBounded) {
+  // Regression: the packed mirror of the rank basis used to grow without
+  // bound — one packed vector per centrality rank ever seen.  A graph with
+  // more vertices than the cap must still encode correctly (identically to
+  // the dense path) while the cache stays capped.
+  GraphHdConfig config = test_config(512);
+  GraphHdEncoder encoder(config);
+  GraphHdEncoder reference(config);
+  const std::size_t big = GraphHdEncoder::kPackedRankCacheCap + 100;
+  const auto graph = path_graph(big);  // ranks 0..big-1 all occur.
+
+  const auto packed = encoder.encode_packed(graph);
+  EXPECT_LE(encoder.packed_rank_cache_size(), GraphHdEncoder::kPackedRankCacheCap);
+  EXPECT_EQ(packed, graphhd::hdc::PackedHypervector::from_bipolar(reference.encode(graph)));
+
+  // The dense fast path shares the cache; it must respect the cap too.
+  (void)reference.encode(graph);
+  EXPECT_LE(reference.packed_rank_cache_size(), GraphHdEncoder::kPackedRankCacheCap);
+}
+
+TEST(Encoder, PackedRankCacheStaysBoundedAcrossGraphs) {
+  GraphHdConfig config = test_config(256);
+  GraphHdEncoder encoder(config);
+  for (std::size_t n = 4; n < 40; n += 3) {
+    (void)encoder.encode_packed(cycle_graph(n));
+    (void)encoder.encode_packed(star_graph(n));
+  }
+  // Small graphs: the cache holds at most the largest rank seen, far below
+  // the cap — growth tracks demand, not total graphs encoded.
+  EXPECT_LE(encoder.packed_rank_cache_size(), 40u);
+}
+
 TEST(Encoder, DeterministicPerConfigSeed) {
   GraphHdEncoder a(test_config()), b(test_config());
   const auto g = star_graph(8);

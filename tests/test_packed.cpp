@@ -143,6 +143,95 @@ TEST(PackedBundle, DimensionMismatchThrows) {
   EXPECT_THROW(acc.add(PackedHypervector::random(32, rng)), std::invalid_argument);
 }
 
+TEST(PackedHypervector, BitReadOutOfRangeThrows) {
+  // Regression: bit() used to index words_ unchecked — one past the last
+  // word is UB, and reads inside the tail slack would return padding.
+  PackedHypervector hv(70);
+  EXPECT_NO_THROW((void)hv.bit(69));
+  EXPECT_THROW((void)hv.bit(70), std::out_of_range);
+  EXPECT_THROW((void)hv.bit(127), std::out_of_range);  // inside the tail word.
+  EXPECT_THROW((void)hv.bit(1u << 20), std::out_of_range);
+}
+
+TEST(PackedHypervector, SetBitOutOfRangeThrows) {
+  PackedHypervector hv(70);
+  EXPECT_NO_THROW(hv.set_bit(69, true));
+  // A write into the tail slack would corrupt every later Hamming distance.
+  EXPECT_THROW(hv.set_bit(70, true), std::out_of_range);
+  EXPECT_THROW(hv.set_bit(128, true), std::out_of_range);
+}
+
+TEST(PackedHypervector, EmptyVectorRejectsAnyBitAccess) {
+  PackedHypervector hv;
+  EXPECT_THROW((void)hv.bit(0), std::out_of_range);
+  EXPECT_THROW(hv.set_bit(0, false), std::out_of_range);
+}
+
+TEST(PackedHypervector, FromWordsRoundTripsAndMasksTail) {
+  std::vector<std::uint64_t> words = {~std::uint64_t{0}, ~std::uint64_t{0}};
+  const auto hv = PackedHypervector::from_words(words, 70);
+  EXPECT_EQ(hv.dimension(), 70u);
+  EXPECT_EQ(hv.words()[1] >> 6, 0u) << "tail bits must be cleared";
+  for (std::size_t i = 0; i < 70; ++i) EXPECT_TRUE(hv.bit(i)) << i;
+  EXPECT_THROW((void)PackedHypervector::from_words(words, 200), std::invalid_argument);
+  EXPECT_THROW((void)PackedHypervector::from_words(words, 64), std::invalid_argument);
+}
+
+TEST(PackedBundle, WeightedAddsMatchBipolarAccumulator) {
+  // The packed backend retrains with signed updates; the packed accumulator
+  // must track BundleAccumulator through an arbitrary add/subtract history,
+  // including the raw counters it serializes.
+  Rng rng(47);
+  BundleAccumulator bipolar_acc(320);
+  PackedBundleAccumulator packed_acc(320);
+  const std::int32_t weights[] = {1, 1, -1, 3, 1, -2, 1, 1};
+  for (const std::int32_t w : weights) {
+    const auto hv = Hypervector::random(320, rng);
+    bipolar_acc.add(hv, w);
+    packed_acc.add(PackedHypervector::from_bipolar(hv), w);
+    EXPECT_EQ(packed_acc.tie_free(), bipolar_acc.tie_free());
+    EXPECT_EQ(packed_acc.threshold(7).to_bipolar(), bipolar_acc.threshold(7));
+  }
+  const auto dense_counts = bipolar_acc.counts();
+  const auto packed_counts = packed_acc.counts();
+  ASSERT_EQ(dense_counts.size(), packed_counts.size());
+  for (std::size_t i = 0; i < dense_counts.size(); ++i) {
+    EXPECT_EQ(dense_counts[i], packed_counts[i]) << "component " << i;
+  }
+}
+
+TEST(PackedBundle, SubtractCancelsAdd) {
+  Rng rng(53);
+  const auto hv = PackedHypervector::random(128, rng);
+  PackedBundleAccumulator acc(128);
+  acc.add(hv);
+  acc.subtract(hv);
+  for (const std::int32_t c : acc.counts()) EXPECT_EQ(c, 0);
+  EXPECT_FALSE(acc.tie_free());
+}
+
+TEST(PackedBundle, FromRawRestoresState) {
+  Rng rng(59);
+  PackedBundleAccumulator acc(96);
+  for (int i = 0; i < 3; ++i) acc.add(PackedHypervector::random(96, rng));
+  const auto restored = PackedBundleAccumulator::from_raw(
+      std::vector<std::int32_t>(acc.counts().begin(), acc.counts().end()), acc.count(),
+      acc.tie_free());
+  EXPECT_EQ(restored.count(), acc.count());
+  EXPECT_EQ(restored.tie_free(), acc.tie_free());
+  EXPECT_EQ(restored.threshold(), acc.threshold());
+}
+
+TEST(PackedBundle, ClearResets) {
+  Rng rng(61);
+  PackedBundleAccumulator acc(64);
+  acc.add(PackedHypervector::random(64, rng));
+  acc.clear();
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_FALSE(acc.tie_free());
+  for (const std::int32_t c : acc.counts()) EXPECT_EQ(c, 0);
+}
+
 /// The packed representation exists for the hardware-efficiency argument;
 /// sanity-check that binding through either representation commutes with
 /// conversion across dimensions.

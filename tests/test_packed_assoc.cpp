@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 namespace {
 
@@ -81,6 +83,115 @@ TEST(PackedAssociativeMemory, FootprintIsBitsNotBytes) {
   // 6 classes x ceil(10000/8) = 7500 bytes — the deployable-model size the
   // paper's IoT argument relies on.
   EXPECT_EQ(packed.footprint_bytes(), 6u * 1250u);
+}
+
+// ---------------------------------------------------------------------------
+// PackedClassMemory: the *trainable* packed memory behind the kPackedBinary
+// backend.  Its contract is stronger than the snapshot's: trained side by
+// side with a dense quantized AssociativeMemory it must produce bit-identical
+// similarity doubles (not just the same argmax) under every metric.
+// ---------------------------------------------------------------------------
+
+/// Trains a dense quantized memory and a packed memory on the same stream.
+std::pair<AssociativeMemory, PackedClassMemory> twin_memories(std::size_t dimension,
+                                                              std::size_t classes,
+                                                              std::uint64_t seed,
+                                                              Similarity metric) {
+  Rng rng(seed);
+  AssociativeMemory dense(dimension, classes, metric, /*quantized=*/true);
+  PackedClassMemory packed(dimension, classes, metric);
+  for (std::size_t c = 0; c < classes; ++c) {
+    for (int s = 0; s < 4; ++s) {  // even count: exercises the tie stream.
+      const auto hv = Hypervector::random(dimension, rng);
+      dense.add(c, hv);
+      packed.add(c, PackedHypervector::from_bipolar(hv));
+    }
+  }
+  return {std::move(dense), std::move(packed)};
+}
+
+class PackedClassMemoryMetric : public ::testing::TestWithParam<Similarity> {};
+
+TEST_P(PackedClassMemoryMetric, SimilaritiesBitIdenticalToDense) {
+  auto [dense, packed] = twin_memories(1030, 3, 83, GetParam());
+  Rng rng(89);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto query = Hypervector::random(1030, rng);
+    const auto d = dense.query(query);
+    const auto p = packed.query(PackedHypervector::from_bipolar(query));
+    EXPECT_EQ(p.best_class, d.best_class) << "trial " << trial;
+    EXPECT_EQ(p.best_similarity, d.best_similarity) << "trial " << trial;
+    ASSERT_EQ(p.similarities.size(), d.similarities.size());
+    for (std::size_t c = 0; c < d.similarities.size(); ++c) {
+      // Exact double equality — the packed scorer reproduces the dense
+      // arithmetic, it does not approximate it.
+      EXPECT_EQ(p.similarities[c], d.similarities[c]) << "class " << c;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Metrics, PackedClassMemoryMetric,
+                         ::testing::Values(Similarity::kCosine, Similarity::kInverseHamming,
+                                           Similarity::kDot));
+
+TEST(PackedClassMemory, ClassVectorsAreExactPackingsOfDense) {
+  auto [dense, packed] = twin_memories(700, 2, 97, Similarity::kCosine);
+  for (std::size_t c = 0; c < 2; ++c) {
+    EXPECT_EQ(packed.class_vector(c).to_bipolar(), dense.class_vector(c));
+  }
+}
+
+TEST(PackedClassMemory, RetrainUpdateTracksDense) {
+  auto [dense, packed] = twin_memories(512, 2, 101, Similarity::kCosine);
+  Rng rng(103);
+  const auto sample = Hypervector::random(512, rng);
+  dense.retrain_update(0, 1, sample);
+  packed.retrain_update(0, 1, PackedHypervector::from_bipolar(sample));
+  for (std::size_t c = 0; c < 2; ++c) {
+    EXPECT_EQ(packed.class_vector(c).to_bipolar(), dense.class_vector(c));
+  }
+  // Self-update is a no-op on both sides.
+  dense.retrain_update(1, 1, sample);
+  packed.retrain_update(1, 1, PackedHypervector::from_bipolar(sample));
+  EXPECT_EQ(packed.class_vector(1).to_bipolar(), dense.class_vector(1));
+}
+
+TEST(PackedClassMemory, RestoreRebuildsClassVectors) {
+  auto [dense, packed] = twin_memories(256, 2, 107, Similarity::kCosine);
+  PackedClassMemory restored(256, 2);
+  for (std::size_t c = 0; c < 2; ++c) {
+    const auto& acc = packed.accumulator(c);
+    restored.restore(c,
+                     PackedBundleAccumulator::from_raw(
+                         std::vector<std::int32_t>(acc.counts().begin(), acc.counts().end()),
+                         acc.count(), acc.tie_free()),
+                     packed.class_count(c));
+    EXPECT_EQ(restored.class_count(c), packed.class_count(c));
+  }
+  for (std::size_t c = 0; c < 2; ++c) {
+    EXPECT_EQ(restored.class_vector(c), packed.class_vector(c));
+  }
+}
+
+TEST(PackedClassMemory, ValidatesArguments) {
+  EXPECT_THROW(PackedClassMemory(0, 2), std::invalid_argument);
+  EXPECT_THROW(PackedClassMemory(64, 0), std::invalid_argument);
+  PackedClassMemory memory(64, 2);
+  Rng rng(109);
+  const auto hv = PackedHypervector::random(64, rng);
+  const auto wrong = PackedHypervector::random(32, rng);
+  EXPECT_THROW(memory.add(2, hv), std::out_of_range);
+  EXPECT_THROW(memory.add(0, wrong), std::invalid_argument);
+  EXPECT_THROW((void)memory.query(wrong), std::invalid_argument);
+  EXPECT_THROW((void)memory.class_count(5), std::out_of_range);
+  EXPECT_THROW((void)memory.accumulator(5), std::out_of_range);
+  EXPECT_THROW(memory.retrain_update(0, 7, hv), std::out_of_range);
+  EXPECT_THROW(memory.restore(0, PackedBundleAccumulator(32), 1), std::invalid_argument);
+}
+
+TEST(PackedClassMemory, FootprintMatchesSnapshot) {
+  PackedClassMemory memory(10000, 4);
+  EXPECT_EQ(memory.footprint_bytes(), 4u * 1250u);
 }
 
 }  // namespace

@@ -218,6 +218,186 @@ TEST(Serialize, RoundTripSurvivesEveryFieldIntact) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Packed-backend serialization (format version 2).
+// ---------------------------------------------------------------------------
+
+GraphHdConfig packed_config() {
+  GraphHdConfig config = small_config();
+  config.backend = Backend::kPackedBinary;
+  return config;
+}
+
+TEST(SerializePacked, RoundTripPreservesPredictions) {
+  auto original = trained_model(packed_config());
+  std::stringstream buffer;
+  save_model(original, buffer);
+  auto restored = load_model(buffer);
+  EXPECT_EQ(restored.config().backend, Backend::kPackedBinary);
+
+  const auto probes = toy_dataset(5);
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    const auto a = original.predict(probes.graph(i));
+    const auto b = restored.predict(probes.graph(i));
+    EXPECT_EQ(a.label, b.label) << "probe " << i;
+    EXPECT_EQ(a.score, b.score) << "probe " << i;
+  }
+}
+
+TEST(SerializePacked, ArtifactMatchesDenseModelExceptBackendLine) {
+  // The slot counters are the backend-agnostic raw state: training the same
+  // data through either backend must serialize to the same bytes apart from
+  // the backend header line.
+  auto dense = trained_model(small_config());
+  auto packed = trained_model(packed_config());
+  std::stringstream dense_buffer, packed_buffer;
+  save_model(dense, dense_buffer);
+  save_model(packed, packed_buffer);
+  std::string dense_text = dense_buffer.str();
+  std::string packed_text = packed_buffer.str();
+  const auto rewrite_backend_line = [](std::string text) {
+    const auto pos = text.find("backend ");
+    const auto eol = text.find('\n', pos);
+    return text.substr(0, pos) + text.substr(eol + 1);
+  };
+  EXPECT_EQ(rewrite_backend_line(dense_text), rewrite_backend_line(packed_text));
+}
+
+TEST(SerializePacked, CrossBackendLoadPredictsIdentically) {
+  // Editing the backend header reinterprets the same counters on the other
+  // backend — predictions must not change (the backends are bit-equivalent).
+  auto packed = trained_model(packed_config());
+  std::stringstream buffer;
+  save_model(packed, buffer);
+  std::string text = buffer.str();
+  const auto pos = text.find("backend 1");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos + 8] = '0';
+  std::stringstream as_dense_stream(text);
+  auto as_dense = load_model(as_dense_stream);
+  EXPECT_EQ(as_dense.config().backend, Backend::kDenseBipolar);
+  for (std::size_t n = 6; n < 12; ++n) {
+    const auto a = packed.predict(cycle_graph(n));
+    const auto b = as_dense.predict(cycle_graph(n));
+    EXPECT_EQ(a.label, b.label) << n;
+    EXPECT_EQ(a.score, b.score) << n;
+  }
+}
+
+TEST(SerializePacked, LoadsVersion1DenseFiles) {
+  // Backward compatibility: a version-1 artifact (pre-backend header) is a
+  // dense model; synthesize one from the current writer's output.
+  auto original = trained_model();
+  std::stringstream buffer;
+  save_model(original, buffer);
+  std::string text = buffer.str();
+  const auto magic_eol = text.find('\n');
+  const auto backend_eol = text.find('\n', magic_eol + 1);
+  text = "GRAPHHD-MODEL 1\n" + text.substr(backend_eol + 1);
+  std::stringstream v1_stream(text);
+  auto restored = load_model(v1_stream);
+  EXPECT_EQ(restored.config().backend, Backend::kDenseBipolar);
+  EXPECT_EQ(restored.predict(star_graph(9)).label, original.predict(star_graph(9)).label);
+}
+
+TEST(SerializePacked, RejectsOutOfRangeBackendEnum) {
+  std::stringstream corrupted(corrupt_field("backend", "7"));
+  EXPECT_THROW((void)load_model(corrupted), std::runtime_error);
+  std::stringstream negative(corrupt_field("backend", "-1"));
+  EXPECT_THROW((void)load_model(negative), std::runtime_error);
+}
+
+TEST(SerializePacked, RejectsPackedNonQuantizedCombination) {
+  // quantized 0 + backend packed parses but fails config.validate().
+  auto packed = trained_model(packed_config());
+  std::stringstream buffer;
+  save_model(packed, buffer);
+  std::string text = buffer.str();
+  const auto pos = text.find("quantized 1");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos + 10] = '0';
+  std::stringstream corrupted(text);
+  EXPECT_THROW((void)load_model(corrupted), std::runtime_error);
+}
+
+/// Returns a serialized packed model with `mutate` applied to the text.
+template <typename Mutate>
+std::string mutated_packed_artifact(Mutate mutate) {
+  auto original = trained_model(packed_config());
+  std::stringstream buffer;
+  save_model(original, buffer);
+  std::string text = buffer.str();
+  mutate(text);
+  return text;
+}
+
+TEST(SerializePacked, RejectsCorruptCounterWord) {
+  // Mirrors the dense corrupt-file gates: a garbled token inside a counter
+  // row must fail loudly, wherever it sits.
+  const std::string artifact = mutated_packed_artifact([](std::string&) {});
+  const auto first_row_start = artifact.find('\n', artifact.find("slot 0")) + 1;
+  const auto first_row_end = artifact.find('\n', first_row_start);
+
+  // Corrupt a token in the middle of the row.
+  {
+    std::string text = artifact;
+    const auto mid = text.find(' ', first_row_start + (first_row_end - first_row_start) / 2);
+    text.replace(mid, 1, " x");
+    std::stringstream in(text);
+    EXPECT_THROW((void)load_model(in), std::runtime_error);
+  }
+  // Append garbage after the last counter of the row (used to be silently
+  // ignored before the trailing-token check).
+  {
+    std::string text = artifact;
+    text.insert(first_row_end, " banana");
+    std::stringstream in(text);
+    EXPECT_THROW((void)load_model(in), std::runtime_error);
+  }
+}
+
+TEST(SerializePacked, RejectsTruncatedFile) {
+  const std::string artifact = mutated_packed_artifact([](std::string&) {});
+  for (const double fraction : {0.25, 0.5, 0.9}) {
+    std::stringstream truncated(
+        artifact.substr(0, static_cast<std::size_t>(artifact.size() * fraction)));
+    EXPECT_THROW((void)load_model(truncated), std::runtime_error) << fraction;
+  }
+}
+
+TEST(SerializePacked, RejectsWrongDimension) {
+  // A dimension header that disagrees with the counter rows must be caught
+  // in both directions: too large -> short row, too small -> trailing
+  // garbage after the row.
+  {
+    const std::string text = mutated_packed_artifact([](std::string& t) {
+      const auto pos = t.find("dimension 1024");
+      t.replace(pos, 14, "dimension 2048");
+    });
+    std::stringstream in(text);
+    EXPECT_THROW((void)load_model(in), std::runtime_error);
+  }
+  {
+    const std::string text = mutated_packed_artifact([](std::string& t) {
+      const auto pos = t.find("dimension 1024");
+      t.replace(pos, 14, "dimension 512");
+    });
+    std::stringstream in(text);
+    EXPECT_THROW((void)load_model(in), std::runtime_error);
+  }
+}
+
+TEST(SerializePacked, FileRoundTrip) {
+  namespace fs = std::filesystem;
+  const fs::path path = fs::temp_directory_path() / "graphhd_packed_model_test.ghd";
+  auto original = trained_model(packed_config());
+  save_model(original, path);
+  auto restored = load_model(path);
+  EXPECT_EQ(restored.config().backend, Backend::kPackedBinary);
+  EXPECT_EQ(restored.predict(cycle_graph(9)).label, original.predict(cycle_graph(9)).label);
+  fs::remove(path);
+}
+
 TEST(Serialize, ArtifactIsCompact) {
   // A 1024-dimensional 2-class model serializes to a few KB of text — the
   // deployable-artifact property the IoT story needs.
