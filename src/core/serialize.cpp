@@ -68,8 +68,8 @@ template <typename Value, typename Convert>
 }
 
 [[nodiscard]] int parse_int(const std::string& text, const char* key) {
-  return parse_number<int>(text, key,
-                           [](const std::string& s, std::size_t* pos) { return std::stoi(s, pos); });
+  return parse_number<int>(
+      text, key, [](const std::string& s, std::size_t* pos) { return std::stoi(s, pos); });
 }
 
 [[nodiscard]] double parse_double(const std::string& text, const char* key) {

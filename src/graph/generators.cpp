@@ -29,7 +29,8 @@ Graph erdos_renyi(std::size_t n, double p, Rng& rng) {
     }
     return from_edge_vector(n, std::move(edges));
   }
-  edges.reserve(static_cast<std::size_t>(p * static_cast<double>(n) * static_cast<double>(n) / 2.0));
+  edges.reserve(
+      static_cast<std::size_t>(p * static_cast<double>(n) * static_cast<double>(n) / 2.0));
   // Batagelj-Brandes geometric skipping over the strictly-lower-triangular
   // pair enumeration: expected O(n + m).
   const double log1mp = std::log(1.0 - p);

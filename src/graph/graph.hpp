@@ -44,7 +44,9 @@ class Graph {
   /// std::invalid_argument (the TUDataset loader deduplicates upstream).
   [[nodiscard]] static Graph from_edges(std::size_t num_vertices, std::span<const Edge> edges);
 
-  [[nodiscard]] std::size_t num_vertices() const noexcept { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+  [[nodiscard]] std::size_t num_vertices() const noexcept {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
   [[nodiscard]] std::size_t num_edges() const noexcept { return edges_.size(); }
 
   /// Neighbors of `v`, sorted ascending.
