@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Gate a BENCH_*.json result against a checked-in baseline.
+
+Usage:
+    check_perf.py --result BENCH_kernels.json --baseline bench/baselines/kernels.json
+
+The baseline is a JSON object with a ``rules`` list; each rule names a
+dotted ``path`` into the result document plus one constraint:
+
+    {"path": "query.speedup", "min": 4.0}          value must be >= min
+    {"path": "predictions_identical", "equals": true}
+    {"path": "speedup_vs_scalar.hamming_batch", "min": 2.0,
+     "skip_if_missing": true}                       missing/null path is OK
+                                                    (e.g. no SIMD on runner)
+
+A ``schema`` field in the baseline, when present, must equal the result's
+``schema`` — so a stale artifact can never satisfy the wrong gate.  Exit
+status: 0 when every rule passes (or is skipped), 1 otherwise, 2 on usage /
+parse errors.  CI wires a ``[perf-waiver]`` commit-message escape hatch
+around this script (see .github/workflows/ci.yml); the script itself never
+waives.
+"""
+
+import argparse
+import json
+import sys
+
+MISSING = object()
+
+
+def resolve(document, dotted_path):
+    node = document
+    for key in dotted_path.split("."):
+        if not isinstance(node, dict) or key not in node:
+            return MISSING
+        node = node[key]
+    return node
+
+
+def check(result, baseline):
+    failures = []
+    skipped = []
+    schema = baseline.get("schema")
+    if schema is not None and result.get("schema") != schema:
+        failures.append(
+            f"schema mismatch: result {result.get('schema')!r} != baseline {schema!r}"
+        )
+        return failures, skipped
+    for rule in baseline.get("rules", []):
+        path = rule["path"]
+        value = resolve(result, path)
+        if value is MISSING or value is None:
+            if rule.get("skip_if_missing", False):
+                skipped.append(f"{path}: absent, skipped (skip_if_missing)")
+                continue
+            failures.append(f"{path}: missing from result")
+            continue
+        if "equals" in rule and value != rule["equals"]:
+            failures.append(f"{path}: {value!r} != required {rule['equals']!r}")
+        if "min" in rule:
+            try:
+                if float(value) < float(rule["min"]):
+                    failures.append(f"{path}: {value} below floor {rule['min']}")
+            except (TypeError, ValueError):
+                failures.append(f"{path}: {value!r} is not numeric")
+    return failures, skipped
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--result", required=True, help="bench JSON output to check")
+    parser.add_argument("--baseline", required=True, help="checked-in baseline JSON")
+    args = parser.parse_args(argv)
+    try:
+        with open(args.result, encoding="utf-8") as f:
+            result = json.load(f)
+        with open(args.baseline, encoding="utf-8") as f:
+            baseline = json.load(f)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"check_perf: cannot load inputs: {error}", file=sys.stderr)
+        return 2
+    failures, skipped = check(result, baseline)
+    for note in skipped:
+        print(f"check_perf: SKIP {note}")
+    if failures:
+        for failure in failures:
+            print(f"check_perf: FAIL {failure}", file=sys.stderr)
+        print(
+            f"check_perf: {len(failures)} rule(s) below baseline "
+            f"({args.baseline}); rerun locally or waive one commit with "
+            "[perf-waiver] in the commit message",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"check_perf: OK — {args.result} meets {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -10,8 +10,9 @@
 ///   * query  throughput  — class-memory queries/s on pre-encoded vectors,
 ///     the associative-memory op the paper's hardware argument is about.
 ///
-/// Output is a single JSON object on stdout (progress goes to stderr) so CI
-/// can archive it as an artifact.
+/// Output is a single JSON object on stdout (schema "graphhd-bench-backend/v1",
+/// progress goes to stderr) so CI can archive it as BENCH_backend.json and gate
+/// it against bench/baselines/backend.json via bench/check_perf.py.
 ///
 /// Environment knobs:
 ///   GRAPHHD_MICRO_DIM          hypervector dimension   (default 10000)
@@ -21,7 +22,11 @@
 ///   GRAPHHD_MICRO_QUERY_REPS   timed query passes      (default 200)
 ///   GRAPHHD_MIN_QUERY_SPEEDUP  fail (exit 1) when the packed query speedup
 ///                              falls below this factor (default 0 = report
-///                              only; CI sets 4)
+///                              only; the CI perf-baseline job gates via
+///                              bench/check_perf.py + bench/baselines/backend.json
+///                              instead — both backends now run on the SIMD
+///                              kernel layer, so the healthy ratio is ~2-4x,
+///                              not the ~8x of the scalar-dense era)
 
 #include <chrono>
 #include <cstdio>
@@ -30,6 +35,7 @@
 
 #include "core/model.hpp"
 #include "data/scalability.hpp"
+#include "hdc/kernels/kernels.hpp"
 
 namespace {
 
@@ -161,6 +167,8 @@ int main() {
   const std::size_t packed_footprint = packed_model.packed_memory().footprint_bytes();
 
   std::printf("{\n");
+  std::printf("  \"schema\": \"graphhd-bench-backend/v1\",\n");
+  std::printf("  \"kernel\": \"%s\",\n", graphhd::hdc::kernels::active().name);
   std::printf("  \"dimension\": %zu,\n", dimension);
   std::printf("  \"graphs\": %zu,\n", dataset.size());
   std::printf("  \"vertices_per_graph\": %zu,\n", vertices);

@@ -224,6 +224,8 @@ void GraphHdEncoder::bundle_packed(const Graph& graph, std::span<const std::size
   // Identical math to the reference path: per edge the bound vector is the
   // component-wise sign product, i.e. the XOR of the packed operands; the
   // bundle is the per-component majority with the same seeded tie-break.
+  // The XOR and the carry-save majority planes run on the dispatched SIMD
+  // kernels (hdc/kernels) inside BitsliceBundler.
   // Ranks below the cap come from the bounded cache; the (rare) tail of a
   // huge graph is packed into per-call scratch storage so the cache never
   // grows past kPackedRankCacheCap.

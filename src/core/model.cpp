@@ -194,7 +194,9 @@ Prediction GraphHdModel::predict_encoded(const hdc::PackedHypervector& encoded) 
 
 std::vector<Prediction> GraphHdModel::predict_batch(const data::GraphDataset& test) {
   // Rebuild the lazy quantized class vectors once up front so the concurrent
-  // query() calls below are pure reads.
+  // query() calls below are pure reads.  Each query is one batched
+  // one-vs-all distance kernel (hdc/kernels) against every class slot; the
+  // pool workers share the immutable dispatch table.
   std::vector<Prediction> predictions(test.size());
   if (packed_memory_.has_value()) {
     packed_memory_->finalize();

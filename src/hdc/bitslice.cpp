@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "hdc/kernels/kernels.hpp"
+
 namespace graphhd::hdc {
 
 namespace {
@@ -27,9 +29,7 @@ void BitsliceBundler::add_bound(const PackedHypervector& a, const PackedHypervec
   if (a.dimension() != dimension_ || b.dimension() != dimension_) {
     throw std::invalid_argument("BitsliceBundler::add_bound: dimension mismatch");
   }
-  const auto wa = a.words();
-  const auto wb = b.words();
-  for (std::size_t w = 0; w < words_; ++w) scratch_[w] = wa[w] ^ wb[w];
+  kernels::active().xor_words(scratch_.data(), a.words().data(), b.words().data(), words_);
   add_staged();
 }
 
@@ -65,18 +65,9 @@ void BitsliceBundler::add_staged() {
       break;
     }
     // Full adder: plane' = s ^ p ^ x (weight 2^k), carry = maj(s, p, x)
-    // (weight 2^{k+1}).
-    std::uint64_t* plane = planes_[level].data();
-    const std::uint64_t* pending = pending_[level].data();
-    const std::uint64_t* incoming = scratch_.data();
-    std::uint64_t* carry = carry_.data();
-    for (std::size_t w = 0; w < words_; ++w) {
-      const std::uint64_t s = plane[w];
-      const std::uint64_t p = pending[w];
-      const std::uint64_t x = incoming[w];
-      plane[w] = s ^ p ^ x;
-      carry[w] = (s & p) | (s & x) | (p & x);
-    }
+    // (weight 2^{k+1}) — one kernel call per touched level.
+    kernels::active().full_adder(planes_[level].data(), pending_[level].data(), scratch_.data(),
+                                 carry_.data(), words_);
     pending_valid_[level] = false;
     // The carry becomes the next level's incoming vector (kept in scratch_).
     scratch_.swap(carry_);
@@ -200,16 +191,14 @@ PackedHypervector BitsliceBundler::threshold_packed(std::uint64_t tie_break_seed
   }
 
   // Even count: tie components (neither greater nor less) take the seeded
-  // stream, one draw per component as in threshold_bipolar.
-  PackedHypervector out = PackedHypervector::from_words(std::move(greater), dimension_);
-  Rng tie_rng(tie_break_seed);
-  for (std::size_t i = 0; i < dimension_; ++i) {
-    const int tie_sign = tie_rng.next_sign();
-    const bool is_greater = out.bit(i);
-    const bool is_less = (less[i >> 6] >> (i & 63)) & 1u;
-    if (!is_greater && !is_less && tie_sign < 0) out.set_bit(i, true);
+  // stream, one draw per component as in threshold_bipolar — applied at the
+  // word level with the shared tie_sign_words stream (its tail bits are
+  // zero, which also masks the undecided tail slack).
+  const std::vector<std::uint64_t> tie = tie_sign_words(tie_break_seed, dimension_);
+  for (std::size_t w = 0; w < words_; ++w) {
+    greater[w] |= ~(greater[w] | less[w]) & tie[w];
   }
-  return out;
+  return PackedHypervector::from_words(std::move(greater), dimension_);
 }
 
 void BitsliceBundler::clear() noexcept {

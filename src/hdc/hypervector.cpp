@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "hdc/kernels/kernels.hpp"
+
 namespace graphhd::hdc {
 
 namespace {
@@ -53,20 +55,12 @@ Hypervector Hypervector::with_noise(std::size_t count, Rng& rng) const {
 
 std::int64_t Hypervector::dot(const Hypervector& other) const {
   require_same_dimension(dimension(), other.dimension(), "dot");
-  std::int64_t acc = 0;
-  for (std::size_t i = 0; i < data_.size(); ++i) {
-    acc += static_cast<std::int64_t>(data_[i]) * other.data_[i];
-  }
-  return acc;
+  return kernels::active().dot_i8(data_.data(), other.data_.data(), data_.size());
 }
 
 std::size_t Hypervector::hamming_distance(const Hypervector& other) const {
   require_same_dimension(dimension(), other.dimension(), "hamming_distance");
-  std::size_t mismatches = 0;
-  for (std::size_t i = 0; i < data_.size(); ++i) {
-    mismatches += static_cast<std::size_t>(data_[i] != other.data_[i]);
-  }
-  return mismatches;
+  return kernels::active().mismatch_i8(data_.data(), other.data_.data(), data_.size());
 }
 
 double Hypervector::cosine(const Hypervector& other) const {
@@ -112,10 +106,8 @@ void BundleAccumulator::add(const Hypervector& hv) { add(hv, 1); }
 
 void BundleAccumulator::add(const Hypervector& hv, std::int32_t weight) {
   require_same_dimension(counts_.size(), hv.dimension(), "BundleAccumulator::add");
-  const auto comps = hv.components();
-  for (std::size_t i = 0; i < counts_.size(); ++i) {
-    counts_[i] += weight * static_cast<std::int32_t>(comps[i]);
-  }
+  kernels::active().accumulate_weighted_i8(counts_.data(), hv.components().data(), counts_.size(),
+                                           weight);
   ++count_;
   // Every component moves by ±weight, so all counters share one parity.
   if ((weight & 1) != 0) weight_parity_odd_ = !weight_parity_odd_;
@@ -124,11 +116,8 @@ void BundleAccumulator::add(const Hypervector& hv, std::int32_t weight) {
 void BundleAccumulator::add_bound(const Hypervector& a, const Hypervector& b) {
   require_same_dimension(counts_.size(), a.dimension(), "BundleAccumulator::add_bound");
   require_same_dimension(counts_.size(), b.dimension(), "BundleAccumulator::add_bound");
-  const auto ca = a.components();
-  const auto cb = b.components();
-  for (std::size_t i = 0; i < counts_.size(); ++i) {
-    counts_[i] += static_cast<std::int32_t>(ca[i]) * static_cast<std::int32_t>(cb[i]);
-  }
+  kernels::active().accumulate_bound_i8(counts_.data(), a.components().data(),
+                                        b.components().data(), counts_.size());
   ++count_;
   weight_parity_odd_ = !weight_parity_odd_;
 }

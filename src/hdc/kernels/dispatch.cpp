@@ -1,0 +1,105 @@
+/// \file dispatch.cpp
+/// Kernel variant registry and startup selection.
+///
+/// ISA-agnostic by construction: each variant translation unit exposes a
+/// getter that returns nullptr when the variant is not compiled in, so this
+/// file needs no per-architecture preprocessor logic and the registry is
+/// simply the non-null getters, ranked by priority.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "hdc/kernels/kernels.hpp"
+
+namespace graphhd::hdc::kernels {
+
+namespace {
+
+std::atomic<const KernelOps*> g_active{nullptr};
+
+std::string variant_names(bool supported_only) {
+  std::string names;
+  for (const KernelOps* ops : compiled_variants()) {
+    if (supported_only && !ops->supported()) continue;
+    if (!names.empty()) names += ", ";
+    names += ops->name;
+  }
+  return names;
+}
+
+/// Startup policy: explicit GRAPHHD_KERNEL beats CPUID auto-selection.
+const KernelOps& startup_selection() {
+  const char* env = std::getenv("GRAPHHD_KERNEL");
+  if (env != nullptr && *env != '\0') return select(env);
+  return best_supported();
+}
+
+}  // namespace
+
+const std::vector<const KernelOps*>& compiled_variants() {
+  static const std::vector<const KernelOps*> variants = [] {
+    std::vector<const KernelOps*> found;
+    for (const KernelOps* ops :
+         {scalar_kernels(), avx2_kernels(), avx512_kernels(), neon_kernels()}) {
+      if (ops != nullptr) found.push_back(ops);
+    }
+    std::stable_sort(found.begin(), found.end(), [](const KernelOps* a, const KernelOps* b) {
+      return a->priority > b->priority;
+    });
+    return found;
+  }();
+  return variants;
+}
+
+const KernelOps& scalar() noexcept { return *scalar_kernels(); }
+
+const KernelOps& best_supported() noexcept {
+  for (const KernelOps* ops : compiled_variants()) {
+    if (ops->supported()) return *ops;
+  }
+  return scalar();  // unreachable: scalar is always compiled in and supported.
+}
+
+const KernelOps& select(std::string_view name) {
+  if (name == "auto") return best_supported();
+  for (const KernelOps* ops : compiled_variants()) {
+    if (name == ops->name) {
+      if (!ops->supported()) {
+        throw std::runtime_error("GRAPHHD_KERNEL: kernel variant '" + std::string(name) +
+                                 "' is compiled in but not supported by this CPU (supported "
+                                 "here: auto, " +
+                                 variant_names(/*supported_only=*/true) + ")");
+      }
+      return *ops;
+    }
+  }
+  throw std::runtime_error("GRAPHHD_KERNEL: unknown kernel variant '" + std::string(name) +
+                           "' (expected auto or one of: " +
+                           variant_names(/*supported_only=*/false) + ")");
+}
+
+const KernelOps& active() {
+  const KernelOps* current = g_active.load(std::memory_order_acquire);
+  if (current == nullptr) {
+    // First use.  A benign race: concurrent first callers run the same
+    // deterministic selection and store the same pointer.
+    current = &startup_selection();
+    g_active.store(current, std::memory_order_release);
+  }
+  return *current;
+}
+
+void set_active(const KernelOps& ops) noexcept {
+  g_active.store(&ops, std::memory_order_release);
+}
+
+void reset_from_env() {
+  // Select first so a bad GRAPHHD_KERNEL leaves the previous table active.
+  const KernelOps& selected = startup_selection();
+  g_active.store(&selected, std::memory_order_release);
+}
+
+}  // namespace graphhd::hdc::kernels

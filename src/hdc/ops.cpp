@@ -33,6 +33,26 @@ double similarity(const Hypervector& a, const Hypervector& b, Similarity metric)
   throw std::invalid_argument("similarity: unknown metric");
 }
 
+double similarity(const PackedHypervector& a, const PackedHypervector& b, Similarity metric) {
+  if (a.dimension() != b.dimension()) {
+    throw std::invalid_argument("similarity: dimension mismatch");
+  }
+  if (a.dimension() == 0) return 0.0;
+  const std::size_t h = a.hamming_distance(b);
+  const auto d = static_cast<double>(a.dimension());
+  switch (metric) {
+    case Similarity::kCosine:
+    case Similarity::kDot:
+      // dot == d - 2h on bipolar data; both metrics divide it by d.
+      return static_cast<double>(static_cast<std::int64_t>(a.dimension()) -
+                                 2 * static_cast<std::int64_t>(h)) /
+             d;
+    case Similarity::kInverseHamming:
+      return 1.0 - static_cast<double>(h) / d;
+  }
+  throw std::invalid_argument("similarity: unknown metric");
+}
+
 Hypervector bind(const Hypervector& a, const Hypervector& b) { return a.bind(b); }
 
 Hypervector bind_all(std::span<const Hypervector> inputs) {

@@ -31,6 +31,14 @@ enum class Similarity {
 [[nodiscard]] double similarity(const Hypervector& a, const Hypervector& b,
                                 Similarity metric = Similarity::kCosine);
 
+/// Packed counterpart of similarity(): one XOR + popcount pass through the
+/// dispatched kernel layer (hdc/kernels).  For bipolar data dot == d - 2h,
+/// so every metric reduces to the Hamming distance h; the doubles returned
+/// are bit-identical to the dense overload on the corresponding bipolar
+/// vectors.
+[[nodiscard]] double similarity(const PackedHypervector& a, const PackedHypervector& b,
+                                Similarity metric = Similarity::kCosine);
+
 /// Binding: element-wise multiplication.  `bind(a, b) == a.bind(b)`.
 [[nodiscard]] Hypervector bind(const Hypervector& a, const Hypervector& b);
 

@@ -1,9 +1,10 @@
 #include "hdc/packed.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <stdexcept>
 #include <string>
+
+#include "hdc/kernels/kernels.hpp"
 
 namespace graphhd::hdc {
 
@@ -79,19 +80,14 @@ void PackedHypervector::throw_index_error(const char* op, std::size_t i) const {
 PackedHypervector PackedHypervector::bind(const PackedHypervector& other) const {
   require_same_dimension(dimension_, other.dimension_, "PackedHypervector::bind");
   PackedHypervector out(dimension_);
-  for (std::size_t w = 0; w < words_.size(); ++w) {
-    out.words_[w] = words_[w] ^ other.words_[w];
-  }
+  kernels::active().xor_words(out.words_.data(), words_.data(), other.words_.data(),
+                              words_.size());
   return out;
 }
 
 std::size_t PackedHypervector::hamming_distance(const PackedHypervector& other) const {
   require_same_dimension(dimension_, other.dimension_, "PackedHypervector::hamming_distance");
-  std::size_t mismatches = 0;
-  for (std::size_t w = 0; w < words_.size(); ++w) {
-    mismatches += static_cast<std::size_t>(std::popcount(words_[w] ^ other.words_[w]));
-  }
-  return mismatches;
+  return kernels::active().hamming_words(words_.data(), other.words_.data(), words_.size());
 }
 
 double PackedHypervector::similarity(const PackedHypervector& other) const {
@@ -135,37 +131,31 @@ PackedBundleAccumulator PackedBundleAccumulator::from_raw(std::vector<std::int32
 
 void PackedBundleAccumulator::add(const PackedHypervector& hv, std::int32_t weight) {
   require_same_dimension(counts_.size(), hv.dimension(), "PackedBundleAccumulator::add");
-  const auto words = hv.words();
-  for (std::size_t i = 0; i < counts_.size(); ++i) {
-    const bool bit = (words[i >> 6] >> (i & 63)) & 1u;
-    counts_[i] += bit ? -weight : weight;
-  }
+  kernels::active().accumulate_packed(counts_.data(), hv.words().data(), counts_.size(), weight);
   ++count_;
   // Every component moves by ±weight, so all counters share one parity.
   if ((weight & 1) != 0) weight_parity_odd_ = !weight_parity_odd_;
 }
 
 PackedHypervector PackedBundleAccumulator::threshold(std::uint64_t tie_break_seed) const {
-  PackedHypervector out(counts_.size());
+  const std::size_t dimension = counts_.size();
+  const std::size_t num_words = (dimension + 63) / 64;
+  std::vector<std::uint64_t> negative(num_words, 0);
   if (weight_parity_odd_) {
     // Odd total weight: no counter can be zero, the tie stream is never
     // consulted — skip generating it (identical result, faster).
-    for (std::size_t i = 0; i < counts_.size(); ++i) {
-      if (counts_[i] < 0) out.set_bit(i, true);
-    }
-    return out;
+    kernels::active().threshold_counters(counts_.data(), dimension, negative.data(), nullptr);
+    return PackedHypervector::from_words(std::move(negative), dimension);
   }
-  Rng tie_rng(tie_break_seed);
-  // Consume one sign per component (not per tie) so that the result for a
-  // given counter vector does not depend on *which* components are tied —
-  // the BundleAccumulator convention (bit set corresponds to bipolar -1).
-  for (std::size_t i = 0; i < counts_.size(); ++i) {
-    const int tie_sign = tie_rng.next_sign();
-    if (counts_[i] < 0 || (counts_[i] == 0 && tie_sign < 0)) {
-      out.set_bit(i, true);
-    }
-  }
-  return out;
+  // Even weight: the zero counters are ties, resolved by the seeded stream
+  // with one sign per component (not per tie) so that the result for a given
+  // counter vector does not depend on *which* components are tied — the
+  // BundleAccumulator convention (bit set corresponds to bipolar -1).
+  std::vector<std::uint64_t> zero(num_words, 0);
+  kernels::active().threshold_counters(counts_.data(), dimension, negative.data(), zero.data());
+  const std::vector<std::uint64_t> tie = tie_sign_words(tie_break_seed, dimension);
+  for (std::size_t w = 0; w < num_words; ++w) negative[w] |= zero[w] & tie[w];
+  return PackedHypervector::from_words(std::move(negative), dimension);
 }
 
 void PackedBundleAccumulator::clear() noexcept {

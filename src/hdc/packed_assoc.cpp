@@ -1,8 +1,53 @@
 #include "hdc/packed_assoc.hpp"
 
+#include <array>
 #include <stdexcept>
 
+#include "hdc/kernels/kernels.hpp"
+
 namespace graphhd::hdc {
+
+namespace {
+
+/// Distances scratch for one one-vs-all query: class-slot counts are small
+/// (classes x vectors_per_class), so the common case lives on the stack and
+/// the hot inference path performs zero heap allocations beyond the caller's
+/// QueryResult.
+struct DistanceBuffer {
+  explicit DistanceBuffer(std::size_t n) {
+    if (n > stack.size()) {
+      heap.resize(n);
+      data = heap.data();
+    } else {
+      data = stack.data();
+    }
+  }
+  std::array<std::size_t, 64> stack;
+  std::vector<std::size_t> heap;
+  std::size_t* data;
+};
+
+/// Similarity of one packed query/class pair from its Hamming distance —
+/// the exact expression PackedHypervector::similarity uses, hoisted so the
+/// one-vs-all loop has a single conversion site (bit-identical doubles are
+/// the contract here; see also PackedClassMemory::score_from_distance for
+/// the metric-parameterized form).
+double similarity_from_distance(std::size_t hamming, std::size_t dimension) {
+  if (dimension == 0) return 0.0;
+  return 1.0 - 2.0 * static_cast<double>(hamming) / static_cast<double>(dimension);
+}
+
+/// Shared row-table builder: the batched distance kernel wants one pointer
+/// per class row, and every (re)build must come through here so the
+/// aliasing invariant (pointers into exactly these vectors) has one home.
+std::vector<const std::uint64_t*> make_row_table(
+    const std::vector<PackedHypervector>& class_vectors) {
+  std::vector<const std::uint64_t*> rows(class_vectors.size());
+  for (std::size_t c = 0; c < class_vectors.size(); ++c) rows[c] = class_vectors[c].words().data();
+  return rows;
+}
+
+}  // namespace
 
 PackedAssociativeMemory::PackedAssociativeMemory(const AssociativeMemory& memory)
     : dimension_(memory.dimension()) {
@@ -10,16 +55,39 @@ PackedAssociativeMemory::PackedAssociativeMemory(const AssociativeMemory& memory
   for (std::size_t c = 0; c < memory.num_classes(); ++c) {
     class_vectors_.push_back(PackedHypervector::from_bipolar(memory.class_vector(c)));
   }
+  rows_ = make_row_table(class_vectors_);
+}
+
+PackedAssociativeMemory::PackedAssociativeMemory(const PackedAssociativeMemory& other)
+    : dimension_(other.dimension_),
+      class_vectors_(other.class_vectors_),
+      rows_(make_row_table(class_vectors_)) {}
+
+PackedAssociativeMemory& PackedAssociativeMemory::operator=(
+    const PackedAssociativeMemory& other) {
+  if (this != &other) {
+    dimension_ = other.dimension_;
+    class_vectors_ = other.class_vectors_;
+    rows_ = make_row_table(class_vectors_);
+  }
+  return *this;
 }
 
 QueryResult PackedAssociativeMemory::query(const PackedHypervector& query_hv) const {
   if (query_hv.dimension() != dimension_) {
     throw std::invalid_argument("PackedAssociativeMemory::query: dimension mismatch");
   }
+  // One batched kernel call computes every class distance (the one-vs-all
+  // inference op); the similarity arithmetic is the exact expression
+  // PackedHypervector::similarity used, so the doubles are unchanged.
+  const std::size_t num_classes = class_vectors_.size();
+  DistanceBuffer distances(num_classes);
+  kernels::active().hamming_batch(query_hv.words().data(), rows_.data(), num_classes,
+                                  query_hv.words().size(), distances.data);
   QueryResult result;
-  result.similarities.resize(class_vectors_.size());
-  for (std::size_t c = 0; c < class_vectors_.size(); ++c) {
-    const double s = class_vectors_[c].similarity(query_hv);
+  result.similarities.resize(num_classes);
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    const double s = similarity_from_distance(distances.data[c], dimension_);
     result.similarities[c] = s;
     if (s > result.best_similarity) {
       result.best_similarity = s;
@@ -42,6 +110,28 @@ const PackedHypervector& PackedAssociativeMemory::class_vector(std::size_t label
 
 std::size_t PackedAssociativeMemory::footprint_bytes() const noexcept {
   return class_vectors_.size() * ((dimension_ + 7) / 8);
+}
+
+PackedClassMemory::PackedClassMemory(const PackedClassMemory& other)
+    : dimension_(other.dimension_),
+      metric_(other.metric_),
+      accumulators_(other.accumulators_),
+      counts_(other.counts_),
+      cached_class_vectors_(other.cached_class_vectors_),
+      cached_rows_(make_row_table(cached_class_vectors_)),
+      dirty_(other.dirty_) {}
+
+PackedClassMemory& PackedClassMemory::operator=(const PackedClassMemory& other) {
+  if (this != &other) {
+    dimension_ = other.dimension_;
+    metric_ = other.metric_;
+    accumulators_ = other.accumulators_;
+    counts_ = other.counts_;
+    cached_class_vectors_ = other.cached_class_vectors_;
+    cached_rows_ = make_row_table(cached_class_vectors_);
+    dirty_ = other.dirty_;
+  }
+  return *this;
 }
 
 PackedClassMemory::PackedClassMemory(std::size_t dimension, std::size_t num_classes,
@@ -123,11 +213,11 @@ void PackedClassMemory::finalize() const {
     cached_class_vectors_.push_back(
         accumulators_[c].threshold(derive_seed(0x7fb5d329728ea185ULL, c)));
   }
+  cached_rows_ = make_row_table(cached_class_vectors_);
   dirty_ = false;
 }
 
-double PackedClassMemory::score(std::size_t label, const PackedHypervector& query) const {
-  const std::size_t h = cached_class_vectors_[label].hamming_distance(query);
+double PackedClassMemory::score_from_distance(std::size_t h) const {
   // Reproduce the dense quantized memory's arithmetic *exactly* so the
   // similarity doubles (not just the argmax) are bit-identical: on bipolar
   // vectors dot == d - 2h, so cosine and the 1/d-scaled dot are the same
@@ -143,18 +233,25 @@ double PackedClassMemory::score(std::size_t label, const PackedHypervector& quer
     case Similarity::kInverseHamming:
       return 1.0 - static_cast<double>(h) / d;
   }
-  throw std::invalid_argument("PackedClassMemory::score: unknown metric");
+  throw std::invalid_argument("PackedClassMemory::score_from_distance: unknown metric");
 }
 
 QueryResult PackedClassMemory::query(const PackedHypervector& query_hv) const {
   if (query_hv.dimension() != dimension_) {
     throw std::invalid_argument("PackedClassMemory::query: dimension mismatch");
   }
+  // finalize() also keeps the row-pointer table fresh, so the batched
+  // kernel call below is a pure read — the associative-memory op the
+  // dispatch layer exists for.
   finalize();
+  const std::size_t num_slots = accumulators_.size();
+  DistanceBuffer distances(num_slots);
+  kernels::active().hamming_batch(query_hv.words().data(), cached_rows_.data(), num_slots,
+                                  query_hv.words().size(), distances.data);
   QueryResult result;
-  result.similarities.resize(accumulators_.size());
-  for (std::size_t c = 0; c < accumulators_.size(); ++c) {
-    const double s = score(c, query_hv);
+  result.similarities.resize(num_slots);
+  for (std::size_t c = 0; c < num_slots; ++c) {
+    const double s = score_from_distance(distances.data[c]);
     result.similarities[c] = s;
     if (s > result.best_similarity) {
       result.best_similarity = s;

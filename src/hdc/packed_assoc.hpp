@@ -34,6 +34,15 @@ class PackedAssociativeMemory {
   /// deployment artifacts are frozen models.
   explicit PackedAssociativeMemory(const AssociativeMemory& memory);
 
+  /// Copies rebuild the row-pointer table against their own class vectors
+  /// (moves keep the heap buffers, so the defaulted moves stay valid) —
+  /// query() is a pure read on any fully-constructed object, safe to share
+  /// across pool workers.
+  PackedAssociativeMemory(const PackedAssociativeMemory& other);
+  PackedAssociativeMemory& operator=(const PackedAssociativeMemory& other);
+  PackedAssociativeMemory(PackedAssociativeMemory&&) noexcept = default;
+  PackedAssociativeMemory& operator=(PackedAssociativeMemory&&) noexcept = default;
+
   [[nodiscard]] std::size_t dimension() const noexcept { return dimension_; }
   [[nodiscard]] std::size_t num_classes() const noexcept { return class_vectors_.size(); }
 
@@ -54,6 +63,9 @@ class PackedAssociativeMemory {
  private:
   std::size_t dimension_;
   std::vector<PackedHypervector> class_vectors_;
+  /// Row-pointer table into class_vectors_ for the batched distance kernel;
+  /// maintained by the constructors/assignments, never touched by queries.
+  std::vector<const std::uint64_t*> rows_;
 };
 
 /// Trainable packed associative memory over `num_classes` signed-counter
@@ -71,6 +83,15 @@ class PackedClassMemory {
   /// \param metric       similarity δ used by queries.
   PackedClassMemory(std::size_t dimension, std::size_t num_classes,
                     Similarity metric = Similarity::kCosine);
+
+  /// Copies rebuild the cached row-pointer table against their own cached
+  /// class vectors (defaulted moves keep the heap buffers valid), so a
+  /// finalized memory — original or copy — serves concurrent queries as
+  /// pure reads.
+  PackedClassMemory(const PackedClassMemory& other);
+  PackedClassMemory& operator=(const PackedClassMemory& other);
+  PackedClassMemory(PackedClassMemory&&) noexcept = default;
+  PackedClassMemory& operator=(PackedClassMemory&&) noexcept = default;
 
   [[nodiscard]] std::size_t dimension() const noexcept { return dimension_; }
   [[nodiscard]] std::size_t num_classes() const noexcept { return accumulators_.size(); }
@@ -110,13 +131,19 @@ class PackedClassMemory {
   [[nodiscard]] std::size_t footprint_bytes() const noexcept;
 
  private:
-  [[nodiscard]] double score(std::size_t label, const PackedHypervector& query) const;
+  /// Maps one Hamming distance to the metric's similarity double — the
+  /// post-processing step after the batched distance kernel.
+  [[nodiscard]] double score_from_distance(std::size_t hamming) const;
 
   std::size_t dimension_;
   Similarity metric_;
   std::vector<PackedBundleAccumulator> accumulators_;
   std::vector<std::size_t> counts_;
   mutable std::vector<PackedHypervector> cached_class_vectors_;
+  /// Row-pointer table into cached_class_vectors_ for the batched distance
+  /// kernel; rebuilt by finalize() and by the copy operations, so queries
+  /// on a finalized memory stay pure reads.
+  mutable std::vector<const std::uint64_t*> cached_rows_;
   mutable bool dirty_ = true;
 };
 

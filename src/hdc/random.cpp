@@ -138,4 +138,16 @@ std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
   return indices;
 }
 
+std::vector<std::uint64_t> tie_sign_words(std::uint64_t seed, std::size_t dimension) {
+  std::vector<std::uint64_t> words((dimension + 63) / 64, 0);
+  Rng rng(seed);
+  // One draw per component, in component order — the exact stream the dense
+  // BundleAccumulator::threshold consumes, so packing the signs here keeps
+  // every bundling backend bit-identical.
+  for (std::size_t i = 0; i < dimension; ++i) {
+    if (rng.next_sign() < 0) words[i >> 6] |= std::uint64_t{1} << (i & 63);
+  }
+  return words;
+}
+
 }  // namespace graphhd::hdc

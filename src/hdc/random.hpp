@@ -104,4 +104,14 @@ class Rng {
   bool has_cached_gaussian_ = false;
 };
 
+/// Packs the seeded tie-break stream into words: bit i is set iff the i-th
+/// draw of Rng(seed).next_sign() is negative, for i < dimension; bits at and
+/// beyond `dimension` are zero.  This is the word-level form of the
+/// "one draw per component" bundling tie-break convention shared by
+/// BundleAccumulator, PackedBundleAccumulator and BitsliceBundler — the
+/// callers OR it into their majority masks instead of re-implementing the
+/// per-bit loop (see hdc/packed.cpp and hdc/bitslice.cpp).
+[[nodiscard]] std::vector<std::uint64_t> tie_sign_words(std::uint64_t seed,
+                                                        std::size_t dimension);
+
 }  // namespace graphhd::hdc

@@ -1,0 +1,347 @@
+/// Dispatch-layer unit tests (registry, CPUID selection, GRAPHHD_KERNEL
+/// override) plus fuzz-style randomized equivalence: every compiled-in,
+/// CPU-supported SIMD variant must be bit-identical to the scalar reference
+/// across odd dimensions, tail words and signed weights — the contract that
+/// lets the packed/dense pipelines swap kernels without changing a single
+/// prediction.
+
+#include "hdc/kernels/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "hdc/bitslice.hpp"
+#include "hdc/hypervector.hpp"
+#include "hdc/kernels/random_inputs.hpp"
+#include "hdc/packed.hpp"
+#include "hdc/random.hpp"
+
+namespace {
+
+namespace kernels = graphhd::hdc::kernels;
+using graphhd::hdc::BitsliceBundler;
+using graphhd::hdc::BundleAccumulator;
+using graphhd::hdc::Hypervector;
+using graphhd::hdc::PackedBundleAccumulator;
+using graphhd::hdc::PackedHypervector;
+using graphhd::hdc::Rng;
+using kernels::KernelOps;
+
+/// Restores the startup kernel selection when a test that overrides the
+/// active table (or GRAPHHD_KERNEL) goes out of scope.
+class KernelGuard {
+ public:
+  KernelGuard() : saved_(&kernels::active()) {}
+  ~KernelGuard() {
+    ::unsetenv("GRAPHHD_KERNEL");
+    kernels::set_active(*saved_);
+  }
+
+ private:
+  const KernelOps* saved_;
+};
+
+/// The dimensions every equivalence test sweeps: word-aligned, off-by-one,
+/// sub-word, odd/prime tails, and the paper's d=10000 (157 words minus 48
+/// tail bits — exercises both the vector body and the scalar tail).
+const std::vector<std::size_t> kDimensions = {1, 7, 63, 64, 65, 127, 128, 200, 1000, 4099, 10000};
+
+using kernels::random_bipolar;
+using kernels::random_words;
+
+std::vector<std::int32_t> random_counts(std::size_t n, Rng& rng) {
+  std::vector<std::int32_t> counts(n);
+  for (auto& c : counts) {
+    // Small signed range so zeros (ties) actually occur.
+    c = static_cast<std::int32_t>(rng.next_int(-3, 3));
+  }
+  return counts;
+}
+
+std::vector<const KernelOps*> supported_variants() {
+  std::vector<const KernelOps*> out;
+  for (const KernelOps* ops : kernels::compiled_variants()) {
+    if (ops->supported()) out.push_back(ops);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+TEST(KernelDispatch, RegistryContainsScalarAndUniqueNamesOnce) {
+  const auto& variants = kernels::compiled_variants();
+  ASSERT_FALSE(variants.empty());
+  std::set<std::string> names;
+  for (const KernelOps* ops : variants) {
+    EXPECT_TRUE(names.insert(ops->name).second)
+        << "variant '" << ops->name << "' registered more than once";
+  }
+  EXPECT_TRUE(names.count("scalar")) << "scalar reference must always be compiled in";
+}
+
+TEST(KernelDispatch, RegistryIsSortedByDescendingPriority) {
+  const auto& variants = kernels::compiled_variants();
+  for (std::size_t i = 1; i < variants.size(); ++i) {
+    EXPECT_GE(variants[i - 1]->priority, variants[i]->priority);
+  }
+}
+
+TEST(KernelDispatch, ScalarAlwaysSupported) {
+  EXPECT_STREQ(kernels::scalar().name, "scalar");
+  EXPECT_TRUE(kernels::scalar().supported());
+}
+
+TEST(KernelDispatch, BestSupportedHasMaximalPriorityAmongSupported) {
+  const KernelOps& best = kernels::best_supported();
+  EXPECT_TRUE(best.supported());
+  for (const KernelOps* ops : supported_variants()) {
+    EXPECT_GE(best.priority, ops->priority);
+  }
+}
+
+TEST(KernelDispatch, SelectFindsEveryCompiledSupportedVariant) {
+  for (const KernelOps* ops : supported_variants()) {
+    EXPECT_EQ(&kernels::select(ops->name), ops);
+  }
+  EXPECT_EQ(&kernels::select("auto"), &kernels::best_supported());
+}
+
+TEST(KernelDispatch, SelectRejectsUnknownNameWithClearError) {
+  try {
+    (void)kernels::select("not-a-kernel");
+    FAIL() << "select() accepted an unknown variant name";
+  } catch (const std::runtime_error& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("not-a-kernel"), std::string::npos) << message;
+    EXPECT_NE(message.find("scalar"), std::string::npos)
+        << "error should list the valid names: " << message;
+  }
+}
+
+TEST(KernelDispatch, EnvOverrideHonored) {
+  KernelGuard guard;
+  ::setenv("GRAPHHD_KERNEL", "scalar", 1);
+  kernels::reset_from_env();
+  EXPECT_STREQ(kernels::active().name, "scalar");
+  // And the best supported SIMD variant is reachable the same way.
+  const KernelOps& best = kernels::best_supported();
+  ::setenv("GRAPHHD_KERNEL", best.name, 1);
+  kernels::reset_from_env();
+  EXPECT_STREQ(kernels::active().name, best.name);
+}
+
+TEST(KernelDispatch, EnvOverrideRejectsUnknownValueAndKeepsPreviousSelection) {
+  KernelGuard guard;
+  const char* before = kernels::active().name;
+  ::setenv("GRAPHHD_KERNEL", "vliw9000", 1);
+  EXPECT_THROW(kernels::reset_from_env(), std::runtime_error);
+  EXPECT_STREQ(kernels::active().name, before)
+      << "a bad override must not clobber the active table";
+}
+
+TEST(KernelDispatch, EmptyEnvFallsBackToAutoSelection) {
+  KernelGuard guard;
+  ::setenv("GRAPHHD_KERNEL", "", 1);
+  kernels::reset_from_env();
+  EXPECT_STREQ(kernels::active().name, kernels::best_supported().name);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized kernel-level equivalence: every supported variant vs scalar.
+// ---------------------------------------------------------------------------
+
+TEST(KernelEquivalence, XorHammingFullAdderMatchScalar) {
+  Rng rng(0x5eed1);
+  for (const std::size_t d : kDimensions) {
+    const std::size_t n = (d + 63) / 64;
+    const auto a = random_words(d, rng);
+    const auto b = random_words(d, rng);
+    const auto c = random_words(d, rng);
+    std::vector<std::uint64_t> ref_xor(n), ref_carry(n), ref_plane = a;
+    kernels::scalar().xor_words(ref_xor.data(), a.data(), b.data(), n);
+    kernels::scalar().full_adder(ref_plane.data(), b.data(), c.data(), ref_carry.data(), n);
+    const std::size_t ref_hamming = kernels::scalar().hamming_words(a.data(), b.data(), n);
+    for (const KernelOps* ops : supported_variants()) {
+      std::vector<std::uint64_t> out(n), carry(n), plane = a;
+      ops->xor_words(out.data(), a.data(), b.data(), n);
+      EXPECT_EQ(out, ref_xor) << ops->name << " xor_words d=" << d;
+      EXPECT_EQ(ops->hamming_words(a.data(), b.data(), n), ref_hamming)
+          << ops->name << " hamming_words d=" << d;
+      ops->full_adder(plane.data(), b.data(), c.data(), carry.data(), n);
+      EXPECT_EQ(plane, ref_plane) << ops->name << " full_adder plane d=" << d;
+      EXPECT_EQ(carry, ref_carry) << ops->name << " full_adder carry d=" << d;
+    }
+  }
+}
+
+TEST(KernelEquivalence, HammingBatchMatchesScalarForOddRowCounts) {
+  Rng rng(0x5eed2);
+  for (const std::size_t d : {65u, 1000u, 10000u}) {
+    const std::size_t n = (d + 63) / 64;
+    const auto query = random_words(d, rng);
+    for (const std::size_t num_rows : {1u, 2u, 3u, 7u, 16u}) {
+      std::vector<std::vector<std::uint64_t>> storage;
+      std::vector<const std::uint64_t*> rows;
+      for (std::size_t r = 0; r < num_rows; ++r) {
+        storage.push_back(random_words(d, rng));
+        rows.push_back(storage.back().data());
+      }
+      std::vector<std::size_t> ref(num_rows);
+      kernels::scalar().hamming_batch(query.data(), rows.data(), num_rows, n, ref.data());
+      for (const KernelOps* ops : supported_variants()) {
+        std::vector<std::size_t> got(num_rows);
+        ops->hamming_batch(query.data(), rows.data(), num_rows, n, got.data());
+        EXPECT_EQ(got, ref) << ops->name << " hamming_batch d=" << d << " rows=" << num_rows;
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalence, CounterKernelsMatchScalarAcrossWeights) {
+  Rng rng(0x5eed3);
+  for (const std::size_t d : kDimensions) {
+    const std::size_t n = (d + 63) / 64;
+    const auto bits = random_words(d, rng);
+    const auto base = random_counts(d, rng);
+    for (const std::int32_t weight : {1, -1, 2, -3, 7}) {
+      auto ref_counts = base;
+      kernels::scalar().accumulate_packed(ref_counts.data(), bits.data(), d, weight);
+      std::vector<std::uint64_t> ref_neg(n, 0), ref_zero(n, 0);
+      kernels::scalar().threshold_counters(ref_counts.data(), d, ref_neg.data(), ref_zero.data());
+      std::vector<std::uint64_t> ref_neg_only(n, 0);
+      kernels::scalar().threshold_counters(ref_counts.data(), d, ref_neg_only.data(), nullptr);
+      EXPECT_EQ(ref_neg_only, ref_neg);
+      for (const KernelOps* ops : supported_variants()) {
+        auto counts = base;
+        ops->accumulate_packed(counts.data(), bits.data(), d, weight);
+        EXPECT_EQ(counts, ref_counts) << ops->name << " accumulate_packed d=" << d
+                                      << " weight=" << weight;
+        std::vector<std::uint64_t> neg(n, 0), zero(n, 0);
+        ops->threshold_counters(counts.data(), d, neg.data(), zero.data());
+        EXPECT_EQ(neg, ref_neg) << ops->name << " threshold_counters(neg) d=" << d;
+        EXPECT_EQ(zero, ref_zero) << ops->name << " threshold_counters(zero) d=" << d;
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalence, DenseBipolarKernelsMatchScalar) {
+  Rng rng(0x5eed4);
+  for (const std::size_t d : kDimensions) {
+    const auto a = random_bipolar(d, rng);
+    const auto b = random_bipolar(d, rng);
+    const auto base = random_counts(d, rng);
+    const std::int64_t ref_dot = kernels::scalar().dot_i8(a.data(), b.data(), d);
+    const std::size_t ref_mismatch = kernels::scalar().mismatch_i8(a.data(), b.data(), d);
+    auto ref_bound = base;
+    kernels::scalar().accumulate_bound_i8(ref_bound.data(), a.data(), b.data(), d);
+    for (const std::int32_t weight : {1, -1, 5}) {
+      auto ref_weighted = base;
+      kernels::scalar().accumulate_weighted_i8(ref_weighted.data(), a.data(), d, weight);
+      for (const KernelOps* ops : supported_variants()) {
+        auto weighted = base;
+        ops->accumulate_weighted_i8(weighted.data(), a.data(), d, weight);
+        EXPECT_EQ(weighted, ref_weighted)
+            << ops->name << " accumulate_weighted_i8 d=" << d << " weight=" << weight;
+      }
+    }
+    for (const KernelOps* ops : supported_variants()) {
+      EXPECT_EQ(ops->dot_i8(a.data(), b.data(), d), ref_dot) << ops->name << " dot_i8 d=" << d;
+      EXPECT_EQ(ops->mismatch_i8(a.data(), b.data(), d), ref_mismatch)
+          << ops->name << " mismatch_i8 d=" << d;
+      auto bound = base;
+      ops->accumulate_bound_i8(bound.data(), a.data(), b.data(), d);
+      EXPECT_EQ(bound, ref_bound) << ops->name << " accumulate_bound_i8 d=" << d;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end equivalence through the consolidated accumulator/bundler paths
+// (the PackedBundleAccumulator / threshold_packed fix): random weighted adds,
+// odd dimensions, forced ties — every variant's pipeline output must equal
+// the scalar pipeline's bit for bit.
+// ---------------------------------------------------------------------------
+
+TEST(KernelEquivalence, WeightedPackedBundlePipelineMatchesScalarVariant) {
+  Rng rng(0x5eed5);
+  for (const std::size_t d : {63u, 64u, 200u, 4099u}) {
+    // One shared random op sequence per dimension, replayed per variant.
+    std::vector<PackedHypervector> inputs;
+    std::vector<std::int32_t> weights;
+    for (std::size_t step = 0; step < 24; ++step) {
+      inputs.push_back(PackedHypervector::random(d, rng));
+      // Even weights keep the parity even so the tie path stays exercised.
+      weights.push_back(static_cast<std::int32_t>(rng.next_int(-2, 2)));
+    }
+    auto run = [&] {
+      PackedBundleAccumulator acc(d);
+      for (std::size_t i = 0; i < inputs.size(); ++i) acc.add(inputs[i], weights[i]);
+      return acc.threshold();
+    };
+    KernelGuard guard;
+    kernels::set_active(kernels::scalar());
+    const PackedHypervector reference = run();
+    for (const KernelOps* ops : supported_variants()) {
+      kernels::set_active(*ops);
+      EXPECT_EQ(run(), reference) << ops->name << " weighted bundle pipeline d=" << d;
+    }
+  }
+}
+
+TEST(KernelEquivalence, BitsliceThresholdPackedMatchesScalarVariantAndDense) {
+  Rng rng(0x5eed6);
+  for (const std::size_t d : {65u, 127u, 1000u}) {
+    for (const std::size_t adds : {2u, 5u, 8u}) {  // even counts exercise ties
+      std::vector<PackedHypervector> pairs;
+      for (std::size_t i = 0; i < 2 * adds; ++i) pairs.push_back(PackedHypervector::random(d, rng));
+      auto run = [&] {
+        BitsliceBundler bundler(d);
+        for (std::size_t i = 0; i < adds; ++i) bundler.add_bound(pairs[2 * i], pairs[2 * i + 1]);
+        return bundler.threshold_packed();
+      };
+      KernelGuard guard;
+      kernels::set_active(kernels::scalar());
+      const PackedHypervector reference = run();
+      // The scalar bitslice result still matches the dense accumulator path.
+      BundleAccumulator dense(d);
+      for (std::size_t i = 0; i < adds; ++i) {
+        dense.add_bound(pairs[2 * i].to_bipolar(), pairs[2 * i + 1].to_bipolar());
+      }
+      EXPECT_EQ(reference, PackedHypervector::from_bipolar(dense.threshold()))
+          << "bitslice vs dense d=" << d << " adds=" << adds;
+      for (const KernelOps* ops : supported_variants()) {
+        kernels::set_active(*ops);
+        EXPECT_EQ(run(), reference) << ops->name << " threshold_packed d=" << d;
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalence, DenseHypervectorOpsMatchScalarVariant) {
+  Rng rng(0x5eed7);
+  for (const std::size_t d : {7u, 1000u, 10000u}) {
+    const auto a = Hypervector::random(d, rng);
+    const auto b = Hypervector::random(d, rng);
+    KernelGuard guard;
+    kernels::set_active(kernels::scalar());
+    const std::int64_t ref_dot = a.dot(b);
+    const std::size_t ref_hamming = a.hamming_distance(b);
+    const double ref_cosine = a.cosine(b);
+    for (const KernelOps* ops : supported_variants()) {
+      kernels::set_active(*ops);
+      EXPECT_EQ(a.dot(b), ref_dot) << ops->name;
+      EXPECT_EQ(a.hamming_distance(b), ref_hamming) << ops->name;
+      EXPECT_EQ(a.cosine(b), ref_cosine) << ops->name;
+    }
+  }
+}
+
+}  // namespace

@@ -124,4 +124,31 @@ TEST(SequenceEncoding, SingleItemIsItem) {
   EXPECT_EQ(encode_sequence(items), items[0]);
 }
 
+TEST(Similarity, PackedOverloadBitIdenticalToDenseAcrossMetrics) {
+  Rng rng(0x9acced);
+  for (const std::size_t d : {1u, 63u, 64u, 65u, 1000u, 10000u}) {
+    const auto a = Hypervector::random(d, rng);
+    const auto b = Hypervector::random(d, rng);
+    const auto pa = PackedHypervector::from_bipolar(a);
+    const auto pb = PackedHypervector::from_bipolar(b);
+    for (const Similarity metric :
+         {Similarity::kCosine, Similarity::kInverseHamming, Similarity::kDot}) {
+      // Bit-identical doubles, not approximate: the packed overload must
+      // reproduce the dense arithmetic exactly (see ops.cpp).
+      EXPECT_EQ(similarity(pa, pb, metric), similarity(a, b, metric))
+          << to_string(metric) << " d=" << d;
+    }
+  }
+}
+
+TEST(Similarity, PackedOverloadRejectsDimensionMismatch) {
+  const PackedHypervector a(64);
+  const PackedHypervector b(65);
+  EXPECT_THROW((void)similarity(a, b), std::invalid_argument);
+}
+
+TEST(Similarity, PackedOverloadEmptyVectorsCompareAsZero) {
+  EXPECT_EQ(similarity(PackedHypervector(), PackedHypervector()), 0.0);
+}
+
 }  // namespace

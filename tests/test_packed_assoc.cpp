@@ -194,4 +194,47 @@ TEST(PackedClassMemory, FootprintMatchesSnapshot) {
   EXPECT_EQ(memory.footprint_bytes(), 4u * 1250u);
 }
 
+TEST(PackedClassMemory, CopiesAndMovesQueryIdentically) {
+  // The batched-query row-pointer table must survive copy (rebuilt against
+  // the copy's own class vectors) and move (buffers keep their addresses) —
+  // queries on any fully-finalized memory are pure reads.
+  Rng rng(211);
+  PackedClassMemory memory(257, 3);
+  for (std::size_t i = 0; i < 9; ++i) {
+    memory.add(i % 3, PackedHypervector::random(257, rng));
+  }
+  const auto query = PackedHypervector::random(257, rng);
+  memory.finalize();
+  const auto reference = memory.query(query);
+
+  PackedClassMemory copied = memory;  // clean (finalized) copy
+  EXPECT_EQ(copied.query(query).similarities, reference.similarities);
+  PackedClassMemory assigned(257, 3);
+  assigned = memory;
+  EXPECT_EQ(assigned.query(query).similarities, reference.similarities);
+  PackedClassMemory moved = std::move(copied);
+  EXPECT_EQ(moved.query(query).similarities, reference.similarities);
+
+  // Dirty copy: accumulate, copy before finalize, then query both.
+  memory.add(1, PackedHypervector::random(257, rng));
+  PackedClassMemory dirty_copy = memory;
+  EXPECT_EQ(dirty_copy.query(query).similarities, memory.query(query).similarities);
+}
+
+TEST(PackedAssociativeMemory, CopiesQueryIdentically) {
+  Rng rng(223);
+  AssociativeMemory dense(129, 2);
+  for (std::size_t i = 0; i < 6; ++i) {
+    dense.add(i % 2, Hypervector::random(129, rng));
+  }
+  const PackedAssociativeMemory snapshot(dense);
+  const auto query = PackedHypervector::random(129, rng);
+  const auto reference = snapshot.query(query);
+  const PackedAssociativeMemory copied = snapshot;
+  EXPECT_EQ(copied.query(query).similarities, reference.similarities);
+  PackedAssociativeMemory assigned(dense);
+  assigned = snapshot;
+  EXPECT_EQ(assigned.query(query).similarities, reference.similarities);
+}
+
 }  // namespace
