@@ -33,15 +33,11 @@
 #include "eval/experiment.hpp"
 #include "eval/report.hpp"
 #include "parallel/thread_pool.hpp"
+#include "support/env.hpp"
 
 namespace {
 
-std::size_t env_size(const char* name, std::size_t fallback) {
-  const char* raw = std::getenv(name);
-  if (raw == nullptr || *raw == '\0') return fallback;
-  const long long value = std::atoll(raw);
-  return value < 1 ? fallback : static_cast<std::size_t>(value);
-}
+using graphhd::bench::env_size;
 
 /// Part 1: batch encode/predict scaling over the thread-pool size.
 /// Returns false when any thread count predicts differently from 1 thread

@@ -36,25 +36,14 @@
 #include "core/model.hpp"
 #include "data/scalability.hpp"
 #include "hdc/kernels/kernels.hpp"
+#include "support/env.hpp"
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
 
-std::size_t env_size(const char* name, std::size_t fallback) {
-  const char* raw = std::getenv(name);
-  if (raw == nullptr || *raw == '\0') return fallback;
-  const long long value = std::atoll(raw);
-  return value < 1 ? fallback : static_cast<std::size_t>(value);
-}
-
-double env_double(const char* name, double fallback) {
-  const char* raw = std::getenv(name);
-  if (raw == nullptr || *raw == '\0') return fallback;
-  char* end = nullptr;
-  const double value = std::strtod(raw, &end);
-  return end == raw ? fallback : value;
-}
+using graphhd::bench::env_double;
+using graphhd::bench::env_size;
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();

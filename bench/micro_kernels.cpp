@@ -32,6 +32,7 @@
 #include "hdc/kernels/kernels.hpp"
 #include "hdc/kernels/random_inputs.hpp"
 #include "hdc/random.hpp"
+#include "support/env.hpp"
 
 namespace {
 
@@ -42,20 +43,8 @@ using kernels::random_bipolar;
 using kernels::random_words;
 using Clock = std::chrono::steady_clock;
 
-std::size_t env_size(const char* name, std::size_t fallback) {
-  const char* raw = std::getenv(name);
-  if (raw == nullptr || *raw == '\0') return fallback;
-  const long long value = std::atoll(raw);
-  return value < 1 ? fallback : static_cast<std::size_t>(value);
-}
-
-double env_double(const char* name, double fallback) {
-  const char* raw = std::getenv(name);
-  if (raw == nullptr || *raw == '\0') return fallback;
-  char* end = nullptr;
-  const double value = std::strtod(raw, &end);
-  return end == raw ? fallback : value;
-}
+using graphhd::bench::env_double;
+using graphhd::bench::env_size;
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();

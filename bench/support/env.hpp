@@ -1,0 +1,28 @@
+/// \file env.hpp
+/// Shared environment-knob parsers for the bench harnesses.  Every GRAPHHD_*
+/// size/float knob across micro_*, fig4 and stress_* must parse identically
+/// (unset/empty/garbage -> fallback, sizes reject < 1), so the parsers live
+/// here once instead of drifting as per-bench copies.
+
+#pragma once
+
+#include <cstdlib>
+
+namespace graphhd::bench {
+
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  const long long value = std::atoll(raw);
+  return value < 1 ? fallback : static_cast<std::size_t>(value);
+}
+
+inline double env_double(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(raw, &end);
+  return end == raw ? fallback : value;
+}
+
+}  // namespace graphhd::bench

@@ -5,26 +5,40 @@
 ///   graphhd_cli train   --data DIR --name DS --out MODEL [--dimension N]
 ///                       [--seed S] [--retrain K] [--prototypes P]
 ///                       [--backend dense|packed]  (GRAPHHD_BACKEND also works)
-///   graphhd_cli predict --model MODEL --data DIR --name DS
+///                       [--stream CHUNK]  (bounded-memory chunked ingestion)
+///   graphhd_cli predict --model MODEL --data DIR --name DS [--stream CHUNK]
 ///   graphhd_cli eval    --data DIR --name DS [--folds K] [--reps R]
 ///   graphhd_cli synth   --name DS --out DIR [--scale X] [--seed S]
+///   graphhd_cli gen     --kind rmat|rgg|er --name DS --out DIR [--graphs G]
+///                       [--vertices N] [--edges M] [--radius R] [--classes C]
+///                       [--seed S]   (streams scale workloads straight to disk)
 ///   graphhd_cli stats   --data DIR --name DS
 ///
 /// Datasets are TUDataset-format directories (DIR/DS/DS_A.txt, ...); when
 /// the files are missing, `eval` and `train` fall back to the synthetic
 /// replica of DS (one of DD, ENZYMES, MUTAG, NCI1, PROTEINS, PTC_FM).
+///
+/// `--stream CHUNK` runs training/prediction through the GraphStream
+/// pipeline (data/stream.hpp): TUDataset files are read incrementally,
+/// CHUNK graphs at a time, with predictions bit-identical to the
+/// materialized path.  `gen` writes R-MAT / random-geometric /
+/// Erdős–Rényi workloads (class-conditional parameters) without ever
+/// materializing the dataset — workloads far beyond RAM are fine.
 
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "core/pipeline.hpp"
 #include "core/serialize.hpp"
+#include "data/stream.hpp"
 #include "data/synthetic.hpp"
 #include "data/tudataset.hpp"
 #include "eval/baselines.hpp"
 #include "eval/cross_validation.hpp"
+#include "graph/generators.hpp"
 #include "graph/stats.hpp"
 
 namespace {
@@ -94,11 +108,56 @@ class Args {
   return config;
 }
 
+/// Streaming source + ground-truth labels for --stream runs.  TUDataset
+/// directories are read incrementally; the synthetic fallback materializes
+/// (it is generated in memory anyway) and streams the result.
+struct StreamSource {
+  std::unique_ptr<data::GraphStream> stream;
+  std::vector<std::size_t> labels;
+  data::GraphDataset fallback;  ///< keeps the DatasetStream target alive.
+};
+
+[[nodiscard]] StreamSource open_stream(const Args& args) {
+  const std::string name = args.require("name");
+  const std::string dir = args.get("data", "data");
+  StreamSource source;
+  if (data::tudataset_exists(std::string(dir) + "/" + name, name)) {
+    auto stream = std::make_unique<data::TUDatasetStream>(std::string(dir) + "/" + name, name);
+    source.labels = stream->labels();
+    source.stream = std::move(stream);
+    std::fprintf(stderr, "streaming %s: %zu graphs, %zu classes\n", name.c_str(),
+                 source.labels.size(), source.stream->num_classes());
+  } else {
+    const double scale = std::stod(args.get("scale", "1.0"));
+    const auto seed = static_cast<std::uint64_t>(std::stoull(args.get("seed", "2022")));
+    source.fallback = data::make_synthetic_replica(name, seed, scale);
+    source.labels = source.fallback.labels();
+    source.stream = std::make_unique<data::DatasetStream>(source.fallback);
+    std::fprintf(stderr, "streaming synthetic %s: %zu graphs, %zu classes\n", name.c_str(),
+                 source.labels.size(), source.stream->num_classes());
+  }
+  return source;
+}
+
+[[nodiscard]] std::size_t stream_chunk_of(const Args& args) {
+  const std::string value = args.get("stream", "");
+  return value.empty() ? 0 : std::stoull(value);
+}
+
 int cmd_train(const Args& args) {
+  const std::string out = args.require("out");
+  if (const std::size_t chunk = stream_chunk_of(args); chunk > 0) {
+    auto source = open_stream(args);
+    core::GraphHdModel model(config_from(args), source.stream->num_classes());
+    model.fit_stream(*source.stream, chunk);
+    core::save_model(model, out);
+    std::printf("stream-trained on %zu graphs (chunk %zu); model written to %s\n",
+                source.labels.size(), chunk, out.c_str());
+    return 0;
+  }
   const auto dataset = load_dataset(args);
   core::GraphHdModel model(config_from(args), dataset.num_classes());
   model.fit(dataset);
-  const std::string out = args.require("out");
   core::save_model(model, out);
   std::printf("trained on %zu graphs; model written to %s\n", dataset.size(), out.c_str());
   std::printf("training-set accuracy: %.1f%%\n", 100.0 * model.evaluate(dataset));
@@ -107,6 +166,19 @@ int cmd_train(const Args& args) {
 
 int cmd_predict(const Args& args) {
   auto model = core::load_model(args.require("model"));
+  if (const std::size_t chunk = stream_chunk_of(args); chunk > 0) {
+    auto source = open_stream(args);
+    std::size_t hits = 0;
+    model.predict_stream(*source.stream, chunk,
+                         [&](std::size_t i, const core::Prediction& prediction) {
+                           std::printf("%zu\t%zu\t%.4f\n", i, prediction.label, prediction.score);
+                           hits += prediction.label == source.labels[i] ? 1 : 0;
+                         });
+    std::fprintf(stderr, "accuracy vs stored labels: %.1f%%\n",
+                 100.0 * static_cast<double>(hits) /
+                     static_cast<double>(source.labels.empty() ? 1 : source.labels.size()));
+    return 0;
+  }
   const auto dataset = load_dataset(args);
   std::size_t hits = 0;
   for (std::size_t i = 0; i < dataset.size(); ++i) {
@@ -149,6 +221,70 @@ int cmd_stats(const Args& args) {
   return 0;
 }
 
+/// Builds the per-class generator factory for `gen`.  Class parameters
+/// interpolate from the most skewed setting (class 0) toward uniform /
+/// denser settings, so structure-only classifiers have real signal.
+[[nodiscard]] data::GeneratorStream::Factory make_gen_factory(const std::string& kind,
+                                                              std::size_t vertices,
+                                                              std::size_t edges, double radius,
+                                                              std::size_t classes) {
+  const auto blend = [classes](std::size_t label) {
+    return classes < 2 ? 0.0
+                       : static_cast<double>(label) / static_cast<double>(classes - 1);
+  };
+  if (kind == "rmat") {
+    return [vertices, edges, blend](std::size_t, std::size_t label, hdc::Rng& rng) {
+      const double t = blend(label);
+      graph::RmatParams params;
+      params.a = 0.57 + t * (0.25 - 0.57);
+      params.b = 0.19 + t * (0.25 - 0.19);
+      params.c = params.b;
+      return graph::rmat(vertices, edges, params, rng);
+    };
+  }
+  if (kind == "rgg") {
+    return [vertices, radius, blend](std::size_t, std::size_t label, hdc::Rng& rng) {
+      return graph::random_geometric(vertices, radius * (1.0 + 0.35 * blend(label)), rng);
+    };
+  }
+  if (kind == "er") {
+    return [vertices, edges, blend](std::size_t, std::size_t label, hdc::Rng& rng) {
+      const auto m = static_cast<std::size_t>(
+          static_cast<double>(edges) * (1.0 + 0.35 * blend(label)));
+      return graph::erdos_renyi_gnm(vertices, m, rng);
+    };
+  }
+  throw std::runtime_error("--kind: expected rmat|rgg|er, got " + kind);
+}
+
+int cmd_gen(const Args& args) {
+  const std::string kind = args.require("kind");
+  const std::string name = args.require("name");
+  const std::string out = args.require("out");
+  const std::size_t graphs = std::stoull(args.get("graphs", "64"));
+  const std::size_t vertices = std::stoull(args.get("vertices", "256"));
+  const std::size_t edges = std::stoull(args.get("edges", std::to_string(4 * vertices)));
+  const double radius = std::stod(args.get("radius", "0.08"));
+  const std::size_t classes = std::stoull(args.get("classes", "2"));
+  const auto seed = static_cast<std::uint64_t>(std::stoull(args.get("seed", "2022")));
+
+  data::GeneratorStream stream(graphs, classes,
+                               graphhd::hdc::derive_seed(seed, "cli-gen"),
+                               make_gen_factory(kind, vertices, edges, radius, classes));
+  // Straight generator -> writer: the workload never exists in memory.
+  data::TUDatasetWriter writer(std::string(out) + "/" + name, name);
+  std::size_t total_edges = 0;
+  while (auto sample = stream.next()) {
+    total_edges += sample->graph.num_edges();
+    writer.append(sample->graph, sample->label);
+  }
+  writer.close();
+  std::printf("wrote %zu %s graphs (%zu vertices each, %zu edges total) to %s/%s\n",
+              writer.graphs_written(), kind.c_str(), vertices, total_edges, out.c_str(),
+              name.c_str());
+  return 0;
+}
+
 int cmd_synth(const Args& args) {
   const std::string name = args.require("name");
   const std::string out = args.require("out");
@@ -163,13 +299,16 @@ int cmd_synth(const Args& args) {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: graphhd_cli <train|predict|eval|synth> [--flag value ...]\n"
+               "usage: graphhd_cli <train|predict|eval|synth|gen|stats> [--flag value ...]\n"
                "  train   --data DIR --name DS --out MODEL [--dimension N] [--retrain K]\n"
                "          [--backend dense|packed]   (or GRAPHHD_BACKEND env)\n"
-               "  predict --model MODEL --data DIR --name DS\n"
+               "          [--stream CHUNK]           (bounded-memory chunked ingestion)\n"
+               "  predict --model MODEL --data DIR --name DS [--stream CHUNK]\n"
                "  eval    --data DIR --name DS [--folds K] [--reps R] [--scale X]\n"
                "          [--backend dense|packed]\n"
                "  synth   --name DS --out DIR [--scale X] [--seed S]\n"
+               "  gen     --kind rmat|rgg|er --name DS --out DIR [--graphs G]\n"
+               "          [--vertices N] [--edges M] [--radius R] [--classes C] [--seed S]\n"
                "  stats   --data DIR --name DS\n");
 }
 
@@ -187,6 +326,7 @@ int main(int argc, char** argv) {
     if (command == "predict") return cmd_predict(args);
     if (command == "eval") return cmd_eval(args);
     if (command == "synth") return cmd_synth(args);
+    if (command == "gen") return cmd_gen(args);
     if (command == "stats") return cmd_stats(args);
     usage();
     return 2;

@@ -135,6 +135,69 @@ void GraphHdModel::fit(const data::GraphDataset& train) {
   fitted_ = true;
 }
 
+void GraphHdModel::fit_stream(data::GraphStream& stream, std::size_t chunk_size) {
+  if (fitted_) {
+    throw std::logic_error("GraphHdModel::fit_stream: model already fitted");
+  }
+  if (chunk_size == 0) {
+    throw std::invalid_argument("GraphHdModel::fit_stream: chunk_size must be positive");
+  }
+  if (stream.num_classes() > num_classes_) {
+    throw std::invalid_argument(
+        "GraphHdModel::fit_stream: stream has more classes than the model");
+  }
+
+  // Same schedule as fit(), chunk by chunk: one bundling pass, then one
+  // stream replay per retraining epoch.  Chunk boundaries are invisible to
+  // the result — encoding is seed-deterministic per sample and the
+  // bundle/retrain updates run in stream order.
+  const auto replay = [&](auto&& per_sample) {
+    stream.reset();
+    std::size_t index = 0;
+    while (true) {
+      const data::GraphDataset chunk = data::next_chunk(stream, chunk_size);
+      if (chunk.empty()) break;
+      if (chunk.num_classes() > num_classes_) {
+        throw std::invalid_argument(
+            "GraphHdModel::fit_stream: stream label exceeds the model's class count");
+      }
+      if (packed_memory_.has_value()) {
+        const auto encoded = encode_batch_packed(chunk);
+        for (std::size_t i = 0; i < chunk.size(); ++i) {
+          per_sample(*packed_memory_, encoded[i], chunk.label(i), index++);
+        }
+      } else {
+        const auto encoded = encode_batch(chunk);
+        for (std::size_t i = 0; i < chunk.size(); ++i) {
+          per_sample(*dense_memory_, encoded[i], chunk.label(i), index++);
+        }
+      }
+    }
+  };
+
+  // Algorithm 1: bundle every sample into (a prototype of) its class.
+  replay([&](auto& memory, const auto& encoded, std::size_t label, std::size_t) {
+    const std::size_t replica = next_replica_[label];
+    next_replica_[label] = (replica + 1) % config_.vectors_per_class;
+    memory.add(slot_of(label, replica), encoded);
+  });
+
+  // Extension VII.1a: perceptron-style retraining, re-encoding per epoch.
+  for (std::size_t epoch = 0; epoch < config_.retrain_epochs; ++epoch) {
+    std::size_t mispredictions = 0;
+    replay([&](auto& memory, const auto& encoded, std::size_t true_class, std::size_t) {
+      const auto result = memory.query(encoded);
+      const std::size_t predicted_class = class_of_slot(result.best_class);
+      if (predicted_class == true_class) return;
+      ++mispredictions;
+      const std::size_t target_slot = best_slot_in_class(result, true_class);
+      memory.retrain_update(target_slot, result.best_class, encoded);
+    });
+    if (mispredictions == 0) break;
+  }
+  fitted_ = true;
+}
+
 void GraphHdModel::partial_fit(const graph::Graph& graph, std::size_t label) {
   if (label >= num_classes_) {
     throw std::out_of_range("GraphHdModel::partial_fit: label out of range");
@@ -209,6 +272,52 @@ std::vector<Prediction> GraphHdModel::predict_batch(const data::GraphDataset& te
   const std::vector<hdc::Hypervector> encoded = encode_batch(test);
   parallel::parallel_for(test.size(),
                          [&](std::size_t i) { predictions[i] = predict_encoded(encoded[i]); });
+  return predictions;
+}
+
+void GraphHdModel::predict_stream(data::GraphStream& stream, std::size_t chunk_size,
+                                  const std::function<void(std::size_t, const Prediction&)>& sink) {
+  if (chunk_size == 0) {
+    throw std::invalid_argument("GraphHdModel::predict_stream: chunk_size must be positive");
+  }
+  // One finalize up front (as in predict_batch) so the chunked parallel
+  // queries below are pure reads.
+  if (packed_memory_.has_value()) {
+    packed_memory_->finalize();
+  } else {
+    dense_memory_->finalize();
+  }
+  stream.reset();
+  std::size_t index = 0;
+  while (true) {
+    const data::GraphDataset chunk = data::next_chunk(stream, chunk_size);
+    if (chunk.empty()) break;
+    std::vector<Prediction> predictions(chunk.size());
+    if (packed_memory_.has_value()) {
+      const auto encoded = encode_batch_packed(chunk);
+      parallel::parallel_for(chunk.size(),
+                             [&](std::size_t i) { predictions[i] = predict_encoded(encoded[i]); });
+    } else {
+      const auto encoded = encode_batch(chunk);
+      parallel::parallel_for(chunk.size(),
+                             [&](std::size_t i) { predictions[i] = predict_encoded(encoded[i]); });
+    }
+    for (std::size_t i = 0; i < predictions.size(); ++i) {
+      sink(index++, predictions[i]);
+    }
+  }
+}
+
+std::vector<Prediction> GraphHdModel::predict_stream(data::GraphStream& stream,
+                                                     std::size_t chunk_size) {
+  std::vector<Prediction> predictions;
+  if (const auto hint = stream.size_hint(); hint.has_value()) predictions.reserve(*hint);
+  predict_stream(stream, chunk_size, [&](std::size_t index, const Prediction& prediction) {
+    if (index != predictions.size()) {
+      throw std::logic_error("GraphHdModel::predict_stream: out-of-order sink index");
+    }
+    predictions.push_back(prediction);
+  });
   return predictions;
 }
 

@@ -5,12 +5,14 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <optional>
 #include <vector>
 
 #include "core/config.hpp"
 #include "core/encoder.hpp"
 #include "data/dataset.hpp"
+#include "data/stream.hpp"
 #include "hdc/assoc_memory.hpp"
 #include "hdc/packed_assoc.hpp"
 
@@ -53,6 +55,18 @@ class GraphHdModel {
   /// called once per model; throws on a second call.
   void fit(const data::GraphDataset& train);
 
+  /// Streaming training: pulls `chunk_size` graphs at a time from the
+  /// stream, encodes each chunk in parallel (same chunk-0/private-encoder
+  /// contract as fit) and bundles it, so peak memory is O(chunk), not
+  /// O(dataset).  When config.retrain_epochs > 0 the stream is reset() and
+  /// re-encoded once per epoch instead of caching every encoding.  Because
+  /// the encoders are seed-deterministic and bundling order equals stream
+  /// order, the trained state — and therefore every later prediction — is
+  /// bit-identical to fit() on the materialized dataset, at any chunk size,
+  /// thread count and kernel variant (tests/test_stream.cpp,
+  /// bench/stress_stream.cpp).
+  void fit_stream(data::GraphStream& stream, std::size_t chunk_size = 64);
+
   /// Online update with one labeled sample (usable before or after fit).
   void partial_fit(const graph::Graph& graph, std::size_t label);
 
@@ -68,6 +82,19 @@ class GraphHdModel {
   /// are bound in, which single-graph predict() (no label argument) cannot
   /// do.
   [[nodiscard]] std::vector<Prediction> predict_batch(const data::GraphDataset& test);
+
+  /// Streaming prediction: pulls `chunk_size` graphs at a time, encodes and
+  /// queries each chunk in parallel, and hands every prediction to `sink`
+  /// in stream order (`index` counts samples from 0).  Bounded memory —
+  /// graphs and encodings are dropped after their chunk.  Bit-identical to
+  /// predict_batch on the materialized stream.
+  void predict_stream(data::GraphStream& stream, std::size_t chunk_size,
+                      const std::function<void(std::size_t, const Prediction&)>& sink);
+
+  /// Convenience overload collecting the predictions (the per-sample
+  /// Prediction is a few doubles — the graphs are still streamed).
+  [[nodiscard]] std::vector<Prediction> predict_stream(data::GraphStream& stream,
+                                                       std::size_t chunk_size = 64);
 
   /// Predicts a pre-encoded hypervector (lets callers amortize encoding).
   /// On the packed backend the query is packed first (one conversion, then

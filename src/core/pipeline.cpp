@@ -14,6 +14,24 @@ void GraphHd::fit(const data::GraphDataset& train) {
   model_->fit(train);
 }
 
+void GraphHd::fit_stream(data::GraphStream& stream, std::size_t chunk_size) {
+  if (stream.num_classes() < 2) {
+    throw std::invalid_argument("GraphHd::fit_stream: stream must contain at least 2 classes");
+  }
+  model_.emplace(config_, stream.num_classes());
+  model_->fit_stream(stream, chunk_size);
+}
+
+std::vector<std::size_t> GraphHd::predict_stream(data::GraphStream& stream,
+                                                 std::size_t chunk_size) {
+  std::vector<std::size_t> labels;
+  if (const auto hint = stream.size_hint(); hint.has_value()) labels.reserve(*hint);
+  model().predict_stream(stream, chunk_size, [&](std::size_t, const Prediction& prediction) {
+    labels.push_back(prediction.label);
+  });
+  return labels;
+}
+
 void GraphHd::partial_fit(const graph::Graph& graph, std::size_t label,
                           std::size_t num_classes) {
   if (!model_.has_value()) {

@@ -31,6 +31,14 @@ class GraphHd {
   /// Trains on the dataset (Algorithm 1 + configured extensions).
   void fit(const data::GraphDataset& train);
 
+  /// Streaming training over a GraphStream (data/stream.hpp): chunked,
+  /// bounded-memory, bit-identical to fit() on the materialized stream.
+  void fit_stream(data::GraphStream& stream, std::size_t chunk_size = 64);
+
+  /// Streaming prediction (class ids in stream order, bounded memory).
+  [[nodiscard]] std::vector<std::size_t> predict_stream(data::GraphStream& stream,
+                                                        std::size_t chunk_size = 64);
+
   /// Starts (or continues) an online model covering `num_classes` classes,
   /// feeding one sample.  Interchangeable with fit(): fit() is just the
   /// batched version with extensions.

@@ -190,6 +190,24 @@ GraphHdModel load_model(std::istream& in) {
   require(num_classes >= 2, "num_classes must be >= 2, got " + std::to_string(num_classes));
   const bool fitted = parse_int(read_value("fitted"), "fitted") != 0;
 
+  // Artifact sanity bounds: a single corrupted digit in `dimension`,
+  // `num_classes` or `vectors_per_class` must surface as a parse error, not
+  // as a multi-terabyte allocation attempt inside the model constructor
+  // (which sanitizer allocators abort on rather than throw).  Real models
+  // sit orders of magnitude below these caps (the paper uses d = 10000).
+  constexpr std::uint64_t kMaxDimension = 100'000'000;       // 400 MB of counters per slot.
+  constexpr std::uint64_t kMaxSlots = 1'000'000;
+  constexpr std::uint64_t kMaxTotalCounters = 1'000'000'000; // 4 GB of counters overall.
+  require(config.dimension <= kMaxDimension,
+          "dimension " + std::to_string(config.dimension) + " exceeds the artifact bound " +
+              std::to_string(kMaxDimension));
+  require(num_classes <= kMaxSlots && config.vectors_per_class <= kMaxSlots &&
+              num_classes * config.vectors_per_class <= kMaxSlots,
+          "class slot count exceeds the artifact bound " + std::to_string(kMaxSlots));
+  require(num_classes * config.vectors_per_class <= kMaxTotalCounters / config.dimension,
+          "total counter count exceeds the artifact bound " +
+              std::to_string(kMaxTotalCounters));
+
   std::vector<std::size_t> cursors;
   {
     std::istringstream line(expect_key(read_line(in, "cursors"), "cursors"));

@@ -1,0 +1,237 @@
+/// \file stream.hpp
+/// Streaming graph ingestion: datasets produced one graph at a time.
+///
+/// The materialized GraphDataset path requires the whole workload in memory
+/// before fit() can start — fine for the paper's benchmarks (hundreds of
+/// graphs of ~100 vertices), a dead end for the million-edge R-MAT/geometric
+/// workloads the scale generators produce.  GraphStream is the pull
+/// interface that bounds memory to one chunk: GraphHdModel::fit_stream /
+/// predict_stream (core/model.hpp) pull fixed-size chunks, encode them in
+/// parallel over the process pool, and discard them.  Every implementation
+/// here is deterministic and resettable, and a stream replayed through
+/// next_chunk() materializes to exactly the dataset its source describes —
+/// which is what makes the streaming pipeline bit-identical to the
+/// materialized one (tests/test_stream.cpp).
+///
+/// Implementations:
+///   DatasetStream    view over an in-memory GraphDataset (adapter);
+///   GeneratorStream  graphs drawn from a factory with per-index derived
+///                    seeds (chunking/order independent);
+///   TUDatasetStream  incremental TUDataset-directory reader, O(graphs +
+///                    largest graph) memory instead of O(dataset);
+///   EdgeListStream   incremental reader of the plain edge-list format
+///                    written by save_edge_list / TUDatasetWriter's sibling.
+///
+/// TUDatasetWriter is the write-side counterpart: it appends one graph at a
+/// time to a TUDataset directory, producing byte-identical files to
+/// save_tudataset without ever holding the dataset.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "graph/graph.hpp"
+#include "hdc/random.hpp"
+
+namespace graphhd::data {
+
+/// One labeled sample pulled from a stream.  `vertex_labels` is empty when
+/// the source carries none (its size must equal the graph's vertex count
+/// otherwise).
+struct StreamSample {
+  Graph graph;
+  std::size_t label = 0;
+  std::vector<std::size_t> vertex_labels;
+};
+
+/// Pull interface over a sequence of labeled graphs.
+class GraphStream {
+ public:
+  virtual ~GraphStream() = default;
+
+  /// Next sample, or nullopt when the stream is exhausted.
+  [[nodiscard]] virtual std::optional<StreamSample> next() = 0;
+
+  /// Rewinds to the first sample.  Required by fit_stream: retraining
+  /// epochs replay the stream instead of keeping every encoding around.
+  virtual void reset() = 0;
+
+  /// Number of classes the labels are drawn from (known up front — model
+  /// construction needs it before the first sample is pulled).
+  [[nodiscard]] virtual std::size_t num_classes() const = 0;
+
+  /// Total sample count when known; nullopt for unbounded sources.
+  [[nodiscard]] virtual std::optional<std::size_t> size_hint() const { return std::nullopt; }
+};
+
+/// Pulls up to `max_graphs` samples into an in-memory chunk.  Vertex labels
+/// are attached when the pulled samples carry them (mixing labeled and
+/// unlabeled samples within one chunk throws std::runtime_error).
+[[nodiscard]] GraphDataset next_chunk(GraphStream& stream, std::size_t max_graphs,
+                                      const std::string& name = "chunk");
+
+/// Drains the whole stream into one dataset (reset first, then pull to the
+/// end) — the materialization used by equivalence tests and small callers.
+[[nodiscard]] GraphDataset materialize(GraphStream& stream, const std::string& name = "stream");
+
+/// Adapter: streams an in-memory dataset (no copy until samples are pulled).
+/// The dataset must outlive the stream.
+class DatasetStream final : public GraphStream {
+ public:
+  explicit DatasetStream(const GraphDataset& dataset) : dataset_(&dataset) {}
+
+  [[nodiscard]] std::optional<StreamSample> next() override;
+  void reset() override { position_ = 0; }
+  [[nodiscard]] std::size_t num_classes() const override { return dataset_->num_classes(); }
+  [[nodiscard]] std::optional<std::size_t> size_hint() const override {
+    return dataset_->size();
+  }
+
+ private:
+  const GraphDataset* dataset_;
+  std::size_t position_ = 0;
+};
+
+/// Streams graphs drawn from a factory.  Sample i gets label i % num_classes
+/// and an Rng seeded with derive_seed(seed, i), so the produced sequence is
+/// independent of chunk sizes, pull order and thread counts — replaying the
+/// stream always yields bit-identical graphs.
+class GeneratorStream final : public GraphStream {
+ public:
+  /// \param factory invoked as factory(index, label, rng) for each sample.
+  using Factory = std::function<Graph(std::size_t, std::size_t, hdc::Rng&)>;
+
+  GeneratorStream(std::size_t count, std::size_t num_classes, std::uint64_t seed,
+                  Factory factory);
+
+  [[nodiscard]] std::optional<StreamSample> next() override;
+  void reset() override { position_ = 0; }
+  [[nodiscard]] std::size_t num_classes() const override { return num_classes_; }
+  [[nodiscard]] std::optional<std::size_t> size_hint() const override { return count_; }
+
+ private:
+  std::size_t count_;
+  std::size_t num_classes_;
+  std::uint64_t seed_;
+  Factory factory_;
+  std::size_t position_ = 0;
+};
+
+/// Incremental TUDataset-directory reader.
+///
+/// Holds O(num_graphs + distinct labels + current graph) state: the graph
+/// label column and the node-label value map are read up front (model
+/// construction needs num_classes, and TUDataset node labels densify by
+/// global numeric order), but adjacency, indicator and node-label rows are
+/// consumed line by line as graphs are pulled.  Requires the indicator
+/// column to be non-decreasing and the adjacency rows grouped by graph —
+/// the canonical layout every known TUDataset dump (and save_tudataset /
+/// TUDatasetWriter) uses; anything else throws std::runtime_error rather
+/// than silently reordering.  Produces exactly the samples load_tudataset
+/// materializes (labels densified the same way).
+class TUDatasetStream final : public GraphStream {
+ public:
+  TUDatasetStream(const std::filesystem::path& directory, const std::string& name);
+
+  [[nodiscard]] std::optional<StreamSample> next() override;
+  void reset() override;
+  [[nodiscard]] std::size_t num_classes() const override { return num_classes_; }
+  [[nodiscard]] std::optional<std::size_t> size_hint() const override { return labels_.size(); }
+
+  /// Densified per-graph labels (read up front — they are the one column
+  /// that cannot stream).  Lets callers score streamed predictions without
+  /// replaying the graphs.
+  [[nodiscard]] const std::vector<std::size_t>& labels() const noexcept { return labels_; }
+
+ private:
+  struct Cursor;  // file positions + per-graph progress (defined in stream.cpp)
+
+  std::filesystem::path directory_;
+  std::string name_;
+  std::vector<std::size_t> labels_;  ///< densified graph labels, one per graph.
+  std::size_t num_classes_ = 0;
+  bool has_node_labels_ = false;
+  std::vector<long long> node_label_map_keys_;  ///< sorted raw node-label values.
+  std::shared_ptr<Cursor> cursor_;
+};
+
+/// Incremental reader of the plain edge-list exchange format:
+///
+///   # comment / blank lines anywhere
+///   graph <num_vertices> <label>
+///   <u> <v>            (0-based local ids, one undirected edge per line)
+///   ...
+///
+/// One cheap construction-time scan counts graphs and classes; samples are
+/// then parsed one record at a time.
+class EdgeListStream final : public GraphStream {
+ public:
+  explicit EdgeListStream(const std::filesystem::path& path);
+
+  [[nodiscard]] std::optional<StreamSample> next() override;
+  void reset() override;
+  [[nodiscard]] std::size_t num_classes() const override { return num_classes_; }
+  [[nodiscard]] std::optional<std::size_t> size_hint() const override { return count_; }
+
+ private:
+  std::filesystem::path path_;
+  std::size_t count_ = 0;
+  std::size_t num_classes_ = 0;
+  std::ifstream in_;
+  std::string pending_header_;  ///< lookahead: the next record's "graph" line.
+  std::size_t line_no_ = 0;
+};
+
+/// Writes `dataset` in the edge-list format EdgeListStream reads.
+void save_edge_list(const GraphDataset& dataset, const std::filesystem::path& path);
+
+/// Appends one graph record in the edge-list format.
+void append_edge_list(std::ostream& out, const Graph& graph, std::size_t label);
+
+/// Append-only TUDataset-directory writer: the streaming counterpart of
+/// save_tudataset.  Graphs written through append() produce byte-identical
+/// files to a save_tudataset call over the materialized dataset (including
+/// the node-labels file when every append carries vertex labels).
+class TUDatasetWriter {
+ public:
+  TUDatasetWriter(const std::filesystem::path& directory, const std::string& name);
+
+  /// Appends one graph.  Pass `vertex_labels` either for every graph or for
+  /// none (checked; a half-labeled directory would not load).
+  void append(const Graph& graph, std::size_t label,
+              std::span<const std::size_t> vertex_labels = {});
+
+  [[nodiscard]] std::size_t graphs_written() const noexcept { return graphs_written_; }
+
+  /// Flushes and closes the files; throws std::runtime_error on stream
+  /// failure.  Called by the destructor (errors swallowed there).
+  void close();
+
+  ~TUDatasetWriter();
+  TUDatasetWriter(const TUDatasetWriter&) = delete;
+  TUDatasetWriter& operator=(const TUDatasetWriter&) = delete;
+
+ private:
+  std::filesystem::path directory_;
+  std::string name_;
+  std::ofstream adjacency_out_;
+  std::ofstream indicator_out_;
+  std::ofstream labels_out_;
+  std::ofstream node_labels_out_;  ///< opened lazily on the first labeled append.
+  std::size_t graphs_written_ = 0;
+  std::size_t global_vertex_base_ = 0;
+  bool closed_ = false;
+  std::optional<bool> writes_vertex_labels_;  ///< fixed by the first append.
+};
+
+}  // namespace graphhd::data

@@ -1,0 +1,61 @@
+#include "data/text_io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <stdexcept>
+
+namespace graphhd::data::text_io {
+
+std::string_view trim(std::string_view line) {
+  if (const auto hash = line.find('#'); hash != std::string_view::npos) {
+    line = line.substr(0, hash);
+  }
+  const auto first = line.find_first_not_of(" \t\r\n");
+  if (first == std::string_view::npos) return {};
+  const auto last = line.find_last_not_of(" \t\r\n");
+  return line.substr(first, last - first + 1);
+}
+
+std::vector<long long> parse_ints(std::string_view line, const std::filesystem::path& file,
+                                  std::size_t line_no) {
+  std::vector<long long> values;
+  const char* it = line.data();
+  const char* end = line.data() + line.size();
+  while (it != end) {
+    while (it != end && (*it == ' ' || *it == '\t' || *it == ',')) ++it;
+    if (it == end) break;
+    long long value = 0;
+    const auto [next, ec] = std::from_chars(it, end, value);
+    if (ec != std::errc{}) {
+      throw std::runtime_error(file.string() + ":" + std::to_string(line_no) +
+                               ": expected integer, got '" + std::string(line) + "'");
+    }
+    values.push_back(value);
+    it = next;
+  }
+  return values;
+}
+
+std::vector<long long> read_int_column(const std::filesystem::path& file) {
+  std::ifstream in(file);
+  if (!in) {
+    throw std::runtime_error("tudataset: cannot open " + file.string());
+  }
+  std::vector<long long> values;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    const auto ints = parse_ints(trimmed, file, line_no);
+    if (ints.size() != 1) {
+      throw std::runtime_error(file.string() + ":" + std::to_string(line_no) +
+                               ": expected exactly one integer");
+    }
+    values.push_back(ints.front());
+  }
+  return values;
+}
+
+}  // namespace graphhd::data::text_io

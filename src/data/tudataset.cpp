@@ -1,11 +1,12 @@
 #include "data/tudataset.hpp"
 
 #include <algorithm>
-#include <charconv>
 #include <fstream>
 #include <map>
 #include <stdexcept>
 #include <vector>
+
+#include "data/text_io.hpp"
 
 namespace graphhd::data {
 
@@ -13,60 +14,9 @@ namespace {
 
 namespace fs = std::filesystem;
 
-/// Strips whitespace and a trailing '#'-comment from a line.
-[[nodiscard]] std::string_view trim(std::string_view line) {
-  if (const auto hash = line.find('#'); hash != std::string_view::npos) {
-    line = line.substr(0, hash);
-  }
-  const auto first = line.find_first_not_of(" \t\r\n");
-  if (first == std::string_view::npos) return {};
-  const auto last = line.find_last_not_of(" \t\r\n");
-  return line.substr(first, last - first + 1);
-}
-
-/// Parses all integers on a line separated by commas and/or whitespace.
-[[nodiscard]] std::vector<long long> parse_ints(std::string_view line, const fs::path& file,
-                                                std::size_t line_no) {
-  std::vector<long long> values;
-  const char* it = line.data();
-  const char* end = line.data() + line.size();
-  while (it != end) {
-    while (it != end && (*it == ' ' || *it == '\t' || *it == ',')) ++it;
-    if (it == end) break;
-    long long value = 0;
-    const auto [next, ec] = std::from_chars(it, end, value);
-    if (ec != std::errc{}) {
-      throw std::runtime_error(file.string() + ":" + std::to_string(line_no) +
-                               ": expected integer, got '" + std::string(line) + "'");
-    }
-    values.push_back(value);
-    it = next;
-  }
-  return values;
-}
-
-/// Reads one integer per (non-empty) line.
-[[nodiscard]] std::vector<long long> read_int_column(const fs::path& file) {
-  std::ifstream in(file);
-  if (!in) {
-    throw std::runtime_error("tudataset: cannot open " + file.string());
-  }
-  std::vector<long long> values;
-  std::string line;
-  std::size_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    const auto trimmed = trim(line);
-    if (trimmed.empty()) continue;
-    const auto ints = parse_ints(trimmed, file, line_no);
-    if (ints.size() != 1) {
-      throw std::runtime_error(file.string() + ":" + std::to_string(line_no) +
-                               ": expected exactly one integer");
-    }
-    values.push_back(ints.front());
-  }
-  return values;
-}
+using text_io::parse_ints;
+using text_io::read_int_column;
+using text_io::trim;
 
 }  // namespace
 
@@ -91,6 +41,15 @@ GraphDataset load_tudataset(const fs::path& directory, const std::string& name) 
       throw std::runtime_error(indicator_file.string() + ": graph ids must be >= 1");
     }
     num_graphs = std::max(num_graphs, static_cast<std::size_t>(g));
+  }
+  // Every line of the indicator column assigns one vertex, so a graph id
+  // beyond the line count cannot name a real graph.  Without this bound a
+  // single corrupted digit ("3" -> "3000000000") turns into a multi-gigabyte
+  // builder allocation instead of a parse error (see tests/test_fuzz_loaders).
+  if (num_graphs > total_vertices) {
+    throw std::runtime_error(indicator_file.string() + ": graph id " +
+                             std::to_string(num_graphs) + " exceeds the vertex count " +
+                             std::to_string(total_vertices));
   }
 
   // Local (per-graph) vertex ids in order of appearance.

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <numeric>
 #include <queue>
 #include <set>
 #include <stdexcept>
+#include <string>
+#include <unordered_set>
 
 namespace graphhd::graph {
 
@@ -13,6 +17,31 @@ namespace {
 
 [[nodiscard]] Graph from_edge_vector(std::size_t n, std::vector<Edge> edges) {
   return Graph::from_edges(n, edges);
+}
+
+/// Canonical 64-bit key of an undirected pair — the dedup currency of every
+/// sampling generator here.  Valid because VertexId is 32-bit.
+[[nodiscard]] std::uint64_t pair_key(VertexId a, VertexId b) {
+  const auto lo = std::min(a, b), hi = std::max(a, b);
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+}
+
+/// Largest vertex count the VertexId/pair_key machinery can express.
+constexpr std::size_t kMaxVertices =
+    static_cast<std::size_t>(std::numeric_limits<VertexId>::max()) + 1;
+
+void require_vertex_range(std::size_t n, const char* generator) {
+  if (n > kMaxVertices) {
+    throw std::invalid_argument(std::string(generator) +
+                                ": n exceeds the 32-bit VertexId range");
+  }
+}
+
+/// n*(n-1)/2 without intermediate overflow (n <= 2^32 checked by callers:
+/// the even factor is halved before the multiply).
+[[nodiscard]] std::size_t max_simple_edges(std::size_t n) {
+  if (n < 2) return 0;
+  return (n % 2 == 0) ? (n / 2) * (n - 1) : n * ((n - 1) / 2);
 }
 
 }  // namespace
@@ -52,18 +81,42 @@ Graph erdos_renyi(std::size_t n, double p, Rng& rng) {
 }
 
 Graph erdos_renyi_gnm(std::size_t n, std::size_t m, Rng& rng) {
-  const std::size_t max_edges = n < 2 ? 0 : n * (n - 1) / 2;
+  require_vertex_range(n, "erdos_renyi_gnm");
+  const std::size_t max_edges = max_simple_edges(n);
   m = std::min(m, max_edges);
-  std::set<std::uint64_t> chosen;
+  if (m > max_edges / 2) {
+    // Dense request: rejection sampling degenerates into a coupon-collector
+    // loop near the complete graph, so sample the (max_edges - m) *excluded*
+    // pairs instead and emit everything else.  The output here is Theta(n^2)
+    // anyway, so the full pair enumeration adds no asymptotic cost.
+    std::unordered_set<std::uint64_t> excluded;
+    const std::size_t holes = max_edges - m;
+    excluded.reserve(holes * 2);
+    while (excluded.size() < holes) {
+      const auto u = static_cast<VertexId>(rng.next_below(n));
+      const auto v = static_cast<VertexId>(rng.next_below(n));
+      if (u != v) excluded.insert(pair_key(u, v));
+    }
+    std::vector<Edge> edges;
+    edges.reserve(m);
+    for (VertexId u = 0; u + 1 < n; ++u) {
+      for (VertexId v = u + 1; v < n; ++v) {
+        if (!excluded.contains(pair_key(u, v))) edges.push_back({u, v});
+      }
+    }
+    return from_edge_vector(n, std::move(edges));
+  }
+  std::unordered_set<std::uint64_t> chosen;
+  chosen.reserve(m * 2);
   std::vector<Edge> edges;
   edges.reserve(m);
   while (edges.size() < m) {
     const auto u = static_cast<VertexId>(rng.next_below(n));
     const auto v = static_cast<VertexId>(rng.next_below(n));
     if (u == v) continue;
-    const auto lo = std::min(u, v), hi = std::max(u, v);
-    const std::uint64_t key = (static_cast<std::uint64_t>(hi) << 32) | lo;
-    if (chosen.insert(key).second) edges.push_back({lo, hi});
+    if (chosen.insert(pair_key(u, v)).second) {
+      edges.push_back({std::min(u, v), std::max(u, v)});
+    }
   }
   return from_edge_vector(n, std::move(edges));
 }
@@ -144,35 +197,76 @@ Graph random_regular(std::size_t n, std::size_t d, Rng& rng) {
     throw std::invalid_argument("random_regular: need d < n and n*d even");
   }
   if (d == 0) return from_edge_vector(n, {});
-  // Configuration model with full restarts on collisions; for the modest
-  // n, d used in datasets and tests this converges in a handful of tries.
-  for (int attempt = 0; attempt < 1000; ++attempt) {
+  if (d > (n - 1) / 2) {
+    // Dense side: the probability that a random pairing is simple decays
+    // roughly like exp(-d^2/4), so sample the (n-1-d)-regular complement
+    // instead (n*(n-1-d) is even whenever n*d is — n*(n-1) is always even).
+    const Graph sparse = random_regular(n, n - 1 - d, rng);
+    std::vector<Edge> edges;
+    edges.reserve(max_simple_edges(n) - sparse.num_edges());
+    for (VertexId u = 0; u + 1 < n; ++u) {
+      for (VertexId v = u + 1; v < n; ++v) {
+        if (!sparse.has_edge(u, v)) edges.push_back({u, v});
+      }
+    }
+    return from_edge_vector(n, std::move(edges));
+  }
+  // Configuration model; instead of restarting the whole pairing whenever a
+  // self-loop or duplicate shows up (a full restart succeeds with probability
+  // -> 0 as d grows, which is what used to make moderate d spin through the
+  // restart budget), defective pairs are repaired by random edge swaps:
+  // defect (u, v) + kept edge (x, y) -> (u, x), (v, y) preserves all degrees.
+  for (int attempt = 0; attempt < 64; ++attempt) {
     std::vector<VertexId> stubs;
     stubs.reserve(n * d);
     for (VertexId v = 0; v < n; ++v) {
       for (std::size_t j = 0; j < d; ++j) stubs.push_back(v);
     }
     rng.shuffle(stubs);
-    std::set<std::uint64_t> seen;
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(n * d);
     std::vector<Edge> edges;
-    bool ok = true;
+    edges.reserve(n * d / 2);
+    std::vector<Edge> defects;
     for (std::size_t i = 0; i < stubs.size(); i += 2) {
       const VertexId u = stubs[i], v = stubs[i + 1];
-      if (u == v) {
-        ok = false;
-        break;
+      if (u == v || !seen.insert(pair_key(u, v)).second) {
+        defects.push_back({u, v});  // raw stub pair — possibly u == v.
+        continue;
       }
-      const auto lo = std::min(u, v), hi = std::max(u, v);
-      const std::uint64_t key = (static_cast<std::uint64_t>(hi) << 32) | lo;
-      if (!seen.insert(key).second) {
-        ok = false;
-        break;
-      }
-      edges.push_back({lo, hi});
+      edges.push_back({std::min(u, v), std::max(u, v)});
     }
-    if (ok) return from_edge_vector(n, std::move(edges));
+    bool repaired = true;
+    for (const Edge& defect : defects) {
+      bool fixed = false;
+      for (int swap_attempt = 0; swap_attempt < 256 && !edges.empty(); ++swap_attempt) {
+        const std::size_t kept_index = rng.next_below(edges.size());
+        const Edge kept = edges[kept_index];
+        // Orient the kept edge both ways so every swap is reachable.
+        const bool flip = rng.next_bool();
+        const VertexId x = flip ? kept.v : kept.u;
+        const VertexId y = flip ? kept.u : kept.v;
+        const VertexId u = defect.u, v = defect.v;
+        if (u == x || v == y || seen.contains(pair_key(u, x)) ||
+            seen.contains(pair_key(v, y)) || pair_key(u, x) == pair_key(v, y)) {
+          continue;
+        }
+        seen.erase(pair_key(x, y));
+        seen.insert(pair_key(u, x));
+        seen.insert(pair_key(v, y));
+        edges[kept_index] = {std::min(u, x), std::max(u, x)};
+        edges.push_back({std::min(v, y), std::max(v, y)});
+        fixed = true;
+        break;
+      }
+      if (!fixed) {
+        repaired = false;
+        break;
+      }
+    }
+    if (repaired) return from_edge_vector(n, std::move(edges));
   }
-  throw std::runtime_error("random_regular: pairing failed to converge");
+  throw std::runtime_error("random_regular: pairing failed to converge within the restart cap");
 }
 
 Graph random_tree(std::size_t n, Rng& rng) {
@@ -256,6 +350,104 @@ Graph caveman(std::size_t cliques, std::size_t clique_size, Rng& rng) {
       if (!present.contains(key_of(from, to))) {
         edges.push_back({std::min(from, to), std::max(from, to)});
         present.insert(key_of(from, to));
+      }
+    }
+  }
+  return from_edge_vector(n, std::move(edges));
+}
+
+Graph rmat(std::size_t n, std::size_t m, const RmatParams& params, Rng& rng) {
+  require_vertex_range(n, "rmat");
+  if (params.a < 0.0 || params.b < 0.0 || params.c < 0.0 ||
+      params.a + params.b + params.c > 1.0 + 1e-12) {
+    throw std::invalid_argument("rmat: need a, b, c >= 0 and a + b + c <= 1");
+  }
+  if (n < 2) return from_edge_vector(n, {});
+  m = std::min(m, max_simple_edges(n));
+
+  // Levels of the recursive quadrant descent: the virtual adjacency matrix is
+  // 2^levels x 2^levels with 2^levels >= n; endpoints >= n are redrawn (for
+  // the skewed parameterizations nearly all mass sits in the low quadrants,
+  // so the rejection overhead is small).
+  std::size_t levels = 0;
+  while ((std::size_t{1} << levels) < n) ++levels;
+
+  const double ab = params.a + params.b;
+  const double abc = ab + params.c;
+  std::unordered_set<std::uint64_t> chosen;
+  chosen.reserve(m * 2);
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  // Hard cap on total draws: near-complete requests under a skewed
+  // distribution revisit the same cells over and over; better a slightly
+  // short edge list than an unbounded loop.  Sparse workloads (the intended
+  // regime) finish in ~m draws.
+  const std::size_t max_draws = 32 * m + 256;
+  for (std::size_t draw = 0; draw < max_draws && edges.size() < m; ++draw) {
+    std::size_t row = 0, col = 0;
+    for (std::size_t level = 0; level < levels; ++level) {
+      const double r = rng.next_double();
+      row <<= 1;
+      col <<= 1;
+      if (r >= ab) row |= 1;            // bottom half (quadrants c or d).
+      if (r >= params.a && r < ab) col |= 1;  // quadrant b.
+      if (r >= abc) col |= 1;                 // quadrant d.
+    }
+    if (row >= n || col >= n || row == col) continue;
+    const auto u = static_cast<VertexId>(row);
+    const auto v = static_cast<VertexId>(col);
+    if (chosen.insert(pair_key(u, v)).second) {
+      edges.push_back({std::min(u, v), std::max(u, v)});
+    }
+  }
+  return from_edge_vector(n, std::move(edges));
+}
+
+Graph rmat(std::size_t n, std::size_t m, Rng& rng) { return rmat(n, m, RmatParams{}, rng); }
+
+Graph random_geometric(std::size_t n, double radius, Rng& rng,
+                       std::vector<std::array<double, 2>>* coordinates) {
+  require_vertex_range(n, "random_geometric");
+  if (radius < 0.0) {
+    throw std::invalid_argument("random_geometric: radius must be >= 0");
+  }
+  std::vector<std::array<double, 2>> points(n);
+  for (auto& p : points) {
+    p[0] = rng.next_double();
+    p[1] = rng.next_double();
+  }
+  if (coordinates != nullptr) *coordinates = points;
+
+  std::vector<Edge> edges;
+  if (n >= 2 && radius > 0.0) {
+    // Bucket points into a grid of side >= radius so candidate pairs live in
+    // the 3x3 cell neighborhood; the cell count is capped at ~n so the grid
+    // never dominates memory when the radius is tiny.
+    const auto cells_per_dim = static_cast<std::size_t>(std::clamp(
+        std::floor(1.0 / radius), 1.0, std::ceil(std::sqrt(static_cast<double>(n)))));
+    std::vector<std::vector<VertexId>> grid(cells_per_dim * cells_per_dim);
+    const auto cell_of = [&](double coordinate) {
+      const auto cell = static_cast<std::size_t>(coordinate * static_cast<double>(cells_per_dim));
+      return std::min(cell, cells_per_dim - 1);
+    };
+    for (VertexId v = 0; v < n; ++v) {
+      grid[cell_of(points[v][0]) * cells_per_dim + cell_of(points[v][1])].push_back(v);
+    }
+    const double radius_squared = radius * radius;
+    for (VertexId v = 0; v < n; ++v) {
+      const std::size_t cx = cell_of(points[v][0]);
+      const std::size_t cy = cell_of(points[v][1]);
+      for (std::size_t gx = cx > 0 ? cx - 1 : 0; gx <= std::min(cx + 1, cells_per_dim - 1);
+           ++gx) {
+        for (std::size_t gy = cy > 0 ? cy - 1 : 0; gy <= std::min(cy + 1, cells_per_dim - 1);
+             ++gy) {
+          for (const VertexId u : grid[gx * cells_per_dim + gy]) {
+            if (u <= v) continue;  // each pair once, no self-loops.
+            const double dx = points[u][0] - points[v][0];
+            const double dy = points[u][1] - points[v][1];
+            if (dx * dx + dy * dy <= radius_squared) edges.push_back({v, u});
+          }
+        }
       }
     }
   }

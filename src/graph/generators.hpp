@@ -10,6 +10,7 @@
 
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <vector>
 
@@ -25,8 +26,45 @@ using hdc::Rng;
 [[nodiscard]] Graph erdos_renyi(std::size_t n, double p, Rng& rng);
 
 /// Erdős–Rényi G(n, m): exactly m distinct edges sampled uniformly.
-/// m is clamped to the number of available pairs.
+/// m is clamped to the number of available pairs (computed overflow-safely;
+/// n beyond the 32-bit VertexId range is rejected).  Sparse requests use
+/// rejection sampling; requests above half the available pairs enumerate the
+/// complement so the running time stays O(n^2) worst case instead of the
+/// coupon-collector blowup of pure rejection near the complete graph.
 [[nodiscard]] Graph erdos_renyi_gnm(std::size_t n, std::size_t m, Rng& rng);
+
+/// R-MAT (recursive matrix, Chakrabarti et al.) partition probabilities.
+/// Each edge descends a virtual 2^levels x 2^levels adjacency matrix, picking
+/// the (a, b, c, d = 1-a-b-c) quadrant at every level.  Skewed defaults are
+/// the Graph500 parameters — heavy-tailed degrees, community-of-communities
+/// structure.
+struct RmatParams {
+  double a = 0.57;  ///< top-left (both endpoints in the low half).
+  double b = 0.19;  ///< top-right.
+  double c = 0.19;  ///< bottom-left.
+  [[nodiscard]] double d() const noexcept { return 1.0 - a - b - c; }
+};
+
+/// R-MAT random graph: n vertices, up to m distinct undirected edges drawn by
+/// recursive-quadrant descent (KaGen/Graph500 recipe, simple-graph variant:
+/// self-loops and duplicates are redrawn).  Expected O(m log n) time; the
+/// total number of draws is capped, so in pathological corners (m close to
+/// the number of available pairs under a heavily skewed distribution) the
+/// graph may carry fewer than m edges rather than spin.  Deterministic given
+/// the Rng.  n need not be a power of two — out-of-range endpoints of the
+/// internal power-of-two grid are redrawn.
+[[nodiscard]] Graph rmat(std::size_t n, std::size_t m, const RmatParams& params, Rng& rng);
+
+/// R-MAT with the Graph500 default parameters.
+[[nodiscard]] Graph rmat(std::size_t n, std::size_t m, Rng& rng);
+
+/// 2D random geometric graph: n points uniform in the unit square, an edge
+/// joins every pair at Euclidean distance <= radius.  Grid-bucketed
+/// neighborhood search, expected O(n + m) time.  When `coordinates` is
+/// non-null it receives the n sampled points (index = vertex id) — tests use
+/// them to verify edge locality exactly.  Deterministic given the Rng.
+[[nodiscard]] Graph random_geometric(std::size_t n, double radius, Rng& rng,
+                                     std::vector<std::array<double, 2>>* coordinates = nullptr);
 
 /// Barabási–Albert preferential attachment: starts from a clique of
 /// max(1, k) vertices, then each new vertex attaches to k existing vertices
@@ -38,8 +76,13 @@ using hdc::Rng;
 /// side, each edge rewired with probability beta.  k must be even and < n.
 [[nodiscard]] Graph watts_strogatz(std::size_t n, std::size_t k, double beta, Rng& rng);
 
-/// Random d-regular graph via the configuration model with restarts
-/// (pairing retried until simple).  Requires n*d even and d < n.
+/// Random d-regular graph via the configuration model.  Collisions
+/// (self-loops / duplicate pairs) are repaired by random edge swaps rather
+/// than full restarts, so moderate-to-large d no longer drives the success
+/// probability to zero; d > (n-1)/2 is generated as the complement of an
+/// (n-1-d)-regular graph.  Restarts and swap attempts are hard-capped —
+/// throws std::runtime_error instead of spinning when the cap is hit.
+/// Requires n*d even and d < n.
 [[nodiscard]] Graph random_regular(std::size_t n, std::size_t d, Rng& rng);
 
 /// Uniform random labeled tree on n vertices (decoded Prüfer sequence).

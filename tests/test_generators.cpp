@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
+#include <vector>
 
 #include "graph/algorithms.hpp"
 
@@ -58,6 +61,27 @@ TEST(ErdosRenyiGnm, ClampsToMaxPairs) {
   Rng rng(13);
   const auto g = erdos_renyi_gnm(5, 1000, rng);
   EXPECT_EQ(g.num_edges(), 10u);
+}
+
+TEST(ErdosRenyiGnm, DenseRequestsKeepTheExactCount) {
+  // Regression: requests above half the available pairs used to rely on pure
+  // rejection sampling (coupon-collector blowup near the complete graph);
+  // they now enumerate the complement — still exactly m edges, still
+  // deterministic.
+  Rng rng(17);
+  const std::size_t n = 50, max_edges = n * (n - 1) / 2;
+  const auto g = erdos_renyi_gnm(n, max_edges - 25, rng);
+  EXPECT_EQ(g.num_edges(), max_edges - 25);
+  Rng a(19), b(19);
+  EXPECT_EQ(erdos_renyi_gnm(n, max_edges - 25, a), erdos_renyi_gnm(n, max_edges - 25, b));
+}
+
+TEST(ErdosRenyiGnm, RejectsVertexCountsBeyondVertexIdRange) {
+  // Regression: n beyond 2^32 used to overflow the n*(n-1)/2 clamp and
+  // truncate through the 32-bit VertexId casts; it is a clean error now.
+  Rng rng(23);
+  EXPECT_THROW((void)erdos_renyi_gnm((std::size_t{1} << 32) + 1, 10, rng),
+               std::invalid_argument);
 }
 
 TEST(BarabasiAlbert, DegreesAndEdgeCount) {
@@ -122,6 +146,27 @@ TEST(RandomRegular, ValidatesParity) {
 TEST(RandomRegular, ZeroDegreeIsEdgeless) {
   Rng rng(47);
   EXPECT_EQ(random_regular(6, 0, rng).num_edges(), 0u);
+}
+
+TEST(RandomRegular, ModerateDegreeNoLongerExhaustsTheRestartBudget) {
+  // Regression: with full restarts on any collision, the probability of an
+  // all-simple pairing decays ~exp(-d^2/4) — random_regular(100, 20) burned
+  // its whole restart budget and threw.  Swap repair makes it reliable.
+  Rng rng(53);
+  const auto g = random_regular(100, 20, rng);
+  for (VertexId v = 0; v < 100; ++v) EXPECT_EQ(g.degree(v), 20u);
+}
+
+TEST(RandomRegular, DenseDegreesViaComplement) {
+  // d > (n-1)/2 builds the complement of an (n-1-d)-regular graph; d = n-1
+  // is the complete graph.
+  Rng rng(59);
+  const auto g = random_regular(12, 9, rng);
+  for (VertexId v = 0; v < 12; ++v) EXPECT_EQ(g.degree(v), 9u);
+  const auto complete = random_regular(9, 8, rng);
+  EXPECT_EQ(complete.num_edges(), 36u);
+  Rng a(61), b(61);
+  EXPECT_EQ(random_regular(12, 9, a), random_regular(12, 9, b));
 }
 
 TEST(RandomTree, IsTree) {
@@ -190,6 +235,115 @@ TEST(Caveman, ValidatesArguments) {
   EXPECT_THROW((void)caveman(3, 1, rng), std::invalid_argument);
 }
 
+TEST(Rmat, SparseRequestsGetExactlyMEdges) {
+  Rng rng(79);
+  const auto g = rmat(1024, 4000, rng);
+  EXPECT_EQ(g.num_vertices(), 1024u);
+  // Sparse regime (4000 of ~524k pairs): the draw cap is nowhere near, so
+  // the count is exact.  Simplicity (no loops/duplicates) is enforced by
+  // Graph::from_edges, which throws on violations.
+  EXPECT_EQ(g.num_edges(), 4000u);
+}
+
+TEST(Rmat, NonPowerOfTwoVertexCountsStayInRange) {
+  Rng rng(83);
+  const auto g = rmat(1000, 3000, rng);
+  EXPECT_EQ(g.num_vertices(), 1000u);
+  EXPECT_EQ(g.num_edges(), 3000u);
+  for (const auto& e : g.edges()) {
+    EXPECT_LT(e.u, 1000u);
+    EXPECT_LT(e.v, 1000u);
+  }
+}
+
+TEST(Rmat, UniformParametersFillSmallCompleteGraphs) {
+  Rng rng(89);
+  const auto g = rmat(8, 1000, RmatParams{0.25, 0.25, 0.25}, rng);
+  EXPECT_EQ(g.num_edges(), 28u);  // clamped to C(8,2), reachable when uniform.
+}
+
+TEST(Rmat, SkewedRequestsNeverSpinPastTheDrawCap) {
+  // Heavily skewed parameters make the far quadrants nearly unreachable, so
+  // a near-complete request cannot finish; the draw cap returns a shorter
+  // edge list instead of looping.  This must terminate quickly.
+  Rng rng(97);
+  const auto g = rmat(8, 1000, RmatParams{0.9, 0.04, 0.04}, rng);
+  EXPECT_LE(g.num_edges(), 28u);
+}
+
+TEST(Rmat, ValidatesParameters) {
+  Rng rng(101);
+  EXPECT_THROW((void)rmat(16, 10, RmatParams{0.6, 0.3, 0.3}, rng), std::invalid_argument);
+  EXPECT_THROW((void)rmat(16, 10, RmatParams{-0.1, 0.5, 0.5}, rng), std::invalid_argument);
+}
+
+TEST(Rmat, SkewedParametersProduceHeavierHubsThanUniform) {
+  // The degree-skew signal the R-MAT workloads exist for: across seeds, the
+  // Graph500 quadrant split grows a far heavier top hub than the uniform
+  // split (which is ~Erdős–Rényi and concentrates near the mean degree).
+  const auto max_degree_sum = [](const RmatParams& params) {
+    std::size_t sum = 0;
+    for (const std::uint64_t seed : {103u, 107u, 109u, 113u, 127u}) {
+      Rng rng(seed);
+      const auto g = rmat(512, 2048, params, rng);
+      std::size_t max_degree = 0;
+      for (VertexId v = 0; v < 512; ++v) max_degree = std::max(max_degree, g.degree(v));
+      sum += max_degree;
+    }
+    return sum;
+  };
+  const std::size_t skewed = max_degree_sum(RmatParams{});  // 0.57/0.19/0.19
+  const std::size_t uniform = max_degree_sum(RmatParams{0.25, 0.25, 0.25});
+  EXPECT_GE(skewed, 2 * uniform) << "skewed=" << skewed << " uniform=" << uniform;
+}
+
+TEST(RandomGeometric, ZeroRadiusMeansNoEdges) {
+  Rng rng(131);
+  EXPECT_EQ(random_geometric(64, 0.0, rng).num_edges(), 0u);
+}
+
+TEST(RandomGeometric, FullRadiusMeansComplete) {
+  Rng rng(137);
+  const auto g = random_geometric(24, 1.5, rng);  // > sqrt(2) covers the square
+  EXPECT_EQ(g.num_edges(), 24u * 23u / 2u);
+}
+
+TEST(RandomGeometric, RejectsNegativeRadius) {
+  Rng rng(139);
+  EXPECT_THROW((void)random_geometric(10, -0.1, rng), std::invalid_argument);
+}
+
+TEST(RandomGeometric, EdgeLocalityIsExact) {
+  // The defining invariant: an edge exists iff the two points are within the
+  // radius — checked against the returned coordinates over every pair, so
+  // the grid-bucketed neighbor search cannot silently drop boundary pairs.
+  Rng rng(149);
+  std::vector<std::array<double, 2>> coords;
+  const double radius = 0.12;
+  const auto g = random_geometric(200, radius, rng, &coords);
+  ASSERT_EQ(coords.size(), 200u);
+  std::size_t edges_seen = 0;
+  for (VertexId u = 0; u + 1 < 200; ++u) {
+    for (VertexId v = u + 1; v < 200; ++v) {
+      const double dx = coords[u][0] - coords[v][0];
+      const double dy = coords[u][1] - coords[v][1];
+      const bool within = dx * dx + dy * dy <= radius * radius;
+      EXPECT_EQ(g.has_edge(u, v), within) << "pair (" << u << ", " << v << ")";
+      edges_seen += within ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(g.num_edges(), edges_seen);
+}
+
+TEST(RandomGeometric, TinyRadiusKeepsTheCellGridBounded) {
+  // radius 1e-9 would naively ask for a 10^18-cell grid; the cap at ~sqrt(n)
+  // cells per dimension keeps construction O(n) (and almost surely edgeless).
+  Rng rng(151);
+  const auto g = random_geometric(256, 1e-9, rng);
+  EXPECT_EQ(g.num_vertices(), 256u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
 TEST(FixtureGraphs, PathProperties) {
   const auto g = path_graph(5);
   EXPECT_EQ(g.num_edges(), 4u);
@@ -253,6 +407,17 @@ TEST_P(GeneratorDeterminism, AllGeneratorsDeterministic) {
   {
     Rng a(seed), b(seed);
     EXPECT_EQ(random_molecule(30, 2, a), random_molecule(30, 2, b));
+  }
+  {
+    Rng a(seed), b(seed);
+    EXPECT_EQ(rmat(256, 1024, a), rmat(256, 1024, b));
+  }
+  {
+    Rng a(seed), b(seed);
+    std::vector<std::array<double, 2>> coords_a, coords_b;
+    EXPECT_EQ(random_geometric(120, 0.15, a, &coords_a),
+              random_geometric(120, 0.15, b, &coords_b));
+    EXPECT_EQ(coords_a, coords_b);
   }
 }
 

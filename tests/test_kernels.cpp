@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <ostream>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -20,6 +21,7 @@
 #include "hdc/kernels/random_inputs.hpp"
 #include "hdc/packed.hpp"
 #include "hdc/random.hpp"
+#include "support/proptest.hpp"
 
 namespace {
 
@@ -155,112 +157,268 @@ TEST(KernelDispatch, EmptyEnvFallsBackToAutoSelection) {
 
 // ---------------------------------------------------------------------------
 // Randomized kernel-level equivalence: every supported variant vs scalar.
+// Property-based (tests/support/proptest.hpp): random dimensions and
+// contents, with dimension/row shrinking and a replayable failing seed —
+// the former ad-hoc fixed-seed loops, upgraded.  The first cases of every
+// property sweep the structured kDimensions list (word-aligned, off-by-one,
+// odd/prime tails, the paper's d=10000) deterministically, so the
+// interesting boundaries are guaranteed covered on every run; the remaining
+// cases randomize.
 // ---------------------------------------------------------------------------
 
-TEST(KernelEquivalence, XorHammingFullAdderMatchScalar) {
-  Rng rng(0x5eed1);
-  for (const std::size_t d : kDimensions) {
-    const std::size_t n = (d + 63) / 64;
-    const auto a = random_words(d, rng);
-    const auto b = random_words(d, rng);
-    const auto c = random_words(d, rng);
-    std::vector<std::uint64_t> ref_xor(n), ref_carry(n), ref_plane = a;
-    kernels::scalar().xor_words(ref_xor.data(), a.data(), b.data(), n);
-    kernels::scalar().full_adder(ref_plane.data(), b.data(), c.data(), ref_carry.data(), n);
-    const std::size_t ref_hamming = kernels::scalar().hamming_words(a.data(), b.data(), n);
-    for (const KernelOps* ops : supported_variants()) {
-      std::vector<std::uint64_t> out(n), carry(n), plane = a;
-      ops->xor_words(out.data(), a.data(), b.data(), n);
-      EXPECT_EQ(out, ref_xor) << ops->name << " xor_words d=" << d;
-      EXPECT_EQ(ops->hamming_words(a.data(), b.data(), n), ref_hamming)
-          << ops->name << " hamming_words d=" << d;
-      ops->full_adder(plane.data(), b.data(), c.data(), carry.data(), n);
-      EXPECT_EQ(plane, ref_plane) << ops->name << " full_adder plane d=" << d;
-      EXPECT_EQ(carry, ref_carry) << ops->name << " full_adder carry d=" << d;
-    }
+namespace proptest = graphhd::proptest;
+
+/// The first |kDimensions| cases sweep the structured boundary dimensions
+/// deterministically (guaranteed every run); later cases draw either a
+/// structured dimension or a uniform one.
+std::size_t case_dimension(Rng& rng, std::size_t case_index) {
+  if (case_index < kDimensions.size()) return kDimensions[case_index];
+  if (rng.next_bool()) return kDimensions[rng.next_below(kDimensions.size())];
+  return 1 + rng.next_below(12000);
+}
+
+/// Shrink helper: the next smaller dimensions worth trying (halve, step to
+/// the word boundary below, drop to one word).
+std::vector<std::size_t> shrunk_dimensions(std::size_t d) {
+  std::vector<std::size_t> out;
+  if (d > 1) out.push_back(d / 2);
+  if (d > 64 && d % 64 != 0) out.push_back(d - d % 64);
+  if (d > 64) out.push_back(64);
+  return out;
+}
+
+/// Restores the packed-word invariant after truncating to `dimension`: the
+/// kernels' documented domain requires tail bits beyond it to be zero.
+void truncate_words(std::vector<std::uint64_t>& words, std::size_t dimension) {
+  words.resize((dimension + 63) / 64);
+  if (!words.empty() && dimension % 64 != 0) {
+    words.back() &= ~std::uint64_t{0} >> (64 - dimension % 64);
   }
 }
 
-TEST(KernelEquivalence, HammingBatchMatchesScalarForOddRowCounts) {
-  Rng rng(0x5eed2);
-  for (const std::size_t d : {65u, 1000u, 10000u}) {
-    const std::size_t n = (d + 63) / 64;
-    const auto query = random_words(d, rng);
-    for (const std::size_t num_rows : {1u, 2u, 3u, 7u, 16u}) {
-      std::vector<std::vector<std::uint64_t>> storage;
-      std::vector<const std::uint64_t*> rows;
-      for (std::size_t r = 0; r < num_rows; ++r) {
-        storage.push_back(random_words(d, rng));
-        rows.push_back(storage.back().data());
-      }
-      std::vector<std::size_t> ref(num_rows);
-      kernels::scalar().hamming_batch(query.data(), rows.data(), num_rows, n, ref.data());
-      for (const KernelOps* ops : supported_variants()) {
-        std::vector<std::size_t> got(num_rows);
-        ops->hamming_batch(query.data(), rows.data(), num_rows, n, got.data());
-        EXPECT_EQ(got, ref) << ops->name << " hamming_batch d=" << d << " rows=" << num_rows;
-      }
-    }
+struct WordCase {
+  std::size_t dimension = 0;
+  std::vector<std::uint64_t> a, b, c;
+
+  [[nodiscard]] std::size_t words() const { return (dimension + 63) / 64; }
+  [[nodiscard]] WordCase truncated(std::size_t d) const {
+    WordCase smaller{d, a, b, c};
+    truncate_words(smaller.a, d);
+    truncate_words(smaller.b, d);
+    truncate_words(smaller.c, d);
+    return smaller;
   }
+};
+
+TEST(KernelEquivalence, XorHammingFullAdderMatchScalar) {
+  proptest::check<WordCase>(
+      "xor/hamming/full_adder match scalar",
+      [](Rng& rng, std::size_t case_index) {
+        const std::size_t d = case_dimension(rng, case_index);
+        return WordCase{d, random_words(d, rng), random_words(d, rng), random_words(d, rng)};
+      },
+      [](const WordCase& failing) {
+        std::vector<WordCase> candidates;
+        for (const std::size_t d : shrunk_dimensions(failing.dimension)) {
+          candidates.push_back(failing.truncated(d));
+        }
+        return candidates;
+      },
+      [](const WordCase& c, std::ostream& diag) {
+        diag << "d=" << c.dimension;
+        const std::size_t n = c.words();
+        std::vector<std::uint64_t> ref_xor(n), ref_carry(n), ref_plane = c.a;
+        kernels::scalar().xor_words(ref_xor.data(), c.a.data(), c.b.data(), n);
+        kernels::scalar().full_adder(ref_plane.data(), c.b.data(), c.c.data(), ref_carry.data(),
+                                     n);
+        const std::size_t ref_hamming =
+            kernels::scalar().hamming_words(c.a.data(), c.b.data(), n);
+        bool ok = true;
+        for (const KernelOps* ops : supported_variants()) {
+          std::vector<std::uint64_t> out(n), carry(n), plane = c.a;
+          ops->xor_words(out.data(), c.a.data(), c.b.data(), n);
+          if (out != ref_xor) diag << " [" << ops->name << " xor_words]", ok = false;
+          if (ops->hamming_words(c.a.data(), c.b.data(), n) != ref_hamming) {
+            diag << " [" << ops->name << " hamming_words]", ok = false;
+          }
+          ops->full_adder(plane.data(), c.b.data(), c.c.data(), carry.data(), n);
+          if (plane != ref_plane) diag << " [" << ops->name << " full_adder plane]", ok = false;
+          if (carry != ref_carry) diag << " [" << ops->name << " full_adder carry]", ok = false;
+        }
+        return ok;
+      });
 }
+
+struct BatchCase {
+  std::size_t dimension = 0;
+  std::vector<std::uint64_t> query;
+  std::vector<std::vector<std::uint64_t>> rows;
+};
+
+TEST(KernelEquivalence, HammingBatchMatchesScalar) {
+  proptest::check<BatchCase>(
+      "hamming_batch matches scalar across row counts",
+      [](Rng& rng, std::size_t case_index) {
+        const std::size_t d = case_dimension(rng, case_index);
+        BatchCase c{d, random_words(d, rng), {}};
+        const std::size_t num_rows = 1 + rng.next_below(17);  // odd counts included.
+        for (std::size_t r = 0; r < num_rows; ++r) c.rows.push_back(random_words(d, rng));
+        return c;
+      },
+      [](const BatchCase& failing) {
+        std::vector<BatchCase> candidates;
+        if (failing.rows.size() > 1) {
+          BatchCase halved = failing;
+          halved.rows.resize(failing.rows.size() / 2);
+          candidates.push_back(std::move(halved));
+          BatchCase one_less = failing;
+          one_less.rows.pop_back();
+          candidates.push_back(std::move(one_less));
+        }
+        for (const std::size_t d : shrunk_dimensions(failing.dimension)) {
+          BatchCase smaller = failing;
+          smaller.dimension = d;
+          truncate_words(smaller.query, d);
+          for (auto& row : smaller.rows) truncate_words(row, d);
+          candidates.push_back(std::move(smaller));
+        }
+        return candidates;
+      },
+      [](const BatchCase& c, std::ostream& diag) {
+        diag << "d=" << c.dimension << " rows=" << c.rows.size();
+        const std::size_t n = (c.dimension + 63) / 64;
+        std::vector<const std::uint64_t*> rows;
+        for (const auto& row : c.rows) rows.push_back(row.data());
+        std::vector<std::size_t> ref(rows.size());
+        kernels::scalar().hamming_batch(c.query.data(), rows.data(), rows.size(), n, ref.data());
+        bool ok = true;
+        for (const KernelOps* ops : supported_variants()) {
+          std::vector<std::size_t> got(rows.size());
+          ops->hamming_batch(c.query.data(), rows.data(), rows.size(), n, got.data());
+          if (got != ref) diag << " [" << ops->name << " hamming_batch]", ok = false;
+        }
+        return ok;
+      });
+}
+
+struct CounterCase {
+  std::size_t dimension = 0;
+  std::vector<std::uint64_t> bits;
+  std::vector<std::int32_t> base;
+  std::int32_t weight = 1;
+};
 
 TEST(KernelEquivalence, CounterKernelsMatchScalarAcrossWeights) {
-  Rng rng(0x5eed3);
-  for (const std::size_t d : kDimensions) {
-    const std::size_t n = (d + 63) / 64;
-    const auto bits = random_words(d, rng);
-    const auto base = random_counts(d, rng);
-    for (const std::int32_t weight : {1, -1, 2, -3, 7}) {
-      auto ref_counts = base;
-      kernels::scalar().accumulate_packed(ref_counts.data(), bits.data(), d, weight);
-      std::vector<std::uint64_t> ref_neg(n, 0), ref_zero(n, 0);
-      kernels::scalar().threshold_counters(ref_counts.data(), d, ref_neg.data(), ref_zero.data());
-      std::vector<std::uint64_t> ref_neg_only(n, 0);
-      kernels::scalar().threshold_counters(ref_counts.data(), d, ref_neg_only.data(), nullptr);
-      EXPECT_EQ(ref_neg_only, ref_neg);
-      for (const KernelOps* ops : supported_variants()) {
-        auto counts = base;
-        ops->accumulate_packed(counts.data(), bits.data(), d, weight);
-        EXPECT_EQ(counts, ref_counts) << ops->name << " accumulate_packed d=" << d
-                                      << " weight=" << weight;
-        std::vector<std::uint64_t> neg(n, 0), zero(n, 0);
-        ops->threshold_counters(counts.data(), d, neg.data(), zero.data());
-        EXPECT_EQ(neg, ref_neg) << ops->name << " threshold_counters(neg) d=" << d;
-        EXPECT_EQ(zero, ref_zero) << ops->name << " threshold_counters(zero) d=" << d;
-      }
-    }
-  }
+  proptest::check<CounterCase>(
+      "accumulate_packed/threshold_counters match scalar",
+      [](Rng& rng, std::size_t case_index) {
+        const std::size_t d = case_dimension(rng, case_index);
+        return CounterCase{d, random_words(d, rng), random_counts(d, rng),
+                           static_cast<std::int32_t>(rng.next_int(-4, 7))};
+      },
+      [](const CounterCase& failing) {
+        std::vector<CounterCase> candidates;
+        for (const std::size_t d : shrunk_dimensions(failing.dimension)) {
+          CounterCase smaller = failing;
+          smaller.dimension = d;
+          truncate_words(smaller.bits, d);
+          smaller.base.resize(d);
+          candidates.push_back(std::move(smaller));
+        }
+        if (failing.weight != 1) {
+          CounterCase unit = failing;
+          unit.weight = 1;
+          candidates.push_back(std::move(unit));
+        }
+        return candidates;
+      },
+      [](const CounterCase& c, std::ostream& diag) {
+        diag << "d=" << c.dimension << " weight=" << c.weight;
+        const std::size_t n = (c.dimension + 63) / 64;
+        auto ref_counts = c.base;
+        kernels::scalar().accumulate_packed(ref_counts.data(), c.bits.data(), c.dimension,
+                                            c.weight);
+        std::vector<std::uint64_t> ref_neg(n, 0), ref_zero(n, 0), ref_neg_only(n, 0);
+        kernels::scalar().threshold_counters(ref_counts.data(), c.dimension, ref_neg.data(),
+                                             ref_zero.data());
+        kernels::scalar().threshold_counters(ref_counts.data(), c.dimension, ref_neg_only.data(),
+                                             nullptr);
+        bool ok = ref_neg_only == ref_neg;
+        if (!ok) diag << " [scalar neg-only mask disagrees]";
+        for (const KernelOps* ops : supported_variants()) {
+          auto counts = c.base;
+          ops->accumulate_packed(counts.data(), c.bits.data(), c.dimension, c.weight);
+          if (counts != ref_counts) diag << " [" << ops->name << " accumulate_packed]", ok = false;
+          std::vector<std::uint64_t> neg(n, 0), zero(n, 0);
+          ops->threshold_counters(counts.data(), c.dimension, neg.data(), zero.data());
+          if (neg != ref_neg) diag << " [" << ops->name << " threshold neg]", ok = false;
+          if (zero != ref_zero) diag << " [" << ops->name << " threshold zero]", ok = false;
+        }
+        return ok;
+      });
 }
 
+struct DenseCase {
+  std::size_t dimension = 0;
+  std::vector<std::int8_t> a, b;
+  std::vector<std::int32_t> base;
+  std::int32_t weight = 1;
+};
+
 TEST(KernelEquivalence, DenseBipolarKernelsMatchScalar) {
-  Rng rng(0x5eed4);
-  for (const std::size_t d : kDimensions) {
-    const auto a = random_bipolar(d, rng);
-    const auto b = random_bipolar(d, rng);
-    const auto base = random_counts(d, rng);
-    const std::int64_t ref_dot = kernels::scalar().dot_i8(a.data(), b.data(), d);
-    const std::size_t ref_mismatch = kernels::scalar().mismatch_i8(a.data(), b.data(), d);
-    auto ref_bound = base;
-    kernels::scalar().accumulate_bound_i8(ref_bound.data(), a.data(), b.data(), d);
-    for (const std::int32_t weight : {1, -1, 5}) {
-      auto ref_weighted = base;
-      kernels::scalar().accumulate_weighted_i8(ref_weighted.data(), a.data(), d, weight);
-      for (const KernelOps* ops : supported_variants()) {
-        auto weighted = base;
-        ops->accumulate_weighted_i8(weighted.data(), a.data(), d, weight);
-        EXPECT_EQ(weighted, ref_weighted)
-            << ops->name << " accumulate_weighted_i8 d=" << d << " weight=" << weight;
-      }
-    }
-    for (const KernelOps* ops : supported_variants()) {
-      EXPECT_EQ(ops->dot_i8(a.data(), b.data(), d), ref_dot) << ops->name << " dot_i8 d=" << d;
-      EXPECT_EQ(ops->mismatch_i8(a.data(), b.data(), d), ref_mismatch)
-          << ops->name << " mismatch_i8 d=" << d;
-      auto bound = base;
-      ops->accumulate_bound_i8(bound.data(), a.data(), b.data(), d);
-      EXPECT_EQ(bound, ref_bound) << ops->name << " accumulate_bound_i8 d=" << d;
-    }
-  }
+  proptest::check<DenseCase>(
+      "dense bipolar kernels match scalar",
+      [](Rng& rng, std::size_t case_index) {
+        const std::size_t d = case_dimension(rng, case_index);
+        return DenseCase{d, random_bipolar(d, rng), random_bipolar(d, rng),
+                         random_counts(d, rng), static_cast<std::int32_t>(rng.next_int(-3, 5))};
+      },
+      [](const DenseCase& failing) {
+        std::vector<DenseCase> candidates;
+        for (const std::size_t d : shrunk_dimensions(failing.dimension)) {
+          DenseCase smaller = failing;
+          smaller.dimension = d;
+          smaller.a.resize(d);
+          smaller.b.resize(d);
+          smaller.base.resize(d);
+          candidates.push_back(std::move(smaller));
+        }
+        if (failing.weight != 1) {
+          DenseCase unit = failing;
+          unit.weight = 1;
+          candidates.push_back(std::move(unit));
+        }
+        return candidates;
+      },
+      [](const DenseCase& c, std::ostream& diag) {
+        diag << "d=" << c.dimension << " weight=" << c.weight;
+        const std::size_t d = c.dimension;
+        const std::int64_t ref_dot = kernels::scalar().dot_i8(c.a.data(), c.b.data(), d);
+        const std::size_t ref_mismatch =
+            kernels::scalar().mismatch_i8(c.a.data(), c.b.data(), d);
+        auto ref_bound = c.base;
+        kernels::scalar().accumulate_bound_i8(ref_bound.data(), c.a.data(), c.b.data(), d);
+        auto ref_weighted = c.base;
+        kernels::scalar().accumulate_weighted_i8(ref_weighted.data(), c.a.data(), d, c.weight);
+        bool ok = true;
+        for (const KernelOps* ops : supported_variants()) {
+          if (ops->dot_i8(c.a.data(), c.b.data(), d) != ref_dot) {
+            diag << " [" << ops->name << " dot_i8]", ok = false;
+          }
+          if (ops->mismatch_i8(c.a.data(), c.b.data(), d) != ref_mismatch) {
+            diag << " [" << ops->name << " mismatch_i8]", ok = false;
+          }
+          auto bound = c.base;
+          ops->accumulate_bound_i8(bound.data(), c.a.data(), c.b.data(), d);
+          if (bound != ref_bound) diag << " [" << ops->name << " accumulate_bound_i8]", ok = false;
+          auto weighted = c.base;
+          ops->accumulate_weighted_i8(weighted.data(), c.a.data(), d, c.weight);
+          if (weighted != ref_weighted) {
+            diag << " [" << ops->name << " accumulate_weighted_i8]", ok = false;
+          }
+        }
+        return ok;
+      });
 }
 
 // ---------------------------------------------------------------------------
