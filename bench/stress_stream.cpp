@@ -49,26 +49,10 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 using graphhd::bench::env_size;
+using graphhd::bench::peak_rss_mb;
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
-/// Peak resident set size in MB: VmHWM from /proc/self/status (Linux).
-/// Returns 0 when unavailable (the RSS gate is then skipped with a notice).
-std::size_t peak_rss_mb() {
-  std::FILE* status = std::fopen("/proc/self/status", "r");
-  if (status == nullptr) return 0;
-  char line[256];
-  std::size_t kb = 0;
-  while (std::fgets(line, sizeof line, status) != nullptr) {
-    if (std::strncmp(line, "VmHWM:", 6) == 0) {
-      kb = static_cast<std::size_t>(std::atoll(line + 6));
-      break;
-    }
-  }
-  std::fclose(status);
-  return kb / 1024;
 }
 
 bool predictions_identical(const std::vector<graphhd::core::Prediction>& a,

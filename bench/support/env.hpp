@@ -1,12 +1,15 @@
 /// \file env.hpp
-/// Shared environment-knob parsers for the bench harnesses.  Every GRAPHHD_*
-/// size/float knob across micro_*, fig4 and stress_* must parse identically
-/// (unset/empty/garbage -> fallback, sizes reject < 1), so the parsers live
-/// here once instead of drifting as per-bench copies.
+/// Shared environment-knob parsers and process probes for the bench
+/// harnesses.  Every GRAPHHD_* size/float knob across micro_*, fig4 and
+/// stress_* must parse identically (unset/empty/garbage -> fallback, sizes
+/// reject < 1), so the parsers live here once instead of drifting as
+/// per-bench copies; the RSS probe backs every stress gate the same way.
 
 #pragma once
 
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace graphhd::bench {
 
@@ -23,6 +26,25 @@ inline double env_double(const char* name, double fallback) {
   char* end = nullptr;
   const double value = std::strtod(raw, &end);
   return end == raw ? fallback : value;
+}
+
+/// Peak resident set size in MB: VmHWM from /proc/self/status (Linux).
+/// Returns 0 when unavailable (callers then skip their RSS gate with a
+/// notice).  Note this is a high-water mark — sample it before any
+/// deliberately-memory-hungry phase (e.g. materialized equivalence checks).
+inline std::size_t peak_rss_mb() {
+  std::FILE* status = std::fopen("/proc/self/status", "r");
+  if (status == nullptr) return 0;
+  char line[256];
+  std::size_t kb = 0;
+  while (std::fgets(line, sizeof line, status) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      kb = static_cast<std::size_t>(std::atoll(line + 6));
+      break;
+    }
+  }
+  std::fclose(status);
+  return kb / 1024;
 }
 
 }  // namespace graphhd::bench

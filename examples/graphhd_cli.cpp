@@ -8,6 +8,7 @@
 ///                       [--stream CHUNK]  (bounded-memory chunked ingestion)
 ///   graphhd_cli predict --model MODEL --data DIR --name DS [--stream CHUNK]
 ///   graphhd_cli eval    --data DIR --name DS [--folds K] [--reps R]
+///                       [--stream CHUNK]  (two-pass streaming k-fold CV)
 ///   graphhd_cli synth   --name DS --out DIR [--scale X] [--seed S]
 ///   graphhd_cli gen     --kind rmat|rgg|er --name DS --out DIR [--graphs G]
 ///                       [--vertices N] [--edges M] [--radius R] [--classes C]
@@ -18,10 +19,14 @@
 /// the files are missing, `eval` and `train` fall back to the synthetic
 /// replica of DS (one of DD, ENZYMES, MUTAG, NCI1, PROTEINS, PTC_FM).
 ///
-/// `--stream CHUNK` runs training/prediction through the GraphStream
-/// pipeline (data/stream.hpp): TUDataset files are read incrementally,
-/// CHUNK graphs at a time, with predictions bit-identical to the
-/// materialized path.  `gen` writes R-MAT / random-geometric /
+/// `--stream CHUNK` runs training/prediction/evaluation through the
+/// GraphStream pipeline (data/stream.hpp): TUDataset files are read
+/// incrementally, CHUNK graphs at a time, with predictions bit-identical to
+/// the materialized path.  For `eval` this is the two-pass streaming k-fold
+/// protocol (eval/cross_validation.hpp): a label scan plans stratified
+/// folds, then each fold trains and tests through filtered replays —
+/// accuracies bit-identical to the in-memory protocol, memory bounded by
+/// one chunk.  `gen` writes R-MAT / random-geometric /
 /// Erdős–Rényi workloads (class-conditional parameters) without ever
 /// materializing the dataset — workloads far beyond RAM are fine.
 
@@ -38,6 +43,7 @@
 #include "data/tudataset.hpp"
 #include "eval/baselines.hpp"
 #include "eval/cross_validation.hpp"
+#include "eval/experiment.hpp"
 #include "graph/generators.hpp"
 #include "graph/stats.hpp"
 
@@ -191,22 +197,39 @@ int cmd_predict(const Args& args) {
   return 0;
 }
 
+void print_cv_summary(const eval::CvResult& result, const std::string& name,
+                      const eval::CvConfig& cv) {
+  const auto acc = result.accuracy();
+  std::printf("GraphHD on %s: accuracy %.1f%% ± %.1f (%zux%zu-fold CV)\n", name.c_str(),
+              100.0 * acc.mean, 100.0 * acc.std, cv.repetitions, cv.folds);
+  std::printf("train %.4f s/fold | inference %.2e s/graph\n", result.train_seconds_per_fold(),
+              result.inference_seconds_per_graph());
+}
+
 int cmd_eval(const Args& args) {
-  const auto dataset = load_dataset(args);
   eval::CvConfig cv;
   cv.folds = std::stoull(args.get("folds", "10"));
   cv.repetitions = std::stoull(args.get("reps", "1"));
   // config_from already resolved flag-beats-env precedence; the factory must
   // not re-apply the env on top of an explicit --backend.
+  if (const std::size_t chunk = stream_chunk_of(args); chunk > 0) {
+    // Streaming protocol: two-pass k-fold over the GraphStream, bounded
+    // memory, bit-identical results to the materialized run below.
+    cv.stream_chunk = chunk;
+    auto source = open_stream(args);
+    eval::ExperimentConfig experiment;
+    experiment.cv = cv;
+    const auto result =
+        eval::run_graphhd_stream_cv(*source.stream, args.require("name"), experiment,
+                                    config_from(args), /*honor_backend_env=*/false);
+    print_cv_summary(result, args.require("name"), cv);
+    return 0;
+  }
+  const auto dataset = load_dataset(args);
   const auto result = eval::cross_validate(
       "GraphHD",
       eval::make_graphhd_factory(config_from(args), /*honor_backend_env=*/false), dataset, cv);
-  const auto acc = result.accuracy();
-  std::printf("GraphHD on %s: accuracy %.1f%% ± %.1f (%zux%zu-fold CV)\n",
-              dataset.name().c_str(), 100.0 * acc.mean, 100.0 * acc.std, cv.repetitions,
-              cv.folds);
-  std::printf("train %.4f s/fold | inference %.2e s/graph\n", result.train_seconds_per_fold(),
-              result.inference_seconds_per_graph());
+  print_cv_summary(result, dataset.name(), cv);
   return 0;
 }
 
@@ -305,7 +328,7 @@ void usage() {
                "          [--stream CHUNK]           (bounded-memory chunked ingestion)\n"
                "  predict --model MODEL --data DIR --name DS [--stream CHUNK]\n"
                "  eval    --data DIR --name DS [--folds K] [--reps R] [--scale X]\n"
-               "          [--backend dense|packed]\n"
+               "          [--backend dense|packed] [--stream CHUNK]\n"
                "  synth   --name DS --out DIR [--scale X] [--seed S]\n"
                "  gen     --kind rmat|rgg|er --name DS --out DIR [--graphs G]\n"
                "          [--vertices N] [--edges M] [--radius R] [--classes C] [--seed S]\n"

@@ -70,40 +70,64 @@ GraphDataset GraphDataset::subset(std::span<const std::size_t> indices) const {
   return out;
 }
 
-std::vector<Split> stratified_kfold(const GraphDataset& dataset, std::size_t folds, Rng& rng) {
+std::vector<std::size_t> kfold_assignment(std::span<const std::size_t> labels,
+                                          std::size_t num_classes, std::size_t folds,
+                                          bool stratified, Rng& rng) {
   if (folds < 2) {
-    throw std::invalid_argument("stratified_kfold: need at least 2 folds");
+    throw std::invalid_argument("kfold_assignment: need at least 2 folds");
   }
-  if (dataset.size() < folds) {
-    throw std::invalid_argument("stratified_kfold: more folds than samples");
+  if (labels.size() < folds) {
+    throw std::invalid_argument("kfold_assignment: more folds (" + std::to_string(folds) +
+                                ") than samples (" + std::to_string(labels.size()) + ")");
+  }
+  std::vector<std::size_t> fold_of(labels.size());
+  if (!stratified) {
+    std::vector<std::size_t> order(labels.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    rng.shuffle(order);
+    for (std::size_t j = 0; j < order.size(); ++j) fold_of[order[j]] = j % folds;
+    return fold_of;
   }
   // Group indices by class, shuffle within class, then deal them round-robin
   // into folds so each fold receives ~1/k of every class.
-  std::vector<std::vector<std::size_t>> by_class(dataset.num_classes());
-  for (std::size_t i = 0; i < dataset.size(); ++i) {
-    by_class[dataset.label(i)].push_back(i);
+  std::vector<std::vector<std::size_t>> by_class(num_classes);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] >= num_classes) {
+      throw std::invalid_argument("kfold_assignment: label " + std::to_string(labels[i]) +
+                                  " exceeds num_classes " + std::to_string(num_classes));
+    }
+    by_class[labels[i]].push_back(i);
   }
-  std::vector<std::vector<std::size_t>> fold_members(folds);
   std::size_t deal = 0;
   for (auto& members : by_class) {
     rng.shuffle(members);
     for (const std::size_t idx : members) {
-      fold_members[deal % folds].push_back(idx);
+      fold_of[idx] = deal % folds;
       ++deal;
     }
   }
+  return fold_of;
+}
+
+std::vector<Split> splits_from_assignment(std::span<const std::size_t> fold_of,
+                                          std::size_t folds) {
   std::vector<Split> splits(folds);
-  for (std::size_t f = 0; f < folds; ++f) {
-    splits[f].test = fold_members[f];
-    std::sort(splits[f].test.begin(), splits[f].test.end());
-    for (std::size_t other = 0; other < folds; ++other) {
-      if (other == f) continue;
-      splits[f].train.insert(splits[f].train.end(), fold_members[other].begin(),
-                             fold_members[other].end());
+  for (std::size_t i = 0; i < fold_of.size(); ++i) {
+    if (fold_of[i] >= folds) {
+      throw std::invalid_argument("splits_from_assignment: fold id " +
+                                  std::to_string(fold_of[i]) + " out of range");
     }
-    std::sort(splits[f].train.begin(), splits[f].train.end());
+    for (std::size_t f = 0; f < folds; ++f) {
+      (f == fold_of[i] ? splits[f].test : splits[f].train).push_back(i);
+    }
   }
   return splits;
+}
+
+std::vector<Split> stratified_kfold(const GraphDataset& dataset, std::size_t folds, Rng& rng) {
+  const auto fold_of =
+      kfold_assignment(dataset.labels(), dataset.num_classes(), folds, /*stratified=*/true, rng);
+  return splits_from_assignment(fold_of, folds);
 }
 
 Split stratified_split(const GraphDataset& dataset, double train_fraction, Rng& rng) {

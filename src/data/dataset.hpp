@@ -69,6 +69,23 @@ struct Split {
   std::vector<std::size_t> test;
 };
 
+/// Fold id (in [0, folds)) per sample, computed from labels alone — which is
+/// what lets the streaming evaluation protocol plan folds from a label scan
+/// without materializing graphs.  `stratified` shuffles each class's members
+/// and deals them round-robin across folds (class proportions preserved up
+/// to rounding); otherwise one globally shuffled round-robin deal.
+/// Deterministic given the rng; the stratified assignment is exactly the one
+/// stratified_kfold() builds its splits from.
+[[nodiscard]] std::vector<std::size_t> kfold_assignment(std::span<const std::size_t> labels,
+                                                        std::size_t num_classes,
+                                                        std::size_t folds, bool stratified,
+                                                        Rng& rng);
+
+/// Expands a fold assignment into per-fold train/test index splits (both
+/// sides sorted ascending).
+[[nodiscard]] std::vector<Split> splits_from_assignment(std::span<const std::size_t> fold_of,
+                                                        std::size_t folds);
+
 /// Stratified k-fold cross-validation splits: class proportions are
 /// preserved per fold (up to rounding) and every sample appears in exactly
 /// one test fold.  Deterministic given the rng.

@@ -62,6 +62,16 @@ GraphDataset materialize(GraphStream& stream, const std::string& name) {
   return dataset;
 }
 
+std::vector<std::size_t> collect_labels(GraphStream& stream) {
+  stream.reset();
+  if (auto labels = stream.label_scan(); labels.has_value()) return std::move(*labels);
+  std::vector<std::size_t> labels;
+  if (const auto hint = stream.size_hint(); hint.has_value()) labels.reserve(*hint);
+  while (auto sample = stream.next()) labels.push_back(sample->label);
+  stream.reset();
+  return labels;
+}
+
 // ---------------------------------------------------------------------------
 // DatasetStream
 // ---------------------------------------------------------------------------
@@ -102,6 +112,104 @@ std::optional<StreamSample> GeneratorStream::next() {
   sample.graph = factory_(index, label, rng);
   sample.label = label;
   return sample;
+}
+
+std::optional<std::vector<std::size_t>> GeneratorStream::label_scan() {
+  std::vector<std::size_t> labels(count_);
+  for (std::size_t i = 0; i < count_; ++i) labels[i] = i % num_classes_;
+  return labels;
+}
+
+// ---------------------------------------------------------------------------
+// FilteredStream
+// ---------------------------------------------------------------------------
+
+FilteredStream::FilteredStream(GraphStream& source, std::vector<bool> keep,
+                               std::optional<std::size_t> num_classes)
+    : source_(&source), keep_(std::move(keep)) {
+  for (std::size_t i = 0; i < keep_.size(); ++i) kept_count_ += keep_[i] ? 1 : 0;
+  num_classes_ = num_classes.value_or(source.num_classes());
+  if (num_classes_ > source.num_classes()) {
+    throw std::invalid_argument(
+        "FilteredStream: advertised num_classes exceeds the source's class count");
+  }
+  reset();
+}
+
+void FilteredStream::reset() {
+  source_->reset();
+  source_position_ = 0;
+}
+
+std::optional<StreamSample> FilteredStream::next() {
+  while (true) {
+    auto sample = source_->next();
+    if (!sample.has_value()) return std::nullopt;
+    if (source_position_ >= keep_.size()) {
+      throw std::runtime_error(
+          "FilteredStream: source yielded more samples than the filter mask covers (mask "
+          "size " +
+          std::to_string(keep_.size()) + ") — the plan was drawn against a different stream");
+    }
+    const bool kept = keep_[source_position_++];
+    if (kept) return sample;
+  }
+}
+
+std::optional<std::vector<std::size_t>> FilteredStream::label_scan() {
+  auto all = source_->label_scan();
+  if (!all.has_value()) return std::nullopt;
+  if (all->size() > keep_.size()) {
+    throw std::runtime_error(
+        "FilteredStream: source has more samples than the filter mask covers (mask size " +
+        std::to_string(keep_.size()) + ") — the plan was drawn against a different stream");
+  }
+  std::vector<std::size_t> kept;
+  kept.reserve(kept_count_);
+  for (std::size_t i = 0; i < all->size(); ++i) {
+    if (keep_[i]) kept.push_back((*all)[i]);
+  }
+  return kept;
+}
+
+// ---------------------------------------------------------------------------
+// ReplayableStream
+// ---------------------------------------------------------------------------
+
+ReplayableStream::ReplayableStream(Opener opener) : opener_(std::move(opener)) {
+  if (!opener_) {
+    throw std::invalid_argument("ReplayableStream: opener must be callable");
+  }
+  inner_ = open();
+  num_classes_ = inner_->num_classes();
+}
+
+std::unique_ptr<GraphStream> ReplayableStream::open() {
+  auto stream = opener_();
+  if (stream == nullptr) {
+    throw std::runtime_error(
+        "ReplayableStream: opener returned no stream — the source is not re-openable");
+  }
+  return stream;
+}
+
+void ReplayableStream::reset() {
+  auto fresh = open();
+  if (fresh->num_classes() != num_classes_) {
+    throw std::runtime_error("ReplayableStream: re-opened source changed its class count (" +
+                             std::to_string(num_classes_) + " -> " +
+                             std::to_string(fresh->num_classes()) + ")");
+  }
+  inner_ = std::move(fresh);
+  inner_->reset();
+}
+
+std::optional<StreamSample> ReplayableStream::next() { return inner_->next(); }
+
+std::optional<std::size_t> ReplayableStream::size_hint() const { return inner_->size_hint(); }
+
+std::optional<std::vector<std::size_t>> ReplayableStream::label_scan() {
+  return inner_->label_scan();
 }
 
 // ---------------------------------------------------------------------------
@@ -339,8 +447,10 @@ constexpr long long kMaxEdgeListLabel = 1'000'000;
 }  // namespace
 
 EdgeListStream::EdgeListStream(const fs::path& path) : path_(path) {
-  // Construction-time scan: graph count and class count must be known before
-  // the first pull.  Headers are validated here, edge rows on the fly.
+  // Construction-time scan: graph count, class count and the label column
+  // must be known before the first pull (label_scan() serves the column to
+  // two-pass protocols without a second disk pass).  Headers are validated
+  // here, edge rows on the fly.
   std::ifstream scan(path_);
   if (!scan) {
     throw std::runtime_error("EdgeListStream: cannot open " + path_.string());
@@ -352,7 +462,7 @@ EdgeListStream::EdgeListStream(const fs::path& path) : path_(path) {
     const auto trimmed = trim(line);
     if (trimmed.empty()) continue;
     if (const auto header = parse_graph_header(trimmed, path_, line_no)) {
-      ++count_;
+      labels_.push_back(header->second);
       num_classes_ = std::max(num_classes_, header->second + 1);
     }
   }

@@ -20,7 +20,11 @@
 ///   TUDatasetStream  incremental TUDataset-directory reader, O(graphs +
 ///                    largest graph) memory instead of O(dataset);
 ///   EdgeListStream   incremental reader of the plain edge-list format
-///                    written by save_edge_list / TUDatasetWriter's sibling.
+///                    written by save_edge_list / TUDatasetWriter's sibling;
+///   FilteredStream   replay of an index subset of another stream (the
+///                    per-fold adapter of the streaming k-fold protocol);
+///   ReplayableStream re-opens a non-rewindable source through a caller
+///                    factory on every reset().
 ///
 /// TUDatasetWriter is the write-side counterpart: it appends one graph at a
 /// time to a TUDataset directory, producing byte-identical files to
@@ -72,7 +76,22 @@ class GraphStream {
 
   /// Total sample count when known; nullopt for unbounded sources.
   [[nodiscard]] virtual std::optional<std::size_t> size_hint() const { return std::nullopt; }
+
+  /// Per-sample labels of the whole stream *without* materializing graphs,
+  /// when the source can produce them cheaply (label columns read up front,
+  /// header-only file scans, arithmetic label schedules).  Must not disturb
+  /// the stream position.  nullopt means callers fall back to a full replay
+  /// — see collect_labels().
+  [[nodiscard]] virtual std::optional<std::vector<std::size_t>> label_scan() {
+    return std::nullopt;
+  }
 };
+
+/// Pass 1 of two-pass streaming protocols (e.g. streaming k-fold CV): the
+/// per-sample labels of the whole stream, via the source's label_scan() fast
+/// path when available, otherwise by replaying the stream and dropping the
+/// graphs.  The stream is left reset either way.
+[[nodiscard]] std::vector<std::size_t> collect_labels(GraphStream& stream);
 
 /// Pulls up to `max_graphs` samples into an in-memory chunk.  Vertex labels
 /// are attached when the pulled samples carry them (mixing labeled and
@@ -96,6 +115,9 @@ class DatasetStream final : public GraphStream {
   [[nodiscard]] std::optional<std::size_t> size_hint() const override {
     return dataset_->size();
   }
+  [[nodiscard]] std::optional<std::vector<std::size_t>> label_scan() override {
+    return dataset_->labels();
+  }
 
  private:
   const GraphDataset* dataset_;
@@ -118,6 +140,7 @@ class GeneratorStream final : public GraphStream {
   void reset() override { position_ = 0; }
   [[nodiscard]] std::size_t num_classes() const override { return num_classes_; }
   [[nodiscard]] std::optional<std::size_t> size_hint() const override { return count_; }
+  [[nodiscard]] std::optional<std::vector<std::size_t>> label_scan() override;
 
  private:
   std::size_t count_;
@@ -147,6 +170,9 @@ class TUDatasetStream final : public GraphStream {
   void reset() override;
   [[nodiscard]] std::size_t num_classes() const override { return num_classes_; }
   [[nodiscard]] std::optional<std::size_t> size_hint() const override { return labels_.size(); }
+  [[nodiscard]] std::optional<std::vector<std::size_t>> label_scan() override {
+    return labels_;
+  }
 
   /// Densified per-graph labels (read up front — they are the one column
   /// that cannot stream).  Lets callers score streamed predictions without
@@ -181,15 +207,81 @@ class EdgeListStream final : public GraphStream {
   [[nodiscard]] std::optional<StreamSample> next() override;
   void reset() override;
   [[nodiscard]] std::size_t num_classes() const override { return num_classes_; }
-  [[nodiscard]] std::optional<std::size_t> size_hint() const override { return count_; }
+  [[nodiscard]] std::optional<std::size_t> size_hint() const override { return labels_.size(); }
+  [[nodiscard]] std::optional<std::vector<std::size_t>> label_scan() override {
+    return labels_;
+  }
 
  private:
   std::filesystem::path path_;
-  std::size_t count_ = 0;
+  std::vector<std::size_t> labels_;  ///< header labels from the construction scan.
   std::size_t num_classes_ = 0;
   std::ifstream in_;
   std::string pending_header_;  ///< lookahead: the next record's "graph" line.
   std::size_t line_no_ = 0;
+};
+
+/// Replay adapter over a subset of another stream: yields exactly the
+/// source samples whose index (position in source order) is set in `keep`,
+/// in source order.  This is the per-fold building block of the streaming
+/// k-fold protocol (eval/cross_validation.hpp): one FoldPlan mask per
+/// train/test side, O(num_samples) bits of state, graphs never retained.
+///
+/// The source must outlive the adapter and is shared, not owned: reset()
+/// resets the source, so interleaving pulls through two FilteredStreams over
+/// one source is undefined — run them sequentially (each fold/epoch replays
+/// from the start anyway).  A source yielding more samples than keep.size()
+/// throws std::runtime_error: the mask was planned against a stream of a
+/// different length.
+class FilteredStream final : public GraphStream {
+ public:
+  /// \param num_classes advertised class count; defaults to the source's.
+  ///   Fold training subsets pass the subset's own class count so streamed
+  ///   models are shaped exactly like ones fit on the materialized subset.
+  FilteredStream(GraphStream& source, std::vector<bool> keep,
+                 std::optional<std::size_t> num_classes = std::nullopt);
+
+  [[nodiscard]] std::optional<StreamSample> next() override;
+  void reset() override;
+  [[nodiscard]] std::size_t num_classes() const override { return num_classes_; }
+  [[nodiscard]] std::optional<std::size_t> size_hint() const override { return kept_count_; }
+  [[nodiscard]] std::optional<std::vector<std::size_t>> label_scan() override;
+
+ private:
+  GraphStream* source_;
+  std::vector<bool> keep_;
+  std::size_t num_classes_ = 0;
+  std::size_t kept_count_ = 0;
+  std::size_t source_position_ = 0;
+};
+
+/// Re-openable adapter for sources that cannot rewind in place: every
+/// reset() asks `opener` for a fresh stream (e.g. re-running a query,
+/// re-opening a socket dump).  fit_stream retrain epochs and per-fold CV
+/// passes replay through reset(), so any opener-backed source composes with
+/// the whole streaming pipeline.  An opener that throws or returns nullptr
+/// surfaces as a clean std::runtime_error — a non-re-openable source fails
+/// loudly instead of silently truncating a replay.  The re-opened stream
+/// must agree with the first one on num_classes (checked).
+class ReplayableStream final : public GraphStream {
+ public:
+  using Opener = std::function<std::unique_ptr<GraphStream>()>;
+
+  /// Opens eagerly (num_classes must be known before the first pull).
+  explicit ReplayableStream(Opener opener);
+
+  [[nodiscard]] std::optional<StreamSample> next() override;
+  void reset() override;
+  [[nodiscard]] std::size_t num_classes() const override { return num_classes_; }
+  [[nodiscard]] std::optional<std::size_t> size_hint() const override;
+  [[nodiscard]] std::optional<std::vector<std::size_t>> label_scan() override;
+
+ private:
+  [[nodiscard]] std::unique_ptr<GraphStream> open();
+
+  Opener opener_;
+  std::unique_ptr<GraphStream> inner_;
+  std::size_t num_classes_ = 0;
 };
 
 /// Writes `dataset` in the edge-list format EdgeListStream reads.

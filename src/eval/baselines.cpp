@@ -32,6 +32,27 @@ class GraphHdClassifier final : public GraphClassifier {
   core::GraphHd classifier_;
 };
 
+/// Streaming GraphHD through the streaming interface (same facade as
+/// GraphHdClassifier — only the ingestion path differs).
+class GraphHdStreamClassifier final : public StreamingGraphClassifier {
+ public:
+  explicit GraphHdStreamClassifier(core::GraphHdConfig config) : classifier_(config) {}
+
+  [[nodiscard]] std::string name() const override { return "GraphHD"; }
+
+  void fit_stream(data::GraphStream& train, std::size_t chunk_size) override {
+    classifier_.fit_stream(train, chunk_size);
+  }
+
+  [[nodiscard]] std::vector<std::size_t> predict_stream(data::GraphStream& test,
+                                                        std::size_t chunk_size) override {
+    return classifier_.predict_stream(test, chunk_size);
+  }
+
+ private:
+  core::GraphHd classifier_;
+};
+
 /// WL-subtree / WL-OA kernel + one-vs-one SVM with the paper's inner-CV
 /// hyperparameter selection.  The WL palette learned on the training fold is
 /// reused (and extended) when featurizing test graphs, so unseen test
@@ -150,6 +171,18 @@ ClassifierFactory make_graphhd_factory(core::GraphHdConfig config, bool honor_ba
     core::GraphHdConfig fold_config = config;
     fold_config.seed = hdc::derive_seed(config.seed, seed);
     return std::make_unique<GraphHdClassifier>(fold_config);
+  };
+}
+
+StreamingClassifierFactory make_graphhd_stream_factory(core::GraphHdConfig config,
+                                                       bool honor_backend_env) {
+  if (honor_backend_env) config.backend = core::backend_from_env(config.backend);
+  return [config](std::uint64_t seed) -> std::unique_ptr<StreamingGraphClassifier> {
+    // Same per-fold seed mixing as make_graphhd_factory — a requirement of
+    // the streamed-equals-materialized CV guarantee, not a style choice.
+    core::GraphHdConfig fold_config = config;
+    fold_config.seed = hdc::derive_seed(config.seed, seed);
+    return std::make_unique<GraphHdStreamClassifier>(fold_config);
   };
 }
 

@@ -27,6 +27,14 @@ enum class KernelKind {
 [[nodiscard]] ClassifierFactory make_graphhd_factory(core::GraphHdConfig config = {},
                                                      bool honor_backend_env = true);
 
+/// Streaming GraphHD for cross_validate_stream: identical config/seed
+/// handling to make_graphhd_factory, but each classifier trains and predicts
+/// through the GraphHd facade's fit_stream/predict_stream — which are
+/// bit-identical to fit/predict_batch, so the two factories produce the same
+/// predictions for the same per-fold seed.
+[[nodiscard]] StreamingClassifierFactory make_graphhd_stream_factory(
+    core::GraphHdConfig config = {}, bool honor_backend_env = true);
+
 /// Kernel + one-vs-one SVM with the paper's hyperparameter protocol:
 /// WL depth from {0..max_wl_iterations}, C from grid.c_grid, chosen by inner
 /// CV on the training fold; Gram matrices are cosine-normalized.

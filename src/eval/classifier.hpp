@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "data/dataset.hpp"
+#include "data/stream.hpp"
 
 namespace graphhd::eval {
 
@@ -37,5 +38,30 @@ class GraphClassifier {
 /// so stochastic methods (GIN init, inner CV shuffles) are independent
 /// across folds while remaining reproducible.
 using ClassifierFactory = std::function<std::unique_ptr<GraphClassifier>(std::uint64_t seed)>;
+
+/// A trainable classifier that consumes its folds as bounded-memory streams
+/// (one instance per fold) — the interface cross_validate_stream drives.
+/// Methods whose streamed pipeline is bit-identical to their materialized
+/// one (GraphHD: fit_stream == fit, predict_stream == predict_batch) make
+/// the streaming protocol's results bit-identical to cross_validate's.
+class StreamingGraphClassifier {
+ public:
+  virtual ~StreamingGraphClassifier() = default;
+
+  /// Human-readable method name, e.g. "GraphHD".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Trains on the stream, pulling `chunk_size` graphs at a time.  Called
+  /// exactly once; may reset() and replay the stream (retrain epochs).
+  virtual void fit_stream(data::GraphStream& train, std::size_t chunk_size) = 0;
+
+  /// Predicts labels for every sample of `test`, in stream order.
+  [[nodiscard]] virtual std::vector<std::size_t> predict_stream(data::GraphStream& test,
+                                                                std::size_t chunk_size) = 0;
+};
+
+/// Streaming counterpart of ClassifierFactory (same per-fold seed contract).
+using StreamingClassifierFactory =
+    std::function<std::unique_ptr<StreamingGraphClassifier>(std::uint64_t seed)>;
 
 }  // namespace graphhd::eval

@@ -42,6 +42,18 @@ struct ExperimentConfig {
     const ExperimentConfig& config,
     const std::vector<std::pair<std::string, ClassifierFactory>>& methods);
 
+/// Runs the CV protocol for GraphHD over a GraphStream through
+/// cross_validate_stream — the streaming counterpart of one fig-3 cell,
+/// shared by `graphhd_cli eval --stream` and bench/stress_eval.  Uses
+/// config.cv (folds / repetitions / seed / stream_chunk / stratified).
+/// `honor_backend_env` as in make_graphhd_factory: callers that resolved
+/// the backend themselves (CLI --backend flag) pass false.
+[[nodiscard]] CvResult run_graphhd_stream_cv(data::GraphStream& stream,
+                                             const std::string& dataset_name,
+                                             const ExperimentConfig& config,
+                                             core::GraphHdConfig hd_config = {},
+                                             bool honor_backend_env = true);
+
 /// One point of the Fig. 4 scaling curve.
 struct ScalabilityPoint {
   std::size_t num_vertices = 0;

@@ -12,8 +12,17 @@
 ///     GRAPHHD_PROPTEST_CASE=<index> (the run then executes only that case);
 ///   * greedy input shrinking: a caller-supplied shrink function proposes
 ///     smaller candidates; the smallest still-failing input is reported;
-///   * environment-scaled case counts: GRAPHHD_PROPTEST_CASES multiplies
-///     coverage in long-running CI without touching the tests.
+///   * environment-scaled case counts: GRAPHHD_PROPTEST_CASES scales every
+///     check()'s case count as a *percentage of its default* (100 = as
+///     written, 25 = quarter, 400 = 4x; floor of 1 case).  This is the
+///     time-budget knob of the CI matrix: sanitizer rows run at 25 (each
+///     instrumented case costs ~10-20x a Release one), Release rows at 200.
+///     A percentage — not an absolute count — so expensive properties that
+///     deliberately run few cases scale proportionally instead of being
+///     forced to the same count as cheap ones.  Properties that pin a
+///     deterministic sweep onto their leading cases set Config::min_cases to
+///     the sweep length, which the scaling never cuts below; replay
+///     (GRAPHHD_PROPTEST_SEED) ignores the knob entirely.
 ///
 /// Usage:
 ///   proptest::check<MyCase>(
@@ -35,6 +44,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <functional>
 #include <optional>
@@ -47,8 +57,14 @@
 namespace graphhd::proptest {
 
 struct Config {
-  /// Cases per check() call; scaled by GRAPHHD_PROPTEST_CASES when set.
+  /// Cases per check() call; multiplied by GRAPHHD_PROPTEST_CASES / 100
+  /// when that variable is set (see the file comment).
   std::size_t cases = 48;
+  /// Floor the environment scaling never goes below.  Properties that pin a
+  /// deterministic sweep onto their leading cases set this to the sweep
+  /// length, so a time-budgeted CI row (GRAPHHD_PROPTEST_CASES=25) trims
+  /// only the randomized tail, never the guaranteed boundary cases.
+  std::size_t min_cases = 1;
   /// Cap on accepted shrink steps (a safety net against shrink cycles).
   std::size_t max_shrink_steps = 400;
 };
@@ -102,8 +118,9 @@ void check(const char* name, const Generator<Value>& generate, const Shrinker<Va
   const std::size_t replay_case =
       static_cast<std::size_t>(detail::env_u64("GRAPHHD_PROPTEST_CASE").value_or(0));
   std::size_t cases = config.cases;
-  if (const auto scaled = detail::env_u64("GRAPHHD_PROPTEST_CASES"); scaled.has_value()) {
-    cases = static_cast<std::size_t>(*scaled);
+  if (const auto percent = detail::env_u64("GRAPHHD_PROPTEST_CASES"); percent.has_value()) {
+    cases = std::max(std::max<std::size_t>(1, config.min_cases),
+                     cases * static_cast<std::size_t>(*percent) / 100);
   }
   if (replay_seed.has_value()) cases = 1;
 

@@ -2,7 +2,10 @@
 /// *faithful* fast path — bit-identical predictions (labels and similarity
 /// doubles) to the dense quantized model, on synthetic and TUDataset-format
 /// fixtures, at any thread count, through every extension that composes
-/// with it, and across serialization.
+/// with it, and across serialization.  The equivalence matrix is
+/// property-based (tests/support/proptest.hpp): the leading cases pin the
+/// historical config sweep deterministically, the tail randomizes config
+/// combinations and datasets, and failures replay/shrink by seed.
 
 #include <gtest/gtest.h>
 
@@ -18,6 +21,7 @@
 #include "data/tudataset.hpp"
 #include "graph/generators.hpp"
 #include "parallel/thread_pool.hpp"
+#include "support/proptest.hpp"
 
 namespace {
 
@@ -26,6 +30,8 @@ using graphhd::data::GraphDataset;
 using graphhd::graph::cycle_graph;
 using graphhd::graph::star_graph;
 namespace parallel = graphhd::parallel;
+namespace proptest = graphhd::proptest;
+using graphhd::hdc::Rng;
 
 /// Restores the process-wide pool so tests don't leak thread settings.
 struct ThreadGuard {
@@ -39,10 +45,10 @@ GraphHdConfig base_config() {
   return config;
 }
 
-GraphDataset synthetic_dataset(std::size_t num_vertices = 40) {
+GraphDataset synthetic_dataset(std::size_t num_vertices = 40, std::size_t num_graphs = 30) {
   graphhd::data::ScalabilityConfig spec;
   spec.num_vertices = num_vertices;
-  spec.num_graphs = 30;
+  spec.num_graphs = num_graphs;
   return graphhd::data::make_scalability_dataset(spec, /*seed=*/0x5e7ULL);
 }
 
@@ -59,22 +65,95 @@ GraphDataset tudataset_fixture() {
   return loaded;
 }
 
-void expect_identical_predictions(const std::vector<Prediction>& dense,
-                                  const std::vector<Prediction>& packed,
-                                  const char* context) {
-  ASSERT_EQ(dense.size(), packed.size()) << context;
-  for (std::size_t i = 0; i < dense.size(); ++i) {
-    EXPECT_EQ(dense[i].label, packed[i].label) << context << " sample " << i;
-    // Bit-identical doubles, not just close: the packed scorer reproduces
-    // the dense arithmetic exactly.
-    EXPECT_EQ(dense[i].score, packed[i].score) << context << " sample " << i;
-    EXPECT_EQ(dense[i].class_scores, packed[i].class_scores) << context << " sample " << i;
-  }
+/// One cell of the dense-vs-packed equivalence matrix: every knob that
+/// composes with the backend choice, plus the dataset shape.  Datasets
+/// regenerate from (tudataset, num_vertices, num_graphs), so a case is fully
+/// described — and replayable / shrinkable — by these scalars.
+struct BackendCase {
+  std::size_t dimension = 2048;
+  std::size_t retrain_epochs = 0;
+  std::size_t prototypes = 1;
+  std::size_t rounds = 0;
+  bool use_vertex_labels = false;
+  bool bitslice = true;
+  bool inverse_hamming = false;
+  bool tudataset = false;  ///< MUTAG-replica fixture (carries vertex labels).
+  std::size_t num_vertices = 40;
+  std::size_t num_graphs = 30;
+};
+
+std::ostream& operator<<(std::ostream& out, const BackendCase& c) {
+  return out << "d=" << c.dimension << " retrain=" << c.retrain_epochs
+             << " prototypes=" << c.prototypes << " rounds=" << c.rounds
+             << " vertex_labels=" << c.use_vertex_labels << " bitslice=" << c.bitslice
+             << " inverse_hamming=" << c.inverse_hamming
+             << " dataset=" << (c.tudataset ? "tudataset" : "synthetic")
+             << "(v=" << c.num_vertices << ", g=" << c.num_graphs << ")";
 }
 
-void expect_backends_agree(GraphHdConfig config, const GraphDataset& dataset,
-                           const char* context) {
+/// The historical fixed-config sweep, pinned onto the leading property
+/// cases so it runs deterministically on every row at any CI scale.
+[[nodiscard]] BackendCase pinned_backend_case(std::size_t index) {
+  BackendCase c;
+  switch (index) {
+    case 0:  // baseline synthetic.
+      break;
+    case 1:  // disk-format fixture.
+      c.tudataset = true;
+      break;
+    case 2:  // labels route the packed encoder through its dense-then-pack fallback.
+      c.tudataset = true;
+      c.use_vertex_labels = true;
+      break;
+    case 3:
+      c.retrain_epochs = 3;
+      break;
+    case 4:
+      c.prototypes = 3;
+      break;
+    case 5:
+      c.inverse_hamming = true;
+      break;
+    case 6:  // message passing is O(rounds * d * (V+2E)) — keep it small.
+      c.rounds = 1;
+      c.dimension = 512;
+      c.num_vertices = 20;
+      break;
+    default:
+      c.bitslice = false;
+      c.num_vertices = 20;
+      break;
+  }
+  return c;
+}
+constexpr std::size_t kPinnedBackendCases = 8;
+
+[[nodiscard]] GraphDataset case_dataset(const BackendCase& c) {
+  // The tudataset fixture is a fixed-shape disk-format roundtrip; the
+  // num_vertices/num_graphs knobs shape the synthetic datasets only.
+  return c.tudataset ? tudataset_fixture() : synthetic_dataset(c.num_vertices, c.num_graphs);
+}
+
+[[nodiscard]] GraphHdConfig case_config(const BackendCase& c) {
+  GraphHdConfig config = base_config();
+  config.dimension = c.dimension;
+  config.retrain_epochs = c.retrain_epochs;
+  config.vectors_per_class = c.prototypes;
+  config.neighborhood_rounds = c.rounds;
+  config.use_vertex_labels = c.use_vertex_labels;
+  config.use_bitslice_bundling = c.bitslice;
+  if (c.inverse_hamming) config.metric = graphhd::hdc::Similarity::kInverseHamming;
+  return config;
+}
+
+/// The equivalence contract: dense and packed models trained identically
+/// produce bit-identical predictions (labels AND similarity doubles) at 1,
+/// 2 and 8 threads.
+[[nodiscard]] bool backends_agree(const BackendCase& c, std::ostream& diag) {
+  diag << c;
   ThreadGuard guard;
+  const auto dataset = case_dataset(c);
+  GraphHdConfig config = case_config(c);
   config.backend = Backend::kDenseBipolar;
   GraphHdModel dense(config, dataset.num_classes());
   config.backend = Backend::kPackedBinary;
@@ -85,57 +164,68 @@ void expect_backends_agree(GraphHdConfig config, const GraphDataset& dataset,
   packed.fit(dataset);
   const auto reference = dense.predict_batch(dataset);
 
-  // The issue's contract: identical at 1, 2 and 8 threads.
+  bool ok = true;
   for (const std::size_t threads : {1u, 2u, 8u}) {
     parallel::set_threads(threads);
-    expect_identical_predictions(reference, packed.predict_batch(dataset), context);
+    const auto predictions = packed.predict_batch(dataset);
+    if (predictions.size() != reference.size()) {
+      diag << " [size mismatch at " << threads << " threads]";
+      return false;
+    }
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      if (predictions[i].label != reference[i].label ||
+          predictions[i].score != reference[i].score ||
+          predictions[i].class_scores != reference[i].class_scores) {
+        diag << " [sample " << i << " diverges at " << threads << " threads]";
+        ok = false;
+        break;
+      }
+    }
   }
+  return ok;
 }
 
-TEST(PackedBackend, MatchesDenseOnSyntheticDataset) {
-  expect_backends_agree(base_config(), synthetic_dataset(), "synthetic");
-}
-
-TEST(PackedBackend, MatchesDenseOnTuDatasetFixture) {
-  expect_backends_agree(base_config(), tudataset_fixture(), "tudataset");
-}
-
-TEST(PackedBackend, MatchesDenseWithVertexLabels) {
-  // Labels route the packed encoder through its dense-then-pack fallback.
-  GraphHdConfig config = base_config();
-  config.use_vertex_labels = true;
-  expect_backends_agree(config, tudataset_fixture(), "tudataset+labels");
-}
-
-TEST(PackedBackend, MatchesDenseWithRetraining) {
-  GraphHdConfig config = base_config();
-  config.retrain_epochs = 3;
-  expect_backends_agree(config, synthetic_dataset(), "retraining");
-}
-
-TEST(PackedBackend, MatchesDenseWithMultiplePrototypes) {
-  GraphHdConfig config = base_config();
-  config.vectors_per_class = 3;
-  expect_backends_agree(config, synthetic_dataset(), "prototypes");
-}
-
-TEST(PackedBackend, MatchesDenseWithInverseHammingMetric) {
-  GraphHdConfig config = base_config();
-  config.metric = graphhd::hdc::Similarity::kInverseHamming;
-  expect_backends_agree(config, synthetic_dataset(), "inverse-hamming");
-}
-
-TEST(PackedBackend, MatchesDenseWithNeighborhoodRounds) {
-  GraphHdConfig config = base_config();
-  config.dimension = 512;  // message passing is O(rounds * d * (V+2E)).
-  config.neighborhood_rounds = 1;
-  expect_backends_agree(config, synthetic_dataset(20), "message-passing");
-}
-
-TEST(PackedBackend, MatchesDenseWithoutBitsliceBundling) {
-  GraphHdConfig config = base_config();
-  config.use_bitslice_bundling = false;
-  expect_backends_agree(config, synthetic_dataset(20), "reference-bundling");
+TEST(PackedBackend, PropertyMatchesDenseAcrossConfigsAndThreads) {
+  proptest::check<BackendCase>(
+      "packed backend bit-identical to dense across configs/threads",
+      [](Rng& rng, std::size_t case_index) {
+        if (case_index < kPinnedBackendCases) return pinned_backend_case(case_index);
+        BackendCase c;
+        c.dimension = 256 + rng.next_below(1280);
+        c.retrain_epochs = rng.next_below(3);
+        c.prototypes = 1 + rng.next_below(3);
+        c.tudataset = rng.next_bool();
+        c.use_vertex_labels = c.tudataset && rng.next_bool();
+        c.bitslice = rng.next_bool();
+        c.inverse_hamming = rng.next_bool();
+        c.num_vertices = 16 + rng.next_below(24);
+        c.num_graphs = 12 + rng.next_below(18);
+        if (rng.next_bool(0.25)) {
+          c.rounds = 1;
+          c.dimension = 256 + rng.next_below(256);
+        }
+        return c;
+      },
+      [](const BackendCase& failing) {
+        // Shrink one knob at a time toward the baseline cell.
+        std::vector<BackendCase> candidates;
+        const auto with = [&](auto mutate) {
+          BackendCase smaller = failing;
+          mutate(smaller);
+          candidates.push_back(smaller);
+        };
+        if (failing.retrain_epochs > 0) with([](BackendCase& c) { c.retrain_epochs = 0; });
+        if (failing.prototypes > 1) with([](BackendCase& c) { c.prototypes = 1; });
+        if (failing.rounds > 0) with([](BackendCase& c) { c.rounds = 0; });
+        if (failing.use_vertex_labels) with([](BackendCase& c) { c.use_vertex_labels = false; });
+        if (!failing.bitslice) with([](BackendCase& c) { c.bitslice = true; });
+        if (failing.inverse_hamming) with([](BackendCase& c) { c.inverse_hamming = false; });
+        if (failing.tudataset) with([](BackendCase& c) { c.tudataset = false; });
+        if (failing.dimension > 64) with([](BackendCase& c) { c.dimension /= 2; });
+        if (failing.num_graphs > 4) with([](BackendCase& c) { c.num_graphs /= 2; });
+        return candidates;
+      },
+      backends_agree, proptest::Config{.cases = 10, .min_cases = kPinnedBackendCases});
 }
 
 TEST(PackedBackend, EncoderPackedMatchesPackedDenseEncoding) {
@@ -150,23 +240,72 @@ TEST(PackedBackend, EncoderPackedMatchesPackedDenseEncoding) {
   }
 }
 
-TEST(PackedBackend, PartialFitMatchesDense) {
-  GraphHdConfig config = base_config();
-  GraphHdModel dense(config, 2);
-  config.backend = Backend::kPackedBinary;
-  GraphHdModel packed(config, 2);
-  for (std::size_t n = 6; n < 14; ++n) {
-    dense.partial_fit(star_graph(n), 0);
-    packed.partial_fit(star_graph(n), 0);
-    dense.partial_fit(cycle_graph(n), 1);
-    packed.partial_fit(cycle_graph(n), 1);
+/// Online-learning case: a random interleaved partial_fit history (graph
+/// kind, size, label per step) followed by probe predictions.  The former
+/// fixed star/cycle loop, upgraded to random histories with step shrinking.
+struct PartialFitCase {
+  struct Step {
+    bool star = true;  ///< star_graph vs cycle_graph.
+    std::size_t n = 6;
+    std::size_t label = 0;
+  };
+  std::vector<Step> steps;
+};
+
+std::ostream& operator<<(std::ostream& out, const PartialFitCase& c) {
+  out << c.steps.size() << " steps:";
+  for (const auto& s : c.steps) {
+    out << ' ' << (s.star ? "star" : "cycle") << '(' << s.n << ")->" << s.label;
   }
-  for (std::size_t n = 5; n < 16; ++n) {
-    const auto d = dense.predict(cycle_graph(n));
-    const auto p = packed.predict(cycle_graph(n));
-    EXPECT_EQ(d.label, p.label) << n;
-    EXPECT_EQ(d.score, p.score) << n;
-  }
+  return out;
+}
+
+TEST(PackedBackend, PropertyPartialFitMatchesDense) {
+  proptest::check<PartialFitCase>(
+      "online partial_fit keeps packed bit-identical to dense",
+      [](Rng& rng, std::size_t) {
+        PartialFitCase c;
+        const std::size_t steps = 2 + rng.next_below(15);
+        for (std::size_t i = 0; i < steps; ++i) {
+          c.steps.push_back({rng.next_bool(), 4 + rng.next_below(12), rng.next_below(2)});
+        }
+        return c;
+      },
+      [](const PartialFitCase& failing) {
+        std::vector<PartialFitCase> candidates;
+        if (failing.steps.size() > 1) {
+          PartialFitCase fewer = failing;
+          fewer.steps.pop_back();
+          candidates.push_back(std::move(fewer));
+          PartialFitCase halved = failing;
+          halved.steps.resize(failing.steps.size() / 2);
+          candidates.push_back(std::move(halved));
+        }
+        return candidates;
+      },
+      [](const PartialFitCase& c, std::ostream& diag) {
+        diag << c;
+        GraphHdConfig config = base_config();
+        config.dimension = 1024;
+        GraphHdModel dense(config, 2);
+        config.backend = Backend::kPackedBinary;
+        GraphHdModel packed(config, 2);
+        for (const auto& step : c.steps) {
+          const auto graph = step.star ? star_graph(step.n) : cycle_graph(step.n);
+          dense.partial_fit(graph, step.label);
+          packed.partial_fit(graph, step.label);
+        }
+        for (std::size_t n = 5; n < 16; ++n) {
+          const auto d = dense.predict(cycle_graph(n));
+          const auto p = packed.predict(cycle_graph(n));
+          if (d.label != p.label || d.score != p.score) {
+            diag << " [probe cycle(" << n << ") diverges]";
+            return false;
+          }
+        }
+        return true;
+      },
+      proptest::Config{.cases = 16});
 }
 
 TEST(PackedBackend, PredictEncodedAcceptsEitherRepresentation) {

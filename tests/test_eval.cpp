@@ -169,7 +169,7 @@ TEST(Report, SpeedupTableComputesRatios) {
   hd.method = "GraphHD";
   hd.dataset = "toy";
   hd.folds.push_back({.accuracy = 1.0, .train_seconds = 0.1, .test_seconds = 0.01,
-                      .train_size = 10, .test_size = 10});
+                      .train_size = 10, .test_size = 10, .predictions = {}});
   CvResult wl = hd;
   wl.method = "1-WL";
   wl.folds[0].train_seconds = 1.0;
