@@ -1,0 +1,166 @@
+/// \file micro_coldstart.cpp
+/// Cold-start latency of the three artifact load paths — the motivating
+/// number behind the v3 binary format (see README "Model artifacts").
+///
+/// Builds a packed GraphHD model at serving scale (d=10000 by default)
+/// through restore_state with seeded random counters (no training pass —
+/// the artifact contents, not the fit, are what is being measured), writes
+/// one v2 text artifact and one v3 binary artifact, then times
+/// load-to-first-prediction for:
+///   * text   — load_model on the v2 artifact (parse every counter) and
+///     build the inference snapshot;
+///   * read   — load_snapshot(path, kRead): full v3 read, all checksums;
+///   * mmap   — load_snapshot(path, kMmap): zero-copy map, config checksum
+///     only, counters/words stay untouched until queried.
+/// Every rep finishes with one predict_encoded on the same pre-encoded
+/// probe, so the timed region always covers artifact-to-answer, and the
+/// three paths are verified to produce bit-identical predictions (exit 1
+/// otherwise — CI runs this as a gate).
+///
+/// Output is a single JSON object on stdout (schema
+/// "graphhd-bench-coldstart/v1", progress goes to stderr) so CI can archive
+/// it as BENCH_coldstart.json and gate it against
+/// bench/baselines/coldstart.json via bench/check_perf.py.
+///
+/// Environment knobs:
+///   GRAPHHD_COLDSTART_DIM      hypervector dimension        (default 10000)
+///   GRAPHHD_COLDSTART_CLASSES  classes in the model         (default 8)
+///   GRAPHHD_COLDSTART_REPS     timed load reps (min taken)  (default 7)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <vector>
+
+#include "core/model.hpp"
+#include "core/serialize.hpp"
+#include "core/snapshot.hpp"
+#include "graph/generators.hpp"
+#include "hdc/random.hpp"
+#include "support/env.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+using graphhd::bench::env_size;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// A serving-scale model without a training pass: every slot gets seeded
+/// random counters in [-9, 9] (odd add count, so the majority is tie-free),
+/// which exercises exactly the same artifact layout as a trained model.
+graphhd::core::GraphHdModel make_model(std::size_t dimension, std::size_t num_classes) {
+  graphhd::core::GraphHdConfig config;
+  config.dimension = dimension;
+  config.seed = 0xc01d57a7ULL;
+  config.backend = graphhd::core::Backend::kPackedBinary;
+  graphhd::core::GraphHdModel model(config, num_classes);
+
+  graphhd::hdc::Rng rng(0x5eedc0de);
+  std::vector<graphhd::hdc::BundleAccumulator> accumulators;
+  accumulators.reserve(num_classes);
+  std::vector<std::size_t> sample_counts(num_classes, 9);
+  for (std::size_t slot = 0; slot < num_classes; ++slot) {
+    std::vector<std::int32_t> counts(dimension);
+    for (auto& c : counts) {
+      c = static_cast<std::int32_t>(rng.next_below(19)) - 9;
+      if ((c & 1) == 0) c += c >= 0 ? 1 : -1;  // odd => consistent with 9 adds
+    }
+    accumulators.push_back(
+        graphhd::hdc::BundleAccumulator::from_raw(std::move(counts), 9, /*parity=*/true));
+  }
+  model.restore_state(std::move(accumulators), std::move(sample_counts),
+                      std::vector<std::size_t>(num_classes, 0), /*fitted=*/true);
+  return model;
+}
+
+}  // namespace
+
+int main() {
+  using namespace graphhd;
+
+  const std::size_t dimension = env_size("GRAPHHD_COLDSTART_DIM", 10000);
+  const std::size_t num_classes = env_size("GRAPHHD_COLDSTART_CLASSES", 8);
+  const std::size_t reps = std::max<std::size_t>(1, env_size("GRAPHHD_COLDSTART_REPS", 7));
+
+  auto model = make_model(dimension, num_classes);
+  const fs::path dir = fs::temp_directory_path();
+  const fs::path text_path = dir / "graphhd_coldstart_v2.ghd";
+  const fs::path binary_path = dir / "graphhd_coldstart_v3.ghd";
+  core::save_model_text(model, text_path);
+  core::save_model(model, binary_path);
+
+  // One probe, encoded outside the timed region: the encoder cost is the
+  // same for all three paths, and leaving it out keeps the contrast purely
+  // between the artifact load strategies.
+  core::GraphHdEncoder encoder(model.config());
+  const auto probe = encoder.encode_packed(graph::cycle_graph(48));
+  const auto expected = model.snapshot()->predict_encoded(probe);
+
+  std::fprintf(stderr, "micro_coldstart: d=%zu, %zu classes, text=%zu bytes, v3=%zu bytes\n",
+               dimension, num_classes, static_cast<std::size_t>(fs::file_size(text_path)),
+               static_cast<std::size_t>(fs::file_size(binary_path)));
+
+  bool identical = true;
+  const auto check = [&](const core::Prediction& prediction, const char* path_name) {
+    if (prediction.label != expected.label || prediction.score != expected.score ||
+        prediction.class_scores != expected.class_scores) {
+      std::fprintf(stderr, "micro_coldstart: FAIL — %s prediction diverges from the trainer\n",
+                   path_name);
+      identical = false;
+    }
+  };
+
+  // Min over reps: cold-start latency is a floor measurement and the first
+  // rep pays one-off page-cache warming for every path alike.
+  const auto time_path = [&](const char* path_name, const auto& load_and_predict) {
+    double best = 1e300;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      const auto start = Clock::now();
+      const core::Prediction prediction = load_and_predict();
+      best = std::min(best, seconds_since(start));
+      check(prediction, path_name);
+    }
+    return best;
+  };
+
+  const double text_seconds = time_path("text", [&] {
+    auto loaded = core::load_model(text_path);
+    return loaded.snapshot()->predict_encoded(probe);
+  });
+  const double read_seconds = time_path("read", [&] {
+    const auto snapshot = core::load_snapshot(binary_path, core::SnapshotLoad::kRead);
+    return snapshot->predict_encoded(probe);
+  });
+  const double mmap_seconds = time_path("mmap", [&] {
+    const auto snapshot = core::load_snapshot(binary_path, core::SnapshotLoad::kMmap);
+    return snapshot->predict_encoded(probe);
+  });
+
+  fs::remove(text_path);
+  fs::remove(binary_path);
+
+  const double mmap_speedup_vs_text = text_seconds / mmap_seconds;
+  const double read_speedup_vs_text = text_seconds / read_seconds;
+
+  std::printf("{\n");
+  std::printf("  \"schema\": \"graphhd-bench-coldstart/v1\",\n");
+  std::printf("  \"dimension\": %zu,\n", dimension);
+  std::printf("  \"num_classes\": %zu,\n", num_classes);
+  std::printf("  \"reps\": %zu,\n", reps);
+  std::printf("  \"predictions_identical\": %s,\n", identical ? "true" : "false");
+  std::printf("  \"text\": {\"load_to_first_prediction_ms\": %.3f},\n", text_seconds * 1e3);
+  std::printf("  \"read\": {\"load_to_first_prediction_ms\": %.3f, \"speedup_vs_text\": %.2f},\n",
+              read_seconds * 1e3, read_speedup_vs_text);
+  std::printf("  \"mmap\": {\"load_to_first_prediction_ms\": %.3f, \"speedup_vs_text\": %.2f}\n",
+              mmap_seconds * 1e3, mmap_speedup_vs_text);
+  std::printf("}\n");
+
+  return identical ? 0 : 1;
+}

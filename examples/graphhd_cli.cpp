@@ -14,6 +14,9 @@
 ///                       [--vertices N] [--edges M] [--radius R] [--classes C]
 ///                       [--seed S]   (streams scale workloads straight to disk)
 ///   graphhd_cli stats   --data DIR --name DS
+///   graphhd_cli model-info PATH   (artifact version/sections/checksums,
+///                                  no model constructed)
+///   graphhd_cli convert IN OUT [--format v3|text]   (artifact migration)
 ///
 /// Datasets are TUDataset-format directories (DIR/DS/DS_A.txt, ...); when
 /// the files are missing, `eval` and `train` fall back to the synthetic
@@ -308,6 +311,48 @@ int cmd_gen(const Args& args) {
   return 0;
 }
 
+int cmd_model_info(const std::string& path) {
+  const auto info = core::inspect_model(path);
+  std::printf("artifact           %s\n", path.c_str());
+  std::printf("version            v%d (%s)\n", info.version,
+              info.version >= 3 ? "binary section format" : "text format");
+  std::printf("backend            %s\n", core::to_string(info.backend));
+  std::printf("dimension          %zu\n", info.dimension);
+  std::printf("num_classes        %zu\n", info.num_classes);
+  std::printf("vectors_per_class  %zu\n", info.vectors_per_class);
+  std::printf("quantized          %s\n", info.quantized ? "yes" : "no");
+  std::printf("fitted             %s\n", info.fitted ? "yes" : "no");
+  std::printf("file size          %ju bytes\n", static_cast<std::uintmax_t>(info.file_bytes));
+  if (!info.sections.empty()) {
+    std::printf("sections:\n");
+    std::printf("  %-14s %12s %12s  %s\n", "name", "offset", "bytes", "checksum");
+    for (const auto& section : info.sections) {
+      std::printf("  %-14s %12ju %12ju  %s\n", section.name.c_str(),
+                  static_cast<std::uintmax_t>(section.offset),
+                  static_cast<std::uintmax_t>(section.length),
+                  section.checksum_ok ? "ok" : "MISMATCH");
+    }
+  }
+  std::printf("checksums          %s\n", info.checksums_ok ? "ok" : "FAILED");
+  return info.checksums_ok ? 0 : 1;
+}
+
+int cmd_convert(const std::string& in, const std::string& out, const Args& args) {
+  const auto info = core::inspect_model(in);
+  auto model = core::load_model(in);
+  const std::string format = args.get("format", "v3");
+  if (format == "v3" || format == "binary") {
+    core::save_model(model, out);
+  } else if (format == "v2" || format == "text") {
+    core::save_model_text(model, out);
+  } else {
+    throw std::runtime_error("--format: expected v3|binary|v2|text, got " + format);
+  }
+  std::printf("converted %s (v%d) -> %s (%s)\n", in.c_str(), info.version, out.c_str(),
+              format.c_str());
+  return 0;
+}
+
 int cmd_synth(const Args& args) {
   const std::string name = args.require("name");
   const std::string out = args.require("out");
@@ -322,17 +367,20 @@ int cmd_synth(const Args& args) {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: graphhd_cli <train|predict|eval|synth|gen|stats> [--flag value ...]\n"
-               "  train   --data DIR --name DS --out MODEL [--dimension N] [--retrain K]\n"
-               "          [--backend dense|packed]   (or GRAPHHD_BACKEND env)\n"
-               "          [--stream CHUNK]           (bounded-memory chunked ingestion)\n"
-               "  predict --model MODEL --data DIR --name DS [--stream CHUNK]\n"
-               "  eval    --data DIR --name DS [--folds K] [--reps R] [--scale X]\n"
-               "          [--backend dense|packed] [--stream CHUNK]\n"
-               "  synth   --name DS --out DIR [--scale X] [--seed S]\n"
-               "  gen     --kind rmat|rgg|er --name DS --out DIR [--graphs G]\n"
-               "          [--vertices N] [--edges M] [--radius R] [--classes C] [--seed S]\n"
-               "  stats   --data DIR --name DS\n");
+               "usage: graphhd_cli "
+               "<train|predict|eval|synth|gen|stats|model-info|convert> [--flag value ...]\n"
+               "  train      --data DIR --name DS --out MODEL [--dimension N] [--retrain K]\n"
+               "             [--backend dense|packed]   (or GRAPHHD_BACKEND env)\n"
+               "             [--stream CHUNK]           (bounded-memory chunked ingestion)\n"
+               "  predict    --model MODEL --data DIR --name DS [--stream CHUNK]\n"
+               "  eval       --data DIR --name DS [--folds K] [--reps R] [--scale X]\n"
+               "             [--backend dense|packed] [--stream CHUNK]\n"
+               "  synth      --name DS --out DIR [--scale X] [--seed S]\n"
+               "  gen        --kind rmat|rgg|er --name DS --out DIR [--graphs G]\n"
+               "             [--vertices N] [--edges M] [--radius R] [--classes C] [--seed S]\n"
+               "  stats      --data DIR --name DS\n"
+               "  model-info PATH            (artifact header + checksums; no model built)\n"
+               "  convert    IN OUT [--format v3|text]   (upgrade v1/v2 text to binary v3)\n");
 }
 
 }  // namespace
@@ -343,8 +391,23 @@ int main(int argc, char** argv) {
     return 2;
   }
   try {
-    const Args args(argc, argv, 2);
     const std::string command = argv[1];
+    // Positional-argument commands (the rest are --flag value pairs).
+    if (command == "model-info") {
+      if (argc < 3) {
+        usage();
+        return 2;
+      }
+      return cmd_model_info(argv[2]);
+    }
+    if (command == "convert") {
+      if (argc < 4) {
+        usage();
+        return 2;
+      }
+      return cmd_convert(argv[2], argv[3], Args(argc, argv, 4));
+    }
+    const Args args(argc, argv, 2);
     if (command == "train") return cmd_train(args);
     if (command == "predict") return cmd_predict(args);
     if (command == "eval") return cmd_eval(args);

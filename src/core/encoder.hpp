@@ -25,6 +25,7 @@
 #include <deque>
 
 #include "core/config.hpp"
+#include "data/dataset.hpp"
 #include "graph/graph.hpp"
 #include "hdc/bitslice.hpp"
 #include "hdc/hypervector.hpp"
@@ -106,5 +107,23 @@ class GraphHdEncoder {
   std::deque<hdc::PackedHypervector> packed_rank_cache_;
   std::uint64_t tie_break_seed_;
 };
+
+/// Encodes every sample of `dataset` in parallel over the process-wide
+/// thread pool (parallel/thread_pool.hpp).  Chunk 0 runs on the caller
+/// thread and uses `primary` (so its lazily grown basis caches keep warming
+/// up, as in the serial path); every other chunk owns a private encoder
+/// built from primary.config().  Basis memories are seed-deterministic, so
+/// the resulting hypervectors are bit-identical to the serial loop at any
+/// thread count.  Vertex labels are bound in exactly when
+/// config.use_vertex_labels is set *and* the dataset carries labels —
+/// the shared contract of fit/predict_batch/evaluate (GraphHdModel) and
+/// SnapshotPredictor.
+[[nodiscard]] std::vector<hdc::Hypervector> encode_dataset(GraphHdEncoder& primary,
+                                                           const data::GraphDataset& dataset);
+
+/// Packed-output counterpart of encode_dataset (same chunking and
+/// determinism guarantees; only the output representation differs).
+[[nodiscard]] std::vector<hdc::PackedHypervector> encode_dataset_packed(
+    GraphHdEncoder& primary, const data::GraphDataset& dataset);
 
 }  // namespace graphhd::core

@@ -37,58 +37,6 @@ const hdc::PackedClassMemory& GraphHdModel::packed_memory() const {
   return *packed_memory_;
 }
 
-hdc::Hypervector GraphHdModel::encode_sample(const data::GraphDataset& dataset,
-                                             std::size_t index) {
-  if (config_.use_vertex_labels && dataset.has_vertex_labels()) {
-    return encoder_.encode(dataset.graph(index), dataset.vertex_labels()[index]);
-  }
-  return encoder_.encode(dataset.graph(index));
-}
-
-std::vector<hdc::Hypervector> GraphHdModel::encode_batch(const data::GraphDataset& dataset) {
-  std::vector<hdc::Hypervector> encoded(dataset.size());
-  parallel::parallel_for_chunks(
-      dataset.size(), [&](std::size_t begin, std::size_t end, std::size_t chunk) {
-        // Chunk 0 runs on the caller thread and uses the member encoder (so
-        // its lazily grown basis caches keep warming up, as in the serial
-        // path).  Every other chunk owns a private encoder built from the
-        // same config; basis memories are seed-deterministic, so the
-        // resulting hypervectors are bit-identical to the serial loop.  The
-        // private encoders re-derive their basis vectors on every batch call
-        // — a deliberate trade: keeping them would add cross-call mutable
-        // state for a cost that is amortized over the whole chunk anyway.
-        const bool labeled = config_.use_vertex_labels && dataset.has_vertex_labels();
-        std::optional<GraphHdEncoder> local;
-        if (chunk != 0) local.emplace(config_);
-        GraphHdEncoder& enc = chunk == 0 ? encoder_ : *local;
-        for (std::size_t i = begin; i < end; ++i) {
-          encoded[i] = labeled ? enc.encode(dataset.graph(i), dataset.vertex_labels()[i])
-                               : enc.encode(dataset.graph(i));
-        }
-      });
-  return encoded;
-}
-
-std::vector<hdc::PackedHypervector> GraphHdModel::encode_batch_packed(
-    const data::GraphDataset& dataset) {
-  // Same chunking/determinism contract as encode_batch — only the output
-  // representation differs.
-  std::vector<hdc::PackedHypervector> encoded(dataset.size());
-  parallel::parallel_for_chunks(
-      dataset.size(), [&](std::size_t begin, std::size_t end, std::size_t chunk) {
-        const bool labeled = config_.use_vertex_labels && dataset.has_vertex_labels();
-        std::optional<GraphHdEncoder> local;
-        if (chunk != 0) local.emplace(config_);
-        GraphHdEncoder& enc = chunk == 0 ? encoder_ : *local;
-        for (std::size_t i = begin; i < end; ++i) {
-          encoded[i] = labeled
-                           ? enc.encode_packed(dataset.graph(i), dataset.vertex_labels()[i])
-                           : enc.encode_packed(dataset.graph(i));
-        }
-      });
-  return encoded;
-}
-
 void GraphHdModel::fit(const data::GraphDataset& train) {
   if (fitted_) {
     throw std::logic_error("GraphHdModel::fit: model already fitted");
@@ -96,9 +44,10 @@ void GraphHdModel::fit(const data::GraphDataset& train) {
   if (train.num_classes() > num_classes_) {
     throw std::invalid_argument("GraphHdModel::fit: dataset has more classes than the model");
   }
+  invalidate_snapshot();
 
-  // Encode once (in parallel — see encode_batch); the hypervectors are
-  // reused by the retraining passes.  Both backends run the same Algorithm 1
+  // Encode once (in parallel — see core::encode_dataset); the hypervectors
+  // are reused by the retraining passes.  Both backends run the same Algorithm 1
   // + retraining schedule — only the vector representation and the memory
   // type differ, and the packed similarity doubles equal the dense ones, so
   // the two training runs stay in lockstep (bit-identical class counters).
@@ -128,9 +77,9 @@ void GraphHdModel::fit(const data::GraphDataset& train) {
   };
 
   if (packed_memory_.has_value()) {
-    bundle_and_retrain(*packed_memory_, encode_batch_packed(train));
+    bundle_and_retrain(*packed_memory_, encode_dataset_packed(encoder_, train));
   } else {
-    bundle_and_retrain(*dense_memory_, encode_batch(train));
+    bundle_and_retrain(*dense_memory_, encode_dataset(encoder_, train));
   }
   fitted_ = true;
 }
@@ -146,6 +95,7 @@ void GraphHdModel::fit_stream(data::GraphStream& stream, std::size_t chunk_size)
     throw std::invalid_argument(
         "GraphHdModel::fit_stream: stream has more classes than the model");
   }
+  invalidate_snapshot();
 
   // Same schedule as fit(), chunk by chunk: one bundling pass, then one
   // stream replay per retraining epoch.  Chunk boundaries are invisible to
@@ -162,12 +112,12 @@ void GraphHdModel::fit_stream(data::GraphStream& stream, std::size_t chunk_size)
             "GraphHdModel::fit_stream: stream label exceeds the model's class count");
       }
       if (packed_memory_.has_value()) {
-        const auto encoded = encode_batch_packed(chunk);
+        const auto encoded = encode_dataset_packed(encoder_, chunk);
         for (std::size_t i = 0; i < chunk.size(); ++i) {
           per_sample(*packed_memory_, encoded[i], chunk.label(i), index++);
         }
       } else {
-        const auto encoded = encode_batch(chunk);
+        const auto encoded = encode_dataset(encoder_, chunk);
         for (std::size_t i = 0; i < chunk.size(); ++i) {
           per_sample(*dense_memory_, encoded[i], chunk.label(i), index++);
         }
@@ -202,6 +152,7 @@ void GraphHdModel::partial_fit(const graph::Graph& graph, std::size_t label) {
   if (label >= num_classes_) {
     throw std::out_of_range("GraphHdModel::partial_fit: label out of range");
   }
+  invalidate_snapshot();
   const std::size_t replica = next_replica_[label];
   next_replica_[label] = (replica + 1) % config_.vectors_per_class;
   if (packed_memory_.has_value()) {
@@ -228,50 +179,31 @@ Prediction GraphHdModel::predict(const graph::Graph& graph) {
   return predict_encoded(encoder_.encode(graph));
 }
 
-Prediction GraphHdModel::prediction_from(const hdc::QueryResult& result) const {
-  Prediction prediction;
-  prediction.class_scores.assign(num_classes_, -2.0);
-  for (std::size_t slot = 0; slot < result.similarities.size(); ++slot) {
-    const std::size_t cls = class_of_slot(slot);
-    prediction.class_scores[cls] =
-        std::max(prediction.class_scores[cls], result.similarities[slot]);
-  }
-  prediction.label = class_of_slot(result.best_class);
-  prediction.score = result.best_similarity;
-  return prediction;
-}
-
 Prediction GraphHdModel::predict_encoded(const hdc::Hypervector& encoded) const {
-  if (packed_memory_.has_value()) {
-    return prediction_from(packed_memory_->query(hdc::PackedHypervector::from_bipolar(encoded)));
-  }
-  return prediction_from(dense_memory_->query(encoded));
+  return snapshot()->predict_encoded(encoded);
 }
 
 Prediction GraphHdModel::predict_encoded(const hdc::PackedHypervector& encoded) const {
-  if (packed_memory_.has_value()) {
-    return prediction_from(packed_memory_->query(encoded));
-  }
-  return prediction_from(dense_memory_->query(encoded.to_bipolar()));
+  return snapshot()->predict_encoded(encoded);
 }
 
 std::vector<Prediction> GraphHdModel::predict_batch(const data::GraphDataset& test) {
-  // Rebuild the lazy quantized class vectors once up front so the concurrent
-  // query() calls below are pure reads.  Each query is one batched
-  // one-vs-all distance kernel (hdc/kernels) against every class slot; the
-  // pool workers share the immutable dispatch table.
+  // Pin one snapshot up front (building it finalizes the class vectors) so
+  // the concurrent queries below are pure reads on an immutable object.
+  // Each query is one batched one-vs-all distance kernel (hdc/kernels)
+  // against every class slot; the pool workers share the immutable dispatch
+  // table.
+  const std::shared_ptr<const InferenceSnapshot> snap = snapshot();
   std::vector<Prediction> predictions(test.size());
   if (packed_memory_.has_value()) {
-    packed_memory_->finalize();
-    const std::vector<hdc::PackedHypervector> encoded = encode_batch_packed(test);
-    parallel::parallel_for(test.size(),
-                           [&](std::size_t i) { predictions[i] = predict_encoded(encoded[i]); });
+    const std::vector<hdc::PackedHypervector> encoded = encode_dataset_packed(encoder_, test);
+    parallel::parallel_for(
+        test.size(), [&](std::size_t i) { predictions[i] = snap->predict_encoded(encoded[i]); });
     return predictions;
   }
-  dense_memory_->finalize();
-  const std::vector<hdc::Hypervector> encoded = encode_batch(test);
-  parallel::parallel_for(test.size(),
-                         [&](std::size_t i) { predictions[i] = predict_encoded(encoded[i]); });
+  const std::vector<hdc::Hypervector> encoded = encode_dataset(encoder_, test);
+  parallel::parallel_for(
+      test.size(), [&](std::size_t i) { predictions[i] = snap->predict_encoded(encoded[i]); });
   return predictions;
 }
 
@@ -280,13 +212,9 @@ void GraphHdModel::predict_stream(data::GraphStream& stream, std::size_t chunk_s
   if (chunk_size == 0) {
     throw std::invalid_argument("GraphHdModel::predict_stream: chunk_size must be positive");
   }
-  // One finalize up front (as in predict_batch) so the chunked parallel
-  // queries below are pure reads.
-  if (packed_memory_.has_value()) {
-    packed_memory_->finalize();
-  } else {
-    dense_memory_->finalize();
-  }
+  // One snapshot pinned up front (as in predict_batch) so the chunked
+  // parallel queries below are pure reads.
+  const std::shared_ptr<const InferenceSnapshot> snap = snapshot();
   stream.reset();
   std::size_t index = 0;
   while (true) {
@@ -294,13 +222,15 @@ void GraphHdModel::predict_stream(data::GraphStream& stream, std::size_t chunk_s
     if (chunk.empty()) break;
     std::vector<Prediction> predictions(chunk.size());
     if (packed_memory_.has_value()) {
-      const auto encoded = encode_batch_packed(chunk);
-      parallel::parallel_for(chunk.size(),
-                             [&](std::size_t i) { predictions[i] = predict_encoded(encoded[i]); });
+      const auto encoded = encode_dataset_packed(encoder_, chunk);
+      parallel::parallel_for(chunk.size(), [&](std::size_t i) {
+        predictions[i] = snap->predict_encoded(encoded[i]);
+      });
     } else {
-      const auto encoded = encode_batch(chunk);
-      parallel::parallel_for(chunk.size(),
-                             [&](std::size_t i) { predictions[i] = predict_encoded(encoded[i]); });
+      const auto encoded = encode_dataset(encoder_, chunk);
+      parallel::parallel_for(chunk.size(), [&](std::size_t i) {
+        predictions[i] = snap->predict_encoded(encoded[i]);
+      });
     }
     for (std::size_t i = 0; i < predictions.size(); ++i) {
       sink(index++, predictions[i]);
@@ -339,6 +269,7 @@ void GraphHdModel::restore_state(std::vector<hdc::BundleAccumulator> accumulator
       replica_cursors.size() != num_classes_) {
     throw std::invalid_argument("GraphHdModel::restore_state: slot layout mismatch");
   }
+  invalidate_snapshot();
   for (std::size_t slot = 0; slot < slots; ++slot) {
     if (packed_memory_.has_value()) {
       // The raw signed-counter state is backend-agnostic; rewrap it.
@@ -354,6 +285,69 @@ void GraphHdModel::restore_state(std::vector<hdc::BundleAccumulator> accumulator
   }
   next_replica_ = std::move(replica_cursors);
   fitted_ = fitted;
+}
+
+std::shared_ptr<const InferenceSnapshot> GraphHdModel::snapshot() const {
+  if (snapshot_ != nullptr) return snapshot_;
+  const std::size_t slots = num_classes_ * config_.vectors_per_class;
+  const std::size_t words_per_slot = (config_.dimension + 63) / 64;
+  std::vector<InferenceSnapshot::SlotMeta> meta(slots);
+  std::vector<std::int32_t> counters;
+  counters.reserve(slots * config_.dimension);
+  std::vector<std::uint64_t> words;
+  words.reserve(slots * words_per_slot);
+  // The packed words are the finalized (majority-thresholded) class vectors
+  // of either memory: PackedBundleAccumulator::threshold is the exact
+  // packing of BundleAccumulator::threshold, so both backends freeze to the
+  // same words for the same counters.
+  if (packed_memory_.has_value()) {
+    packed_memory_->finalize();
+    for (std::size_t slot = 0; slot < slots; ++slot) {
+      const auto& acc = packed_memory_->accumulator(slot);
+      meta[slot] = {packed_memory_->class_count(slot), acc.count(), acc.tie_free()};
+      const auto counts = acc.counts();
+      counters.insert(counters.end(), counts.begin(), counts.end());
+      const auto class_hv = packed_memory_->class_vector(slot);
+      const auto row = class_hv.words();
+      words.insert(words.end(), row.begin(), row.end());
+    }
+  } else {
+    dense_memory_->finalize();
+    for (std::size_t slot = 0; slot < slots; ++slot) {
+      const auto& acc = dense_memory_->accumulator(slot);
+      meta[slot] = {dense_memory_->class_count(slot), acc.count(), acc.tie_free()};
+      const auto counts = acc.counts();
+      counters.insert(counters.end(), counts.begin(), counts.end());
+      const auto packed =
+          hdc::PackedHypervector::from_bipolar(dense_memory_->class_vector(slot));
+      const auto row = packed.words();
+      words.insert(words.end(), row.begin(), row.end());
+    }
+  }
+  snapshot_ = std::make_shared<const InferenceSnapshot>(config_, num_classes_, fitted_,
+                                                        next_replica_, std::move(meta),
+                                                        std::move(counters), std::move(words));
+  return snapshot_;
+}
+
+GraphHdModel model_from_snapshot(const InferenceSnapshot& snapshot) {
+  GraphHdModel model(snapshot.config(), snapshot.num_classes());
+  const std::size_t slots = snapshot.slots();
+  std::vector<hdc::BundleAccumulator> accumulators;
+  std::vector<std::size_t> sample_counts;
+  accumulators.reserve(slots);
+  sample_counts.reserve(slots);
+  for (std::size_t slot = 0; slot < slots; ++slot) {
+    const auto counts = snapshot.counters(slot);
+    const auto& meta = snapshot.slot_meta(slot);
+    accumulators.push_back(hdc::BundleAccumulator::from_raw(
+        std::vector<std::int32_t>(counts.begin(), counts.end()),
+        static_cast<std::size_t>(meta.add_count), meta.tie_free));
+    sample_counts.push_back(static_cast<std::size_t>(meta.sample_count));
+  }
+  model.restore_state(std::move(accumulators), std::move(sample_counts),
+                      snapshot.replica_cursors(), snapshot.fitted());
+  return model;
 }
 
 std::size_t GraphHdModel::slot_count(std::size_t slot) const {

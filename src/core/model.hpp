@@ -6,24 +6,19 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "core/config.hpp"
 #include "core/encoder.hpp"
+#include "core/snapshot.hpp"
 #include "data/dataset.hpp"
 #include "data/stream.hpp"
 #include "hdc/assoc_memory.hpp"
 #include "hdc/packed_assoc.hpp"
 
 namespace graphhd::core {
-
-/// Classification result with per-class scores.
-struct Prediction {
-  std::size_t label = 0;
-  double score = 0.0;                 ///< similarity of the winning prototype.
-  std::vector<double> class_scores;   ///< best prototype similarity per class.
-};
 
 /// GraphHD model over `num_classes` classes.
 ///
@@ -42,6 +37,12 @@ struct Prediction {
 /// packed class memory.  The two backends produce bit-identical predictions
 /// for the quantized model (tests/test_backend.cpp); packed is the
 /// hardware-shaped fast path.
+///
+/// The model is the *trainer* half of the trainer/serving split
+/// (core/snapshot.hpp): every external predict path runs off snapshot(), an
+/// immutable InferenceSnapshot rebuilt lazily after mutations, so model
+/// predictions and snapshot predictions are one code path and bit-identical
+/// by construction.
 class GraphHdModel {
  public:
   GraphHdModel(const GraphHdConfig& config, std::size_t num_classes);
@@ -108,6 +109,16 @@ class GraphHdModel {
   /// Batch accuracy against a labeled dataset.
   [[nodiscard]] double evaluate(const data::GraphDataset& test);
 
+  /// The immutable inference view of the current trained state (the
+  /// trainer/serving split; see core/snapshot.hpp).  Lazily built and
+  /// cached; any mutation (fit, fit_stream, partial_fit, restore_state)
+  /// invalidates the cache, so an already-shared snapshot keeps serving the
+  /// old state while the next snapshot() call publishes the new one — the
+  /// hot-swap pattern.  Like finalize(), the lazy build is not safe against
+  /// concurrent *first* calls: batch paths pin one snapshot up front and
+  /// then query it from workers as a pure read.
+  [[nodiscard]] std::shared_ptr<const InferenceSnapshot> snapshot() const;
+
   /// Number of training samples folded into each class so far.
   [[nodiscard]] std::vector<std::size_t> class_counts() const;
 
@@ -133,14 +144,6 @@ class GraphHdModel {
                      std::vector<std::size_t> replica_cursors, bool fitted);
 
  private:
-  [[nodiscard]] hdc::Hypervector encode_sample(const data::GraphDataset& dataset,
-                                               std::size_t index);
-  /// Encodes every sample of `dataset` (parallel over the process pool).
-  [[nodiscard]] std::vector<hdc::Hypervector> encode_batch(const data::GraphDataset& dataset);
-  /// Packed-backend batch encode (same chunking and determinism guarantees).
-  [[nodiscard]] std::vector<hdc::PackedHypervector> encode_batch_packed(
-      const data::GraphDataset& dataset);
-  [[nodiscard]] Prediction prediction_from(const hdc::QueryResult& result) const;
   [[nodiscard]] std::size_t slot_count(std::size_t slot) const;
   [[nodiscard]] std::size_t slot_of(std::size_t class_id, std::size_t replica) const noexcept {
     return class_id * config_.vectors_per_class + replica;
@@ -151,6 +154,8 @@ class GraphHdModel {
   /// Best-scoring slot within a class for `encoded`.
   [[nodiscard]] std::size_t best_slot_in_class(const hdc::QueryResult& result,
                                                std::size_t class_id) const;
+  /// Drops the cached snapshot; every mutation point calls this.
+  void invalidate_snapshot() noexcept { snapshot_.reset(); }
 
   GraphHdConfig config_;
   std::size_t num_classes_;
@@ -161,6 +166,14 @@ class GraphHdModel {
   std::optional<hdc::PackedClassMemory> packed_memory_;
   std::vector<std::size_t> next_replica_;  ///< round-robin cursor per class.
   bool fitted_ = false;
+  /// Lazily built inference view of the current state (see snapshot()).
+  mutable std::shared_ptr<const InferenceSnapshot> snapshot_;
 };
+
+/// Upgrades an inference snapshot back into a full trainer: the snapshot
+/// carries the raw signed counters and per-slot metadata, which is exactly
+/// the restore_state() representation.  Used by the artifact converter and
+/// by servers that want to resume training from a served model.
+[[nodiscard]] GraphHdModel model_from_snapshot(const InferenceSnapshot& snapshot);
 
 }  // namespace graphhd::core

@@ -91,4 +91,6 @@ GraphHdModel& GraphHd::model() {
   return *model_;
 }
 
+std::shared_ptr<const InferenceSnapshot> GraphHd::snapshot() { return model().snapshot(); }
+
 }  // namespace graphhd::core

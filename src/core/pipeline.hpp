@@ -70,6 +70,10 @@ class GraphHd {
   /// Access to the underlying model (throws before fit/partial_fit).
   [[nodiscard]] GraphHdModel& model();
 
+  /// Immutable inference view of the trained state (throws before
+  /// fit/partial_fit) — the hot-swap/serving handle; see core/snapshot.hpp.
+  [[nodiscard]] std::shared_ptr<const InferenceSnapshot> snapshot();
+
  private:
   GraphHdConfig config_;
   std::optional<GraphHdModel> model_;

@@ -1,28 +1,55 @@
 #include "core/serialize.hpp"
 
+#include <atomic>
+#include <bit>
 #include <cstdint>
+#include <cstring>
 #include <fstream>
+#include <iterator>
+#include <span>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
 
 namespace graphhd::core {
 
 namespace {
 
-constexpr const char* kMagic = "GRAPHHD-MODEL";
-/// Version 1: dense-backend models, no `backend` header line.
-/// Version 2: adds the `backend` line (dense and packed models).  The slot
-/// counter rows are backend-agnostic signed counters in both versions, so a
-/// version-1 file is simply a version-2 file with an implicit dense backend
-/// — load_model still accepts it.
-constexpr int kVersion = 2;
+// ---- shared artifact sanity bounds (all versions) ----
+//
+// A single corrupted digit/byte in `dimension`, `num_classes` or
+// `vectors_per_class` must surface as a parse error, not as a
+// multi-terabyte allocation attempt inside the model constructor (which
+// sanitizer allocators abort on rather than throw).  Real models sit orders
+// of magnitude below these caps (the paper uses d = 10000).
+constexpr std::uint64_t kMaxDimension = 100'000'000;       // 400 MB of counters per slot.
+constexpr std::uint64_t kMaxSlots = 1'000'000;
+constexpr std::uint64_t kMaxTotalCounters = 1'000'000'000; // 4 GB of counters overall.
 
 void require(bool condition, const std::string& message) {
   if (!condition) {
     throw std::runtime_error("load_model: " + message);
   }
 }
+
+// ======================= text format (v1 / v2) =======================
+
+constexpr const char* kTextMagic = "GRAPHHD-MODEL";
+/// Version 1: dense-backend models, no `backend` header line.
+/// Version 2: adds the `backend` line (dense and packed models).  The slot
+/// counter rows are backend-agnostic signed counters in both versions, so a
+/// version-1 file is simply a version-2 file with an implicit dense backend
+/// — load_model still accepts it.
+constexpr int kTextVersion = 2;
 
 [[nodiscard]] std::string read_line(std::istream& in, const char* what) {
   std::string line;
@@ -77,72 +104,14 @@ template <typename Value, typename Convert>
       text, key, [](const std::string& s, std::size_t* pos) { return std::stod(s, pos); });
 }
 
-}  // namespace
-
-void save_model(const GraphHdModel& model, std::ostream& out) {
-  const GraphHdConfig& config = model.config();
-  out << kMagic << ' ' << kVersion << '\n';
-  out << "backend " << static_cast<int>(config.backend) << '\n';
-  out << "dimension " << config.dimension << '\n';
-  out << "pagerank_iterations " << config.pagerank_iterations << '\n';
-  out << "pagerank_damping " << config.pagerank_damping << '\n';
-  out << "identifier " << static_cast<int>(config.identifier) << '\n';
-  out << "metric " << static_cast<int>(config.metric) << '\n';
-  out << "quantized " << (config.quantized_model ? 1 : 0) << '\n';
-  out << "bitslice " << (config.use_bitslice_bundling ? 1 : 0) << '\n';
-  out << "retrain_epochs " << config.retrain_epochs << '\n';
-  out << "vectors_per_class " << config.vectors_per_class << '\n';
-  out << "use_vertex_labels " << (config.use_vertex_labels ? 1 : 0) << '\n';
-  out << "neighborhood_rounds " << config.neighborhood_rounds << '\n';
-  out << "seed " << config.seed << '\n';
-  out << "num_classes " << model.num_classes() << '\n';
-  out << "fitted " << (model.fitted() ? 1 : 0) << '\n';
-
-  out << "cursors";
-  for (const std::size_t cursor : model.replica_cursors()) out << ' ' << cursor;
-  out << '\n';
-
-  // Both backends keep the same signed-counter slot state; only where it
-  // lives differs.  Writing the shared raw form keeps the file format
-  // backend-portable (a packed model can be reloaded as a dense one by
-  // editing the header, and vice versa — same predictions either way).
-  const auto write_slot = [&out](std::size_t slot, std::size_t samples, const auto& acc) {
-    out << "slot " << slot << ' ' << samples << ' ' << acc.count() << ' '
-        << (acc.tie_free() ? 1 : 0) << '\n';
-    const auto counts = acc.counts();
-    for (std::size_t i = 0; i < counts.size(); ++i) {
-      out << counts[i] << (i + 1 == counts.size() ? '\n' : ' ');
-    }
-    if (counts.empty()) out << '\n';
-  };
-  const std::size_t slots = model.num_classes() * config.vectors_per_class;
-  for (std::size_t slot = 0; slot < slots; ++slot) {
-    if (config.backend == Backend::kPackedBinary) {
-      write_slot(slot, model.packed_memory().class_count(slot),
-                 model.packed_memory().accumulator(slot));
-    } else {
-      write_slot(slot, model.memory().class_count(slot), model.memory().accumulator(slot));
-    }
-  }
-  require(static_cast<bool>(out), "stream failure while writing");
-}
-
-void save_model(const GraphHdModel& model, const std::filesystem::path& path) {
-  std::ofstream out(path);
-  if (!out) {
-    throw std::runtime_error("save_model: cannot open " + path.string());
-  }
-  save_model(model, out);
-}
-
-GraphHdModel load_model(std::istream& in) {
+[[nodiscard]] GraphHdModel load_model_text(std::istream& in) {
   int version = 0;
   {
     std::istringstream header(read_line(in, "magic line"));
     std::string magic;
     header >> magic >> version;
-    require(magic == kMagic, "bad magic '" + magic + "'");
-    require(version >= 1 && version <= kVersion,
+    require(magic == kTextMagic, "bad magic '" + magic + "'");
+    require(version >= 1 && version <= kTextVersion,
             "unsupported version " + std::to_string(version));
   }
   GraphHdConfig config;
@@ -190,14 +159,6 @@ GraphHdModel load_model(std::istream& in) {
   require(num_classes >= 2, "num_classes must be >= 2, got " + std::to_string(num_classes));
   const bool fitted = parse_int(read_value("fitted"), "fitted") != 0;
 
-  // Artifact sanity bounds: a single corrupted digit in `dimension`,
-  // `num_classes` or `vectors_per_class` must surface as a parse error, not
-  // as a multi-terabyte allocation attempt inside the model constructor
-  // (which sanitizer allocators abort on rather than throw).  Real models
-  // sit orders of magnitude below these caps (the paper uses d = 10000).
-  constexpr std::uint64_t kMaxDimension = 100'000'000;       // 400 MB of counters per slot.
-  constexpr std::uint64_t kMaxSlots = 1'000'000;
-  constexpr std::uint64_t kMaxTotalCounters = 1'000'000'000; // 4 GB of counters overall.
   require(config.dimension <= kMaxDimension,
           "dimension " + std::to_string(config.dimension) + " exceeds the artifact bound " +
               std::to_string(kMaxDimension));
@@ -252,12 +213,717 @@ GraphHdModel load_model(std::istream& in) {
   return model;
 }
 
+// ======================= binary format (v3) =======================
+
+constexpr char kBinaryMagic[8] = {'G', 'H', 'D', 'M', 'D', 'L', '3', '\n'};
+constexpr std::uint32_t kBinaryVersion = 3;
+constexpr std::uint32_t kSectionConfig = 1;
+constexpr std::uint32_t kSectionCounters = 2;
+constexpr std::uint32_t kSectionWords = 3;
+constexpr std::uint32_t kMaxSectionCount = 16;
+constexpr std::size_t kHeaderFixedBytes = 16;   // magic + version + section count.
+constexpr std::size_t kSectionEntryBytes = 32;  // id + reserved + offset + length + checksum.
+constexpr std::size_t kConfigFixedBytes = 80;   // everything before cursors/slot metadata.
+constexpr std::size_t kSectionAlign = 8;
+
+/// FNV-1a 64: tiny, dependency-free, good enough to catch bit rot and
+/// truncation (this is an integrity check, not an authenticity check).
+constexpr std::uint64_t kFnvBasis = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+[[nodiscard]] std::uint64_t fnv1a(const unsigned char* data, std::size_t size) {
+  std::uint64_t hash = kFnvBasis;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+[[nodiscard]] constexpr std::size_t align_up(std::size_t value) {
+  return (value + (kSectionAlign - 1)) & ~(kSectionAlign - 1);
+}
+
+/// Little-endian byte appender.  The format is defined as little-endian on
+/// disk; on little-endian hosts (every deployment target we have) the bulk
+/// appends compile to memcpy.
+struct ByteBuffer {
+  std::string bytes;
+
+  void put_u32(std::uint32_t value) {
+    for (int i = 0; i < 4; ++i) bytes.push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+  void put_u64(std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) bytes.push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+  void put_i32_span(std::span<const std::int32_t> values) {
+    if constexpr (std::endian::native == std::endian::little) {
+      bytes.append(reinterpret_cast<const char*>(values.data()), values.size() * 4);
+    } else {
+      for (const std::int32_t v : values) put_u32(static_cast<std::uint32_t>(v));
+    }
+  }
+  void put_u64_span(std::span<const std::uint64_t> values) {
+    if constexpr (std::endian::native == std::endian::little) {
+      bytes.append(reinterpret_cast<const char*>(values.data()), values.size() * 8);
+    } else {
+      for (const std::uint64_t v : values) put_u64(v);
+    }
+  }
+};
+
+/// Bounds-checked little-endian reader over a byte range.
+class ByteReader {
+ public:
+  ByteReader(const unsigned char* data, std::size_t size) : data_(data), size_(size) {}
+
+  [[nodiscard]] std::uint32_t u32(const char* what) {
+    check(4, what);
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) value |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    return value;
+  }
+  [[nodiscard]] std::uint64_t u64(const char* what) {
+    check(8, what);
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) value |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    return value;
+  }
+  [[nodiscard]] std::size_t remaining() const noexcept { return size_ - pos_; }
+
+ private:
+  void check(std::size_t need, const char* what) {
+    require(size_ - pos_ >= need, std::string("truncated while reading ") + what);
+  }
+  const unsigned char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+struct SectionEntry {
+  std::uint32_t id = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  std::uint64_t checksum = 0;
+};
+
+struct BinaryTable {
+  std::vector<SectionEntry> sections;
+  const SectionEntry* config = nullptr;
+  const SectionEntry* counters = nullptr;
+  const SectionEntry* words = nullptr;
+};
+
+[[nodiscard]] bool looks_binary(const unsigned char* data, std::size_t size) {
+  return size >= sizeof(kBinaryMagic) &&
+         std::memcmp(data, kBinaryMagic, sizeof(kBinaryMagic)) == 0;
+}
+
+/// Parses and validates the v3 header + section table: every offset/length
+/// in bounds and aligned, exactly one of each known section.  Checksums are
+/// NOT verified here — the caller decides which sections to hash (full read
+/// verifies all; the mmap fast path verifies config only).
+[[nodiscard]] BinaryTable parse_binary_table(const unsigned char* data, std::size_t size) {
+  require(looks_binary(data, size), "bad magic (not a model artifact)");
+  ByteReader reader(data + sizeof(kBinaryMagic), size - sizeof(kBinaryMagic));
+  const std::uint32_t version = reader.u32("version");
+  require(version == kBinaryVersion,
+          "unsupported binary artifact version " + std::to_string(version));
+  const std::uint32_t count = reader.u32("section count");
+  require(count >= 1 && count <= kMaxSectionCount,
+          "section count " + std::to_string(count) + " out of range");
+  require(size - kHeaderFixedBytes >= static_cast<std::size_t>(count) * kSectionEntryBytes,
+          "truncated section table");
+
+  BinaryTable table;
+  table.sections.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    SectionEntry entry;
+    entry.id = reader.u32("section id");
+    const std::uint32_t reserved = reader.u32("section reserved field");
+    require(reserved == 0, "nonzero reserved field in section table");
+    entry.offset = reader.u64("section offset");
+    entry.length = reader.u64("section length");
+    entry.checksum = reader.u64("section checksum");
+    require(entry.offset % kSectionAlign == 0,
+            "section " + std::to_string(entry.id) + " offset not 8-byte aligned");
+    require(entry.offset >= kHeaderFixedBytes + count * kSectionEntryBytes,
+            "section " + std::to_string(entry.id) + " overlaps the header");
+    require(entry.offset <= size && entry.length <= size - entry.offset,
+            "section " + std::to_string(entry.id) + " extends past end of file");
+    table.sections.push_back(entry);
+  }
+  const auto find_unique = [&table](std::uint32_t id, const char* name) {
+    const SectionEntry* found = nullptr;
+    for (const SectionEntry& entry : table.sections) {
+      if (entry.id != id) continue;
+      require(found == nullptr, std::string("duplicate ") + name + " section");
+      found = &entry;
+    }
+    require(found != nullptr, std::string("missing ") + name + " section");
+    return found;
+  };
+  table.config = find_unique(kSectionConfig, "config");
+  table.counters = find_unique(kSectionCounters, "counters");
+  table.words = find_unique(kSectionWords, "packed-words");
+  return table;
+}
+
+/// Everything the config section carries: the full GraphHdConfig plus the
+/// class layout and per-slot training metadata.
+struct ParsedConfig {
+  GraphHdConfig config;
+  std::size_t num_classes = 0;
+  bool fitted = false;
+  std::vector<std::size_t> cursors;
+  std::vector<InferenceSnapshot::SlotMeta> slot_meta;
+  std::size_t slots = 0;
+  std::size_t words_per_slot = 0;
+};
+
+[[nodiscard]] ParsedConfig parse_config_section(const unsigned char* data, std::size_t length) {
+  require(length >= kConfigFixedBytes, "config section too short");
+  ByteReader reader(data, length);
+  ParsedConfig parsed;
+  GraphHdConfig& config = parsed.config;
+  config.dimension = reader.u64("dimension");
+  config.pagerank_iterations = reader.u64("pagerank_iterations");
+  config.pagerank_damping = std::bit_cast<double>(reader.u64("pagerank_damping"));
+
+  const std::uint32_t identifier_raw = reader.u32("identifier");
+  require(identifier_raw <= static_cast<std::uint32_t>(VertexIdentifier::kHarmonic),
+          "identifier enum value " + std::to_string(identifier_raw) + " out of range");
+  config.identifier = static_cast<VertexIdentifier>(identifier_raw);
+  const std::uint32_t metric_raw = reader.u32("metric");
+  require(metric_raw <= static_cast<std::uint32_t>(hdc::Similarity::kDot),
+          "metric enum value " + std::to_string(metric_raw) + " out of range");
+  config.metric = static_cast<hdc::Similarity>(metric_raw);
+  const std::uint32_t backend_raw = reader.u32("backend");
+  require(backend_raw <= static_cast<std::uint32_t>(Backend::kPackedBinary),
+          "backend enum value " + std::to_string(backend_raw) + " out of range");
+  config.backend = static_cast<Backend>(backend_raw);
+
+  const std::uint32_t flags = reader.u32("flags");
+  require((flags >> 4) == 0, "unknown config flag bits set");
+  config.quantized_model = (flags & 1u) != 0;
+  config.use_bitslice_bundling = (flags & 2u) != 0;
+  config.use_vertex_labels = (flags & 4u) != 0;
+  parsed.fitted = (flags & 8u) != 0;
+
+  config.retrain_epochs = reader.u64("retrain_epochs");
+  config.vectors_per_class = reader.u64("vectors_per_class");
+  config.neighborhood_rounds = reader.u64("neighborhood_rounds");
+  config.seed = reader.u64("seed");
+  parsed.num_classes = reader.u64("num_classes");
+
+  require(parsed.num_classes >= 2,
+          "num_classes must be >= 2, got " + std::to_string(parsed.num_classes));
+  require(config.dimension <= kMaxDimension,
+          "dimension " + std::to_string(config.dimension) + " exceeds the artifact bound " +
+              std::to_string(kMaxDimension));
+  require(parsed.num_classes <= kMaxSlots && config.vectors_per_class <= kMaxSlots &&
+              parsed.num_classes * config.vectors_per_class <= kMaxSlots,
+          "class slot count exceeds the artifact bound " + std::to_string(kMaxSlots));
+  require(config.dimension > 0 &&
+              parsed.num_classes * config.vectors_per_class <=
+                  kMaxTotalCounters / config.dimension,
+          "total counter count exceeds the artifact bound " +
+              std::to_string(kMaxTotalCounters));
+  try {
+    config.validate();
+  } catch (const std::exception& error) {
+    throw std::runtime_error(std::string("load_model: invalid config: ") + error.what());
+  }
+
+  parsed.slots = parsed.num_classes * config.vectors_per_class;
+  parsed.words_per_slot = (config.dimension + 63) / 64;
+  const std::size_t expected =
+      kConfigFixedBytes + 8 * parsed.num_classes + 24 * parsed.slots;
+  require(length == expected, "config section length " + std::to_string(length) +
+                                  " does not match class layout (expected " +
+                                  std::to_string(expected) + ")");
+
+  parsed.cursors.reserve(parsed.num_classes);
+  for (std::size_t c = 0; c < parsed.num_classes; ++c) {
+    const std::uint64_t cursor = reader.u64("replica cursor");
+    require(cursor < config.vectors_per_class, "replica cursor out of range");
+    parsed.cursors.push_back(static_cast<std::size_t>(cursor));
+  }
+  parsed.slot_meta.reserve(parsed.slots);
+  for (std::size_t slot = 0; slot < parsed.slots; ++slot) {
+    InferenceSnapshot::SlotMeta meta;
+    meta.sample_count = reader.u64("slot sample count");
+    meta.add_count = reader.u64("slot add count");
+    const std::uint64_t tie_free = reader.u64("slot tie parity");
+    require(tie_free <= 1, "slot tie parity must be 0 or 1");
+    meta.tie_free = tie_free != 0;
+    parsed.slot_meta.push_back(meta);
+  }
+  return parsed;
+}
+
+/// Serializes a snapshot into the complete v3 artifact byte string.
+[[nodiscard]] std::string build_v3_artifact(const InferenceSnapshot& snapshot) {
+  const GraphHdConfig& config = snapshot.config();
+  const std::size_t slots = snapshot.slots();
+
+  ByteBuffer config_section;
+  config_section.put_u64(config.dimension);
+  config_section.put_u64(config.pagerank_iterations);
+  config_section.put_u64(std::bit_cast<std::uint64_t>(config.pagerank_damping));
+  config_section.put_u32(static_cast<std::uint32_t>(config.identifier));
+  config_section.put_u32(static_cast<std::uint32_t>(config.metric));
+  config_section.put_u32(static_cast<std::uint32_t>(config.backend));
+  const std::uint32_t flags = (config.quantized_model ? 1u : 0u) |
+                              (config.use_bitslice_bundling ? 2u : 0u) |
+                              (config.use_vertex_labels ? 4u : 0u) |
+                              (snapshot.fitted() ? 8u : 0u);
+  config_section.put_u32(flags);
+  config_section.put_u64(config.retrain_epochs);
+  config_section.put_u64(config.vectors_per_class);
+  config_section.put_u64(config.neighborhood_rounds);
+  config_section.put_u64(config.seed);
+  config_section.put_u64(snapshot.num_classes());
+  for (const std::size_t cursor : snapshot.replica_cursors()) config_section.put_u64(cursor);
+  for (std::size_t slot = 0; slot < slots; ++slot) {
+    const InferenceSnapshot::SlotMeta& meta = snapshot.slot_meta(slot);
+    config_section.put_u64(meta.sample_count);
+    config_section.put_u64(meta.add_count);
+    config_section.put_u64(meta.tie_free ? 1 : 0);
+  }
+
+  ByteBuffer counters_section;
+  counters_section.bytes.reserve(slots * config.dimension * 4);
+  for (std::size_t slot = 0; slot < slots; ++slot) {
+    counters_section.put_i32_span(snapshot.counters(slot));
+  }
+  ByteBuffer words_section;
+  words_section.bytes.reserve(slots * snapshot.words_per_slot() * 8);
+  for (std::size_t slot = 0; slot < slots; ++slot) {
+    words_section.put_u64_span(snapshot.packed_words(slot));
+  }
+
+  constexpr std::uint32_t kCount = 3;
+  const std::size_t header_bytes = kHeaderFixedBytes + kCount * kSectionEntryBytes;
+  const std::size_t config_offset = align_up(header_bytes);
+  const std::size_t counters_offset = align_up(config_offset + config_section.bytes.size());
+  const std::size_t words_offset = align_up(counters_offset + counters_section.bytes.size());
+
+  ByteBuffer artifact;
+  artifact.bytes.reserve(words_offset + words_section.bytes.size());
+  artifact.bytes.append(kBinaryMagic, sizeof(kBinaryMagic));
+  artifact.put_u32(kBinaryVersion);
+  artifact.put_u32(kCount);
+  const auto table_entry = [&artifact](std::uint32_t id, std::size_t offset,
+                                       const std::string& section) {
+    artifact.put_u32(id);
+    artifact.put_u32(0);  // reserved.
+    artifact.put_u64(offset);
+    artifact.put_u64(section.size());
+    artifact.put_u64(fnv1a(reinterpret_cast<const unsigned char*>(section.data()),
+                           section.size()));
+  };
+  table_entry(kSectionConfig, config_offset, config_section.bytes);
+  table_entry(kSectionCounters, counters_offset, counters_section.bytes);
+  table_entry(kSectionWords, words_offset, words_section.bytes);
+  // Zero padding between sections keeps every offset 8-byte aligned so an
+  // mmap'd file can be addressed as int32/u64 arrays in place.
+  artifact.bytes.resize(config_offset, '\0');
+  artifact.bytes += config_section.bytes;
+  artifact.bytes.resize(counters_offset, '\0');
+  artifact.bytes += counters_section.bytes;
+  artifact.bytes.resize(words_offset, '\0');
+  artifact.bytes += words_section.bytes;
+  return std::move(artifact.bytes);
+}
+
+void verify_checksum(const unsigned char* data, const SectionEntry& entry, const char* name) {
+  require(fnv1a(data + entry.offset, entry.length) == entry.checksum,
+          std::string(name) + " section checksum mismatch");
+}
+
+void check_payload_lengths(const BinaryTable& table, const ParsedConfig& parsed) {
+  require(table.counters->length == parsed.slots * parsed.config.dimension * 4,
+          "counters section length does not match class layout");
+  require(table.words->length == parsed.slots * parsed.words_per_slot * 8,
+          "packed-words section length does not match class layout");
+}
+
+/// Full-read load: verifies every checksum and copies the payload into
+/// snapshot-owned buffers (endian-converted on big-endian hosts).
+[[nodiscard]] std::shared_ptr<const InferenceSnapshot> snapshot_from_binary(
+    const unsigned char* data, std::size_t size) {
+  const BinaryTable table = parse_binary_table(data, size);
+  verify_checksum(data, *table.config, "config");
+  verify_checksum(data, *table.counters, "counters");
+  verify_checksum(data, *table.words, "packed-words");
+  ParsedConfig parsed = parse_config_section(data + table.config->offset, table.config->length);
+  check_payload_lengths(table, parsed);
+
+  std::vector<std::int32_t> counters(parsed.slots * parsed.config.dimension);
+  std::vector<std::uint64_t> words(parsed.slots * parsed.words_per_slot);
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(counters.data(), data + table.counters->offset, table.counters->length);
+    std::memcpy(words.data(), data + table.words->offset, table.words->length);
+  } else {
+    ByteReader counter_reader(data + table.counters->offset, table.counters->length);
+    for (auto& value : counters) {
+      value = static_cast<std::int32_t>(counter_reader.u32("counter"));
+    }
+    ByteReader word_reader(data + table.words->offset, table.words->length);
+    for (auto& value : words) value = word_reader.u64("packed word");
+  }
+  try {
+    return std::make_shared<const InferenceSnapshot>(
+        parsed.config, parsed.num_classes, parsed.fitted, std::move(parsed.cursors),
+        std::move(parsed.slot_meta), std::move(counters), std::move(words));
+  } catch (const std::exception& error) {
+    throw std::runtime_error(std::string("load_model: invalid artifact state: ") + error.what());
+  }
+}
+
+#if !defined(_WIN32)
+/// RAII read-only memory mapping; held by borrowing snapshots via a
+/// shared_ptr so the mapping outlives every view into it.
+class MappedFile {
+ public:
+  explicit MappedFile(const std::filesystem::path& path) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      throw std::runtime_error("load_snapshot: cannot open " + path.string());
+    }
+    struct ::stat info {};
+    if (::fstat(fd, &info) != 0 || info.st_size <= 0) {
+      ::close(fd);
+      throw std::runtime_error("load_snapshot: cannot stat " + path.string());
+    }
+    size_ = static_cast<std::size_t>(info.st_size);
+    void* addr = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (addr == MAP_FAILED) {
+      throw std::runtime_error("load_snapshot: mmap failed for " + path.string());
+    }
+    data_ = static_cast<const unsigned char*>(addr);
+  }
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile() {
+    if (data_ != nullptr) {
+      ::munmap(const_cast<unsigned char*>(data_), size_);
+    }
+  }
+  [[nodiscard]] const unsigned char* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+ private:
+  const unsigned char* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Zero-copy load: header and config are validated (config checksum
+/// included — it is a few hundred bytes), but the bulk counter/word
+/// sections are *borrowed* from the mapping without being touched, so the
+/// first query faults in only the pages it actually reads.
+[[nodiscard]] std::shared_ptr<const InferenceSnapshot> snapshot_from_mmap(
+    const std::filesystem::path& path) {
+  auto mapped = std::make_shared<MappedFile>(path);
+  const unsigned char* data = mapped->data();
+  const BinaryTable table = parse_binary_table(data, mapped->size());
+  verify_checksum(data, *table.config, "config");
+  ParsedConfig parsed = parse_config_section(data + table.config->offset, table.config->length);
+  check_payload_lengths(table, parsed);
+
+  const auto* counters = reinterpret_cast<const std::int32_t*>(data + table.counters->offset);
+  const auto* words = reinterpret_cast<const std::uint64_t*>(data + table.words->offset);
+  try {
+    return std::make_shared<const InferenceSnapshot>(
+        parsed.config, parsed.num_classes, parsed.fitted, std::move(parsed.cursors),
+        std::move(parsed.slot_meta), counters, words,
+        std::shared_ptr<const void>(mapped, mapped->data()));
+  } catch (const std::exception& error) {
+    throw std::runtime_error(std::string("load_model: invalid artifact state: ") + error.what());
+  }
+}
+#endif  // !defined(_WIN32)
+
+[[nodiscard]] bool host_supports_mmap_load() noexcept {
+#if defined(_WIN32)
+  return false;
+#else
+  // The on-disk format is little-endian; a big-endian host must decode
+  // value by value, which the full-read path does.
+  return std::endian::native == std::endian::little;
+#endif
+}
+
+[[nodiscard]] std::string read_file_bytes(const std::filesystem::path& path, const char* who) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error(std::string(who) + ": cannot open " + path.string());
+  }
+  return std::string(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+}
+
+[[nodiscard]] const unsigned char* as_bytes(const std::string& blob) noexcept {
+  return reinterpret_cast<const unsigned char*>(blob.data());
+}
+
+[[nodiscard]] ModelArtifactInfo inspect_binary(const std::string& blob) {
+  const BinaryTable table = parse_binary_table(as_bytes(blob), blob.size());
+  ModelArtifactInfo info;
+  info.version = 3;
+  info.file_bytes = blob.size();
+  info.checksums_ok = true;
+  for (const SectionEntry& entry : table.sections) {
+    SectionInfo section;
+    section.id = entry.id;
+    switch (entry.id) {
+      case kSectionConfig: section.name = "config"; break;
+      case kSectionCounters: section.name = "counters"; break;
+      case kSectionWords: section.name = "packed-words"; break;
+      default: section.name = "unknown"; break;
+    }
+    section.offset = entry.offset;
+    section.length = entry.length;
+    section.checksum_ok = fnv1a(as_bytes(blob) + entry.offset, entry.length) == entry.checksum;
+    info.checksums_ok = info.checksums_ok && section.checksum_ok;
+    info.sections.push_back(std::move(section));
+  }
+  // Header fields need only the config section to be intact, so model-info
+  // still identifies an artifact whose payload sections are corrupt.
+  const bool config_ok =
+      fnv1a(as_bytes(blob) + table.config->offset, table.config->length) ==
+      table.config->checksum;
+  if (config_ok) {
+    const ParsedConfig parsed =
+        parse_config_section(as_bytes(blob) + table.config->offset, table.config->length);
+    info.backend = parsed.config.backend;
+    info.dimension = parsed.config.dimension;
+    info.num_classes = parsed.num_classes;
+    info.vectors_per_class = parsed.config.vectors_per_class;
+    info.quantized = parsed.config.quantized_model;
+    info.fitted = parsed.fitted;
+  }
+  return info;
+}
+
+[[nodiscard]] ModelArtifactInfo inspect_text(const std::string& blob) {
+  std::istringstream in(blob);
+  ModelArtifactInfo info;
+  info.file_bytes = blob.size();
+  {
+    std::istringstream header(read_line(in, "magic line"));
+    std::string magic;
+    int version = 0;
+    header >> magic >> version;
+    require(magic == kTextMagic, "bad magic '" + magic + "'");
+    require(version >= 1 && version <= kTextVersion,
+            "unsupported version " + std::to_string(version));
+    info.version = version;
+  }
+  const auto read_value = [&in](const char* key) {
+    return expect_key(read_line(in, key), key);
+  };
+  if (info.version >= 2) {
+    const int backend_raw = parse_int(read_value("backend"), "backend");
+    require(backend_raw >= 0 && backend_raw <= static_cast<int>(Backend::kPackedBinary),
+            "backend enum value " + std::to_string(backend_raw) + " out of range");
+    info.backend = static_cast<Backend>(backend_raw);
+  }
+  info.dimension = parse_u64(read_value("dimension"), "dimension");
+  (void)read_value("pagerank_iterations");
+  (void)read_value("pagerank_damping");
+  (void)read_value("identifier");
+  (void)read_value("metric");
+  info.quantized = parse_int(read_value("quantized"), "quantized") != 0;
+  (void)read_value("bitslice");
+  (void)read_value("retrain_epochs");
+  info.vectors_per_class = parse_u64(read_value("vectors_per_class"), "vectors_per_class");
+  (void)read_value("use_vertex_labels");
+  (void)read_value("neighborhood_rounds");
+  (void)read_value("seed");
+  info.num_classes = parse_u64(read_value("num_classes"), "num_classes");
+  info.fitted = parse_int(read_value("fitted"), "fitted") != 0;
+  return info;
+}
+
+}  // namespace
+
+// ======================= public API =======================
+
+void save_model_text(const GraphHdModel& model, std::ostream& out) {
+  const GraphHdConfig& config = model.config();
+  out << kTextMagic << ' ' << kTextVersion << '\n';
+  out << "backend " << static_cast<int>(config.backend) << '\n';
+  out << "dimension " << config.dimension << '\n';
+  out << "pagerank_iterations " << config.pagerank_iterations << '\n';
+  out << "pagerank_damping " << config.pagerank_damping << '\n';
+  out << "identifier " << static_cast<int>(config.identifier) << '\n';
+  out << "metric " << static_cast<int>(config.metric) << '\n';
+  out << "quantized " << (config.quantized_model ? 1 : 0) << '\n';
+  out << "bitslice " << (config.use_bitslice_bundling ? 1 : 0) << '\n';
+  out << "retrain_epochs " << config.retrain_epochs << '\n';
+  out << "vectors_per_class " << config.vectors_per_class << '\n';
+  out << "use_vertex_labels " << (config.use_vertex_labels ? 1 : 0) << '\n';
+  out << "neighborhood_rounds " << config.neighborhood_rounds << '\n';
+  out << "seed " << config.seed << '\n';
+  out << "num_classes " << model.num_classes() << '\n';
+  out << "fitted " << (model.fitted() ? 1 : 0) << '\n';
+
+  out << "cursors";
+  for (const std::size_t cursor : model.replica_cursors()) out << ' ' << cursor;
+  out << '\n';
+
+  // Both backends keep the same signed-counter slot state; only where it
+  // lives differs.  Writing the shared raw form keeps the file format
+  // backend-portable (a packed model can be reloaded as a dense one by
+  // editing the header, and vice versa — same predictions either way).
+  const auto write_slot = [&out](std::size_t slot, std::size_t samples, const auto& acc) {
+    out << "slot " << slot << ' ' << samples << ' ' << acc.count() << ' '
+        << (acc.tie_free() ? 1 : 0) << '\n';
+    const auto counts = acc.counts();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      out << counts[i] << (i + 1 == counts.size() ? '\n' : ' ');
+    }
+    if (counts.empty()) out << '\n';
+  };
+  const std::size_t slots = model.num_classes() * config.vectors_per_class;
+  for (std::size_t slot = 0; slot < slots; ++slot) {
+    if (config.backend == Backend::kPackedBinary) {
+      write_slot(slot, model.packed_memory().class_count(slot),
+                 model.packed_memory().accumulator(slot));
+    } else {
+      write_slot(slot, model.memory().class_count(slot), model.memory().accumulator(slot));
+    }
+  }
+  if (!out) {
+    throw std::runtime_error("save_model: stream failure while writing");
+  }
+}
+
+void save_model_text(const GraphHdModel& model, const std::filesystem::path& path) {
+  atomic_write_file(path, [&model](std::ostream& out) { save_model_text(model, out); });
+}
+
+void save_snapshot(const InferenceSnapshot& snapshot, std::ostream& out) {
+  const std::string artifact = build_v3_artifact(snapshot);
+  out.write(artifact.data(), static_cast<std::streamsize>(artifact.size()));
+  if (!out) {
+    throw std::runtime_error("save_model: stream failure while writing");
+  }
+}
+
+void save_snapshot(const InferenceSnapshot& snapshot, const std::filesystem::path& path) {
+  atomic_write_file(path,
+                    [&snapshot](std::ostream& out) { save_snapshot(snapshot, out); });
+}
+
+void save_model(const GraphHdModel& model, std::ostream& out) {
+  save_snapshot(*model.snapshot(), out);
+}
+
+void save_model(const GraphHdModel& model, const std::filesystem::path& path) {
+  atomic_write_file(path, [&model](std::ostream& out) { save_model(model, out); });
+}
+
+GraphHdModel load_model(std::istream& in) {
+  // Sniff the magic: one entry point accepts every artifact version.  The
+  // whole stream is buffered first — both branches need random access (the
+  // binary branch to follow the section table, the text branch is line
+  // oriented anyway and models are small relative to memory).
+  const std::string blob{std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+  if (looks_binary(as_bytes(blob), blob.size())) {
+    const auto snapshot = snapshot_from_binary(as_bytes(blob), blob.size());
+    return model_from_snapshot(*snapshot);
+  }
+  std::istringstream text(blob);
+  return load_model_text(text);
+}
+
 GraphHdModel load_model(const std::filesystem::path& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) {
     throw std::runtime_error("load_model: cannot open " + path.string());
   }
   return load_model(in);
+}
+
+std::shared_ptr<const InferenceSnapshot> load_snapshot(const std::filesystem::path& path,
+                                                       SnapshotLoad mode) {
+  // Sniff just the magic before deciding how to materialize the rest.
+  bool binary = false;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      throw std::runtime_error("load_snapshot: cannot open " + path.string());
+    }
+    char magic[sizeof(kBinaryMagic)] = {};
+    in.read(magic, sizeof(magic));
+    binary = in.gcount() == sizeof(magic) &&
+             looks_binary(reinterpret_cast<const unsigned char*>(magic), sizeof(magic));
+  }
+  if (!binary) {
+    // Text artifacts have no zero-copy representation: parse the model and
+    // take its snapshot (also the migration path for v1/v2 files).
+    return load_model(path).snapshot();
+  }
+#if !defined(_WIN32)
+  if (mode != SnapshotLoad::kRead && host_supports_mmap_load()) {
+    return snapshot_from_mmap(path);
+  }
+#else
+  (void)mode;
+#endif
+  const std::string blob = read_file_bytes(path, "load_snapshot");
+  return snapshot_from_binary(as_bytes(blob), blob.size());
+}
+
+ModelArtifactInfo inspect_model(const std::filesystem::path& path) {
+  const std::string blob = read_file_bytes(path, "inspect_model");
+  if (looks_binary(as_bytes(blob), blob.size())) {
+    return inspect_binary(blob);
+  }
+  return inspect_text(blob);
+}
+
+void atomic_write_file(const std::filesystem::path& path,
+                       const std::function<void(std::ostream&)>& write) {
+  // Unique temp name in the destination directory: rename() is only atomic
+  // within a filesystem, and pid + counter keeps concurrent writers (or a
+  // crashed predecessor's leftovers) from colliding.
+  static std::atomic<unsigned long> sequence{0};
+#if defined(_WIN32)
+  const unsigned long pid = 0;
+#else
+  const auto pid = static_cast<unsigned long>(::getpid());
+#endif
+  std::filesystem::path tmp = path;
+  tmp += ".tmp" + std::to_string(pid) + "." +
+         std::to_string(sequence.fetch_add(1, std::memory_order_relaxed));
+
+  std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("save_model: cannot open " + tmp.string());
+  }
+  try {
+    write(out);
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("save_model: stream failure while writing " + tmp.string());
+    }
+    out.close();
+    if (out.fail()) {
+      throw std::runtime_error("save_model: close failure for " + tmp.string());
+    }
+    std::filesystem::rename(tmp, path);
+  } catch (...) {
+    out.close();
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    throw;
+  }
 }
 
 }  // namespace graphhd::core

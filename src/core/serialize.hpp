@@ -1,44 +1,148 @@
 /// \file serialize.hpp
-/// Model persistence for GraphHD.
+/// Model persistence for GraphHD — text artifacts v1/v2 and the binary,
+/// mmap-able artifact v3.
 ///
 /// The paper's deployment target is embedded/IoT devices: a model trained
 /// off-device must be shippable as a small artifact.  A trained GraphHD
 /// model is exactly its configuration plus the integer class accumulators
 /// (the basis vectors regenerate from the seed), so the serialized form is
-/// tiny — (num_classes × vectors_per_class × dimension) 32-bit counters
-/// plus a header — and bit-exact across machines.
+/// tiny and bit-exact across machines.
 ///
-/// Format: a line-oriented text header (magic, version, config fields)
-/// followed by one line of whitespace-separated counters per class slot.
-/// Text keeps the artifact diffable and endian-proof; models are small
-/// enough (k × d ≈ 20k-240k ints) that parsing cost is irrelevant.
+/// Three artifact versions coexist:
 ///
-/// Version 2 adds a `backend` header line; the counter rows are the
-/// backend-agnostic signed accumulator state, so dense and packed models
-/// share one format and version-1 (dense-only) files still load.
+///  * v1/v2 — the legacy line-oriented text format (v2 added a `backend`
+///    header line).  Diffable and endian-proof, but every load re-parses
+///    (num_classes x vectors_per_class x dimension) counter tokens.
+///    load_model still reads both; save_model_text still writes v2.
+///
+///  * v3 — a little-endian binary section format written by save_model:
+///
+///        offset 0   magic "GHDMDL3\n" (8 bytes)
+///        offset 8   u32 version (3), u32 section count
+///        offset 16  section table: per section
+///                   {u32 id, u32 reserved, u64 offset, u64 length,
+///                    u64 checksum (FNV-1a 64 over the section bytes)}
+///        ...        sections, each 8-byte aligned:
+///                   id 1  config — every GraphHdConfig field, num_classes,
+///                         fitted, replica cursors, per-slot metadata
+///                         (sample count, add count, tie parity)
+///                   id 2  counters — raw int32 signed counters,
+///                         slots x dimension, row-major
+///                   id 3  packed-words — the finalized (majority-quantized)
+///                         class vectors, slots x ceil(dimension/64) u64
+///
+///    Because section 3 stores the *precomputed* class words, a cold process
+///    can mmap the file and answer its first query without parsing a single
+///    counter: load_snapshot(path, SnapshotLoad::kMmap) borrows the mapped
+///    sections zero-copy (the 8-byte alignment makes the in-file layout the
+///    in-memory layout) and verifies only the header + config checksum —
+///    bulk-section checksums are verified by the full-read path and by
+///    inspect_model, where touching every byte is the point.
+///
+/// All loaders sniff the magic, so load_model accepts any version; the CLI
+/// `convert` subcommand (and save_model on a loaded legacy model) upgrades
+/// v1/v2 files to v3.  Writes to a path go through atomic_write_file — temp
+/// file in the same directory, then rename — so a crash mid-save never
+/// leaves a corrupt or truncated artifact behind.
 
 #pragma once
 
+#include <cstdint>
 #include <filesystem>
+#include <functional>
 #include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "core/model.hpp"
+#include "core/snapshot.hpp"
 
 namespace graphhd::core {
 
-/// Writes `model` to `out`.  Throws std::runtime_error on stream failure.
+/// How load_snapshot materializes a v3 artifact.
+enum class SnapshotLoad {
+  kRead,  ///< read the whole file, own the buffers, verify every checksum.
+  kMmap,  ///< zero-copy: borrow the mapped sections (header/config checksum
+          ///< only).  Falls back to kRead for text artifacts and on
+          ///< big-endian hosts (the format is little-endian).
+  kAuto,  ///< kMmap when possible, else kRead.
+};
+
+/// Writes `model` as a v3 binary artifact.  Throws std::runtime_error on
+/// stream failure.
 void save_model(const GraphHdModel& model, std::ostream& out);
 
-/// Writes `model` to `path` (overwrites).
+/// Writes `model` to `path` as v3, atomically (temp file + rename).
 void save_model(const GraphHdModel& model, const std::filesystem::path& path);
 
-/// Reads a model previously written by save_model.  The reconstructed model
-/// produces bit-identical predictions (same config seed => same basis
-/// vectors, same accumulators => same class vectors).  Throws
-/// std::runtime_error on malformed input or version mismatch.
+/// Writes a snapshot as a v3 binary artifact (what save_model does after
+/// taking model.snapshot(); exposed so an mmap-served snapshot can be
+/// re-saved without constructing a trainer).
+void save_snapshot(const InferenceSnapshot& snapshot, std::ostream& out);
+void save_snapshot(const InferenceSnapshot& snapshot, const std::filesystem::path& path);
+
+/// Writes `model` in the legacy v2 text format (diffable, endian-proof;
+/// kept for compatibility tooling and fixtures).
+void save_model_text(const GraphHdModel& model, std::ostream& out);
+
+/// Text v2 to `path`, atomically.
+void save_model_text(const GraphHdModel& model, const std::filesystem::path& path);
+
+/// Reads a model written by any save_model version (sniffs text v1/v2 vs
+/// binary v3).  The reconstructed model produces bit-identical predictions
+/// (same config seed => same basis vectors, same accumulators => same class
+/// vectors).  Throws std::runtime_error on malformed input, checksum
+/// mismatch or version mismatch.
 [[nodiscard]] GraphHdModel load_model(std::istream& in);
 
 /// Reads a model from `path`.
 [[nodiscard]] GraphHdModel load_model(const std::filesystem::path& path);
+
+/// Loads an artifact directly into an immutable inference snapshot — the
+/// cold-start path: no trainer, no counter parsing (v3), optionally
+/// zero-copy via mmap.  Accepts v1/v2 text artifacts too (parsed and
+/// converted in memory).  See SnapshotLoad for the mode semantics.
+[[nodiscard]] std::shared_ptr<const InferenceSnapshot> load_snapshot(
+    const std::filesystem::path& path, SnapshotLoad mode = SnapshotLoad::kAuto);
+
+/// One section of a v3 artifact as reported by inspect_model.
+struct SectionInfo {
+  std::uint32_t id = 0;
+  std::string name;            ///< "config", "counters", "packed-words", or "unknown".
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;    ///< bytes, excluding alignment padding.
+  bool checksum_ok = false;
+};
+
+/// Header-level description of a model artifact (any version), obtained
+/// without constructing a model.
+struct ModelArtifactInfo {
+  int version = 0;             ///< 1, 2 (text) or 3 (binary).
+  Backend backend = Backend::kDenseBipolar;
+  std::size_t dimension = 0;
+  std::size_t num_classes = 0;
+  std::size_t vectors_per_class = 1;
+  bool quantized = true;
+  bool fitted = false;
+  std::uintmax_t file_bytes = 0;
+  std::vector<SectionInfo> sections;  ///< empty for text artifacts.
+  bool checksums_ok = true;           ///< all section checksums verified (v3);
+                                      ///< trivially true for text artifacts.
+};
+
+/// Inspects an artifact's header (and, for v3, verifies every section
+/// checksum) without building a model: the `graphhd_cli model-info` backend.
+/// Throws std::runtime_error when the file is not a model artifact at all.
+[[nodiscard]] ModelArtifactInfo inspect_model(const std::filesystem::path& path);
+
+/// Crash-safe file write: runs `write` against a temp file in `path`'s
+/// directory, then atomically renames it over `path`.  The destination is
+/// never truncated or partially written — on any failure (including `write`
+/// throwing) the temp file is removed and the previous `path` content
+/// survives.  Exposed (rather than kept private to save_model) so tests can
+/// drive the failure path with an injected writer.
+void atomic_write_file(const std::filesystem::path& path,
+                       const std::function<void(std::ostream&)>& write);
 
 }  // namespace graphhd::core

@@ -1,0 +1,339 @@
+#include "core/snapshot.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "data/stream.hpp"
+#include "hdc/kernels/kernels.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace graphhd::core {
+
+namespace {
+
+/// Distances scratch for one one-vs-all query (same shape as the class
+/// memories use): slot counts are small, so the common case lives on the
+/// stack and the hot path performs zero heap allocations beyond the caller's
+/// QueryResult.
+struct DistanceBuffer {
+  explicit DistanceBuffer(std::size_t n) {
+    if (n > stack.size()) {
+      heap.resize(n);
+      data = heap.data();
+    } else {
+      data = stack.data();
+    }
+  }
+  std::array<std::size_t, 64> stack;
+  std::vector<std::size_t> heap;
+  std::size_t* data;
+};
+
+}  // namespace
+
+InferenceSnapshot::InferenceSnapshot(GraphHdConfig config, std::size_t num_classes, bool fitted,
+                                     std::vector<std::size_t> replica_cursors,
+                                     std::vector<SlotMeta> slot_meta,
+                                     std::vector<std::int32_t> counters,
+                                     std::vector<std::uint64_t> packed_words)
+    : config_(config),
+      num_classes_(num_classes),
+      fitted_(fitted),
+      replica_cursors_(std::move(replica_cursors)),
+      slot_meta_(std::move(slot_meta)),
+      owned_counters_(std::move(counters)),
+      owned_words_(std::move(packed_words)) {
+  counters_base_ = owned_counters_.data();
+  words_base_ = owned_words_.data();
+  init_rows_and_validate();
+  if (owned_counters_.size() != slots() * config_.dimension ||
+      owned_words_.size() != slots() * words_per_slot_) {
+    throw std::invalid_argument("InferenceSnapshot: buffer sizes disagree with the slot layout");
+  }
+}
+
+InferenceSnapshot::InferenceSnapshot(GraphHdConfig config, std::size_t num_classes, bool fitted,
+                                     std::vector<std::size_t> replica_cursors,
+                                     std::vector<SlotMeta> slot_meta,
+                                     const std::int32_t* counters,
+                                     const std::uint64_t* packed_words,
+                                     std::shared_ptr<const void> storage)
+    : config_(config),
+      num_classes_(num_classes),
+      fitted_(fitted),
+      replica_cursors_(std::move(replica_cursors)),
+      slot_meta_(std::move(slot_meta)),
+      storage_(std::move(storage)),
+      counters_base_(counters),
+      words_base_(packed_words) {
+  if (counters_base_ == nullptr || words_base_ == nullptr) {
+    throw std::invalid_argument("InferenceSnapshot: borrowed buffers must be non-null");
+  }
+  init_rows_and_validate();
+}
+
+void InferenceSnapshot::init_rows_and_validate() {
+  try {
+    config_.validate();
+  } catch (const std::exception& error) {
+    throw std::invalid_argument(std::string("InferenceSnapshot: invalid config: ") +
+                                error.what());
+  }
+  if (num_classes_ < 2) {
+    throw std::invalid_argument("InferenceSnapshot: need at least 2 classes");
+  }
+  if (slot_meta_.size() != num_classes_ * config_.vectors_per_class) {
+    throw std::invalid_argument("InferenceSnapshot: slot metadata count mismatch");
+  }
+  if (replica_cursors_.size() != num_classes_) {
+    throw std::invalid_argument("InferenceSnapshot: replica cursor count mismatch");
+  }
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    if (replica_cursors_[c] >= config_.vectors_per_class) {
+      throw std::invalid_argument("InferenceSnapshot: replica cursor out of range");
+    }
+  }
+  words_per_slot_ = (config_.dimension + 63) / 64;
+  rows_.resize(slots());
+  for (std::size_t slot = 0; slot < slots(); ++slot) {
+    rows_[slot] = words_base_ + slot * words_per_slot_;
+  }
+}
+
+const InferenceSnapshot::SlotMeta& InferenceSnapshot::slot_meta(std::size_t slot) const {
+  if (slot >= slot_meta_.size()) {
+    throw std::out_of_range("InferenceSnapshot::slot_meta: slot out of range");
+  }
+  return slot_meta_[slot];
+}
+
+std::span<const std::int32_t> InferenceSnapshot::counters(std::size_t slot) const {
+  if (slot >= slots()) {
+    throw std::out_of_range("InferenceSnapshot::counters: slot out of range");
+  }
+  return {counters_base_ + slot * config_.dimension, config_.dimension};
+}
+
+std::span<const std::uint64_t> InferenceSnapshot::packed_words(std::size_t slot) const {
+  if (slot >= slots()) {
+    throw std::out_of_range("InferenceSnapshot::packed_words: slot out of range");
+  }
+  return {words_base_ + slot * words_per_slot_, words_per_slot_};
+}
+
+std::vector<std::size_t> InferenceSnapshot::class_counts() const {
+  std::vector<std::size_t> counts(num_classes_, 0);
+  for (std::size_t slot = 0; slot < slots(); ++slot) {
+    counts[slot / config_.vectors_per_class] +=
+        static_cast<std::size_t>(slot_meta_[slot].sample_count);
+  }
+  return counts;
+}
+
+std::size_t InferenceSnapshot::footprint_bytes() const noexcept {
+  return slots() * ((config_.dimension + 7) / 8);
+}
+
+hdc::QueryResult InferenceSnapshot::query(const hdc::PackedHypervector& query_hv) const {
+  if (query_hv.dimension() != config_.dimension) {
+    throw std::invalid_argument("InferenceSnapshot::query: dimension mismatch");
+  }
+  if (scores_counters()) {
+    // The non-quantized model scores against raw integer counters; unpacking
+    // recovers the exact bipolar components (the packing is a bijection on
+    // ±1 data), matching what the trainer does with a packed query.
+    return query_counters(query_hv.to_bipolar());
+  }
+  const std::size_t num_slots = slots();
+  DistanceBuffer distances(num_slots);
+  hdc::kernels::active().hamming_batch(query_hv.words().data(), rows_.data(), num_slots,
+                                       query_hv.words().size(), distances.data);
+  hdc::QueryResult result;
+  result.similarities.resize(num_slots);
+  for (std::size_t c = 0; c < num_slots; ++c) {
+    const double s = hdc::similarity_from_hamming(config_.metric, distances.data[c],
+                                                  config_.dimension);
+    result.similarities[c] = s;
+    if (s > result.best_similarity) {
+      result.best_similarity = s;
+      result.best_class = c;
+    }
+  }
+  return result;
+}
+
+hdc::QueryResult InferenceSnapshot::query(const hdc::Hypervector& query_hv) const {
+  if (query_hv.dimension() != config_.dimension) {
+    throw std::invalid_argument("InferenceSnapshot::query: dimension mismatch");
+  }
+  if (scores_counters()) {
+    return query_counters(query_hv);
+  }
+  // Quantized scoring reduces every metric to the Hamming distance against
+  // the packed class words (dot == d - 2h on bipolar data), so one packing
+  // of the query routes it through the batched kernel with bit-identical
+  // similarity doubles to the dense memory's dot path.
+  return query(hdc::PackedHypervector::from_bipolar(query_hv));
+}
+
+hdc::QueryResult InferenceSnapshot::query_counters(const hdc::Hypervector& query_hv) const {
+  // Reproduces BundleAccumulator::cosine exactly (same accumulation order,
+  // same widening, same norm expression), so the non-quantized doubles are
+  // bit-identical to the trainer's.
+  const auto comps = query_hv.components();
+  hdc::QueryResult result;
+  result.similarities.resize(slots());
+  for (std::size_t slot = 0; slot < slots(); ++slot) {
+    const std::int32_t* counts = counters_base_ + slot * config_.dimension;
+    std::int64_t dot = 0;
+    std::int64_t norm_sq = 0;
+    for (std::size_t i = 0; i < config_.dimension; ++i) {
+      dot += static_cast<std::int64_t>(counts[i]) * comps[i];
+      norm_sq += static_cast<std::int64_t>(counts[i]) * counts[i];
+    }
+    double s = 0.0;
+    if (norm_sq != 0) {
+      const double denom = std::sqrt(static_cast<double>(norm_sq)) *
+                           std::sqrt(static_cast<double>(config_.dimension));
+      s = static_cast<double>(dot) / denom;
+    }
+    result.similarities[slot] = s;
+    if (s > result.best_similarity) {
+      result.best_similarity = s;
+      result.best_class = slot;
+    }
+  }
+  return result;
+}
+
+Prediction InferenceSnapshot::prediction_from(const hdc::QueryResult& result) const {
+  Prediction prediction;
+  prediction.class_scores.assign(num_classes_, -2.0);
+  for (std::size_t slot = 0; slot < result.similarities.size(); ++slot) {
+    const std::size_t cls = slot / config_.vectors_per_class;
+    prediction.class_scores[cls] =
+        std::max(prediction.class_scores[cls], result.similarities[slot]);
+  }
+  prediction.label = result.best_class / config_.vectors_per_class;
+  prediction.score = result.best_similarity;
+  return prediction;
+}
+
+Prediction InferenceSnapshot::predict_encoded(const hdc::PackedHypervector& encoded) const {
+  return prediction_from(query(encoded));
+}
+
+Prediction InferenceSnapshot::predict_encoded(const hdc::Hypervector& encoded) const {
+  return prediction_from(query(encoded));
+}
+
+bool encoder_compatible(const GraphHdConfig& a, const GraphHdConfig& b) noexcept {
+  return a.dimension == b.dimension && a.seed == b.seed && a.identifier == b.identifier &&
+         a.pagerank_iterations == b.pagerank_iterations &&
+         a.pagerank_damping == b.pagerank_damping &&
+         a.use_bitslice_bundling == b.use_bitslice_bundling &&
+         a.use_vertex_labels == b.use_vertex_labels &&
+         a.neighborhood_rounds == b.neighborhood_rounds && a.backend == b.backend;
+}
+
+namespace {
+
+const GraphHdConfig& require_snapshot_config(
+    const std::shared_ptr<const InferenceSnapshot>& snapshot) {
+  if (snapshot == nullptr) {
+    throw std::invalid_argument("SnapshotPredictor: null snapshot");
+  }
+  return snapshot->config();
+}
+
+}  // namespace
+
+SnapshotPredictor::SnapshotPredictor(std::shared_ptr<const InferenceSnapshot> snapshot)
+    : snapshot_(std::move(snapshot)), encoder_(require_snapshot_config(snapshot_)) {}
+
+void SnapshotPredictor::swap(std::shared_ptr<const InferenceSnapshot> next) {
+  if (next == nullptr) {
+    throw std::invalid_argument("SnapshotPredictor::swap: null snapshot");
+  }
+  if (!encoder_compatible(snapshot_->config(), next->config())) {
+    throw std::invalid_argument(
+        "SnapshotPredictor::swap: replacement snapshot is encoder-incompatible "
+        "(dimension/seed/identifier/pagerank/labels/rounds/bitslice/backend must match)");
+  }
+  snapshot_ = std::move(next);
+}
+
+Prediction SnapshotPredictor::predict(const graph::Graph& graph) {
+  if (snapshot_->config().backend == Backend::kPackedBinary) {
+    return snapshot_->predict_encoded(encoder_.encode_packed(graph));
+  }
+  return snapshot_->predict_encoded(encoder_.encode(graph));
+}
+
+std::vector<Prediction> SnapshotPredictor::predict_batch(const data::GraphDataset& test) {
+  // Same shape as GraphHdModel::predict_batch: encode in parallel, then
+  // query concurrently — every query is a pure read on the immutable
+  // snapshot, no finalize step needed.
+  const std::shared_ptr<const InferenceSnapshot> snap = snapshot_;
+  std::vector<Prediction> predictions(test.size());
+  if (snap->config().backend == Backend::kPackedBinary) {
+    const auto encoded = encode_dataset_packed(encoder_, test);
+    parallel::parallel_for(
+        test.size(), [&](std::size_t i) { predictions[i] = snap->predict_encoded(encoded[i]); });
+    return predictions;
+  }
+  const auto encoded = encode_dataset(encoder_, test);
+  parallel::parallel_for(
+      test.size(), [&](std::size_t i) { predictions[i] = snap->predict_encoded(encoded[i]); });
+  return predictions;
+}
+
+void SnapshotPredictor::predict_stream(
+    data::GraphStream& stream, std::size_t chunk_size,
+    const std::function<void(std::size_t, const Prediction&)>& sink) {
+  if (chunk_size == 0) {
+    throw std::invalid_argument("SnapshotPredictor::predict_stream: chunk_size must be positive");
+  }
+  // Pin one snapshot for the whole pass so a concurrent swap() cannot mix
+  // models within a stream.
+  const std::shared_ptr<const InferenceSnapshot> snap = snapshot_;
+  stream.reset();
+  std::size_t index = 0;
+  while (true) {
+    const data::GraphDataset chunk = data::next_chunk(stream, chunk_size);
+    if (chunk.empty()) break;
+    std::vector<Prediction> predictions(chunk.size());
+    if (snap->config().backend == Backend::kPackedBinary) {
+      const auto encoded = encode_dataset_packed(encoder_, chunk);
+      parallel::parallel_for(chunk.size(), [&](std::size_t i) {
+        predictions[i] = snap->predict_encoded(encoded[i]);
+      });
+    } else {
+      const auto encoded = encode_dataset(encoder_, chunk);
+      parallel::parallel_for(chunk.size(), [&](std::size_t i) {
+        predictions[i] = snap->predict_encoded(encoded[i]);
+      });
+    }
+    for (std::size_t i = 0; i < predictions.size(); ++i) {
+      sink(index++, predictions[i]);
+    }
+  }
+}
+
+std::vector<Prediction> SnapshotPredictor::predict_stream(data::GraphStream& stream,
+                                                          std::size_t chunk_size) {
+  std::vector<Prediction> predictions;
+  if (const auto hint = stream.size_hint(); hint.has_value()) predictions.reserve(*hint);
+  predict_stream(stream, chunk_size, [&](std::size_t index, const Prediction& prediction) {
+    if (index != predictions.size()) {
+      throw std::logic_error("SnapshotPredictor::predict_stream: out-of-order sink index");
+    }
+    predictions.push_back(prediction);
+  });
+  return predictions;
+}
+
+}  // namespace graphhd::core

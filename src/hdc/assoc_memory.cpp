@@ -94,7 +94,7 @@ void AssociativeMemory::finalize() const {
   for (std::size_t c = 0; c < accumulators_.size(); ++c) {
     // Per-class tie-break stream keeps empty classes distinct from each other.
     cached_class_vectors_.push_back(
-        accumulators_[c].threshold(derive_seed(0x7fb5d329728ea185ULL, c)));
+        accumulators_[c].threshold(derive_seed(kMajorityTieSeed, c)));
   }
   dirty_ = false;
 }

@@ -17,6 +17,13 @@
 
 namespace graphhd::hdc {
 
+/// Default seed of the majority tie-break stream used when thresholding
+/// bundles.  Every consumer of the convention — BundleAccumulator,
+/// PackedBundleAccumulator, the class memories and the inference snapshot —
+/// must derive its per-slot streams from this one constant, or quantized
+/// class vectors stop being reproducible across representations.
+inline constexpr std::uint64_t kMajorityTieSeed = 0x7fb5d329728ea185ULL;
+
 /// Dense bipolar hypervector with components in {-1, +1}.
 ///
 /// Value type: copyable, movable, equality-comparable.  The dimension is a
@@ -119,7 +126,7 @@ class BundleAccumulator {
   /// ±1 vector derived from `tie_break_seed` (deterministic per seed).
   /// When the accumulated weight parity is odd no component can be zero and
   /// the tie stream is skipped entirely (identical output, faster).
-  [[nodiscard]] Hypervector threshold(std::uint64_t tie_break_seed = 0x7fb5d329728ea185ULL) const;
+  [[nodiscard]] Hypervector threshold(std::uint64_t tie_break_seed = kMajorityTieSeed) const;
 
   /// True when ties are impossible (odd total absolute weight).
   [[nodiscard]] bool tie_free() const noexcept { return weight_parity_odd_; }
@@ -142,6 +149,6 @@ class BundleAccumulator {
 /// tie-breaking.  Equivalent to accumulating all inputs and thresholding.
 /// Requires a non-empty input batch with uniform dimensions.
 [[nodiscard]] Hypervector bundle(std::span<const Hypervector> inputs,
-                                 std::uint64_t tie_break_seed = 0x7fb5d329728ea185ULL);
+                                 std::uint64_t tie_break_seed = kMajorityTieSeed);
 
 }  // namespace graphhd::hdc

@@ -38,19 +38,22 @@ double similarity(const PackedHypervector& a, const PackedHypervector& b, Simila
     throw std::invalid_argument("similarity: dimension mismatch");
   }
   if (a.dimension() == 0) return 0.0;
-  const std::size_t h = a.hamming_distance(b);
-  const auto d = static_cast<double>(a.dimension());
+  return similarity_from_hamming(metric, a.hamming_distance(b), a.dimension());
+}
+
+double similarity_from_hamming(Similarity metric, std::size_t hamming, std::size_t dimension) {
+  const auto d = static_cast<double>(dimension);
   switch (metric) {
     case Similarity::kCosine:
     case Similarity::kDot:
       // dot == d - 2h on bipolar data; both metrics divide it by d.
-      return static_cast<double>(static_cast<std::int64_t>(a.dimension()) -
-                                 2 * static_cast<std::int64_t>(h)) /
+      return static_cast<double>(static_cast<std::int64_t>(dimension) -
+                                 2 * static_cast<std::int64_t>(hamming)) /
              d;
     case Similarity::kInverseHamming:
-      return 1.0 - static_cast<double>(h) / d;
+      return 1.0 - static_cast<double>(hamming) / d;
   }
-  throw std::invalid_argument("similarity: unknown metric");
+  throw std::invalid_argument("similarity_from_hamming: unknown metric");
 }
 
 Hypervector bind(const Hypervector& a, const Hypervector& b) { return a.bind(b); }

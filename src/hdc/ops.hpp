@@ -39,6 +39,17 @@ enum class Similarity {
 [[nodiscard]] double similarity(const PackedHypervector& a, const PackedHypervector& b,
                                 Similarity metric = Similarity::kCosine);
 
+/// Maps one Hamming distance to the metric's similarity double — the
+/// post-processing step after a batched one-vs-all distance kernel.  This is
+/// *the* conversion site shared by every packed scorer (PackedClassMemory,
+/// core::InferenceSnapshot): on bipolar data dot == d - 2h, so cosine and
+/// the 1/d-scaled dot are the same division the dense quantized path
+/// performs, and inverse Hamming shares its expression with similarity().
+/// Keeping a single definition is what makes "bit-identical doubles across
+/// representations" a checkable contract instead of a convention.
+[[nodiscard]] double similarity_from_hamming(Similarity metric, std::size_t hamming,
+                                             std::size_t dimension);
+
 /// Binding: element-wise multiplication.  `bind(a, b) == a.bind(b)`.
 [[nodiscard]] Hypervector bind(const Hypervector& a, const Hypervector& b);
 
@@ -53,7 +64,7 @@ enum class Similarity {
 /// same length and uniform dimension.
 [[nodiscard]] Hypervector encode_record(std::span<const Hypervector> keys,
                                         std::span<const Hypervector> values,
-                                        std::uint64_t tie_break_seed = 0x7fb5d329728ea185ULL);
+                                        std::uint64_t tie_break_seed = kMajorityTieSeed);
 
 /// Sequence encoding via permute-and-bind: ρ^{n-1}(s1) × ... × ρ(s_{n-1}) × s_n.
 /// Not used by GraphHD itself but part of the standard HDC toolbox; exercised

@@ -133,7 +133,7 @@ class PackedBundleAccumulator {
   /// stream with one draw per component.  Identical output to
   /// BundleAccumulator::threshold followed by from_bipolar.
   [[nodiscard]] PackedHypervector threshold(
-      std::uint64_t tie_break_seed = 0x7fb5d329728ea185ULL) const;
+      std::uint64_t tie_break_seed = kMajorityTieSeed) const;
 
   /// True when ties are impossible (odd total absolute weight).
   [[nodiscard]] bool tie_free() const noexcept { return weight_parity_odd_; }

@@ -211,29 +211,17 @@ void PackedClassMemory::finalize() const {
     // AssociativeMemory::finalize — the packed class vectors must be the
     // exact packing of the dense quantized class vectors.
     cached_class_vectors_.push_back(
-        accumulators_[c].threshold(derive_seed(0x7fb5d329728ea185ULL, c)));
+        accumulators_[c].threshold(derive_seed(kMajorityTieSeed, c)));
   }
   cached_rows_ = make_row_table(cached_class_vectors_);
   dirty_ = false;
 }
 
 double PackedClassMemory::score_from_distance(std::size_t h) const {
-  // Reproduce the dense quantized memory's arithmetic *exactly* so the
-  // similarity doubles (not just the argmax) are bit-identical: on bipolar
-  // vectors dot == d - 2h, so cosine and the 1/d-scaled dot are the same
-  // division the dense path performs, and inverse Hamming shares its
-  // expression with hdc::similarity().
-  const auto d = static_cast<double>(dimension_);
-  switch (metric_) {
-    case Similarity::kCosine:
-    case Similarity::kDot:
-      return static_cast<double>(static_cast<std::int64_t>(dimension_) -
-                                 2 * static_cast<std::int64_t>(h)) /
-             d;
-    case Similarity::kInverseHamming:
-      return 1.0 - static_cast<double>(h) / d;
-  }
-  throw std::invalid_argument("PackedClassMemory::score_from_distance: unknown metric");
+  // similarity_from_hamming reproduces the dense quantized memory's
+  // arithmetic exactly, so the similarity doubles (not just the argmax) are
+  // bit-identical across representations.
+  return similarity_from_hamming(metric_, h, dimension_);
 }
 
 QueryResult PackedClassMemory::query(const PackedHypervector& query_hv) const {

@@ -1,0 +1,144 @@
+/// Golden-fixture compatibility gates: the checked-in v1/v2 text artifacts
+/// under tests/fixtures/ were written by the legacy (pre-v3) serializer and
+/// must keep loading — and keep predicting bit-identically — forever.
+///
+/// Two directions are pinned:
+///  * reader stability: load_model on the golden bytes reconstructs a model
+///    whose predictions match a freshly trained twin exactly;
+///  * writer stability: save_model_text of the twin reproduces the golden
+///    v2 bytes verbatim, so the text format cannot drift silently even if
+///    reader and writer were changed together.
+///
+/// The fixtures were generated from the synthetic MUTAG replica (seed 5,
+/// scale 0.05) with dimension 96, seed 0x6f1d — everything deterministic,
+/// so the twin is reproducible on any machine and tool chain.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/model.hpp"
+#include "core/serialize.hpp"
+#include "data/synthetic.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace graphhd;
+
+const fs::path kFixtureDir = fs::path(GRAPHHD_TEST_DIR) / "fixtures";
+
+core::GraphHdModel fixture_twin(core::Backend backend) {
+  core::GraphHdConfig config;
+  config.dimension = 96;
+  config.seed = 0x6f1d;
+  config.backend = backend;
+  const auto dataset = data::make_synthetic_replica("MUTAG", /*seed=*/5, /*scale=*/0.05);
+  core::GraphHdModel model(config, dataset.num_classes());
+  model.fit(dataset);
+  return model;
+}
+
+void expect_bit_identical_predictions(core::GraphHdModel& expected,
+                                      core::GraphHdModel& actual) {
+  const auto probes = data::make_synthetic_replica("MUTAG", /*seed=*/11, /*scale=*/0.05);
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    const auto a = expected.predict(probes.graph(i));
+    const auto b = actual.predict(probes.graph(i));
+    EXPECT_EQ(a.label, b.label) << "probe " << i;
+    EXPECT_EQ(a.score, b.score) << "probe " << i;
+    EXPECT_EQ(a.class_scores, b.class_scores) << "probe " << i;
+  }
+}
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(static_cast<bool>(in)) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(FixtureCompat, V2DenseGoldenLoadsAndPredictsIdentically) {
+  auto twin = fixture_twin(core::Backend::kDenseBipolar);
+  auto loaded = core::load_model(kFixtureDir / "model_v2_dense.ghd");
+  EXPECT_EQ(loaded.config().backend, core::Backend::kDenseBipolar);
+  EXPECT_EQ(loaded.config().dimension, 96u);
+  expect_bit_identical_predictions(twin, loaded);
+}
+
+TEST(FixtureCompat, V2PackedGoldenLoadsAndPredictsIdentically) {
+  auto twin = fixture_twin(core::Backend::kPackedBinary);
+  auto loaded = core::load_model(kFixtureDir / "model_v2_packed.ghd");
+  EXPECT_EQ(loaded.config().backend, core::Backend::kPackedBinary);
+  expect_bit_identical_predictions(twin, loaded);
+}
+
+TEST(FixtureCompat, V1DenseGoldenLoadsAndPredictsIdentically) {
+  // v1 predates the backend header: it must load as an implicit dense model
+  // and agree with the v2 dense twin bit for bit.
+  auto twin = fixture_twin(core::Backend::kDenseBipolar);
+  auto loaded = core::load_model(kFixtureDir / "model_v1_dense.ghd");
+  EXPECT_EQ(loaded.config().backend, core::Backend::kDenseBipolar);
+  expect_bit_identical_predictions(twin, loaded);
+}
+
+TEST(FixtureCompat, TextWriterStillProducesTheGoldenBytes) {
+  // Writer drift guard: a retrained twin must serialize to exactly the
+  // golden v2 bytes.  If this fails, the text format changed — bump the
+  // version and add a new fixture instead of editing this one.
+  for (const auto& [backend, name] :
+       {std::pair{core::Backend::kDenseBipolar, "model_v2_dense.ghd"},
+        std::pair{core::Backend::kPackedBinary, "model_v2_packed.ghd"}}) {
+    auto twin = fixture_twin(backend);
+    std::ostringstream out;
+    core::save_model_text(twin, out);
+    EXPECT_EQ(out.str(), slurp(kFixtureDir / name)) << name;
+  }
+}
+
+TEST(FixtureCompat, GoldenArtifactsUpgradeToV3Losslessly) {
+  // The migration path: golden text -> load -> save v3 -> load -> identical
+  // predictions (what `graphhd_cli convert` does).
+  for (const char* name : {"model_v1_dense.ghd", "model_v2_dense.ghd", "model_v2_packed.ghd"}) {
+    auto legacy = core::load_model(kFixtureDir / name);
+    std::stringstream v3;
+    core::save_model(legacy, v3);
+    EXPECT_EQ(v3.str().rfind("GHDMDL3\n", 0), 0u) << name;
+    auto upgraded = core::load_model(v3);
+    expect_bit_identical_predictions(legacy, upgraded);
+  }
+}
+
+TEST(FixtureCompat, GoldenArtifactsLoadAsSnapshots) {
+  // Text artifacts have no zero-copy path, but load_snapshot must still
+  // accept them (parse + convert) under every mode.
+  auto twin = fixture_twin(core::Backend::kDenseBipolar);
+  const auto snapshot =
+      core::load_snapshot(kFixtureDir / "model_v2_dense.ghd", core::SnapshotLoad::kAuto);
+  core::SnapshotPredictor predictor(snapshot);
+  const auto probes = data::make_synthetic_replica("MUTAG", /*seed=*/11, /*scale=*/0.05);
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    const auto a = twin.predict(probes.graph(i));
+    const auto b = predictor.predict(probes.graph(i));
+    EXPECT_EQ(a.label, b.label) << i;
+    EXPECT_EQ(a.score, b.score) << i;
+  }
+}
+
+TEST(FixtureCompat, InspectReadsGoldenHeaders) {
+  const auto v1 = core::inspect_model(kFixtureDir / "model_v1_dense.ghd");
+  EXPECT_EQ(v1.version, 1);
+  EXPECT_EQ(v1.backend, core::Backend::kDenseBipolar);
+  EXPECT_EQ(v1.dimension, 96u);
+  const auto v2 = core::inspect_model(kFixtureDir / "model_v2_packed.ghd");
+  EXPECT_EQ(v2.version, 2);
+  EXPECT_EQ(v2.backend, core::Backend::kPackedBinary);
+  EXPECT_EQ(v2.num_classes, 2u);
+  EXPECT_TRUE(v2.fitted);
+}
+
+}  // namespace

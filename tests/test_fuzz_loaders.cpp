@@ -1,7 +1,8 @@
 /// Differential fuzz harness for the on-disk formats: randomly truncated,
-/// byte-flipped or garbage-injected TUDataset directories and model-v2
-/// artifacts must either load successfully or fail with a clean
-/// std::exception — never crash, hang, or attempt an absurd allocation.
+/// byte-flipped or garbage-injected TUDataset directories and model
+/// artifacts (text v2 and binary v3) must either load successfully or fail
+/// with a clean std::exception — never crash, hang, or attempt an absurd
+/// allocation.
 /// The CI Debug row runs this file under ASan/UBSan, which is where the
 /// "never crash" half of the contract actually bites (sanitizer allocators
 /// abort on pathological allocation sizes instead of throwing bad_alloc).
@@ -222,23 +223,34 @@ TEST(EdgeListFuzz, OversizedHeaderValuesAreRejectedUpFront) {
 }
 
 // ---------------------------------------------------------------------------
-// Model artifact fuzz (serialization format v2, both backends).
+// Model artifact fuzz (text v2 and binary v3, both backends).
 // ---------------------------------------------------------------------------
 
-[[nodiscard]] std::string trained_model_text(core::Backend backend) {
+[[nodiscard]] core::GraphHdModel trained_fuzz_model(core::Backend backend) {
   core::GraphHdConfig config;
   config.dimension = 96;
   config.backend = backend;
   const auto dataset = data::make_synthetic_replica("MUTAG", /*seed=*/5, /*scale=*/0.05);
   core::GraphHdModel model(config, dataset.num_classes());
   model.fit(dataset);
+  return model;
+}
+
+[[nodiscard]] std::string trained_model_text(core::Backend backend) {
+  const auto model = trained_fuzz_model(backend);
+  std::ostringstream out;
+  core::save_model_text(model, out);
+  return out.str();
+}
+
+[[nodiscard]] std::string trained_model_binary(core::Backend backend) {
+  const auto model = trained_fuzz_model(backend);
   std::ostringstream out;
   core::save_model(model, out);
   return out.str();
 }
 
-void fuzz_model_artifact(core::Backend backend, const char* label) {
-  const std::string pristine = trained_model_text(backend);
+void fuzz_model_artifact(const std::string& pristine, const char* label) {
   {
     // Sanity: the unmutated artifact round-trips.
     std::istringstream in(pristine);
@@ -262,11 +274,93 @@ void fuzz_model_artifact(core::Backend backend, const char* label) {
 }
 
 TEST(ModelArtifactFuzz, DenseArtifactNeverCrashes) {
-  fuzz_model_artifact(core::Backend::kDenseBipolar, "corrupt dense model-v2 artifact");
+  fuzz_model_artifact(trained_model_text(core::Backend::kDenseBipolar),
+                      "corrupt dense model-v2 artifact");
 }
 
 TEST(ModelArtifactFuzz, PackedArtifactNeverCrashes) {
-  fuzz_model_artifact(core::Backend::kPackedBinary, "corrupt packed model-v2 artifact");
+  fuzz_model_artifact(trained_model_text(core::Backend::kPackedBinary),
+                      "corrupt packed model-v2 artifact");
+}
+
+TEST(ModelArtifactFuzz, DenseBinaryArtifactNeverCrashes) {
+  fuzz_model_artifact(trained_model_binary(core::Backend::kDenseBipolar),
+                      "corrupt dense model-v3 artifact");
+}
+
+TEST(ModelArtifactFuzz, PackedBinaryArtifactNeverCrashes) {
+  fuzz_model_artifact(trained_model_binary(core::Backend::kPackedBinary),
+                      "corrupt packed model-v3 artifact");
+}
+
+/// Binary fuzz through the *snapshot* loaders as well: kRead verifies every
+/// checksum, kMmap verifies the header + config only — both must degrade to
+/// clean exceptions on arbitrary corruption, including the zero-copy path
+/// (a mapped borrow must not be constructed from an inconsistent layout).
+TEST(ModelArtifactFuzz, CorruptBinarySnapshotLoadsNeverCrash) {
+  const std::string pristine = trained_model_binary(core::Backend::kPackedBinary);
+  const fs::path path =
+      fs::temp_directory_path() / ("graphhd_snapfuzz_" + std::to_string(::getpid()) + ".ghd");
+  proptest::check<Mutation>(
+      "corrupt v3 artifact snapshot-loads cleanly or errors cleanly",
+      [&](hdc::Rng& rng, std::size_t) { return random_mutation(rng, 1); }, shrink_mutation,
+      [&](const Mutation& m, std::ostream& diag) {
+        diag << m;
+        std::ofstream(path, std::ios::binary) << apply_mutation(pristine, m);
+        for (const auto mode : {core::SnapshotLoad::kRead, core::SnapshotLoad::kMmap}) {
+          try {
+            const auto snapshot = core::load_snapshot(path, mode);
+            diag << " [ok: " << snapshot->slots() << " slots]";
+          } catch (const std::exception& error) {
+            diag << " [error: " << error.what() << "]";
+          }
+        }
+        return true;
+      },
+      proptest::Config{.cases = 128});
+  fs::remove(path);
+}
+
+/// Targeted v3 regressions: each known failure mode must be rejected with a
+/// clean error, not a crash or a bogus snapshot.
+TEST(ModelArtifactFuzz, TargetedBinaryCorruptionsAreRejected) {
+  const std::string pristine = trained_model_binary(core::Backend::kDenseBipolar);
+  const auto expect_rejected = [](std::string artifact, const char* what) {
+    std::istringstream in(artifact);
+    EXPECT_THROW((void)core::load_model(in), std::runtime_error) << what;
+  };
+
+  // Truncations: inside the magic, the section table, and each section.
+  for (const std::size_t keep : {std::size_t{3}, std::size_t{20}, std::size_t{111},
+                                 std::size_t{200}, pristine.size() - 1}) {
+    expect_rejected(pristine.substr(0, keep), "truncation");
+  }
+  {  // Unsupported version (offset 8, little-endian u32).
+    std::string artifact = pristine;
+    artifact[8] = 9;
+    expect_rejected(std::move(artifact), "bad version");
+  }
+  {  // Absurd section count must die in the table bounds check.
+    std::string artifact = pristine;
+    artifact[12] = '\xff';
+    artifact[13] = '\xff';
+    expect_rejected(std::move(artifact), "oversized section count");
+  }
+  {  // Misaligned section offset (config entry offset at byte 16+8).
+    std::string artifact = pristine;
+    artifact[24] = static_cast<char>(artifact[24] + 1);
+    expect_rejected(std::move(artifact), "misaligned offset");
+  }
+  {  // Section length pointing past end of file.
+    std::string artifact = pristine;
+    artifact[32 + 3] = '\x7f';  // config entry length, high byte of low word.
+    expect_rejected(std::move(artifact), "length past EOF");
+  }
+  {  // Flipped payload byte: checksum mismatch.
+    std::string artifact = pristine;
+    artifact[artifact.size() / 2] = static_cast<char>(artifact[artifact.size() / 2] ^ 0x10);
+    expect_rejected(std::move(artifact), "payload bit rot");
+  }
 }
 
 /// Targeted regressions for the allocation-bound hardening: oversized header

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
+#include <memory>
 #include <sstream>
 
 #include "graph/generators.hpp"
@@ -126,12 +128,12 @@ TEST(Serialize, RejectsMissingFile) {
                std::runtime_error);
 }
 
-/// Serializes a trained model, rewrites the value of `key` to `value`, and
-/// returns the corrupted artifact as a stream-ready string.
+/// Serializes a trained model as text, rewrites the value of `key` to
+/// `value`, and returns the corrupted artifact as a stream-ready string.
 std::string corrupt_field(const std::string& key, const std::string& value) {
   auto original = trained_model();
   std::stringstream buffer;
-  save_model(original, buffer);
+  save_model_text(original, buffer);
   std::stringstream in(buffer.str());
   std::string line, out;
   while (std::getline(in, line)) {
@@ -251,8 +253,8 @@ TEST(SerializePacked, ArtifactMatchesDenseModelExceptBackendLine) {
   auto dense = trained_model(small_config());
   auto packed = trained_model(packed_config());
   std::stringstream dense_buffer, packed_buffer;
-  save_model(dense, dense_buffer);
-  save_model(packed, packed_buffer);
+  save_model_text(dense, dense_buffer);
+  save_model_text(packed, packed_buffer);
   std::string dense_text = dense_buffer.str();
   std::string packed_text = packed_buffer.str();
   const auto rewrite_backend_line = [](std::string text) {
@@ -268,7 +270,7 @@ TEST(SerializePacked, CrossBackendLoadPredictsIdentically) {
   // backend — predictions must not change (the backends are bit-equivalent).
   auto packed = trained_model(packed_config());
   std::stringstream buffer;
-  save_model(packed, buffer);
+  save_model_text(packed, buffer);
   std::string text = buffer.str();
   const auto pos = text.find("backend 1");
   ASSERT_NE(pos, std::string::npos);
@@ -289,7 +291,7 @@ TEST(SerializePacked, LoadsVersion1DenseFiles) {
   // dense model; synthesize one from the current writer's output.
   auto original = trained_model();
   std::stringstream buffer;
-  save_model(original, buffer);
+  save_model_text(original, buffer);
   std::string text = buffer.str();
   const auto magic_eol = text.find('\n');
   const auto backend_eol = text.find('\n', magic_eol + 1);
@@ -311,7 +313,7 @@ TEST(SerializePacked, RejectsPackedNonQuantizedCombination) {
   // quantized 0 + backend packed parses but fails config.validate().
   auto packed = trained_model(packed_config());
   std::stringstream buffer;
-  save_model(packed, buffer);
+  save_model_text(packed, buffer);
   std::string text = buffer.str();
   const auto pos = text.find("quantized 1");
   ASSERT_NE(pos, std::string::npos);
@@ -320,12 +322,12 @@ TEST(SerializePacked, RejectsPackedNonQuantizedCombination) {
   EXPECT_THROW((void)load_model(corrupted), std::runtime_error);
 }
 
-/// Returns a serialized packed model with `mutate` applied to the text.
+/// Returns a text-serialized packed model with `mutate` applied.
 template <typename Mutate>
 std::string mutated_packed_artifact(Mutate mutate) {
   auto original = trained_model(packed_config());
   std::stringstream buffer;
-  save_model(original, buffer);
+  save_model_text(original, buffer);
   std::string text = buffer.str();
   mutate(text);
   return text;
@@ -399,12 +401,255 @@ TEST(SerializePacked, FileRoundTrip) {
 }
 
 TEST(Serialize, ArtifactIsCompact) {
-  // A 1024-dimensional 2-class model serializes to a few KB of text — the
+  // A 1024-dimensional 2-class model serializes to a few KB — the
   // deployable-artifact property the IoT story needs.
   auto original = trained_model();
   std::stringstream buffer;
   save_model(original, buffer);
   EXPECT_LT(buffer.str().size(), 32u * 1024u);
+}
+
+// ---------------------------------------------------------------------------
+// Binary artifact v3: sniffing, snapshot loads (full read and mmap),
+// inspection, atomic writes.
+// ---------------------------------------------------------------------------
+
+TEST(SerializeV3, TextRoundTripStillWorks) {
+  // The legacy writer stays available and the sniffing loader accepts it.
+  auto original = trained_model();
+  std::stringstream buffer;
+  save_model_text(original, buffer);
+  EXPECT_EQ(buffer.str().rfind("GRAPHHD-MODEL 2", 0), 0u);
+  auto restored = load_model(buffer);
+  EXPECT_EQ(restored.predict(star_graph(9)).label, original.predict(star_graph(9)).label);
+}
+
+TEST(SerializeV3, BinaryArtifactStartsWithMagic) {
+  auto original = trained_model();
+  std::stringstream buffer;
+  save_model(original, buffer);
+  EXPECT_EQ(buffer.str().rfind("GHDMDL3\n", 0), 0u);
+}
+
+struct TempArtifact {
+  std::filesystem::path path;
+  explicit TempArtifact(const char* name)
+      : path(std::filesystem::temp_directory_path() / name) {}
+  ~TempArtifact() { std::filesystem::remove(path); }
+};
+
+void expect_snapshot_matches_model(GraphHdModel& model,
+                                   const std::shared_ptr<const InferenceSnapshot>& snapshot) {
+  SnapshotPredictor predictor(snapshot);
+  const auto probes = toy_dataset(4);
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    const auto expected = model.predict(probes.graph(i));
+    const auto actual = predictor.predict(probes.graph(i));
+    EXPECT_EQ(actual.label, expected.label) << "probe " << i;
+    EXPECT_EQ(actual.score, expected.score) << "probe " << i;  // bit-identical.
+    EXPECT_EQ(actual.class_scores, expected.class_scores) << "probe " << i;
+  }
+}
+
+TEST(SerializeV3, SnapshotLoadFullReadIsBitIdentical) {
+  for (const Backend backend : {Backend::kDenseBipolar, Backend::kPackedBinary}) {
+    GraphHdConfig config = small_config();
+    config.backend = backend;
+    auto model = trained_model(config);
+    TempArtifact artifact("graphhd_v3_read_test.ghd");
+    save_model(model, artifact.path);
+    const auto snapshot = load_snapshot(artifact.path, SnapshotLoad::kRead);
+    expect_snapshot_matches_model(model, snapshot);
+  }
+}
+
+TEST(SerializeV3, SnapshotLoadMmapIsBitIdentical) {
+  for (const Backend backend : {Backend::kDenseBipolar, Backend::kPackedBinary}) {
+    GraphHdConfig config = small_config();
+    config.backend = backend;
+    auto model = trained_model(config);
+    TempArtifact artifact("graphhd_v3_mmap_test.ghd");
+    save_model(model, artifact.path);
+    const auto snapshot = load_snapshot(artifact.path, SnapshotLoad::kMmap);
+    expect_snapshot_matches_model(model, snapshot);
+  }
+}
+
+TEST(SerializeV3, MmapSnapshotOutlivesEverythingElse) {
+  // The mapping must stay alive as long as any snapshot handle does, even
+  // after the predictor and the path-level objects are gone.
+  std::shared_ptr<const InferenceSnapshot> survivor;
+  Prediction before;
+  {
+    auto model = trained_model();
+    TempArtifact artifact("graphhd_v3_lifetime_test.ghd");
+    save_model(model, artifact.path);
+    survivor = load_snapshot(artifact.path, SnapshotLoad::kMmap);
+    before = model.predict(star_graph(9));
+    // The file is removed by ~TempArtifact here; the mapping persists.
+  }
+  SnapshotPredictor predictor(survivor);
+  const auto after = predictor.predict(star_graph(9));
+  EXPECT_EQ(after.label, before.label);
+  EXPECT_EQ(after.score, before.score);
+}
+
+TEST(SerializeV3, SnapshotLoadFromTextArtifactFallsBackToParsing) {
+  auto model = trained_model();
+  TempArtifact artifact("graphhd_v3_textfallback_test.ghd");
+  save_model_text(model, artifact.path);
+  for (const SnapshotLoad mode :
+       {SnapshotLoad::kRead, SnapshotLoad::kMmap, SnapshotLoad::kAuto}) {
+    const auto snapshot = load_snapshot(artifact.path, mode);
+    expect_snapshot_matches_model(model, snapshot);
+  }
+}
+
+TEST(SerializeV3, LoadedModelResumesTraining) {
+  // v3 carries the raw counters, so a binary artifact upgrades back into a
+  // full trainer (model_from_snapshot under the hood).
+  auto original = trained_model();
+  std::stringstream buffer;
+  save_model(original, buffer);
+  auto restored = load_model(buffer);
+  restored.partial_fit(star_graph(10), 0);
+  EXPECT_EQ(restored.predict(star_graph(9)).label, 0u);
+}
+
+TEST(SerializeV3, InspectReportsSectionsAndChecksums) {
+  GraphHdConfig config = small_config();
+  config.backend = Backend::kPackedBinary;
+  config.vectors_per_class = 2;
+  auto model = trained_model(config);
+  TempArtifact artifact("graphhd_v3_inspect_test.ghd");
+  save_model(model, artifact.path);
+
+  const auto info = inspect_model(artifact.path);
+  EXPECT_EQ(info.version, 3);
+  EXPECT_EQ(info.backend, Backend::kPackedBinary);
+  EXPECT_EQ(info.dimension, config.dimension);
+  EXPECT_EQ(info.num_classes, 2u);
+  EXPECT_EQ(info.vectors_per_class, 2u);
+  EXPECT_TRUE(info.fitted);
+  EXPECT_TRUE(info.checksums_ok);
+  ASSERT_EQ(info.sections.size(), 3u);
+  EXPECT_EQ(info.sections[0].name, "config");
+  EXPECT_EQ(info.sections[1].name, "counters");
+  EXPECT_EQ(info.sections[2].name, "packed-words");
+  // 4 slots (2 classes x 2 prototypes) x 1024 counters x 4 bytes.
+  EXPECT_EQ(info.sections[1].length, 4u * 1024u * 4u);
+  EXPECT_EQ(info.sections[2].length, 4u * (1024u / 64u) * 8u);
+  for (const auto& section : info.sections) EXPECT_TRUE(section.checksum_ok) << section.name;
+  EXPECT_EQ(info.file_bytes, std::filesystem::file_size(artifact.path));
+}
+
+TEST(SerializeV3, InspectReadsTextArtifactsWithoutBuildingAModel) {
+  auto model = trained_model();
+  TempArtifact artifact("graphhd_v3_inspect_text_test.ghd");
+  save_model_text(model, artifact.path);
+  const auto info = inspect_model(artifact.path);
+  EXPECT_EQ(info.version, 2);
+  EXPECT_EQ(info.backend, Backend::kDenseBipolar);
+  EXPECT_EQ(info.dimension, 1024u);
+  EXPECT_EQ(info.num_classes, 2u);
+  EXPECT_TRUE(info.fitted);
+  EXPECT_TRUE(info.sections.empty());
+  EXPECT_TRUE(info.checksums_ok);
+}
+
+TEST(SerializeV3, FlippedPayloadByteFailsChecksumEverywhere) {
+  auto model = trained_model();
+  TempArtifact artifact("graphhd_v3_corrupt_test.ghd");
+  save_model(model, artifact.path);
+
+  // Flip one byte in the middle of the counters section.
+  const auto clean_info = inspect_model(artifact.path);
+  const auto& counters = clean_info.sections[1];
+  {
+    std::fstream file(artifact.path,
+                      std::ios::binary | std::ios::in | std::ios::out);
+    file.seekg(static_cast<std::streamoff>(counters.offset + counters.length / 2));
+    char byte = 0;
+    file.get(byte);
+    file.seekp(static_cast<std::streamoff>(counters.offset + counters.length / 2));
+    file.put(static_cast<char>(byte ^ 0x40));
+  }
+  const auto info = inspect_model(artifact.path);
+  EXPECT_FALSE(info.checksums_ok);
+  EXPECT_TRUE(info.sections[0].checksum_ok);
+  EXPECT_FALSE(info.sections[1].checksum_ok);
+  EXPECT_THROW((void)load_model(artifact.path), std::runtime_error);
+  EXPECT_THROW((void)load_snapshot(artifact.path, SnapshotLoad::kRead), std::runtime_error);
+}
+
+TEST(SerializeV3, MmapVerifiesTheConfigChecksum) {
+  // The zero-copy path skips the bulk checksums by design, but a corrupt
+  // config section must still be rejected before any query runs.
+  auto model = trained_model();
+  TempArtifact artifact("graphhd_v3_mmap_config_test.ghd");
+  save_model(model, artifact.path);
+  const auto clean_info = inspect_model(artifact.path);
+  const auto& config_section = clean_info.sections[0];
+  {
+    std::fstream file(artifact.path,
+                      std::ios::binary | std::ios::in | std::ios::out);
+    file.seekp(static_cast<std::streamoff>(config_section.offset + 8));
+    file.put('\x7f');  // garble pagerank_iterations.
+  }
+  EXPECT_THROW((void)load_snapshot(artifact.path, SnapshotLoad::kMmap), std::runtime_error);
+}
+
+TEST(SerializeV3, TruncatedBinaryArtifactIsRejected) {
+  auto model = trained_model();
+  std::stringstream buffer;
+  save_model(model, buffer);
+  const std::string full = buffer.str();
+  for (const std::size_t keep : {std::size_t{4}, std::size_t{15}, std::size_t{100},
+                                 full.size() / 2, full.size() - 1}) {
+    std::stringstream truncated(full.substr(0, keep));
+    EXPECT_THROW((void)load_model(truncated), std::runtime_error) << "kept " << keep;
+  }
+}
+
+TEST(SerializeV3, AtomicWritePreservesDestinationOnFailure) {
+  // Regression for the truncate-before-write bug: save_model(path) used to
+  // open the destination with default (truncating) flags, so a failure mid
+  // write destroyed the existing artifact.  The atomic temp-file protocol
+  // must leave the previous bytes untouched on any failure.
+  namespace fs = std::filesystem;
+  TempArtifact artifact("graphhd_v3_atomic_test.ghd");
+  auto model = trained_model();
+  save_model(model, artifact.path);
+  const auto original_size = fs::file_size(artifact.path);
+
+  EXPECT_THROW(atomic_write_file(artifact.path,
+                                 [](std::ostream& out) {
+                                   out << "partial garbage";
+                                   throw std::runtime_error("injected mid-write failure");
+                                 }),
+               std::runtime_error);
+
+  // The destination still holds the complete, loadable original...
+  EXPECT_EQ(fs::file_size(artifact.path), original_size);
+  auto restored = load_model(artifact.path);
+  EXPECT_EQ(restored.predict(star_graph(9)).label, model.predict(star_graph(9)).label);
+  // ...and the failed attempt left no temp file behind.
+  std::size_t leftovers = 0;
+  for (const auto& entry : fs::directory_iterator(artifact.path.parent_path())) {
+    if (entry.path().filename().string().rfind(artifact.path.filename().string() + ".tmp", 0) ==
+        0) {
+      ++leftovers;
+    }
+  }
+  EXPECT_EQ(leftovers, 0u);
+}
+
+TEST(SerializeV3, SaveSnapshotEqualsSaveModel) {
+  auto model = trained_model();
+  std::stringstream via_model, via_snapshot;
+  save_model(model, via_model);
+  save_snapshot(*model.snapshot(), via_snapshot);
+  EXPECT_EQ(via_model.str(), via_snapshot.str());
 }
 
 }  // namespace
