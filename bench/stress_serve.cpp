@@ -1,0 +1,262 @@
+/// \file stress_serve.cpp
+/// Serving-loop stress gate: open-loop load against serve::Server, comparing
+/// coalesced batching to single-query round trips.
+///
+/// Builds a packed GraphHD model at serving scale through restore_state with
+/// seeded random counters (no training pass — the serving loop, not the fit,
+/// is what is being measured), pre-encodes a pool of random packed queries,
+/// and computes every expected answer once via the direct
+/// InferenceSnapshot::predict_encoded_batch path.  Then, for 1, 2 and 8
+/// client threads, it drives two server configurations over the same
+/// request sequence:
+///
+///   * *sync*    — ServerConfig{max_batch = 1} and a blocking
+///     submit(...).get() per request: the un-coalesced baseline, paying the
+///     full future/wake round trip per query;
+///   * *batched* — ServerConfig{max_batch = GRAPHHD_SERVE_BATCH} with
+///     open-loop callback submission: clients fire-and-forget as fast as
+///     they can and the workers drain whatever has accumulated into one
+///     coalesced sweep per batch.
+///
+/// Every response (both modes, every thread count) is checked bit-identical
+/// to the direct predict_encoded_batch answer — exit 1 on any divergence, so
+/// the harness is a correctness gate as well as a throughput one.  Per run
+/// it reports QPS plus p50/p99 submit-to-completion latency; the headline
+/// gate is `speedup_t8` = batched QPS / sync QPS at 8 client threads, gated
+/// >= 2.0 by bench/baselines/serve.json in the CI perf-baseline job.
+///
+/// Output: one JSON object (schema "graphhd-bench-serve/v1") on stdout;
+/// progress on stderr.
+///
+/// Environment knobs:
+///   GRAPHHD_SERVE_DIM       hypervector dimension            (default 4096)
+///   GRAPHHD_SERVE_CLASSES   classes in the model             (default 16)
+///   GRAPHHD_SERVE_REQUESTS  requests per mode per run        (default 16000)
+///   GRAPHHD_SERVE_QUERIES   distinct pre-encoded queries     (default 256)
+///   GRAPHHD_SERVE_BATCH     batched-mode max_batch           (default 128)
+///   GRAPHHD_SERVE_WORKERS   worker threads in both modes     (default 1)
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/model.hpp"
+#include "core/snapshot.hpp"
+#include "hdc/kernels/kernels.hpp"
+#include "hdc/random.hpp"
+#include "serve/server.hpp"
+#include "support/env.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+using graphhd::bench::env_size;
+using graphhd::core::Prediction;
+using graphhd::serve::Server;
+using graphhd::serve::ServerConfig;
+
+/// A serving-scale model without a training pass (micro_coldstart's idiom):
+/// seeded random odd counters so the majority threshold is tie-free.
+graphhd::core::GraphHdModel make_model(std::size_t dimension, std::size_t num_classes) {
+  graphhd::core::GraphHdConfig config;
+  config.dimension = dimension;
+  config.seed = 0x5e12e5eedULL;
+  config.backend = graphhd::core::Backend::kPackedBinary;
+  graphhd::core::GraphHdModel model(config, num_classes);
+
+  graphhd::hdc::Rng rng(0x10ad);
+  std::vector<graphhd::hdc::BundleAccumulator> accumulators;
+  accumulators.reserve(num_classes);
+  for (std::size_t slot = 0; slot < num_classes; ++slot) {
+    std::vector<std::int32_t> counts(dimension);
+    for (auto& c : counts) {
+      c = static_cast<std::int32_t>(rng.next_below(19)) - 9;
+      if ((c & 1) == 0) c += c >= 0 ? 1 : -1;
+    }
+    accumulators.push_back(
+        graphhd::hdc::BundleAccumulator::from_raw(std::move(counts), 9, /*parity=*/true));
+  }
+  model.restore_state(std::move(accumulators),
+                      std::vector<std::size_t>(num_classes, 9),
+                      std::vector<std::size_t>(num_classes, 0), /*fitted=*/true);
+  return model;
+}
+
+bool predictions_equal(const Prediction& a, const Prediction& b) {
+  return a.label == b.label && a.score == b.score && a.class_scores == b.class_scores;
+}
+
+struct RunResult {
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  std::size_t requests = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t max_batch_seen = 0;
+};
+
+double percentile_us(std::vector<std::uint64_t>& ns, double fraction) {
+  if (ns.empty()) return 0.0;
+  const std::size_t rank = std::min(
+      ns.size() - 1, static_cast<std::size_t>(fraction * static_cast<double>(ns.size())));
+  std::nth_element(ns.begin(), ns.begin() + static_cast<std::ptrdiff_t>(rank), ns.end());
+  return static_cast<double>(ns[rank]) / 1000.0;
+}
+
+/// One load run: `threads` clients push `per_thread` requests each into
+/// `server`, either synchronously (blocking future per request) or open-loop
+/// (callback completion).  Responses are verified against `expected` and
+/// mismatches accumulate in `wrong`.
+RunResult run_load(Server& server, const std::vector<graphhd::hdc::PackedHypervector>& queries,
+                   const std::vector<Prediction>& expected, std::size_t threads,
+                   std::size_t per_thread, bool open_loop, std::atomic<std::size_t>& wrong) {
+  const std::size_t total = threads * per_thread;
+  std::vector<std::uint64_t> latencies_ns(total);
+  std::atomic<std::size_t> completed{0};
+
+  const auto started = Clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    clients.emplace_back([&, t] {
+      for (std::size_t i = 0; i < per_thread; ++i) {
+        const std::size_t index = t * per_thread + i;
+        const std::size_t q = index % queries.size();
+        const auto submit_time = Clock::now();
+        if (open_loop) {
+          server.submit(
+              graphhd::hdc::PackedHypervector(queries[q]),
+              [&, index, q, submit_time](const Prediction& prediction) {
+                latencies_ns[index] = static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                         submit_time)
+                        .count());
+                if (!predictions_equal(prediction, expected[q])) wrong.fetch_add(1);
+                completed.fetch_add(1, std::memory_order_release);
+              });
+        } else {
+          const Prediction prediction =
+              server.submit(graphhd::hdc::PackedHypervector(queries[q])).get();
+          latencies_ns[index] = static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - submit_time)
+                  .count());
+          if (!predictions_equal(prediction, expected[q])) wrong.fetch_add(1);
+          completed.fetch_add(1, std::memory_order_release);
+        }
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  while (completed.load(std::memory_order_acquire) < total) std::this_thread::yield();
+  const double elapsed = std::chrono::duration<double>(Clock::now() - started).count();
+
+  RunResult result;
+  result.requests = total;
+  result.qps = elapsed > 0.0 ? static_cast<double>(total) / elapsed : 0.0;
+  result.p50_us = percentile_us(latencies_ns, 0.50);
+  result.p99_us = percentile_us(latencies_ns, 0.99);
+  const auto stats = server.stats();
+  result.batches = stats.batches;
+  result.max_batch_seen = stats.max_batch;
+  return result;
+}
+
+void print_run(const char* mode, std::size_t threads, const RunResult& run, bool last) {
+  std::printf("    \"t%zu\": {\"qps\": %.1f, \"p50_us\": %.1f, \"p99_us\": %.1f, "
+              "\"requests\": %zu}%s\n",
+              threads, run.qps, run.p50_us, run.p99_us, run.requests, last ? "" : ",");
+  std::fprintf(stderr, "stress_serve: %s t%zu — %.0f qps, p50 %.1f us, p99 %.1f us\n", mode,
+               threads, run.qps, run.p50_us, run.p99_us);
+}
+
+}  // namespace
+
+int main() {
+  using namespace graphhd;
+  namespace kernels = hdc::kernels;
+
+  const std::size_t dimension = env_size("GRAPHHD_SERVE_DIM", 4096);
+  const std::size_t num_classes = env_size("GRAPHHD_SERVE_CLASSES", 16);
+  const std::size_t requests = std::max<std::size_t>(64, env_size("GRAPHHD_SERVE_REQUESTS", 16000));
+  const std::size_t num_queries = std::max<std::size_t>(1, env_size("GRAPHHD_SERVE_QUERIES", 256));
+  const std::size_t max_batch = std::max<std::size_t>(2, env_size("GRAPHHD_SERVE_BATCH", 128));
+  const std::size_t workers = std::max<std::size_t>(1, env_size("GRAPHHD_SERVE_WORKERS", 1));
+
+  auto model = make_model(dimension, num_classes);
+  const auto snapshot = model.snapshot();
+
+  // The query pool and — via the direct batch path — every expected answer.
+  hdc::Rng rng(0xbea7);
+  std::vector<hdc::PackedHypervector> queries;
+  queries.reserve(num_queries);
+  for (std::size_t q = 0; q < num_queries; ++q) {
+    queries.push_back(hdc::PackedHypervector::random(dimension, rng));
+  }
+  const std::vector<Prediction> expected = snapshot->predict_encoded_batch(queries);
+
+  std::fprintf(stderr,
+               "stress_serve: d=%zu, %zu classes, %zu requests/run over %zu queries, "
+               "max_batch=%zu, workers=%zu, kernel=%s\n",
+               dimension, num_classes, requests, num_queries, max_batch, workers,
+               kernels::active().name);
+
+  const std::size_t thread_counts[] = {1, 2, 8};
+  std::atomic<std::size_t> wrong{0};
+  RunResult sync_runs[3];
+  RunResult batched_runs[3];
+  for (std::size_t i = 0; i < 3; ++i) {
+    const std::size_t threads = thread_counts[i];
+    const std::size_t per_thread = std::max<std::size_t>(1, requests / threads);
+    {
+      Server server(snapshot, ServerConfig{.max_batch = 1, .worker_threads = workers});
+      sync_runs[i] =
+          run_load(server, queries, expected, threads, per_thread, /*open_loop=*/false, wrong);
+    }
+    {
+      Server server(snapshot,
+                    ServerConfig{.max_batch = max_batch, .worker_threads = workers});
+      batched_runs[i] =
+          run_load(server, queries, expected, threads, per_thread, /*open_loop=*/true, wrong);
+    }
+  }
+
+  const bool identical = wrong.load() == 0;
+  if (!identical) {
+    std::fprintf(stderr, "stress_serve: FAIL — %zu responses diverged from predict_encoded_batch\n",
+                 wrong.load());
+  }
+  const double speedup_t8 = sync_runs[2].qps > 0.0 ? batched_runs[2].qps / sync_runs[2].qps : 0.0;
+  const double mean_batch =
+      batched_runs[2].batches > 0
+          ? static_cast<double>(batched_runs[2].requests) /
+                static_cast<double>(batched_runs[2].batches)
+          : 0.0;
+
+  std::printf("{\n");
+  std::printf("  \"schema\": \"graphhd-bench-serve/v1\",\n");
+  std::printf("  \"kernel\": \"%s\",\n", kernels::active().name);
+  std::printf("  \"dimension\": %zu,\n", dimension);
+  std::printf("  \"classes\": %zu,\n", num_classes);
+  std::printf("  \"distinct_queries\": %zu,\n", num_queries);
+  std::printf("  \"max_batch\": %zu,\n", max_batch);
+  std::printf("  \"workers\": %zu,\n", workers);
+  std::printf("  \"sync\": {\n");
+  for (std::size_t i = 0; i < 3; ++i) print_run("sync", thread_counts[i], sync_runs[i], i == 2);
+  std::printf("  },\n");
+  std::printf("  \"batched\": {\n");
+  for (std::size_t i = 0; i < 3; ++i) {
+    print_run("batched", thread_counts[i], batched_runs[i], i == 2);
+  }
+  std::printf("  },\n");
+  std::printf("  \"batched_t8_mean_batch\": %.1f,\n", mean_batch);
+  std::printf("  \"batched_t8_max_batch\": %zu,\n",
+              static_cast<std::size_t>(batched_runs[2].max_batch_seen));
+  std::printf("  \"speedup_t8\": %.3f,\n", speedup_t8);
+  std::printf("  \"identical\": %s\n", identical ? "true" : "false");
+  std::printf("}\n");
+  return identical ? 0 : 1;
+}

@@ -222,6 +222,60 @@ Prediction InferenceSnapshot::prediction_from(const hdc::QueryResult& result) co
   return prediction;
 }
 
+void InferenceSnapshot::predict_encoded_batch(const std::uint64_t* const* query_rows,
+                                              std::size_t count, Prediction* out) const {
+  if (scores_counters()) {
+    throw std::logic_error(
+        "InferenceSnapshot::predict_encoded_batch: non-quantized models score raw counters; "
+        "packed queries cannot reproduce the counter cosine");
+  }
+  if (count == 0) return;
+  const std::size_t num_slots = slots();
+  // Transposed orientation: each class row plays the kernel's "query" role
+  // and the batch's queries play the row-table role, so one hamming_batch
+  // call per slot covers the whole batch.  distances is slot-major:
+  // distances[slot * count + q] == hamming(slot row, query q).
+  std::vector<std::size_t> distances(num_slots * count);
+  const auto& ops = hdc::kernels::active();
+  for (std::size_t slot = 0; slot < num_slots; ++slot) {
+    ops.hamming_batch(rows_[slot], query_rows, count, words_per_slot_,
+                      distances.data() + slot * count);
+  }
+  // Per query, the scan below visits slots in the same ascending order with
+  // the same strict-improvement comparison as the single-query path, over
+  // the same exact integer distances — bit-identical Predictions.
+  hdc::QueryResult result;
+  for (std::size_t q = 0; q < count; ++q) {
+    result.similarities.assign(num_slots, 0.0);
+    result.best_class = 0;
+    result.best_similarity = -2.0;
+    for (std::size_t slot = 0; slot < num_slots; ++slot) {
+      const double s = hdc::similarity_from_hamming(config_.metric, distances[slot * count + q],
+                                                    config_.dimension);
+      result.similarities[slot] = s;
+      if (s > result.best_similarity) {
+        result.best_similarity = s;
+        result.best_class = slot;
+      }
+    }
+    out[q] = prediction_from(result);
+  }
+}
+
+std::vector<Prediction> InferenceSnapshot::predict_encoded_batch(
+    std::span<const hdc::PackedHypervector> queries) const {
+  std::vector<const std::uint64_t*> query_rows(queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    if (queries[q].dimension() != config_.dimension) {
+      throw std::invalid_argument("InferenceSnapshot::predict_encoded_batch: dimension mismatch");
+    }
+    query_rows[q] = queries[q].words().data();
+  }
+  std::vector<Prediction> predictions(queries.size());
+  predict_encoded_batch(query_rows.data(), queries.size(), predictions.data());
+  return predictions;
+}
+
 Prediction InferenceSnapshot::predict_encoded(const hdc::PackedHypervector& encoded) const {
   return prediction_from(query(encoded));
 }

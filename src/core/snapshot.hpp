@@ -131,6 +131,24 @@ class InferenceSnapshot {
   [[nodiscard]] Prediction predict_encoded(const hdc::PackedHypervector& encoded) const;
   [[nodiscard]] Prediction predict_encoded(const hdc::Hypervector& encoded) const;
 
+  /// Coalesced batch classification — the serving hot path (src/serve/).
+  /// `query_rows[q]` points at the words_per_slot() packed words of query q;
+  /// `out[q]` receives its Prediction.  Instead of one kernel launch per
+  /// query, the batch makes one hamming_batch sweep per class row: each
+  /// slot's packed words are streamed once against *every* query, so per-
+  /// query kernel setup, distance-buffer allocation and snapshot row traffic
+  /// amortize over the batch.  The distances are the same exact integers and
+  /// the slot scan order is unchanged, so every Prediction is bit-identical
+  /// to predict_encoded on that query alone.  Requires a quantized model
+  /// (throws std::logic_error otherwise, like the packed query() overload).
+  void predict_encoded_batch(const std::uint64_t* const* query_rows, std::size_t count,
+                             Prediction* out) const;
+
+  /// Convenience overload over whole PackedHypervectors (all must have
+  /// dimension() components; throws std::invalid_argument otherwise).
+  [[nodiscard]] std::vector<Prediction> predict_encoded_batch(
+      std::span<const hdc::PackedHypervector> queries) const;
+
  private:
   void init_rows_and_validate();
   /// True when queries score against raw counters (the non-quantized dense

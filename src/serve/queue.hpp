@@ -1,0 +1,132 @@
+/// \file queue.hpp
+/// Bounded lock-free MPMC ring buffer — the request queue of the batching
+/// inference server (serve/server.hpp).
+///
+/// This is the classic sequence-numbered bounded queue (Vyukov): each cell
+/// carries an atomic sequence counter that encodes, relative to the ring
+/// position, whether the cell is free, full, or in use by a racing thread.
+/// Producers claim a cell with one CAS on the enqueue cursor; consumers
+/// likewise on the dequeue cursor; neither path takes a mutex or blocks the
+/// other side.  Failed claims retry on the freshly observed cursor, so the
+/// queue is lock-free (some thread always makes progress) though not
+/// wait-free.  Capacity is fixed at construction and rounded up to a power
+/// of two so the position-to-cell mapping is a mask, not a division.
+///
+/// The server uses it multi-producer (every client thread submits) and
+/// multi-consumer (every worker drains batches); both operations are also
+/// safe from a single thread, which the unit tests exploit.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+namespace graphhd::serve {
+
+/// Fixed-capacity lock-free multi-producer/multi-consumer FIFO.
+/// T must be default-constructible and movable.
+template <typename T>
+class BoundedMpmcQueue {
+ public:
+  /// \param capacity  minimum number of in-flight elements the queue must
+  ///                  hold; rounded up to the next power of two (>= 2).
+  ///                  Throws std::invalid_argument on 0.
+  explicit BoundedMpmcQueue(std::size_t capacity) {
+    if (capacity == 0) {
+      throw std::invalid_argument("BoundedMpmcQueue: capacity must be positive");
+    }
+    std::size_t rounded = 2;
+    while (rounded < capacity) rounded <<= 1;
+    capacity_ = rounded;
+    mask_ = rounded - 1;
+    cells_ = std::make_unique<Cell[]>(rounded);
+    for (std::size_t i = 0; i < rounded; ++i) {
+      cells_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  BoundedMpmcQueue(const BoundedMpmcQueue&) = delete;
+  BoundedMpmcQueue& operator=(const BoundedMpmcQueue&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Enqueues `value`; returns false when the queue is full (the value is
+  /// left intact so the caller can retry or shed load).
+  bool try_push(T&& value) {
+    Cell* cell = nullptr;
+    std::size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->sequence.load(std::memory_order_acquire);
+      const auto delta = static_cast<std::ptrdiff_t>(seq) - static_cast<std::ptrdiff_t>(pos);
+      if (delta == 0) {
+        // Cell is free for this position: claim it by advancing the cursor.
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) break;
+      } else if (delta < 0) {
+        return false;  // the cell still holds an unconsumed lap: full.
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);  // lost a race; re-observe.
+      }
+    }
+    cell->value = std::move(value);
+    cell->sequence.store(pos + 1, std::memory_order_release);  // publish to consumers.
+    return true;
+  }
+
+  /// Dequeues into `out`; returns false when the queue is empty.
+  bool try_pop(T& out) {
+    Cell* cell = nullptr;
+    std::size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->sequence.load(std::memory_order_acquire);
+      const auto delta =
+          static_cast<std::ptrdiff_t>(seq) - static_cast<std::ptrdiff_t>(pos + 1);
+      if (delta == 0) {
+        if (dequeue_pos_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) break;
+      } else if (delta < 0) {
+        return false;  // the producer for this position has not published yet: empty.
+      } else {
+        pos = dequeue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    out = std::move(cell->value);
+    // Free the cell for the producer one lap ahead.
+    cell->sequence.store(pos + capacity_, std::memory_order_release);
+    return true;
+  }
+
+  /// Instantaneous element count — approximate under concurrency (the two
+  /// cursors are read independently); exact when the queue is quiescent.
+  [[nodiscard]] std::size_t approx_size() const noexcept {
+    const std::size_t tail = enqueue_pos_.load(std::memory_order_relaxed);
+    const std::size_t head = dequeue_pos_.load(std::memory_order_relaxed);
+    return tail >= head ? tail - head : 0;
+  }
+
+ private:
+  /// Destructive-interference distance.  A fixed 64 rather than
+  /// std::hardware_destructive_interference_size: the constant is ABI-
+  /// stable, right for every deployment target here, and gcc warns (-Werror
+  /// in CI) that the std value may drift across -mtune settings.
+  static constexpr std::size_t kCacheLine = 64;
+
+  struct Cell {
+    std::atomic<std::size_t> sequence;
+    T value;
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  std::size_t capacity_ = 0;
+  std::size_t mask_ = 0;
+  /// The two cursors live on separate cache lines: producers hammer one,
+  /// consumers the other, and sharing a line would turn every claim into a
+  /// cross-core invalidation.
+  alignas(kCacheLine) std::atomic<std::size_t> enqueue_pos_{0};
+  alignas(kCacheLine) std::atomic<std::size_t> dequeue_pos_{0};
+};
+
+}  // namespace graphhd::serve
