@@ -97,7 +97,7 @@ bool run_thread_sweep() {
   // are single-threaded, so GraphHD must be too or the quoted speedup
   // ratios would be inflated by core count.  An explicit GRAPHHD_THREADS
   // is honoured for deliberate experiments.
-  parallel::set_threads(std::getenv("GRAPHHD_THREADS") != nullptr ? 0 : 1);
+  parallel::set_threads(graphhd::core::runtime::env_raw("GRAPHHD_THREADS") != nullptr ? 0 : 1);
   if (!all_identical) {
     std::fprintf(stderr, "fig4: FAIL — parallel predictions diverged from 1-thread run\n");
   }
@@ -110,7 +110,7 @@ int main() {
   using namespace graphhd::eval;
 
   if (!run_thread_sweep()) return 1;
-  if (std::getenv("GRAPHHD_SKIP_FIGURE") != nullptr) return 0;
+  if (graphhd::core::runtime::env_raw("GRAPHHD_SKIP_FIGURE") != nullptr) return 0;
 
   auto config = config_from_env(/*default_scale=*/1.0, /*default_reps=*/1,
                                 /*default_epochs=*/40);

@@ -1,0 +1,270 @@
+/// \file stress_shard.cpp
+/// Sharded-training acceptance gate: a >= 10M-edge R-MAT ingest through
+/// fit_stream at 1 / 2 / 8 shards, bit-compared against the serial model,
+/// plus a mid-run crash + checkpoint/resume round trip — all under an RSS
+/// ceiling.
+///
+/// The workload is the same two-class R-MAT GeneratorStream shape as
+/// stress_stream (Graph500 skew vs near-uniform quadrants), sized by
+/// GRAPHHD_SHARD_EDGES.  Phases, in order:
+///
+///   1. *Serial reference* — fit_stream at shards=1; the serialized v3
+///      artifact (core::save_model to a string) is the yardstick every
+///      later phase is bit-compared against.  The resident-set high-water
+///      mark is sampled right after this phase and gated against
+///      GRAPHHD_SHARD_RSS_MB (exit 1 on breach): sharding must not
+///      materialize the stream.
+///   2. *Shard sweep* — fit_stream at shards=2 and shards=8 on fresh
+///      models; each merged artifact must equal the serial one bit for
+///      bit (exact counter merge, see GraphHdModel::merge).
+///   3. *Crash + resume* — a sharded (shards=2, checkpointed) run is
+///      killed mid-ingest by an injected stream failure; a fresh model
+///      then resumes from the per-shard checkpoints and must land on the
+///      same artifact.  The checkpoint files must be cleaned up by the
+///      successful resume.
+///
+/// Output: one JSON object (schema "graphhd-bench-shard/v1") on stdout;
+/// progress on stderr.  Exit 1 on any divergence, a leftover checkpoint,
+/// or an RSS breach.
+///
+/// Environment knobs:
+///   GRAPHHD_SHARD_EDGES        total edge budget           (default 10000000)
+///   GRAPHHD_SHARD_GRAPH_EDGES  edges per graph             (default 65536)
+///   GRAPHHD_SHARD_DIM          hypervector dimension       (default 2048)
+///   GRAPHHD_SHARD_CHUNK        stream chunk size           (default 8)
+///   GRAPHHD_SHARD_RSS_MB       serial-phase RSS ceiling    (default 768)
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <filesystem>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <system_error>
+#include <vector>
+
+#include "core/model.hpp"
+#include "core/options.hpp"
+#include "core/serialize.hpp"
+#include "data/stream.hpp"
+#include "graph/generators.hpp"
+#include "hdc/random.hpp"
+#include "support/env.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+using graphhd::bench::env_size;
+using graphhd::bench::peak_rss_mb;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+[[nodiscard]] std::string artifact_of(const graphhd::core::GraphHdModel& model) {
+  std::ostringstream out;
+  graphhd::core::save_model(model, out);
+  return out.str();
+}
+
+/// Throws after serving `budget` samples, *counted across resets*: a sharded
+/// fit replays the source once per shard, and the budget keeps spending
+/// through those replays so the crash lands mid-run wherever we aim it.
+class FailAfter final : public graphhd::data::GraphStream {
+ public:
+  FailAfter(graphhd::data::GraphStream& source, std::size_t budget)
+      : source_(&source), budget_(budget) {}
+
+  [[nodiscard]] std::optional<graphhd::data::StreamSample> next() override {
+    auto sample = source_->next();
+    if (sample.has_value()) {
+      if (served_ == budget_) throw std::runtime_error("injected stream failure");
+      ++served_;
+    }
+    return sample;
+  }
+  void reset() override { source_->reset(); }  // served_ spans replays.
+  [[nodiscard]] std::size_t num_classes() const override { return source_->num_classes(); }
+  [[nodiscard]] std::optional<std::size_t> size_hint() const override {
+    return source_->size_hint();
+  }
+
+ private:
+  graphhd::data::GraphStream* source_;
+  std::size_t budget_;
+  std::size_t served_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  using namespace graphhd;
+
+  const std::size_t total_edges = env_size("GRAPHHD_SHARD_EDGES", 10'000'000);
+  const std::size_t graph_edges = env_size("GRAPHHD_SHARD_GRAPH_EDGES", 65'536);
+  const std::size_t dimension = env_size("GRAPHHD_SHARD_DIM", 2'048);
+  const std::size_t chunk = env_size("GRAPHHD_SHARD_CHUNK", 8);
+  const std::size_t rss_ceiling_mb = env_size("GRAPHHD_SHARD_RSS_MB", 768);
+  bench::warn_unknown_env();
+
+  // Ceil division: the produced workload must reach the requested budget.
+  const std::size_t num_graphs =
+      std::max<std::size_t>(8, (total_edges + graph_edges - 1) / graph_edges);
+  const std::size_t vertices = std::max<std::size_t>(16, graph_edges / 8);  // avg degree ~16.
+
+  const auto factory = [graph_edges, vertices](std::size_t, std::size_t label,
+                                               hdc::Rng& rng) {
+    graph::RmatParams params;
+    if (label == 1) params = {.a = 0.30, .b = 0.25, .c = 0.25};
+    return graph::rmat(vertices, graph_edges, params, rng);
+  };
+  const auto make_stream = [&] {
+    return data::GeneratorStream(num_graphs, 2, /*seed=*/0x5a4dbeefULL, factory);
+  };
+
+  core::GraphHdConfig config;
+  config.dimension = dimension;
+  config.backend = core::Backend::kPackedBinary;  // the scale-serving path.
+
+  std::fprintf(stderr,
+               "stress_shard: %zu graphs x %zu edges (%zu vertices), d=%zu, chunk=%zu\n",
+               num_graphs, graph_edges, vertices, dimension, chunk);
+
+  core::TrainOptions options;
+  options.chunk = chunk;
+
+  // ---- Phase 1: serial reference (shards=1), RSS gated. ----
+  auto serial_stream = make_stream();
+  core::GraphHdModel serial_model(config, 2);
+  const auto serial_start = Clock::now();
+  serial_model.fit_stream(serial_stream, options);
+  const double serial_seconds = seconds_since(serial_start);
+  const std::string reference = artifact_of(serial_model);
+
+  const std::size_t serial_rss_mb = peak_rss_mb();
+  const bool rss_known = serial_rss_mb > 0;
+  const bool rss_ok = !rss_known || serial_rss_mb <= rss_ceiling_mb;
+  if (!rss_known) {
+    std::fprintf(stderr, "stress_shard: VmHWM unavailable — RSS gate skipped\n");
+  } else {
+    std::fprintf(stderr, "stress_shard: serial-phase peak RSS %zu MB (ceiling %zu MB)\n",
+                 serial_rss_mb, rss_ceiling_mb);
+  }
+
+  std::size_t streamed_edges = 0;
+  {
+    auto count_stream = make_stream();
+    while (auto sample = count_stream.next()) streamed_edges += sample->graph.num_edges();
+  }
+
+  // ---- Phase 2: shard sweep — 2 and 8 shards vs the serial artifact. ----
+  const std::size_t shard_counts[] = {2, 8};
+  std::vector<std::size_t> shards_checked = {1};
+  std::vector<double> shard_seconds = {serial_seconds};
+  bool shards_identical = true;
+  for (const std::size_t shards : shard_counts) {
+    core::TrainOptions sharded = options;
+    sharded.shards = shards;
+    auto stream = make_stream();
+    core::GraphHdModel model(config, 2);
+    const auto start = Clock::now();
+    model.fit_stream(stream, sharded);
+    shard_seconds.push_back(seconds_since(start));
+    shards_checked.push_back(shards);
+    if (artifact_of(model) != reference) {
+      shards_identical = false;
+      std::fprintf(stderr, "stress_shard: FAIL — %zu-shard artifact diverges from serial\n",
+                   shards);
+    } else {
+      std::fprintf(stderr, "stress_shard: %zu shards bit-identical (%.3fs)\n", shards,
+                   shard_seconds.back());
+    }
+  }
+
+  // ---- Phase 3: mid-run crash, then checkpoint/resume round trip. ----
+  const std::filesystem::path checkpoint =
+      std::filesystem::temp_directory_path() / "stress_shard_ckpt.ghd";
+  core::TrainOptions checkpointed = options;
+  checkpointed.shards = 2;
+  checkpointed.checkpoint = checkpoint;
+  checkpointed.checkpoint_interval = std::max<std::size_t>(1, num_graphs / 8);
+
+  bool crash_injected = false;
+  {
+    // A 2-shard fit pulls the source twice (once per shard view); aim the
+    // budget past the first replay so the crash lands inside shard 1.
+    auto source = make_stream();
+    FailAfter failing(source, num_graphs + num_graphs / 2);
+    core::GraphHdModel doomed(config, 2);
+    try {
+      doomed.fit_stream(failing, checkpointed);
+      std::fprintf(stderr, "stress_shard: FAIL — injected crash never fired\n");
+    } catch (const std::exception&) {
+      crash_injected = true;
+    }
+  }
+
+  bool resume_identical = false;
+  bool checkpoints_cleaned = false;
+  if (crash_injected) {
+    core::TrainOptions resuming = checkpointed;
+    resuming.resume = true;
+    auto stream = make_stream();
+    core::GraphHdModel resumed(config, 2);
+    resumed.fit_stream(stream, resuming);
+    resume_identical = artifact_of(resumed) == reference;
+    if (!resume_identical) {
+      std::fprintf(stderr, "stress_shard: FAIL — resumed artifact diverges from serial\n");
+    }
+    checkpoints_cleaned = true;
+    for (const char* suffix : {".shard0", ".shard1"}) {
+      std::filesystem::path shard_file = checkpoint;
+      shard_file += suffix;
+      if (std::filesystem::exists(shard_file)) {
+        checkpoints_cleaned = false;
+        std::fprintf(stderr, "stress_shard: FAIL — leftover checkpoint %s\n",
+                     shard_file.string().c_str());
+      }
+      std::error_code ignored;
+      std::filesystem::remove(shard_file, ignored);
+    }
+    std::error_code ignored;
+    std::filesystem::remove(checkpoint, ignored);
+  }
+
+  const bool ok =
+      rss_ok && shards_identical && crash_injected && resume_identical && checkpoints_cleaned;
+  const double edges_per_second =
+      serial_seconds > 0.0 ? static_cast<double>(streamed_edges) / serial_seconds : 0.0;
+
+  std::printf("{\n");
+  std::printf("  \"schema\": \"graphhd-bench-shard/v1\",\n");
+  std::printf("  \"graphs\": %zu,\n", num_graphs);
+  std::printf("  \"edges_total\": %zu,\n", streamed_edges);
+  std::printf("  \"vertices_per_graph\": %zu,\n", vertices);
+  std::printf("  \"dimension\": %zu,\n", dimension);
+  std::printf("  \"chunk\": %zu,\n", chunk);
+  std::printf("  \"shards_checked\": [");
+  for (std::size_t i = 0; i < shards_checked.size(); ++i) {
+    std::printf("%s%zu", i == 0 ? "" : ", ", shards_checked[i]);
+  }
+  std::printf("],\n");
+  std::printf("  \"fit_seconds\": [");
+  for (std::size_t i = 0; i < shard_seconds.size(); ++i) {
+    std::printf("%s%.3f", i == 0 ? "" : ", ", shard_seconds[i]);
+  }
+  std::printf("],\n");
+  std::printf("  \"encode_edges_per_s\": %.1f,\n", edges_per_second);
+  std::printf("  \"serial_peak_rss_mb\": %zu,\n", serial_rss_mb);
+  std::printf("  \"rss_ceiling_mb\": %zu,\n", rss_ceiling_mb);
+  std::printf("  \"rss_ok\": %s,\n", rss_ok ? "true" : "false");
+  std::printf("  \"shards_identical\": %s,\n", shards_identical ? "true" : "false");
+  std::printf("  \"crash_injected\": %s,\n", crash_injected ? "true" : "false");
+  std::printf("  \"resume_identical\": %s,\n", resume_identical ? "true" : "false");
+  std::printf("  \"checkpoints_cleaned\": %s\n", checkpoints_cleaned ? "true" : "false");
+  std::printf("}\n");
+  return ok ? 0 : 1;
+}

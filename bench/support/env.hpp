@@ -1,9 +1,10 @@
 /// \file env.hpp
-/// Shared environment-knob parsers and process probes for the bench
-/// harnesses.  Every GRAPHHD_* size/float knob across micro_*, fig4 and
-/// stress_* must parse identically (unset/empty/garbage -> fallback, sizes
-/// reject < 1), so the parsers live here once instead of drifting as
-/// per-bench copies; the RSS probe backs every stress gate the same way.
+/// Bench-side shims over the process-wide GRAPHHD_* knob registry
+/// (src/core/runtime.hpp) plus process probes.  The parsers forward to the
+/// registry's typed accessors, so every bench knob must be registered there
+/// (unregistered names throw std::logic_error — a loud failure at bench
+/// startup instead of a silently ignored knob); the RSS probe backs every
+/// stress gate the same way.
 
 #pragma once
 
@@ -11,21 +12,26 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "core/runtime.hpp"
+
 namespace graphhd::bench {
 
 inline std::size_t env_size(const char* name, std::size_t fallback) {
-  const char* raw = std::getenv(name);
-  if (raw == nullptr || *raw == '\0') return fallback;
-  const long long value = std::atoll(raw);
-  return value < 1 ? fallback : static_cast<std::size_t>(value);
+  return core::runtime::env_size(name, fallback);
 }
 
 inline double env_double(const char* name, double fallback) {
-  const char* raw = std::getenv(name);
-  if (raw == nullptr || *raw == '\0') return fallback;
-  char* end = nullptr;
-  const double value = std::strtod(raw, &end);
-  return end == raw ? fallback : value;
+  return core::runtime::env_double(name, fallback);
+}
+
+/// Prints one warning line per set-but-unregistered GRAPHHD_* variable —
+/// called at bench startup so a typo'd knob cannot silently run the default
+/// workload while claiming otherwise.
+inline void warn_unknown_env(std::FILE* out = stderr) {
+  for (const std::string& name : core::runtime::unknown_env_vars()) {
+    std::fprintf(out, "# warning: unknown environment variable %s (see graphhd_cli env)\n",
+                 name.c_str());
+  }
 }
 
 /// Peak resident set size in MB: VmHWM from /proc/self/status (Linux).

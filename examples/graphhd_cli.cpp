@@ -5,10 +5,13 @@
 ///   graphhd_cli train   --data DIR --name DS --out MODEL [--dimension N]
 ///                       [--seed S] [--retrain K] [--prototypes P]
 ///                       [--backend dense|packed]  (GRAPHHD_BACKEND also works)
-///                       [--stream CHUNK]  (bounded-memory chunked ingestion)
-///   graphhd_cli predict --model MODEL --data DIR --name DS [--stream CHUNK]
+///                       [--chunk N] [--shards W] [--checkpoint PATH]
+///                       [--checkpoint-interval N] [--resume] [--no-prefetch]
+///                       (any of these selects bounded-memory streaming ingestion)
+///   graphhd_cli predict --model MODEL --data DIR --name DS [--chunk N]
 ///   graphhd_cli eval    --data DIR --name DS [--folds K] [--reps R]
-///                       [--stream CHUNK]  (two-pass streaming k-fold CV)
+///                       [--chunk N]  (two-pass streaming k-fold CV)
+///   graphhd_cli env     (the GRAPHHD_* knob table + unknown-variable audit)
 ///   graphhd_cli synth   --name DS --out DIR [--scale X] [--seed S]
 ///   graphhd_cli gen     --kind rmat|rgg|er --name DS --out DIR [--graphs G]
 ///                       [--vertices N] [--edges M] [--radius R] [--classes C]
@@ -22,10 +25,14 @@
 /// the files are missing, `eval` and `train` fall back to the synthetic
 /// replica of DS (one of DD, ENZYMES, MUTAG, NCI1, PROTEINS, PTC_FM).
 ///
-/// `--stream CHUNK` runs training/prediction/evaluation through the
-/// GraphStream pipeline (data/stream.hpp): TUDataset files are read
-/// incrementally, CHUNK graphs at a time, with predictions bit-identical to
-/// the materialized path.  For `eval` this is the two-pass streaming k-fold
+/// `--chunk N` (deprecated alias: `--stream N`) runs
+/// training/prediction/evaluation through the GraphStream pipeline
+/// (data/stream.hpp): TUDataset files are read incrementally, N graphs at a
+/// time, with predictions bit-identical to the materialized path.  `train`
+/// additionally accepts `--shards W` (map-reduce sharded fit, bit-identical
+/// to serial), `--checkpoint PATH` / `--checkpoint-interval N` /
+/// `--resume` (crash-safe counter checkpoints, see docs/training.md) and
+/// `--no-prefetch` (disable the chunk N+1 read-ahead thread).  For `eval` this is the two-pass streaming k-fold
 /// protocol (eval/cross_validation.hpp): a label scan plans stratified
 /// folds, then each fold trains and tests through filtered replays —
 /// accuracies bit-identical to the in-memory protocol, memory bounded by
@@ -33,13 +40,19 @@
 /// Erdős–Rényi workloads (class-conditional parameters) without ever
 /// materializing the dataset — workloads far beyond RAM are fine.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <memory>
+#include <optional>
+#include <span>
 #include <string>
+#include <string_view>
 
+#include "core/options.hpp"
 #include "core/pipeline.hpp"
+#include "core/runtime.hpp"
 #include "core/serialize.hpp"
 #include "data/stream.hpp"
 #include "data/synthetic.hpp"
@@ -54,17 +67,32 @@ namespace {
 
 using namespace graphhd;
 
-/// Minimal --key value parser; flags must all take a value.
+/// Minimal --key value parser.  Flags named in `boolean` take no value
+/// (presence == true); every other flag must be followed by one.  A trailing
+/// valued flag without its value is an error (pre-PR-8 it was silently
+/// dropped — part of the flag audit).
 class Args {
  public:
-  Args(int argc, char** argv, int first) {
-    for (int i = first; i + 1 < argc; i += 2) {
+  Args(int argc, char** argv, int first, std::span<const std::string_view> boolean = {}) {
+    for (int i = first; i < argc;) {
       if (std::strncmp(argv[i], "--", 2) != 0) {
         throw std::runtime_error(std::string("expected --flag, got ") + argv[i]);
       }
-      values_[argv[i] + 2] = argv[i + 1];
+      const std::string key = argv[i] + 2;
+      if (std::find(boolean.begin(), boolean.end(), key) != boolean.end()) {
+        values_.insert_or_assign(key, std::string("1"));
+        i += 1;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        throw std::runtime_error("flag --" + key + " expects a value");
+      }
+      values_[key] = argv[i + 1];
+      i += 2;
     }
   }
+
+  [[nodiscard]] bool has(const std::string& key) const { return values_.count(key) != 0; }
 
   [[nodiscard]] std::string get(const std::string& key, const std::string& fallback) const {
     const auto it = values_.find(key);
@@ -82,6 +110,9 @@ class Args {
  private:
   std::map<std::string, std::string> values_;
 };
+
+/// Boolean flags shared by every --flag command (harmless where unused).
+constexpr std::string_view kBooleanFlags[] = {"resume", "no-prefetch"};
 
 [[nodiscard]] data::GraphDataset load_dataset(const Args& args) {
   const std::string name = args.require("name");
@@ -148,20 +179,60 @@ struct StreamSource {
   return source;
 }
 
+/// The requested chunk size: --chunk wins, --stream is the deprecated
+/// pre-PR-8 alias; 0 = no streaming flag given.
 [[nodiscard]] std::size_t stream_chunk_of(const Args& args) {
-  const std::string value = args.get("stream", "");
+  const std::string value = args.get("chunk", args.get("stream", ""));
   return value.empty() ? 0 : std::stoull(value);
+}
+
+/// Read-only streaming options (predict/eval) from the flags.
+[[nodiscard]] core::StreamOptions stream_options_of(const Args& args, std::size_t chunk) {
+  core::StreamOptions options;
+  options.chunk = chunk;
+  options.prefetch = !args.has("no-prefetch");
+  return options;
+}
+
+/// Training options when any streaming/training flag is present, nullopt for
+/// the materialized path.  --shards/--checkpoint/--resume imply streaming
+/// (they only exist on the chunked ingestion path) with the default chunk.
+[[nodiscard]] std::optional<core::TrainOptions> train_options_of(const Args& args) {
+  core::TrainOptions options;
+  bool streaming = false;
+  if (const std::size_t chunk = stream_chunk_of(args); chunk > 0) {
+    options.chunk = chunk;
+    streaming = true;
+  }
+  if (const std::string shards = args.get("shards", ""); !shards.empty()) {
+    options.shards = std::stoull(shards);
+    streaming = true;
+  }
+  if (const std::string checkpoint = args.get("checkpoint", ""); !checkpoint.empty()) {
+    options.checkpoint = checkpoint;
+    streaming = true;
+  }
+  if (const std::string interval = args.get("checkpoint-interval", ""); !interval.empty()) {
+    options.checkpoint_interval = std::stoull(interval);
+  }
+  options.resume = args.has("resume");
+  options.prefetch = !args.has("no-prefetch");
+  streaming = streaming || options.resume;
+  if (!streaming) return std::nullopt;
+  options.validate("graphhd_cli train");
+  return options;
 }
 
 int cmd_train(const Args& args) {
   const std::string out = args.require("out");
-  if (const std::size_t chunk = stream_chunk_of(args); chunk > 0) {
+  if (const auto options = train_options_of(args)) {
     auto source = open_stream(args);
     core::GraphHdModel model(config_from(args), source.stream->num_classes());
-    model.fit_stream(*source.stream, chunk);
+    model.fit_stream(*source.stream, *options);
     core::save_model(model, out);
-    std::printf("stream-trained on %zu graphs (chunk %zu); model written to %s\n",
-                source.labels.size(), chunk, out.c_str());
+    std::printf("stream-trained on %zu graphs (chunk %zu, %zu shard%s); model written to %s\n",
+                source.labels.size(), options->chunk, options->shards,
+                options->shards == 1 ? "" : "s", out.c_str());
     return 0;
   }
   const auto dataset = load_dataset(args);
@@ -178,7 +249,7 @@ int cmd_predict(const Args& args) {
   if (const std::size_t chunk = stream_chunk_of(args); chunk > 0) {
     auto source = open_stream(args);
     std::size_t hits = 0;
-    model.predict_stream(*source.stream, chunk,
+    model.predict_stream(*source.stream, stream_options_of(args, chunk),
                          [&](std::size_t i, const core::Prediction& prediction) {
                            std::printf("%zu\t%zu\t%.4f\n", i, prediction.label, prediction.score);
                            hits += prediction.label == source.labels[i] ? 1 : 0;
@@ -218,7 +289,7 @@ int cmd_eval(const Args& args) {
   if (const std::size_t chunk = stream_chunk_of(args); chunk > 0) {
     // Streaming protocol: two-pass k-fold over the GraphStream, bounded
     // memory, bit-identical results to the materialized run below.
-    cv.stream_chunk = chunk;
+    cv.stream = stream_options_of(args, chunk);
     auto source = open_stream(args);
     eval::ExperimentConfig experiment;
     experiment.cv = cv;
@@ -353,6 +424,35 @@ int cmd_convert(const std::string& in, const std::string& out, const Args& args)
   return 0;
 }
 
+int cmd_env() {
+  std::printf("%-28s %-6s %-22s %-20s %s\n", "name", "kind", "value", "component",
+              "description");
+  for (const auto& knob : core::runtime::knobs()) {
+    const auto value = core::runtime::current_value(knob);
+    // Unset knobs show their default in parentheses so the table doubles as
+    // reference documentation.
+    std::string shown;
+    if (value.has_value()) {
+      shown = *value;
+    } else {
+      shown.reserve(std::strlen(knob.fallback) + 2);
+      shown += '(';
+      shown += knob.fallback;
+      shown += ')';
+    }
+    std::printf("%-28s %-6s %-22s %-20s %s%s\n", knob.name,
+                core::runtime::to_string(knob.kind), shown.c_str(), knob.component,
+                knob.description, knob.build_time ? " [build-time]" : "");
+  }
+  const auto unknown = core::runtime::unknown_env_vars();
+  for (const auto& name : unknown) {
+    std::fprintf(stderr,
+                 "warning: %s is set but not a registered GRAPHHD_* knob (typo?)\n",
+                 name.c_str());
+  }
+  return unknown.empty() ? 0 : 1;
+}
+
 int cmd_synth(const Args& args) {
   const std::string name = args.require("name");
   const std::string out = args.require("out");
@@ -368,19 +468,26 @@ int cmd_synth(const Args& args) {
 void usage() {
   std::fprintf(stderr,
                "usage: graphhd_cli "
-               "<train|predict|eval|synth|gen|stats|model-info|convert> [--flag value ...]\n"
+               "<train|predict|eval|env|synth|gen|stats|model-info|convert> [--flag value ...]\n"
                "  train      --data DIR --name DS --out MODEL [--dimension N] [--retrain K]\n"
                "             [--backend dense|packed]   (or GRAPHHD_BACKEND env)\n"
-               "             [--stream CHUNK]           (bounded-memory chunked ingestion)\n"
-               "  predict    --model MODEL --data DIR --name DS [--stream CHUNK]\n"
+               "             [--chunk N]                (bounded-memory chunked ingestion)\n"
+               "             [--shards W]               (sharded map-reduce fit, == serial)\n"
+               "             [--checkpoint PATH] [--checkpoint-interval N] [--resume]\n"
+               "             [--no-prefetch]            (disable chunk read-ahead)\n"
+               "  predict    --model MODEL --data DIR --name DS [--chunk N] [--no-prefetch]\n"
                "  eval       --data DIR --name DS [--folds K] [--reps R] [--scale X]\n"
-               "             [--backend dense|packed] [--stream CHUNK]\n"
+               "             [--backend dense|packed] [--chunk N] [--no-prefetch]\n"
+               "  env        (GRAPHHD_* knob table, current values, unknown-var warnings)\n"
                "  synth      --name DS --out DIR [--scale X] [--seed S]\n"
                "  gen        --kind rmat|rgg|er --name DS --out DIR [--graphs G]\n"
                "             [--vertices N] [--edges M] [--radius R] [--classes C] [--seed S]\n"
                "  stats      --data DIR --name DS\n"
                "  model-info PATH            (artifact header + checksums; no model built)\n"
-               "  convert    IN OUT [--format v3|text]   (upgrade v1/v2 text to binary v3)\n");
+               "  convert    IN OUT [--format v3|text]   (upgrade v1/v2 text to binary v3)\n"
+               "flag audit (PR 8): --stream N is a deprecated alias of --chunk N; boolean\n"
+               "flags (--resume, --no-prefetch) take no value; a trailing valued flag\n"
+               "without its value is now an error instead of being silently ignored.\n");
 }
 
 }  // namespace
@@ -407,7 +514,10 @@ int main(int argc, char** argv) {
       }
       return cmd_convert(argv[2], argv[3], Args(argc, argv, 4));
     }
-    const Args args(argc, argv, 2);
+    if (command == "env") {
+      return cmd_env();
+    }
+    const Args args(argc, argv, 2, kBooleanFlags);
     if (command == "train") return cmd_train(args);
     if (command == "predict") return cmd_predict(args);
     if (command == "eval") return cmd_eval(args);

@@ -105,6 +105,11 @@ struct GraphHdConfig {
 
   /// Throws std::invalid_argument when a field is out of range.
   void validate() const;
+
+  /// Field-wise equality — the compatibility check of GraphHdModel::merge
+  /// and checkpoint resume: models merge exactly only when every knob that
+  /// shapes the counters (dimension, seed, backend, extensions...) agrees.
+  friend bool operator==(const GraphHdConfig&, const GraphHdConfig&) = default;
 };
 
 }  // namespace graphhd::core

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/runtime.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace graphhd::core {
@@ -38,8 +39,8 @@ std::optional<Backend> parse_backend(std::string_view text) noexcept {
 }
 
 Backend backend_from_env(Backend fallback) {
-  const char* raw = std::getenv("GRAPHHD_BACKEND");
-  if (raw == nullptr || *raw == '\0') return fallback;
+  const char* raw = runtime::env_raw("GRAPHHD_BACKEND");
+  if (raw == nullptr) return fallback;
   const auto parsed = parse_backend(raw);
   if (!parsed.has_value()) {
     throw std::runtime_error(

@@ -1,11 +1,85 @@
 #include "core/model.hpp"
 
+#include <filesystem>
+#include <future>
 #include <optional>
 #include <stdexcept>
+#include <string>
+#include <system_error>
+#include <utility>
 
+#include "core/serialize.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace graphhd::core {
+
+namespace {
+
+/// Double-buffered chunk puller: with prefetch on, chunk N+1 is pulled and
+/// parsed on one background thread while the caller encodes chunk N.  The
+/// stream is only ever touched by the single in-flight task (or, between
+/// tasks, by nobody), so stream access stays strictly serialized and the
+/// produced chunk sequence — and therefore the trained state — is
+/// bit-identical to the synchronous pull.
+class ChunkFetcher {
+ public:
+  ChunkFetcher(data::GraphStream& stream, std::size_t chunk, bool prefetch)
+      : stream_(stream), chunk_(chunk), prefetch_(prefetch) {
+    if (prefetch_) pending_ = launch();
+  }
+
+  ChunkFetcher(const ChunkFetcher&) = delete;
+  ChunkFetcher& operator=(const ChunkFetcher&) = delete;
+
+  ~ChunkFetcher() {
+    // Drain the in-flight pull so the stream is never touched after the
+    // fetcher is gone; destruction is abandonment, so its errors are moot.
+    if (pending_.valid()) {
+      try {
+        (void)pending_.get();
+      } catch (...) {  // NOLINT(bugprone-empty-catch)
+      }
+    }
+  }
+
+  /// Next chunk in stream order; empty = exhausted.  Pull errors (parse
+  /// failures, I/O) rethrow here, on the caller's thread.
+  [[nodiscard]] data::GraphDataset next() {
+    if (!prefetch_) return data::next_chunk(stream_, chunk_);
+    data::GraphDataset ready = pending_.get();
+    // Don't speculate past the end: an exhausted stream stays untouched.
+    if (!ready.empty()) pending_ = launch();
+    return ready;
+  }
+
+ private:
+  [[nodiscard]] std::future<data::GraphDataset> launch() {
+    return std::async(std::launch::async,
+                      [this] { return data::next_chunk(stream_, chunk_); });
+  }
+
+  data::GraphStream& stream_;
+  std::size_t chunk_;
+  bool prefetch_;
+  std::future<data::GraphDataset> pending_;
+};
+
+/// Per-shard checkpoint file of a sharded fit.
+[[nodiscard]] std::filesystem::path shard_checkpoint_path(const std::filesystem::path& base,
+                                                          std::size_t shard) {
+  if (base.empty()) return base;
+  std::filesystem::path path = base;
+  path += ".shard" + std::to_string(shard);
+  return path;
+}
+
+void remove_if_exists(const std::filesystem::path& path) {
+  if (path.empty()) return;
+  std::error_code ignored;
+  std::filesystem::remove(path, ignored);
+}
+
+}  // namespace
 
 GraphHdModel::GraphHdModel(const GraphHdConfig& config, std::size_t num_classes)
     : config_(config),
@@ -84,12 +158,14 @@ void GraphHdModel::fit(const data::GraphDataset& train) {
   fitted_ = true;
 }
 
-void GraphHdModel::fit_stream(data::GraphStream& stream, std::size_t chunk_size) {
+void GraphHdModel::fit_stream(data::GraphStream& stream, const TrainOptions& options) {
+  options.validate("GraphHdModel::fit_stream");
+  if (options.shards > 1) {
+    fit_stream_sharded(stream, options);
+    return;
+  }
   if (fitted_) {
     throw std::logic_error("GraphHdModel::fit_stream: model already fitted");
-  }
-  if (chunk_size == 0) {
-    throw std::invalid_argument("GraphHdModel::fit_stream: chunk_size must be positive");
   }
   if (stream.num_classes() > num_classes_) {
     throw std::invalid_argument(
@@ -97,55 +173,261 @@ void GraphHdModel::fit_stream(data::GraphStream& stream, std::size_t chunk_size)
   }
   invalidate_snapshot();
 
-  // Same schedule as fit(), chunk by chunk: one bundling pass, then one
-  // stream replay per retraining epoch.  Chunk boundaries are invisible to
-  // the result — encoding is seed-deterministic per sample and the
-  // bundle/retrain updates run in stream order.
-  const auto replay = [&](auto&& per_sample) {
-    stream.reset();
-    std::size_t index = 0;
+  // Same schedule as fit(): one bundling pass (checkpointed when asked),
+  // then one stream replay per retraining epoch.  Chunk boundaries are
+  // invisible to the result — encoding is seed-deterministic per sample and
+  // the bundle/retrain updates run in stream order.
+  bundle_stream(stream, options, nullptr);
+  retrain_stream(stream, options.stream());
+  fitted_ = true;
+  // Success: the checkpoint has served its purpose.
+  remove_if_exists(options.checkpoint);
+}
+
+void GraphHdModel::fit_stream(data::GraphStream& stream, std::size_t chunk_size) {
+  if (chunk_size == 0) {
+    // The historical signature's message, kept for its callers.
+    throw std::invalid_argument("GraphHdModel::fit_stream: chunk_size must be positive");
+  }
+  fit_stream(stream, TrainOptions{.chunk = chunk_size});
+}
+
+void GraphHdModel::bundle_stream(data::GraphStream& stream, const TrainOptions& options,
+                                 const std::function<std::size_t(std::size_t)>* replica_for) {
+  // Resume: adopt the persisted counters and skip the already-consumed
+  // prefix.  A missing file simply starts fresh (first run of a resumable
+  // job); a corrupt file throws in resume_checkpoint.
+  std::size_t start_index = 0;
+  if (options.resume && !options.checkpoint.empty() &&
+      std::filesystem::exists(options.checkpoint)) {
+    ResumedCheckpoint resumed = resume_checkpoint(options.checkpoint);
+    if (!(resumed.model.config() == config_) || resumed.model.num_classes() != num_classes_) {
+      throw std::runtime_error("GraphHdModel::fit_stream: checkpoint " +
+                               options.checkpoint.string() +
+                               " was written by a model with a different configuration");
+    }
+    adopt_state(resumed.model);
+    fitted_ = false;  // mid-training state, whatever the artifact says.
+    if (resumed.progress.bundle_complete) return;
+    start_index = static_cast<std::size_t>(resumed.progress.samples_consumed);
+  }
+
+  stream.reset();
+  std::size_t index = 0;
+  for (; index < start_index; ++index) {
+    if (!stream.next().has_value()) {
+      throw std::runtime_error(
+          "GraphHdModel::fit_stream: checkpoint consumed more samples than the stream "
+          "holds — resuming against a different stream?");
+    }
+  }
+
+  std::size_t last_saved = index;
+  const auto maybe_checkpoint = [&](bool bundle_complete) {
+    if (options.checkpoint.empty()) return;
+    if (!bundle_complete && index - last_saved < options.checkpoint_interval) return;
+    save_checkpoint(*this, {index, bundle_complete}, options.checkpoint);
+    // save_checkpoint builds (and caches) a snapshot of the mid-fit state;
+    // drop it so later snapshot() calls never serve stale counters.
+    invalidate_snapshot();
+    last_saved = index;
+  };
+
+  // Algorithm 1: bundle every sample into (a prototype of) its class.
+  {
+    ChunkFetcher fetcher(stream, options.chunk, options.prefetch);
+    const auto bundle_chunk = [&](auto& memory, const auto& encoded,
+                                  const data::GraphDataset& chunk) {
+      for (std::size_t i = 0; i < chunk.size(); ++i) {
+        const std::size_t label = chunk.label(i);
+        const std::size_t replica =
+            replica_for != nullptr ? (*replica_for)(index) : next_replica_[label];
+        next_replica_[label] = (next_replica_[label] + 1) % config_.vectors_per_class;
+        memory.add(slot_of(label, replica), encoded[i]);
+        ++index;
+      }
+    };
     while (true) {
-      const data::GraphDataset chunk = data::next_chunk(stream, chunk_size);
+      const data::GraphDataset chunk = fetcher.next();
       if (chunk.empty()) break;
       if (chunk.num_classes() > num_classes_) {
         throw std::invalid_argument(
             "GraphHdModel::fit_stream: stream label exceeds the model's class count");
       }
       if (packed_memory_.has_value()) {
-        const auto encoded = encode_dataset_packed(encoder_, chunk);
-        for (std::size_t i = 0; i < chunk.size(); ++i) {
-          per_sample(*packed_memory_, encoded[i], chunk.label(i), index++);
-        }
+        bundle_chunk(*packed_memory_, encode_dataset_packed(encoder_, chunk), chunk);
       } else {
-        const auto encoded = encode_dataset(encoder_, chunk);
-        for (std::size_t i = 0; i < chunk.size(); ++i) {
-          per_sample(*dense_memory_, encoded[i], chunk.label(i), index++);
-        }
+        bundle_chunk(*dense_memory_, encode_dataset(encoder_, chunk), chunk);
       }
+      maybe_checkpoint(false);
     }
-  };
+  }
+  // Bundle-complete marker: a crash during (deterministic, restartable)
+  // retraining resumes from here instead of re-ingesting the stream.
+  maybe_checkpoint(true);
+}
 
-  // Algorithm 1: bundle every sample into (a prototype of) its class.
-  replay([&](auto& memory, const auto& encoded, std::size_t label, std::size_t) {
-    const std::size_t replica = next_replica_[label];
-    next_replica_[label] = (replica + 1) % config_.vectors_per_class;
-    memory.add(slot_of(label, replica), encoded);
-  });
-
+void GraphHdModel::retrain_stream(data::GraphStream& stream, const StreamOptions& options) {
   // Extension VII.1a: perceptron-style retraining, re-encoding per epoch.
   for (std::size_t epoch = 0; epoch < config_.retrain_epochs; ++epoch) {
     std::size_t mispredictions = 0;
-    replay([&](auto& memory, const auto& encoded, std::size_t true_class, std::size_t) {
-      const auto result = memory.query(encoded);
-      const std::size_t predicted_class = class_of_slot(result.best_class);
-      if (predicted_class == true_class) return;
-      ++mispredictions;
-      const std::size_t target_slot = best_slot_in_class(result, true_class);
-      memory.retrain_update(target_slot, result.best_class, encoded);
-    });
+    stream.reset();
+    ChunkFetcher fetcher(stream, options.chunk, options.prefetch);
+    const auto retrain_chunk = [&](auto& memory, const auto& encoded,
+                                   const data::GraphDataset& chunk) {
+      for (std::size_t i = 0; i < chunk.size(); ++i) {
+        const auto result = memory.query(encoded[i]);
+        const std::size_t predicted_class = class_of_slot(result.best_class);
+        const std::size_t true_class = chunk.label(i);
+        if (predicted_class == true_class) continue;
+        ++mispredictions;
+        const std::size_t target_slot = best_slot_in_class(result, true_class);
+        memory.retrain_update(target_slot, result.best_class, encoded[i]);
+      }
+    };
+    while (true) {
+      const data::GraphDataset chunk = fetcher.next();
+      if (chunk.empty()) break;
+      if (chunk.num_classes() > num_classes_) {
+        throw std::invalid_argument(
+            "GraphHdModel::fit_stream: stream label exceeds the model's class count");
+      }
+      if (packed_memory_.has_value()) {
+        retrain_chunk(*packed_memory_, encode_dataset_packed(encoder_, chunk), chunk);
+      } else {
+        retrain_chunk(*dense_memory_, encode_dataset(encoder_, chunk), chunk);
+      }
+    }
     if (mispredictions == 0) break;
   }
+}
+
+void GraphHdModel::fit_stream_sharded(data::GraphStream& stream, const TrainOptions& options) {
+  options.validate("GraphHdModel::fit_stream_sharded");
+  if (fitted_) {
+    throw std::logic_error("GraphHdModel::fit_stream_sharded: model already fitted");
+  }
+  if (stream.num_classes() > num_classes_) {
+    throw std::invalid_argument(
+        "GraphHdModel::fit_stream_sharded: stream has more classes than the model");
+  }
+  invalidate_snapshot();
+  const std::size_t shards = options.shards;
+
+  // Serial fit assigns sample -> replica by per-class arrival order.  A
+  // shard only sees every W-th sample, so with vectors_per_class > 1 its
+  // local arrival order would pick different replicas than the serial fit.
+  // One cheap label pass (label_scan when the source supports it) rebuilds
+  // the *global* assignment; each shard then bundles its samples into
+  // exactly the slots the serial fit would have used.
+  std::vector<std::size_t> replica_of;
+  if (config_.vectors_per_class > 1) {
+    const std::vector<std::size_t> labels = data::collect_labels(stream);
+    replica_of.resize(labels.size());
+    std::vector<std::size_t> seen(num_classes_, 0);
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (labels[i] >= num_classes_) {
+        throw std::invalid_argument(
+            "GraphHdModel::fit_stream_sharded: stream label exceeds the model's class count");
+      }
+      replica_of[i] = seen[labels[i]]++ % config_.vectors_per_class;
+    }
+  }
+
+  // Map: bundle each shard into a private model, then reduce by merge().
+  // Shards run one after another — the parallelism inside each shard's
+  // encode (process-wide pool) already saturates the cores, and sequential
+  // shard fits keep stream access single-cursor safe in borrowing mode.
+  for (std::size_t shard = 0; shard < shards; ++shard) {
+    data::ShardedStream shard_view(stream, shard, shards);
+    GraphHdModel shard_model(config_, num_classes_);
+    TrainOptions shard_options = options;
+    shard_options.shards = 1;
+    shard_options.checkpoint = shard_checkpoint_path(options.checkpoint, shard);
+
+    std::function<std::size_t(std::size_t)> shard_replica;
+    if (!replica_of.empty()) {
+      // Shard `shard`'s k-th sample is global sample shard + k * W.
+      shard_replica = [&replica_of, shard, shards](std::size_t local) {
+        const std::size_t global = shard + local * shards;
+        if (global >= replica_of.size()) {
+          throw std::runtime_error(
+              "GraphHdModel::fit_stream_sharded: stream grew between the label pass and "
+              "the bundle pass");
+        }
+        return replica_of[global];
+      };
+    }
+    shard_model.bundle_stream(shard_view, shard_options,
+                              shard_replica ? &shard_replica : nullptr);
+    merge(std::move(shard_model));
+  }
+
+  // Reduce done; retraining is sequential by nature and runs on the merged
+  // counters — which equal the serial bundle counters exactly, so the
+  // retrained model is bit-identical to serial fit_stream.
+  retrain_stream(stream, options.stream());
   fitted_ = true;
+  for (std::size_t shard = 0; shard < shards; ++shard) {
+    remove_if_exists(shard_checkpoint_path(options.checkpoint, shard));
+  }
+}
+
+void GraphHdModel::fit_stream_sharded(const data::StreamOpener& opener,
+                                      const TrainOptions& options) {
+  if (!opener) {
+    throw std::invalid_argument("GraphHdModel::fit_stream_sharded: opener must be callable");
+  }
+  // ReplayableStream turns the opener into a rewindable source; the shard
+  // views and retrain replays rewind it by re-opening.
+  data::ReplayableStream stream(opener);
+  fit_stream_sharded(stream, options);
+}
+
+void GraphHdModel::merge(GraphHdModel&& other) {
+  if (!(other.config_ == config_)) {
+    throw std::invalid_argument("GraphHdModel::merge: model configurations differ");
+  }
+  if (other.num_classes_ != num_classes_) {
+    throw std::invalid_argument("GraphHdModel::merge: class counts differ (" +
+                                std::to_string(num_classes_) + " vs " +
+                                std::to_string(other.num_classes_) + ")");
+  }
+  invalidate_snapshot();
+  if (packed_memory_.has_value()) {
+    packed_memory_->merge(*other.packed_memory_);
+  } else {
+    dense_memory_->merge(*other.dense_memory_);
+  }
+  // Replica cursors advance per bundled sample, so the merged cursor is the
+  // sum of both arrival counts modulo the replica count — exactly where the
+  // serial cursor would stand after both sample sets.
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    next_replica_[c] = (next_replica_[c] + other.next_replica_[c]) % config_.vectors_per_class;
+  }
+  fitted_ = fitted_ || other.fitted_;
+}
+
+void GraphHdModel::adopt_state(const GraphHdModel& source) {
+  // Round-trip through the snapshot representation: it carries the raw
+  // signed counters and per-slot metadata, which is exactly restore_state's
+  // input (the same path model_from_snapshot uses).
+  const auto snap = source.snapshot();
+  const std::size_t slots = snap->slots();
+  std::vector<hdc::BundleAccumulator> accumulators;
+  std::vector<std::size_t> sample_counts;
+  accumulators.reserve(slots);
+  sample_counts.reserve(slots);
+  for (std::size_t slot = 0; slot < slots; ++slot) {
+    const auto counts = snap->counters(slot);
+    const auto& meta = snap->slot_meta(slot);
+    accumulators.push_back(hdc::BundleAccumulator::from_raw(
+        std::vector<std::int32_t>(counts.begin(), counts.end()),
+        static_cast<std::size_t>(meta.add_count), meta.tie_free));
+    sample_counts.push_back(static_cast<std::size_t>(meta.sample_count));
+  }
+  restore_state(std::move(accumulators), std::move(sample_counts), snap->replica_cursors(),
+                snap->fitted());
 }
 
 void GraphHdModel::partial_fit(const graph::Graph& graph, std::size_t label) {
@@ -207,18 +489,17 @@ std::vector<Prediction> GraphHdModel::predict_batch(const data::GraphDataset& te
   return predictions;
 }
 
-void GraphHdModel::predict_stream(data::GraphStream& stream, std::size_t chunk_size,
+void GraphHdModel::predict_stream(data::GraphStream& stream, const StreamOptions& options,
                                   const std::function<void(std::size_t, const Prediction&)>& sink) {
-  if (chunk_size == 0) {
-    throw std::invalid_argument("GraphHdModel::predict_stream: chunk_size must be positive");
-  }
+  options.validate("GraphHdModel::predict_stream");
   // One snapshot pinned up front (as in predict_batch) so the chunked
   // parallel queries below are pure reads.
   const std::shared_ptr<const InferenceSnapshot> snap = snapshot();
   stream.reset();
   std::size_t index = 0;
+  ChunkFetcher fetcher(stream, options.chunk, options.prefetch);
   while (true) {
-    const data::GraphDataset chunk = data::next_chunk(stream, chunk_size);
+    const data::GraphDataset chunk = fetcher.next();
     if (chunk.empty()) break;
     std::vector<Prediction> predictions(chunk.size());
     if (packed_memory_.has_value()) {
@@ -239,16 +520,32 @@ void GraphHdModel::predict_stream(data::GraphStream& stream, std::size_t chunk_s
 }
 
 std::vector<Prediction> GraphHdModel::predict_stream(data::GraphStream& stream,
-                                                     std::size_t chunk_size) {
+                                                     const StreamOptions& options) {
   std::vector<Prediction> predictions;
   if (const auto hint = stream.size_hint(); hint.has_value()) predictions.reserve(*hint);
-  predict_stream(stream, chunk_size, [&](std::size_t index, const Prediction& prediction) {
+  predict_stream(stream, options, [&](std::size_t index, const Prediction& prediction) {
     if (index != predictions.size()) {
       throw std::logic_error("GraphHdModel::predict_stream: out-of-order sink index");
     }
     predictions.push_back(prediction);
   });
   return predictions;
+}
+
+void GraphHdModel::predict_stream(data::GraphStream& stream, std::size_t chunk_size,
+                                  const std::function<void(std::size_t, const Prediction&)>& sink) {
+  if (chunk_size == 0) {
+    throw std::invalid_argument("GraphHdModel::predict_stream: chunk_size must be positive");
+  }
+  predict_stream(stream, StreamOptions{.chunk = chunk_size}, sink);
+}
+
+std::vector<Prediction> GraphHdModel::predict_stream(data::GraphStream& stream,
+                                                     std::size_t chunk_size) {
+  if (chunk_size == 0) {
+    throw std::invalid_argument("GraphHdModel::predict_stream: chunk_size must be positive");
+  }
+  return predict_stream(stream, StreamOptions{.chunk = chunk_size});
 }
 
 double GraphHdModel::evaluate(const data::GraphDataset& test) {

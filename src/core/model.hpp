@@ -12,6 +12,7 @@
 
 #include "core/config.hpp"
 #include "core/encoder.hpp"
+#include "core/options.hpp"
 #include "core/snapshot.hpp"
 #include "data/dataset.hpp"
 #include "data/stream.hpp"
@@ -56,7 +57,7 @@ class GraphHdModel {
   /// called once per model; throws on a second call.
   void fit(const data::GraphDataset& train);
 
-  /// Streaming training: pulls `chunk_size` graphs at a time from the
+  /// Streaming training: pulls `options.chunk` graphs at a time from the
   /// stream, encodes each chunk in parallel (same chunk-0/private-encoder
   /// contract as fit) and bundles it, so peak memory is O(chunk), not
   /// O(dataset).  When config.retrain_epochs > 0 the stream is reset() and
@@ -66,7 +67,52 @@ class GraphHdModel {
   /// bit-identical to fit() on the materialized dataset, at any chunk size,
   /// thread count and kernel variant (tests/test_stream.cpp,
   /// bench/stress_stream.cpp).
-  void fit_stream(data::GraphStream& stream, std::size_t chunk_size = 64);
+  ///
+  /// Beyond the chunk size, TrainOptions adds:
+  ///  - options.prefetch: pull/parse chunk N+1 on a background thread while
+  ///    chunk N encodes (bit-identical either way);
+  ///  - options.shards > 1: delegates to fit_stream_sharded;
+  ///  - options.checkpoint / checkpoint_interval / resume: periodically
+  ///    persist the counter state during the bundling pass and resume a
+  ///    killed ingest from the last checkpoint — the resumed model is
+  ///    bit-identical to an uninterrupted fit (core/serialize.hpp,
+  ///    tests/test_checkpoint.cpp).  The checkpoint file is removed on
+  ///    successful completion.
+  void fit_stream(data::GraphStream& stream, const TrainOptions& options = {});
+
+  /// Deprecated positional form of fit_stream — forwards to the TrainOptions
+  /// overload with `{.chunk = chunk_size}`.  Prefer the options overload.
+  void fit_stream(data::GraphStream& stream, std::size_t chunk_size);
+
+  /// Sharded map-reduce training: partitions the stream round-robin into
+  /// `options.shards` disjoint shard views (data::ShardedStream — sample i
+  /// belongs to shard i % W), bundles each shard into a private model, and
+  /// merge()s the shard models into *this.  Because bundling is counter
+  /// addition — commutative and associative — the merged counters are
+  /// *exactly* the serial fit_stream counters at any shard count; replica
+  /// assignment (vectors_per_class > 1) is kept serial-identical by
+  /// precomputing each sample's replica from the global label order.
+  /// Retraining (inherently sequential) then runs serially on the merged
+  /// model, so the final model is bit-identical to serial fit_stream end to
+  /// end.  With options.checkpoint set, each shard checkpoints to
+  /// `<checkpoint>.shard<k>` and a killed run resumes shard by shard.
+  void fit_stream_sharded(data::GraphStream& stream, const TrainOptions& options);
+
+  /// Opener form for sources that cannot rewind in place: every replay
+  /// (shard views, retrain epochs) re-opens the source through `opener`.
+  void fit_stream_sharded(const data::StreamOpener& opener, const TrainOptions& options);
+
+  /// Folds another model trained on disjoint (or overlapping — the merge is
+  /// a plain counter sum) samples into *this: per-slot counter addition,
+  /// sample/add counts summed, replica cursors advanced modulo
+  /// vectors_per_class, fitted flags OR-ed.  Exact: querying the merged
+  /// model equals querying one trained on both sample sets in any
+  /// interleaving (commutative and associative — see
+  /// hdc::BundleAccumulator::merge and tests/test_merge.cpp).  Configs must
+  /// compare equal and class counts match; throws std::invalid_argument
+  /// otherwise.  Note retraining is *not* merge-distributive: merge bundled
+  /// models first, then retrain the merged model.
+  void merge(GraphHdModel&& other);
 
   /// Online update with one labeled sample (usable before or after fit).
   void partial_fit(const graph::Graph& graph, std::size_t label);
@@ -84,18 +130,26 @@ class GraphHdModel {
   /// do.
   [[nodiscard]] std::vector<Prediction> predict_batch(const data::GraphDataset& test);
 
-  /// Streaming prediction: pulls `chunk_size` graphs at a time, encodes and
-  /// queries each chunk in parallel, and hands every prediction to `sink`
-  /// in stream order (`index` counts samples from 0).  Bounded memory —
-  /// graphs and encodings are dropped after their chunk.  Bit-identical to
-  /// predict_batch on the materialized stream.
-  void predict_stream(data::GraphStream& stream, std::size_t chunk_size,
+  /// Streaming prediction: pulls `options.chunk` graphs at a time, encodes
+  /// and queries each chunk in parallel, and hands every prediction to
+  /// `sink` in stream order (`index` counts samples from 0).  Bounded
+  /// memory — graphs and encodings are dropped after their chunk; with
+  /// options.prefetch the next chunk is pulled while the current one
+  /// encodes.  Bit-identical to predict_batch on the materialized stream.
+  void predict_stream(data::GraphStream& stream, const StreamOptions& options,
                       const std::function<void(std::size_t, const Prediction&)>& sink);
 
   /// Convenience overload collecting the predictions (the per-sample
   /// Prediction is a few doubles — the graphs are still streamed).
   [[nodiscard]] std::vector<Prediction> predict_stream(data::GraphStream& stream,
-                                                       std::size_t chunk_size = 64);
+                                                       const StreamOptions& options = {});
+
+  /// Deprecated positional forms of predict_stream — forward to the
+  /// StreamOptions overloads with `{.chunk = chunk_size}`.
+  void predict_stream(data::GraphStream& stream, std::size_t chunk_size,
+                      const std::function<void(std::size_t, const Prediction&)>& sink);
+  [[nodiscard]] std::vector<Prediction> predict_stream(data::GraphStream& stream,
+                                                       std::size_t chunk_size);
 
   /// Predicts a pre-encoded hypervector (lets callers amortize encoding).
   /// On the packed backend the query is packed first (one conversion, then
@@ -144,6 +198,21 @@ class GraphHdModel {
                      std::vector<std::size_t> replica_cursors, bool fitted);
 
  private:
+  /// The bundling pass over `stream` with checkpoint/resume handling.
+  /// `replica_for`, when non-null, overrides the round-robin cursor with a
+  /// precomputed replica per stream-local sample index (the sharded fit's
+  /// serial-identical replica assignment); the cursors still advance so
+  /// merge() arithmetic stays exact.
+  void bundle_stream(data::GraphStream& stream, const TrainOptions& options,
+                     const std::function<std::size_t(std::size_t)>* replica_for);
+
+  /// The perceptron retraining passes over `stream` (config_.retrain_epochs).
+  void retrain_stream(data::GraphStream& stream, const StreamOptions& options);
+
+  /// Replaces this model's learned state with `source`'s (checkpoint resume).
+  /// Configs/class counts must already be verified equal by the caller.
+  void adopt_state(const GraphHdModel& source);
+
   [[nodiscard]] std::size_t slot_count(std::size_t slot) const;
   [[nodiscard]] std::size_t slot_of(std::size_t class_id, std::size_t replica) const noexcept {
     return class_id * config_.vectors_per_class + replica;

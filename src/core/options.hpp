@@ -1,0 +1,115 @@
+/// \file options.hpp
+/// Unified options structs for every streaming entry point.
+///
+/// Before PR 8 each streaming signature grew its own positional
+/// `chunk_size = 64` default (`fit_stream`, `predict_stream`, `score_stream`,
+/// `cross_validate_stream`'s `CvConfig::stream_chunk`), so adding one knob —
+/// sharding, prefetch, checkpointing — would have meant touching every
+/// signature again.  StreamOptions/TrainOptions centralize the knobs:
+///
+///   model.fit_stream(stream, {.chunk = 128, .shards = 8});
+///   model.predict_stream(stream, {.chunk = 256});
+///
+/// StreamOptions covers read-only passes (predict/score/CV folds);
+/// TrainOptions extends it with the training-only knobs (shards,
+/// checkpoint/resume).  The old positional signatures survive as thin
+/// deprecated shims that forward here — see docs/training.md for the
+/// migration table.
+
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+
+namespace graphhd::core {
+
+/// Knobs of a read-only streaming pass (predict_stream, score_stream, the
+/// per-fold streams of cross_validate_stream).
+struct StreamOptions {
+  /// Graphs pulled/encoded per chunk — the memory/parallelism granularity.
+  /// Results are bit-identical at any chunk size; larger chunks amortize
+  /// pool dispatch, smaller chunks bound peak memory tighter.
+  std::size_t chunk = 64;
+
+  /// Overlap pulling/parsing chunk N+1 with encoding chunk N (one background
+  /// thread per active stream pass).  Bit-identical either way — the stream
+  /// is still consumed strictly in order; disable to debug stream sources
+  /// single-threaded.
+  bool prefetch = true;
+
+  /// Throws std::invalid_argument naming `who` when a field is out of range.
+  void validate(const char* who) const {
+    if (chunk == 0) {
+      throw std::invalid_argument(std::string(who) + ": options.chunk must be positive");
+    }
+  }
+
+  friend bool operator==(const StreamOptions&, const StreamOptions&) = default;
+};
+
+/// Knobs of a training pass (fit_stream / fit_stream_sharded).  The first
+/// two fields mirror StreamOptions so designated initializers read the same
+/// across the API.
+struct TrainOptions {
+  /// See StreamOptions::chunk.
+  std::size_t chunk = 64;
+
+  /// See StreamOptions::prefetch.  In sharded training every shard worker
+  /// prefetches its own shard view independently.
+  bool prefetch = true;
+
+  /// Number of training shards W.  1 = plain serial fit_stream; W > 1
+  /// partitions the stream round-robin by sample index (sample i goes to
+  /// shard i % W), fits a private model per shard and merges — bit-identical
+  /// to the serial fit at any W (see GraphHdModel::fit_stream_sharded).
+  std::size_t shards = 1;
+
+  /// Checkpoint artifact path; empty = checkpointing off.  During the
+  /// bundling pass the full counter state is persisted atomically every
+  /// `checkpoint_interval` samples, so a killed ingest resumes instead of
+  /// restarting.  Sharded fits write one file per shard
+  /// (`<checkpoint>.shard<k>`).  Deleted on successful completion.
+  std::filesystem::path checkpoint{};
+
+  /// Samples between checkpoint writes (rounded up to a chunk boundary).
+  std::size_t checkpoint_interval = 4096;
+
+  /// Resume from `checkpoint` when the file exists: the persisted counters
+  /// are adopted and the already-consumed samples are skipped (pulled but
+  /// not encoded).  A missing checkpoint file starts fresh; a corrupt one
+  /// throws std::runtime_error.  The final model is bit-identical to an
+  /// uninterrupted fit over the same stream.
+  bool resume = false;
+
+  /// The read-only subset of these options (replay passes, shard views).
+  [[nodiscard]] StreamOptions stream() const { return {.chunk = chunk, .prefetch = prefetch}; }
+
+  /// Throws std::invalid_argument naming `who` when a field is out of range.
+  void validate(const char* who) const {
+    stream().validate(who);
+    if (shards == 0) {
+      throw std::invalid_argument(std::string(who) + ": options.shards must be positive");
+    }
+    if (checkpoint_interval == 0) {
+      throw std::invalid_argument(std::string(who) +
+                                  ": options.checkpoint_interval must be positive");
+    }
+    if (resume && checkpoint.empty()) {
+      throw std::invalid_argument(std::string(who) +
+                                  ": options.resume requires options.checkpoint");
+    }
+  }
+};
+
+/// Lifts read-only stream options into training options (used by adapters
+/// whose interface speaks StreamOptions, e.g. the streaming CV classifiers).
+[[nodiscard]] inline TrainOptions as_train_options(const StreamOptions& options) {
+  TrainOptions train;
+  train.chunk = options.chunk;
+  train.prefetch = options.prefetch;
+  return train;
+}
+
+}  // namespace graphhd::core

@@ -14,22 +14,31 @@ void GraphHd::fit(const data::GraphDataset& train) {
   model_->fit(train);
 }
 
-void GraphHd::fit_stream(data::GraphStream& stream, std::size_t chunk_size) {
+void GraphHd::fit_stream(data::GraphStream& stream, const TrainOptions& options) {
   if (stream.num_classes() < 2) {
     throw std::invalid_argument("GraphHd::fit_stream: stream must contain at least 2 classes");
   }
   model_.emplace(config_, stream.num_classes());
-  model_->fit_stream(stream, chunk_size);
+  model_->fit_stream(stream, options);
+}
+
+void GraphHd::fit_stream(data::GraphStream& stream, std::size_t chunk_size) {
+  fit_stream(stream, TrainOptions{.chunk = chunk_size});
+}
+
+std::vector<std::size_t> GraphHd::predict_stream(data::GraphStream& stream,
+                                                 const StreamOptions& options) {
+  std::vector<std::size_t> labels;
+  if (const auto hint = stream.size_hint(); hint.has_value()) labels.reserve(*hint);
+  model().predict_stream(stream, options, [&](std::size_t, const Prediction& prediction) {
+    labels.push_back(prediction.label);
+  });
+  return labels;
 }
 
 std::vector<std::size_t> GraphHd::predict_stream(data::GraphStream& stream,
                                                  std::size_t chunk_size) {
-  std::vector<std::size_t> labels;
-  if (const auto hint = stream.size_hint(); hint.has_value()) labels.reserve(*hint);
-  model().predict_stream(stream, chunk_size, [&](std::size_t, const Prediction& prediction) {
-    labels.push_back(prediction.label);
-  });
-  return labels;
+  return predict_stream(stream, StreamOptions{.chunk = chunk_size});
 }
 
 void GraphHd::partial_fit(const graph::Graph& graph, std::size_t label,
@@ -61,11 +70,15 @@ std::vector<std::size_t> GraphHd::predict_batch(const data::GraphDataset& test) 
 double GraphHd::score(const data::GraphDataset& test) { return model().evaluate(test); }
 
 double GraphHd::score_stream(data::GraphStream& stream, std::size_t chunk_size) {
+  return score_stream(stream, StreamOptions{.chunk = chunk_size});
+}
+
+double GraphHd::score_stream(data::GraphStream& stream, const StreamOptions& options) {
   const auto labels = data::collect_labels(stream);
   if (labels.empty()) return 0.0;
   std::size_t hits = 0;
   std::size_t predicted = 0;
-  model().predict_stream(stream, chunk_size, [&](std::size_t i, const Prediction& prediction) {
+  model().predict_stream(stream, options, [&](std::size_t i, const Prediction& prediction) {
     if (i >= labels.size()) {
       throw std::runtime_error("GraphHd::score_stream: stream grew between the label scan and "
                                "the prediction pass");

@@ -33,11 +33,20 @@ class GraphHd {
 
   /// Streaming training over a GraphStream (data/stream.hpp): chunked,
   /// bounded-memory, bit-identical to fit() on the materialized stream.
-  void fit_stream(data::GraphStream& stream, std::size_t chunk_size = 64);
+  /// TrainOptions also carries sharding and checkpoint/resume — see
+  /// GraphHdModel::fit_stream.
+  void fit_stream(data::GraphStream& stream, const TrainOptions& options = {});
+
+  /// Deprecated positional form — forwards to the TrainOptions overload.
+  void fit_stream(data::GraphStream& stream, std::size_t chunk_size);
 
   /// Streaming prediction (class ids in stream order, bounded memory).
   [[nodiscard]] std::vector<std::size_t> predict_stream(data::GraphStream& stream,
-                                                        std::size_t chunk_size = 64);
+                                                        const StreamOptions& options = {});
+
+  /// Deprecated positional form — forwards to the StreamOptions overload.
+  [[nodiscard]] std::vector<std::size_t> predict_stream(data::GraphStream& stream,
+                                                        std::size_t chunk_size);
 
   /// Starts (or continues) an online model covering `num_classes` classes,
   /// feeding one sample.  Interchangeable with fit(): fit() is just the
@@ -65,7 +74,10 @@ class GraphHd {
   /// the stream's own labels, in bounded memory (one label column + one
   /// chunk of graphs).  Scans labels first (cheap for every source with a
   /// label fast path), then replays the stream for prediction.
-  [[nodiscard]] double score_stream(data::GraphStream& stream, std::size_t chunk_size = 64);
+  [[nodiscard]] double score_stream(data::GraphStream& stream, const StreamOptions& options = {});
+
+  /// Deprecated positional form — forwards to the StreamOptions overload.
+  [[nodiscard]] double score_stream(data::GraphStream& stream, std::size_t chunk_size);
 
   /// Access to the underlying model (throws before fit/partial_fit).
   [[nodiscard]] GraphHdModel& model();

@@ -1,0 +1,79 @@
+/// \file runtime.hpp
+/// The process-wide GRAPHHD_* environment-knob registry.
+///
+/// Before PR 8 every subsystem parsed its own environment variables —
+/// thread_pool.cpp, kernels/dispatch.cpp, encoder.cpp, the bench harnesses —
+/// with near-identical but independently drifting parsers, and nothing could
+/// tell a typo'd knob (GRAPHHD_TREADS=4) from an intentionally unset one.
+/// This header is the single table: every runtime GRAPHHD_* variable is
+/// declared once with its type, default and description, the typed accessors
+/// below are the only sanctioned way to read one, and unknown_env_vars()
+/// surfaces set-but-unregistered GRAPHHD_* names so typos fail loudly
+/// (`graphhd_cli env` prints the whole table plus those warnings).
+///
+/// Accessors throw std::logic_error when called with a name that is not in
+/// the table — registering the knob here is part of adding it, which is what
+/// keeps the table complete.
+
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace graphhd::core::runtime {
+
+/// Value shape of one knob (drives parsing and the `env` listing).
+enum class KnobKind {
+  kSize,    ///< positive integer; unset/empty/unparsable/< 1 -> default.
+  kDouble,  ///< floating point; unset/empty/unparsable -> default.
+  kString,  ///< free-form text, validated by the consumer (kernel/backend names).
+};
+
+[[nodiscard]] const char* to_string(KnobKind kind) noexcept;
+
+/// One registered environment knob.
+struct EnvKnob {
+  const char* name;         ///< full variable name ("GRAPHHD_THREADS").
+  KnobKind kind;            ///< value shape.
+  const char* fallback;     ///< human-readable default ("hardware", "64", ...).
+  const char* component;    ///< owning subsystem ("parallel", "bench/stress_shard", ...).
+  const char* description;  ///< one-line meaning.
+  /// true for build-system (CMake) options listed only so that an exported
+  /// GRAPHHD_BUILD_* does not trip the unknown-variable warning; the typed
+  /// accessors reject them like unregistered names.
+  bool build_time = false;
+};
+
+/// The full registry, sorted by name.
+[[nodiscard]] std::span<const EnvKnob> knobs();
+
+/// Registry lookup; nullptr when `name` is not registered.
+[[nodiscard]] const EnvKnob* find_knob(std::string_view name) noexcept;
+
+/// Positive-integer knob: unset, empty, unparsable or < 1 -> `fallback`.
+/// Throws std::logic_error when `name` is not a registered runtime kSize knob.
+[[nodiscard]] std::size_t env_size(const char* name, std::size_t fallback);
+
+/// Floating-point knob: unset, empty or unparsable -> `fallback`.
+/// Throws std::logic_error when `name` is not a registered runtime kDouble knob.
+[[nodiscard]] double env_double(const char* name, double fallback);
+
+/// Raw string knob: nullptr when unset or empty (callers parse/validate —
+/// kernel and backend names have domain-specific error messages).  Throws
+/// std::logic_error when `name` is not a registered runtime knob.
+[[nodiscard]] const char* env_raw(const char* name);
+
+/// The knob's current environment value, nullopt when unset/empty.  Display
+/// helper for `graphhd_cli env` — no parsing, no fallback substitution.
+[[nodiscard]] std::optional<std::string> current_value(const EnvKnob& knob);
+
+/// Set GRAPHHD_*-prefixed environment variables that are NOT in the
+/// registry — almost always typos (the warning `graphhd_cli env` and the
+/// bench harnesses print).  Sorted.
+[[nodiscard]] std::vector<std::string> unknown_env_vars();
+
+}  // namespace graphhd::core::runtime

@@ -220,6 +220,7 @@ constexpr std::uint32_t kBinaryVersion = 3;
 constexpr std::uint32_t kSectionConfig = 1;
 constexpr std::uint32_t kSectionCounters = 2;
 constexpr std::uint32_t kSectionWords = 3;
+constexpr std::uint32_t kSectionProgress = 4;
 constexpr std::uint32_t kMaxSectionCount = 16;
 constexpr std::size_t kHeaderFixedBytes = 16;   // magic + version + section count.
 constexpr std::size_t kSectionEntryBytes = 32;  // id + reserved + offset + length + checksum.
@@ -314,6 +315,7 @@ struct BinaryTable {
   const SectionEntry* config = nullptr;
   const SectionEntry* counters = nullptr;
   const SectionEntry* words = nullptr;
+  const SectionEntry* progress = nullptr;  ///< optional (checkpoints only).
 };
 
 [[nodiscard]] bool looks_binary(const unsigned char* data, std::size_t size) {
@@ -368,7 +370,33 @@ struct BinaryTable {
   table.config = find_unique(kSectionConfig, "config");
   table.counters = find_unique(kSectionCounters, "counters");
   table.words = find_unique(kSectionWords, "packed-words");
+  // Progress is optional (checkpoints only) but still unique when present.
+  for (const SectionEntry& entry : table.sections) {
+    if (entry.id != kSectionProgress) continue;
+    require(table.progress == nullptr, "duplicate progress section");
+    table.progress = &entry;
+  }
   return table;
+}
+
+constexpr std::uint32_t kProgressVersion = 1;
+constexpr std::size_t kProgressBytes = 16;  // version + flags + samples_consumed.
+
+[[nodiscard]] CheckpointProgress parse_progress_section(const unsigned char* data,
+                                                        std::size_t length) {
+  require(length == kProgressBytes,
+          "progress section length " + std::to_string(length) + " (expected " +
+              std::to_string(kProgressBytes) + ")");
+  ByteReader reader(data, length);
+  const std::uint32_t version = reader.u32("progress version");
+  require(version == kProgressVersion,
+          "unsupported progress section version " + std::to_string(version));
+  const std::uint32_t flags = reader.u32("progress flags");
+  require((flags >> 1) == 0, "unknown progress flag bits set");
+  CheckpointProgress progress;
+  progress.bundle_complete = (flags & 1u) != 0;
+  progress.samples_consumed = reader.u64("progress sample count");
+  return progress;
 }
 
 /// Everything the config section carries: the full GraphHdConfig plus the
@@ -464,8 +492,10 @@ struct ParsedConfig {
   return parsed;
 }
 
-/// Serializes a snapshot into the complete v3 artifact byte string.
-[[nodiscard]] std::string build_v3_artifact(const InferenceSnapshot& snapshot) {
+/// Serializes a snapshot into the complete v3 artifact byte string.  A
+/// non-null `progress` appends the checkpoint progress section (id 4).
+[[nodiscard]] std::string build_v3_artifact(const InferenceSnapshot& snapshot,
+                                            const CheckpointProgress* progress = nullptr) {
   const GraphHdConfig& config = snapshot.config();
   const std::size_t slots = snapshot.slots();
 
@@ -505,17 +535,25 @@ struct ParsedConfig {
     words_section.put_u64_span(snapshot.packed_words(slot));
   }
 
-  constexpr std::uint32_t kCount = 3;
-  const std::size_t header_bytes = kHeaderFixedBytes + kCount * kSectionEntryBytes;
+  ByteBuffer progress_section;
+  if (progress != nullptr) {
+    progress_section.put_u32(kProgressVersion);
+    progress_section.put_u32(progress->bundle_complete ? 1u : 0u);
+    progress_section.put_u64(progress->samples_consumed);
+  }
+
+  const std::uint32_t count = progress != nullptr ? 4 : 3;
+  const std::size_t header_bytes = kHeaderFixedBytes + count * kSectionEntryBytes;
   const std::size_t config_offset = align_up(header_bytes);
   const std::size_t counters_offset = align_up(config_offset + config_section.bytes.size());
   const std::size_t words_offset = align_up(counters_offset + counters_section.bytes.size());
+  const std::size_t progress_offset = align_up(words_offset + words_section.bytes.size());
 
   ByteBuffer artifact;
-  artifact.bytes.reserve(words_offset + words_section.bytes.size());
+  artifact.bytes.reserve(progress_offset + progress_section.bytes.size());
   artifact.bytes.append(kBinaryMagic, sizeof(kBinaryMagic));
   artifact.put_u32(kBinaryVersion);
-  artifact.put_u32(kCount);
+  artifact.put_u32(count);
   const auto table_entry = [&artifact](std::uint32_t id, std::size_t offset,
                                        const std::string& section) {
     artifact.put_u32(id);
@@ -528,6 +566,9 @@ struct ParsedConfig {
   table_entry(kSectionConfig, config_offset, config_section.bytes);
   table_entry(kSectionCounters, counters_offset, counters_section.bytes);
   table_entry(kSectionWords, words_offset, words_section.bytes);
+  if (progress != nullptr) {
+    table_entry(kSectionProgress, progress_offset, progress_section.bytes);
+  }
   // Zero padding between sections keeps every offset 8-byte aligned so an
   // mmap'd file can be addressed as int32/u64 arrays in place.
   artifact.bytes.resize(config_offset, '\0');
@@ -536,6 +577,10 @@ struct ParsedConfig {
   artifact.bytes += counters_section.bytes;
   artifact.bytes.resize(words_offset, '\0');
   artifact.bytes += words_section.bytes;
+  if (progress != nullptr) {
+    artifact.bytes.resize(progress_offset, '\0');
+    artifact.bytes += progress_section.bytes;
+  }
   return std::move(artifact.bytes);
 }
 
@@ -683,6 +728,7 @@ class MappedFile {
       case kSectionConfig: section.name = "config"; break;
       case kSectionCounters: section.name = "counters"; break;
       case kSectionWords: section.name = "packed-words"; break;
+      case kSectionProgress: section.name = "progress"; break;
       default: section.name = "unknown"; break;
     }
     section.offset = entry.offset;
@@ -826,6 +872,34 @@ void save_model(const GraphHdModel& model, std::ostream& out) {
 
 void save_model(const GraphHdModel& model, const std::filesystem::path& path) {
   atomic_write_file(path, [&model](std::ostream& out) { save_model(model, out); });
+}
+
+void save_checkpoint(const GraphHdModel& model, const CheckpointProgress& progress,
+                     const std::filesystem::path& path) {
+  const auto snapshot = model.snapshot();
+  atomic_write_file(path, [&snapshot, &progress](std::ostream& out) {
+    const std::string artifact = build_v3_artifact(*snapshot, &progress);
+    out.write(artifact.data(), static_cast<std::streamsize>(artifact.size()));
+    if (!out) {
+      throw std::runtime_error("save_checkpoint: stream failure while writing");
+    }
+  });
+}
+
+ResumedCheckpoint resume_checkpoint(const std::filesystem::path& path) {
+  const std::string blob = read_file_bytes(path, "resume_checkpoint");
+  const BinaryTable table = parse_binary_table(as_bytes(blob), blob.size());
+  if (table.progress == nullptr) {
+    throw std::runtime_error("resume_checkpoint: " + path.string() +
+                             " has no progress section (a model artifact, not a checkpoint)");
+  }
+  verify_checksum(as_bytes(blob), *table.progress, "progress");
+  const CheckpointProgress progress =
+      parse_progress_section(as_bytes(blob) + table.progress->offset, table.progress->length);
+  // snapshot_from_binary verifies the config/counters/words checksums, so a
+  // truncated or bit-flipped checkpoint fails loudly here.
+  const auto snapshot = snapshot_from_binary(as_bytes(blob), blob.size());
+  return ResumedCheckpoint{model_from_snapshot(*snapshot), progress};
 }
 
 GraphHdModel load_model(std::istream& in) {

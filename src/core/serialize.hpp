@@ -30,6 +30,10 @@
 ///                         slots x dimension, row-major
 ///                   id 3  packed-words — the finalized (majority-quantized)
 ///                         class vectors, slots x ceil(dimension/64) u64
+///                   id 4  progress — mid-training checkpoint state
+///                         (save_checkpoint only; loaders that predate the
+///                         section ignore it, so every checkpoint is also a
+///                         valid model artifact)
 ///
 ///    Because section 3 stores the *precomputed* class words, a cold process
 ///    can mmap the file and answer its first query without parsing a single
@@ -105,6 +109,34 @@ void save_model_text(const GraphHdModel& model, const std::filesystem::path& pat
 /// converted in memory).  See SnapshotLoad for the mode semantics.
 [[nodiscard]] std::shared_ptr<const InferenceSnapshot> load_snapshot(
     const std::filesystem::path& path, SnapshotLoad mode = SnapshotLoad::kAuto);
+
+/// Mid-training progress carried by a checkpoint artifact (section id 4 of
+/// the v3 format).  `samples_consumed` counts stream samples already folded
+/// into the counters; resume skips exactly that prefix.
+struct CheckpointProgress {
+  std::uint64_t samples_consumed = 0;
+  bool bundle_complete = false;  ///< bundling pass finished (retraining may remain).
+};
+
+/// Writes `model` plus training progress to `path` as a v3 artifact with a
+/// progress section, atomically (temp file + rename — a crash mid-save
+/// leaves the previous checkpoint intact).  The file is also a complete
+/// model artifact: load_model / load_snapshot read it and ignore the
+/// progress section.
+void save_checkpoint(const GraphHdModel& model, const CheckpointProgress& progress,
+                     const std::filesystem::path& path);
+
+/// A checkpoint read back: the restored trainer plus where training stood.
+struct ResumedCheckpoint {
+  GraphHdModel model;
+  CheckpointProgress progress;
+};
+
+/// Reads a checkpoint written by save_checkpoint, verifying every section
+/// checksum (truncation or bit rot surfaces as a clean std::runtime_error,
+/// never as a silently wrong model).  A plain model artifact without a
+/// progress section is rejected — it carries no resume point.
+[[nodiscard]] ResumedCheckpoint resume_checkpoint(const std::filesystem::path& path);
 
 /// One section of a v3 artifact as reported by inspect_model.
 struct SectionInfo {

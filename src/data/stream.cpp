@@ -213,6 +213,69 @@ std::optional<std::vector<std::size_t>> ReplayableStream::label_scan() {
 }
 
 // ---------------------------------------------------------------------------
+// ShardedStream
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void require_valid_shard(std::size_t shard, std::size_t num_shards) {
+  if (num_shards == 0) {
+    throw std::invalid_argument("ShardedStream: num_shards must be positive");
+  }
+  if (shard >= num_shards) {
+    throw std::invalid_argument("ShardedStream: shard " + std::to_string(shard) +
+                                " out of range for " + std::to_string(num_shards) + " shards");
+  }
+}
+
+}  // namespace
+
+ShardedStream::ShardedStream(GraphStream& source, std::size_t shard, std::size_t num_shards)
+    : source_(&source), shard_(shard), num_shards_(num_shards) {
+  require_valid_shard(shard, num_shards);
+  reset();
+}
+
+ShardedStream::ShardedStream(StreamOpener opener, std::size_t shard, std::size_t num_shards)
+    : owned_(std::make_unique<ReplayableStream>(std::move(opener))),
+      source_(owned_.get()),
+      shard_(shard),
+      num_shards_(num_shards) {
+  require_valid_shard(shard, num_shards);
+  reset();
+}
+
+void ShardedStream::reset() {
+  source_->reset();
+  source_position_ = 0;
+}
+
+std::optional<StreamSample> ShardedStream::next() {
+  while (true) {
+    auto sample = source_->next();
+    if (!sample.has_value()) return std::nullopt;
+    const bool mine = (source_position_++ % num_shards_) == shard_;
+    if (mine) return sample;
+  }
+}
+
+std::optional<std::size_t> ShardedStream::size_hint() const {
+  auto n = source_->size_hint();
+  if (!n.has_value()) return std::nullopt;
+  // Samples shard_, shard_ + W, shard_ + 2W, ... below *n.
+  return *n > shard_ ? (*n - shard_ + num_shards_ - 1) / num_shards_ : 0;
+}
+
+std::optional<std::vector<std::size_t>> ShardedStream::label_scan() {
+  auto all = source_->label_scan();
+  if (!all.has_value()) return std::nullopt;
+  std::vector<std::size_t> mine;
+  mine.reserve(all->size() / num_shards_ + 1);
+  for (std::size_t i = shard_; i < all->size(); i += num_shards_) mine.push_back((*all)[i]);
+  return mine;
+}
+
+// ---------------------------------------------------------------------------
 // TUDatasetStream
 // ---------------------------------------------------------------------------
 

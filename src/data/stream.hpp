@@ -24,7 +24,10 @@
 ///   FilteredStream   replay of an index subset of another stream (the
 ///                    per-fold adapter of the streaming k-fold protocol);
 ///   ReplayableStream re-opens a non-rewindable source through a caller
-///                    factory on every reset().
+///                    factory on every reset();
+///   ShardedStream    round-robin index partition of another stream — the
+///                    shard decomposition of fit_stream_sharded's map-reduce
+///                    training (core/model.hpp).
 ///
 /// TUDatasetWriter is the write-side counterpart: it appends one graph at a
 /// time to a TUDataset directory, producing byte-identical files to
@@ -255,6 +258,12 @@ class FilteredStream final : public GraphStream {
   std::size_t source_position_ = 0;
 };
 
+/// Factory producing a fresh, independently positioned stream over one
+/// source.  ReplayableStream uses it to rewind non-rewindable sources;
+/// GraphHdModel::fit_stream_sharded uses W of them so shard workers can pull
+/// concurrently without sharing a cursor.
+using StreamOpener = std::function<std::unique_ptr<GraphStream>()>;
+
 /// Re-openable adapter for sources that cannot rewind in place: every
 /// reset() asks `opener` for a fresh stream (e.g. re-running a query,
 /// re-opening a socket dump).  fit_stream retrain epochs and per-fold CV
@@ -265,7 +274,7 @@ class FilteredStream final : public GraphStream {
 /// must agree with the first one on num_classes (checked).
 class ReplayableStream final : public GraphStream {
  public:
-  using Opener = std::function<std::unique_ptr<GraphStream>()>;
+  using Opener = StreamOpener;
 
   /// Opens eagerly (num_classes must be known before the first pull).
   explicit ReplayableStream(Opener opener);
@@ -282,6 +291,46 @@ class ReplayableStream final : public GraphStream {
   Opener opener_;
   std::unique_ptr<GraphStream> inner_;
   std::size_t num_classes_ = 0;
+};
+
+/// Round-robin index partition of another stream: shard s of W yields
+/// exactly the source samples whose index (position in source order)
+/// satisfies index % W == s, in source order.  The partitioner of
+/// fit_stream_sharded (core/model.hpp): the W shards are disjoint, cover
+/// the source, and each is itself an ordinary GraphStream, so a per-shard
+/// model fit over shard s sees a deterministic sample subsequence no matter
+/// how the other shards are scheduled.
+///
+/// Two ownership modes mirror FilteredStream/ReplayableStream:
+///  * borrowing — the source must outlive the adapter and is shared;
+///    interleaving pulls through two borrowing shards of one source is
+///    undefined (reset() rewinds the source).  Use for sequential replay.
+///  * owning (opener) — each shard opens its own source instance, so W
+///    shards pull concurrently without sharing a cursor.
+class ShardedStream final : public GraphStream {
+ public:
+  /// Borrowing adapter over `source` (shard `shard` of `num_shards`).
+  ShardedStream(GraphStream& source, std::size_t shard, std::size_t num_shards);
+
+  /// Owning adapter: `opener` is invoked once up front (and again on every
+  /// reset through the owned ReplayableStream machinery).
+  ShardedStream(StreamOpener opener, std::size_t shard, std::size_t num_shards);
+
+  [[nodiscard]] std::optional<StreamSample> next() override;
+  void reset() override;
+  [[nodiscard]] std::size_t num_classes() const override { return source_->num_classes(); }
+  [[nodiscard]] std::optional<std::size_t> size_hint() const override;
+  [[nodiscard]] std::optional<std::vector<std::size_t>> label_scan() override;
+
+  [[nodiscard]] std::size_t shard() const noexcept { return shard_; }
+  [[nodiscard]] std::size_t num_shards() const noexcept { return num_shards_; }
+
+ private:
+  std::unique_ptr<GraphStream> owned_;  ///< null in borrowing mode.
+  GraphStream* source_;
+  std::size_t shard_;
+  std::size_t num_shards_;
+  std::size_t source_position_ = 0;
 };
 
 /// Writes `dataset` in the edge-list format EdgeListStream reads.

@@ -40,13 +40,13 @@ class GraphHdStreamClassifier final : public StreamingGraphClassifier {
 
   [[nodiscard]] std::string name() const override { return "GraphHD"; }
 
-  void fit_stream(data::GraphStream& train, std::size_t chunk_size) override {
-    classifier_.fit_stream(train, chunk_size);
+  void fit_stream(data::GraphStream& train, const core::StreamOptions& options) override {
+    classifier_.fit_stream(train, core::as_train_options(options));
   }
 
-  [[nodiscard]] std::vector<std::size_t> predict_stream(data::GraphStream& test,
-                                                        std::size_t chunk_size) override {
-    return classifier_.predict_stream(test, chunk_size);
+  [[nodiscard]] std::vector<std::size_t> predict_stream(
+      data::GraphStream& test, const core::StreamOptions& options) override {
+    return classifier_.predict_stream(test, options);
   }
 
  private:

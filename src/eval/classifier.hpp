@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "core/options.hpp"
 #include "data/dataset.hpp"
 #include "data/stream.hpp"
 
@@ -51,13 +52,13 @@ class StreamingGraphClassifier {
   /// Human-readable method name, e.g. "GraphHD".
   [[nodiscard]] virtual std::string name() const = 0;
 
-  /// Trains on the stream, pulling `chunk_size` graphs at a time.  Called
+  /// Trains on the stream with the given chunk/prefetch options.  Called
   /// exactly once; may reset() and replay the stream (retrain epochs).
-  virtual void fit_stream(data::GraphStream& train, std::size_t chunk_size) = 0;
+  virtual void fit_stream(data::GraphStream& train, const core::StreamOptions& options) = 0;
 
   /// Predicts labels for every sample of `test`, in stream order.
-  [[nodiscard]] virtual std::vector<std::size_t> predict_stream(data::GraphStream& test,
-                                                                std::size_t chunk_size) = 0;
+  [[nodiscard]] virtual std::vector<std::size_t> predict_stream(
+      data::GraphStream& test, const core::StreamOptions& options) = 0;
 };
 
 /// Streaming counterpart of ClassifierFactory (same per-fold seed contract).

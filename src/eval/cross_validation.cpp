@@ -195,9 +195,8 @@ CvResult cross_validate_stream(const std::string& method_name,
         "shared stream, so folds must run serially (encoding inside each fold is still "
         "parallel)");
   }
-  if (config.stream_chunk == 0) {
-    throw std::invalid_argument("cross_validate_stream: config.stream_chunk must be positive");
-  }
+  const core::StreamOptions stream_options = config.stream_options();
+  stream_options.validate("cross_validate_stream");
   validate_cv_protocol("cross_validate_stream", config);
 
   // Pass 1: label scan.  Labels are the one column the protocol must hold in
@@ -233,7 +232,7 @@ CvResult cross_validate_stream(const std::string& method_name,
         // subset, whose GraphDataset::num_classes() is max label + 1.
         data::FilteredStream train(stream, plan.train_mask(f), plan.train_num_classes(f));
         const auto train_start = Clock::now();
-        classifier->fit_stream(train, config.stream_chunk);
+        classifier->fit_stream(train, stream_options);
         fold.train_seconds = seconds_since(train_start);
       }
 
@@ -241,7 +240,7 @@ CvResult cross_validate_stream(const std::string& method_name,
       {
         data::FilteredStream test(stream, plan.test_mask(f));
         const auto test_start = Clock::now();
-        predictions = classifier->predict_stream(test, config.stream_chunk);
+        predictions = classifier->predict_stream(test, stream_options);
         fold.test_seconds = seconds_since(test_start);
       }
       if (predictions.size() != expected_test.size()) {

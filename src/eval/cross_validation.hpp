@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "core/options.hpp"
 #include "data/dataset.hpp"
 #include "data/stream.hpp"
 #include "eval/classifier.hpp"
@@ -35,11 +36,24 @@ struct CvConfig {
   /// cross_validate_stream.
   bool stratified = true;
 
-  /// Chunk size of the per-fold train/test streams in
-  /// cross_validate_stream; ignored by the materialized protocol.  Any value
-  /// yields identical results (chunking is invisible to the pipeline) —
-  /// this knob trades pull overhead against peak memory.
-  std::size_t stream_chunk = 64;
+  /// Options of the per-fold train/test streams in cross_validate_stream
+  /// (chunk size, prefetch); ignored by the materialized protocol.  Any
+  /// chunk yields identical results (chunking is invisible to the pipeline)
+  /// — the knobs trade pull overhead against peak memory.
+  core::StreamOptions stream{};
+
+  /// Deprecated: pre-PR-8 positional chunk knob.  0 (the default) defers to
+  /// `stream`; a nonzero value overrides stream.chunk so existing callers
+  /// keep their behavior.  See stream_options().
+  std::size_t stream_chunk = 0;
+
+  /// The resolved stream options: `stream`, with the legacy `stream_chunk`
+  /// override applied when set.
+  [[nodiscard]] core::StreamOptions stream_options() const {
+    core::StreamOptions resolved = stream;
+    if (stream_chunk != 0) resolved.chunk = stream_chunk;
+    return resolved;
+  }
 
   /// Record every fold's predicted labels in FoldResult::predictions (test
   /// samples in ascending dataset/stream order).  Off by default: the

@@ -2,40 +2,22 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <cstdlib>
 #include <stdexcept>
 
+#include "core/runtime.hpp"
 #include "data/synthetic.hpp"
 
 namespace graphhd::eval {
 
-namespace {
-
-[[nodiscard]] double env_double(const char* name, double fallback) {
-  const char* raw = std::getenv(name);
-  if (raw == nullptr || *raw == '\0') return fallback;
-  char* end = nullptr;
-  const double value = std::strtod(raw, &end);
-  if (end == raw) return fallback;
-  return value;
-}
-
-[[nodiscard]] std::size_t env_size(const char* name, std::size_t fallback) {
-  const double value = env_double(name, static_cast<double>(fallback));
-  return value < 1.0 ? fallback : static_cast<std::size_t>(value);
-}
-
-}  // namespace
-
 ExperimentConfig config_from_env(double default_scale, std::size_t default_reps,
                                  std::size_t default_epochs) {
   ExperimentConfig config;
-  config.dataset_scale = env_double("GRAPHHD_BENCH_SCALE", default_scale);
+  config.dataset_scale = core::runtime::env_double("GRAPHHD_BENCH_SCALE", default_scale);
   if (config.dataset_scale <= 0.0 || config.dataset_scale > 1.0) {
     throw std::runtime_error("GRAPHHD_BENCH_SCALE must be in (0, 1]");
   }
-  config.cv.repetitions = env_size("GRAPHHD_REPS", default_reps);
-  config.gin_max_epochs = env_size("GRAPHHD_GIN_EPOCHS", default_epochs);
+  config.cv.repetitions = core::runtime::env_size("GRAPHHD_REPS", default_reps);
+  config.gin_max_epochs = core::runtime::env_size("GRAPHHD_GIN_EPOCHS", default_epochs);
   return config;
 }
 
@@ -68,7 +50,7 @@ CvResult run_graphhd_stream_cv(data::GraphStream& stream, const std::string& dat
                                bool honor_backend_env) {
   std::fprintf(stderr, "[eval-stream] %-10s x GraphHD (%zu folds x %zu reps, chunk %zu)...\n",
                dataset_name.c_str(), config.cv.folds, config.cv.repetitions,
-               config.cv.stream_chunk);
+               config.cv.stream_options().chunk);
   return cross_validate_stream("GraphHD",
                                make_graphhd_stream_factory(hd_config, honor_backend_env),
                                stream, dataset_name, config.cv);

@@ -87,6 +87,18 @@ void AssociativeMemory::restore(std::size_t label, BundleAccumulator accumulator
   dirty_ = true;
 }
 
+void AssociativeMemory::merge(const AssociativeMemory& other) {
+  if (other.dimension_ != dimension_ || other.accumulators_.size() != accumulators_.size() ||
+      other.metric_ != metric_ || other.quantized_ != quantized_) {
+    throw std::invalid_argument("AssociativeMemory::merge: memory layout mismatch");
+  }
+  for (std::size_t slot = 0; slot < accumulators_.size(); ++slot) {
+    accumulators_[slot].merge(other.accumulators_[slot]);
+    counts_[slot] += other.counts_[slot];
+  }
+  dirty_ = true;
+}
+
 void AssociativeMemory::finalize() const {
   if (!dirty_) return;
   cached_class_vectors_.clear();

@@ -74,6 +74,13 @@ class AssociativeMemory {
   /// accumulator's dimension must match the memory's.
   void restore(std::size_t label, BundleAccumulator accumulator, std::size_t sample_count);
 
+  /// Folds another memory in, slot by slot: counter addition, sample counts
+  /// summed (see BundleAccumulator::merge).  Exact — querying the merged
+  /// memory equals querying one trained on both memories' samples in any
+  /// interleaving.  Layouts must agree (dimension, slot count, metric,
+  /// quantization); throws std::invalid_argument otherwise.
+  void merge(const AssociativeMemory& other);
+
  private:
   [[nodiscard]] double score(std::size_t label, const Hypervector& query) const;
 

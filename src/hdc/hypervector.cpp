@@ -113,6 +113,15 @@ void BundleAccumulator::add(const Hypervector& hv, std::int32_t weight) {
   if ((weight & 1) != 0) weight_parity_odd_ = !weight_parity_odd_;
 }
 
+void BundleAccumulator::merge(const BundleAccumulator& other) {
+  require_same_dimension(counts_.size(), other.counts_.size(), "BundleAccumulator::merge");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  // Total absolute weight adds, so its parity XORs — tie-freedom of the
+  // merged bundle equals that of the sequential equivalent.
+  weight_parity_odd_ = weight_parity_odd_ != other.weight_parity_odd_;
+}
+
 void BundleAccumulator::add_bound(const Hypervector& a, const Hypervector& b) {
   require_same_dimension(counts_.size(), a.dimension(), "BundleAccumulator::add_bound");
   require_same_dimension(counts_.size(), b.dimension(), "BundleAccumulator::add_bound");

@@ -122,6 +122,15 @@ class BundleAccumulator {
   /// component instead of an allocation per edge).
   void add_bound(const Hypervector& a, const Hypervector& b);
 
+  /// Folds another accumulator in: element-wise counter addition, add counts
+  /// summed, weight parities XOR'd.  Because bundling is commutative and
+  /// associative over the signed counters, the result is *exactly* the
+  /// accumulator that adding both operands' inputs into one accumulator (in
+  /// any order) would produce — the primitive of sharded map-reduce
+  /// training (GraphHdModel::merge).  Dimensions must match (throws
+  /// std::invalid_argument).
+  void merge(const BundleAccumulator& other);
+
   /// Majority threshold: sign of each counter; zeros resolved by a random
   /// ±1 vector derived from `tie_break_seed` (deterministic per seed).
   /// When the accumulated weight parity is odd no component can be zero and

@@ -12,6 +12,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/runtime.hpp"
 #include "hdc/kernels/kernels.hpp"
 
 namespace graphhd::hdc::kernels {
@@ -32,8 +33,8 @@ std::string variant_names(bool supported_only) {
 
 /// Startup policy: explicit GRAPHHD_KERNEL beats CPUID auto-selection.
 const KernelOps& startup_selection() {
-  const char* env = std::getenv("GRAPHHD_KERNEL");
-  if (env != nullptr && *env != '\0') return select(env);
+  const char* env = core::runtime::env_raw("GRAPHHD_KERNEL");
+  if (env != nullptr) return select(env);
   return best_supported();
 }
 

@@ -137,6 +137,14 @@ void PackedBundleAccumulator::add(const PackedHypervector& hv, std::int32_t weig
   if ((weight & 1) != 0) weight_parity_odd_ = !weight_parity_odd_;
 }
 
+void PackedBundleAccumulator::merge(const PackedBundleAccumulator& other) {
+  require_same_dimension(counts_.size(), other.counts_.size(),
+                         "PackedBundleAccumulator::merge");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  weight_parity_odd_ = weight_parity_odd_ != other.weight_parity_odd_;
+}
+
 PackedHypervector PackedBundleAccumulator::threshold(std::uint64_t tie_break_seed) const {
   const std::size_t dimension = counts_.size();
   const std::size_t num_words = (dimension + 63) / 64;

@@ -128,6 +128,11 @@ class PackedBundleAccumulator {
   /// Removes one previously added vector (weight -1 shortcut).
   void subtract(const PackedHypervector& hv) { add(hv, -1); }
 
+  /// Folds another accumulator in — exact counter addition, the same
+  /// operation as BundleAccumulator::merge (the raw state is shared, so the
+  /// two representations merge identically).  Dimensions must match.
+  void merge(const PackedBundleAccumulator& other);
+
   /// Majority threshold: bit set iff the signed counter is negative (the
   /// bipolar sign convention); zero counters resolved by the seeded ±1
   /// stream with one draw per component.  Identical output to

@@ -202,6 +202,18 @@ void PackedClassMemory::restore(std::size_t label, PackedBundleAccumulator accum
   dirty_ = true;
 }
 
+void PackedClassMemory::merge(const PackedClassMemory& other) {
+  if (other.dimension_ != dimension_ || other.accumulators_.size() != accumulators_.size() ||
+      other.metric_ != metric_) {
+    throw std::invalid_argument("PackedClassMemory::merge: memory layout mismatch");
+  }
+  for (std::size_t slot = 0; slot < accumulators_.size(); ++slot) {
+    accumulators_[slot].merge(other.accumulators_[slot]);
+    counts_[slot] += other.counts_[slot];
+  }
+  dirty_ = true;
+}
+
 void PackedClassMemory::finalize() const {
   if (!dirty_) return;
   cached_class_vectors_.clear();

@@ -127,6 +127,12 @@ class PackedClassMemory {
   void restore(std::size_t label, PackedBundleAccumulator accumulator,
                std::size_t sample_count);
 
+  /// Folds another memory in, slot by slot — the packed counterpart of
+  /// AssociativeMemory::merge (same counter addition on the shared raw
+  /// state).  Layouts must agree (dimension, slot count, metric); throws
+  /// std::invalid_argument otherwise.
+  void merge(const PackedClassMemory& other);
+
   /// Inference-time artifact size in bytes: num_classes * ceil(d / 8).
   [[nodiscard]] std::size_t footprint_bytes() const noexcept;
 

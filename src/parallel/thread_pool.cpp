@@ -1,6 +1,8 @@
 #include "parallel/thread_pool.hpp"
 
 #include <condition_variable>
+
+#include "core/runtime.hpp"
 #include <cstdint>
 #include <cstdlib>
 #include <exception>
@@ -192,16 +194,7 @@ std::size_t g_override_threads = 0;           // 0 = use configured_threads().
 }  // namespace
 
 std::size_t configured_threads() {
-  const char* raw = std::getenv("GRAPHHD_THREADS");
-  if (raw != nullptr && *raw != '\0') {
-    try {
-      const long long value = std::stoll(raw);
-      if (value >= 1) return static_cast<std::size_t>(value);
-    } catch (const std::exception&) {
-      // fall through to the hardware default on unparsable values.
-    }
-  }
-  return hardware_threads();
+  return core::runtime::env_size("GRAPHHD_THREADS", hardware_threads());
 }
 
 void set_threads(std::size_t num_threads) {

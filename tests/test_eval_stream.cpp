@@ -594,9 +594,22 @@ TEST(CrossValidateStream, RejectsParallelFoldsAndZeroChunk) {
   EXPECT_THROW((void)cross_validate_stream("GraphHD", factory, stream, "x", cv),
                std::invalid_argument);
   cv.parallel_folds = false;
-  cv.stream_chunk = 0;
+  cv.stream.chunk = 0;
   EXPECT_THROW((void)cross_validate_stream("GraphHD", factory, stream, "x", cv),
                std::invalid_argument);
+}
+
+TEST(CrossValidateStream, DeprecatedStreamChunkOverridesStreamOptions) {
+  // Compat contract of the pre-PR-8 positional knob: a nonzero stream_chunk
+  // overrides stream.chunk; 0 (the new default) defers to stream.
+  eval::CvConfig cv;
+  cv.stream.chunk = 16;
+  EXPECT_EQ(cv.stream_options().chunk, 16u);
+  cv.stream_chunk = 7;
+  EXPECT_EQ(cv.stream_options().chunk, 7u);
+  EXPECT_TRUE(cv.stream_options().prefetch);
+  cv.stream.prefetch = false;
+  EXPECT_FALSE(cv.stream_options().prefetch);
 }
 
 TEST(CrossValidate, RejectsMoreFoldsThanGraphsWithClearError) {

@@ -401,4 +401,91 @@ TEST(PipelineStream, EndToEndOverTUDatasetFiles) {
   fs::remove_all(dir);
 }
 
+// ---------------------------------------------------------------------------
+// ShardedStream: the round-robin partitioner of fit_stream_sharded
+// ---------------------------------------------------------------------------
+
+TEST(ShardedStreamTest, ShardsAreDisjointAndCoverTheSourceInOrder) {
+  const auto dataset = small_replica();
+  for (const std::size_t num_shards : {1u, 2u, 3u, 5u}) {
+    std::vector<bool> seen(dataset.size(), false);
+    for (std::size_t shard = 0; shard < num_shards; ++shard) {
+      DatasetStream source(dataset);
+      data::ShardedStream view(source, shard, num_shards);
+      EXPECT_EQ(view.shard(), shard);
+      EXPECT_EQ(view.num_shards(), num_shards);
+      std::size_t expected_index = shard;
+      while (auto sample = view.next()) {
+        ASSERT_LT(expected_index, dataset.size());
+        EXPECT_FALSE(seen[expected_index]) << "sample yielded by two shards";
+        seen[expected_index] = true;
+        EXPECT_EQ(sample->graph, dataset.graph(expected_index)) << "index " << expected_index;
+        EXPECT_EQ(sample->label, dataset.label(expected_index));
+        expected_index += num_shards;
+      }
+    }
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+      EXPECT_TRUE(seen[i]) << "sample " << i << " missed at W=" << num_shards;
+    }
+  }
+}
+
+TEST(ShardedStreamTest, SizeHintAndLabelScanMatchTheActualShard) {
+  const auto dataset = small_replica();
+  for (const std::size_t num_shards : {1u, 2u, 3u, 4u}) {
+    for (std::size_t shard = 0; shard < num_shards; ++shard) {
+      DatasetStream source(dataset);
+      data::ShardedStream view(source, shard, num_shards);
+
+      std::vector<std::size_t> pulled_labels;
+      while (auto sample = view.next()) pulled_labels.push_back(sample->label);
+
+      const auto hint = view.size_hint();
+      ASSERT_TRUE(hint.has_value());
+      EXPECT_EQ(*hint, pulled_labels.size()) << "shard " << shard << "/" << num_shards;
+
+      const auto scanned = view.label_scan();
+      ASSERT_TRUE(scanned.has_value());
+      EXPECT_EQ(*scanned, pulled_labels);
+      EXPECT_EQ(view.num_classes(), dataset.num_classes());
+    }
+  }
+}
+
+TEST(ShardedStreamTest, ResetReplaysTheShardExactly) {
+  const auto dataset = small_replica();
+  DatasetStream source(dataset);
+  data::ShardedStream view(source, 1, 3);
+  std::vector<std::size_t> first;
+  while (auto sample = view.next()) first.push_back(sample->label);
+  view.reset();
+  std::vector<std::size_t> second;
+  while (auto sample = view.next()) second.push_back(sample->label);
+  EXPECT_EQ(first, second);
+}
+
+TEST(ShardedStreamTest, OwningModeOpensItsOwnSource) {
+  const auto dataset = small_replica();
+  data::ShardedStream view([&dataset]() { return std::make_unique<DatasetStream>(dataset); },
+                           /*shard=*/0, /*num_shards=*/2);
+  std::size_t count = 0;
+  std::size_t expected_index = 0;
+  while (auto sample = view.next()) {
+    EXPECT_EQ(sample->label, dataset.label(expected_index));
+    expected_index += 2;
+    ++count;
+  }
+  EXPECT_EQ(count, (dataset.size() + 1) / 2);
+  view.reset();
+  EXPECT_TRUE(view.next().has_value());
+}
+
+TEST(ShardedStreamTest, RejectsInvalidShardIndices) {
+  const auto dataset = small_replica();
+  DatasetStream source(dataset);
+  EXPECT_THROW(data::ShardedStream(source, 0, 0), std::invalid_argument);
+  EXPECT_THROW(data::ShardedStream(source, 2, 2), std::invalid_argument);
+  EXPECT_THROW(data::ShardedStream(source, 7, 3), std::invalid_argument);
+}
+
 }  // namespace
