@@ -17,15 +17,25 @@
 ///   2. *Shard sweep* — fit_stream at shards=2 and shards=8 on fresh
 ///      models; each merged artifact must equal the serial one bit for
 ///      bit (exact counter merge, see GraphHdModel::merge).
+///   2b. *Parallel workers* — the 8-shard fit again, but through the
+///      StreamOpener form with GRAPHHD_SHARD_WORKERS dedicated shard-worker
+///      threads: the artifact must stay bit-identical AND the wall clock
+///      must come in under the sequential 8-shard time x
+///      GRAPHHD_SHARD_SLACK (the concurrency must not cost throughput).
 ///   3. *Crash + resume* — a sharded (shards=2, checkpointed) run is
 ///      killed mid-ingest by an injected stream failure; a fresh model
 ///      then resumes from the per-shard checkpoints and must land on the
 ///      same artifact.  The checkpoint files must be cleaned up by the
 ///      successful resume.
+///   4. *Distributed merge round trip* — the 2-shard fit re-run as two
+///      single-shard bundles (fit_stream_shard, what two separate machines
+///      would run), written out with save_checkpoint, combined with
+///      merge_checkpoint_files and finished with finish_training: the
+///      result must equal the serial artifact byte for byte.
 ///
-/// Output: one JSON object (schema "graphhd-bench-shard/v1") on stdout;
+/// Output: one JSON object (schema "graphhd-bench-shard/v2") on stdout;
 /// progress on stderr.  Exit 1 on any divergence, a leftover checkpoint,
-/// or an RSS breach.
+/// an RSS breach, or a parallel-workers slowdown past the slack.
 ///
 /// Environment knobs:
 ///   GRAPHHD_SHARD_EDGES        total edge budget           (default 10000000)
@@ -33,12 +43,15 @@
 ///   GRAPHHD_SHARD_DIM          hypervector dimension       (default 2048)
 ///   GRAPHHD_SHARD_CHUNK        stream chunk size           (default 8)
 ///   GRAPHHD_SHARD_RSS_MB       serial-phase RSS ceiling    (default 768)
+///   GRAPHHD_SHARD_WORKERS      phase-2b shard workers      (default 4)
+///   GRAPHHD_SHARD_SLACK        phase-2b wall-clock slack   (default 1.5)
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <filesystem>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -57,6 +70,7 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+using graphhd::bench::env_double;
 using graphhd::bench::env_size;
 using graphhd::bench::peak_rss_mb;
 
@@ -108,6 +122,8 @@ int main() {
   const std::size_t dimension = env_size("GRAPHHD_SHARD_DIM", 2'048);
   const std::size_t chunk = env_size("GRAPHHD_SHARD_CHUNK", 8);
   const std::size_t rss_ceiling_mb = env_size("GRAPHHD_SHARD_RSS_MB", 768);
+  const std::size_t parallel_workers = env_size("GRAPHHD_SHARD_WORKERS", 4);
+  const double parallel_slack = env_double("GRAPHHD_SHARD_SLACK", 1.5);
   bench::warn_unknown_env();
 
   // Ceil division: the produced workload must reach the requested budget.
@@ -184,6 +200,38 @@ int main() {
     }
   }
 
+  // ---- Phase 2b: 8 shards again, on dedicated worker threads. ----
+  const data::StreamOpener opener = [&]() -> std::unique_ptr<data::GraphStream> {
+    return std::make_unique<data::GeneratorStream>(num_graphs, 2, /*seed=*/0x5a4dbeefULL,
+                                                   factory);
+  };
+  const double serial8_seconds = shard_seconds.back();
+  bool parallel_identical = false;
+  double parallel_seconds = 0.0;
+  {
+    core::TrainOptions parallel = options;
+    parallel.shards = 8;
+    parallel.workers = parallel_workers;
+    core::GraphHdModel model(config, 2);
+    const auto start = Clock::now();
+    model.fit_stream_sharded(opener, parallel);
+    parallel_seconds = seconds_since(start);
+    parallel_identical = artifact_of(model) == reference;
+    if (!parallel_identical) {
+      std::fprintf(stderr,
+                   "stress_shard: FAIL — parallel-workers artifact diverges from serial\n");
+    }
+  }
+  // The gate compares against the *sequential 8-shard* run — the same work
+  // minus the worker threads — so it measures concurrency overhead, not
+  // sharding overhead.
+  const bool parallel_ok = parallel_seconds <= serial8_seconds * parallel_slack;
+  std::fprintf(stderr,
+               "stress_shard: %zu workers over 8 shards: %.3fs vs %.3fs sequential "
+               "(slack %.2f) — %s\n",
+               parallel_workers, parallel_seconds, serial8_seconds, parallel_slack,
+               parallel_ok ? "ok" : "FAIL");
+
   // ---- Phase 3: mid-run crash, then checkpoint/resume round trip. ----
   const std::filesystem::path checkpoint =
       std::filesystem::temp_directory_path() / "stress_shard_ckpt.ghd";
@@ -235,13 +283,45 @@ int main() {
     std::filesystem::remove(checkpoint, ignored);
   }
 
-  const bool ok =
-      rss_ok && shards_identical && crash_injected && resume_identical && checkpoints_cleaned;
+  // ---- Phase 4: distributed merge round trip (two machines simulated). ----
+  // Each "machine" bundles one shard of the 2-way partition on its own model
+  // and writes a checkpoint artifact; the merge + finish must reproduce the
+  // single-process artifact byte for byte.
+  bool merge_roundtrip_identical = false;
+  {
+    constexpr std::size_t kMachines = 2;
+    core::TrainOptions machine_options = options;
+    machine_options.shards = kMachines;
+    std::vector<std::filesystem::path> shard_files;
+    for (std::size_t machine = 0; machine < kMachines; ++machine) {
+      auto stream = make_stream();
+      core::GraphHdModel bundler(config, 2);
+      const auto progress = bundler.fit_stream_shard(stream, machine, machine_options);
+      std::filesystem::path file = std::filesystem::temp_directory_path() /
+                                   ("stress_shard_machine" + std::to_string(machine) + ".ghd");
+      core::save_checkpoint(bundler, progress, file);
+      shard_files.push_back(std::move(file));
+    }
+    auto merged = core::merge_checkpoint_files(shard_files);
+    auto retrain_stream = make_stream();
+    merged.model.finish_training(retrain_stream, options.stream());
+    merge_roundtrip_identical = artifact_of(merged.model) == reference;
+    std::fprintf(stderr, "stress_shard: 2-machine merge round trip %s\n",
+                 merge_roundtrip_identical ? "bit-identical" : "FAIL — diverges from serial");
+    for (const auto& file : shard_files) {
+      std::error_code ignored;
+      std::filesystem::remove(file, ignored);
+    }
+  }
+
+  const bool ok = rss_ok && shards_identical && parallel_identical && parallel_ok &&
+                  crash_injected && resume_identical && checkpoints_cleaned &&
+                  merge_roundtrip_identical;
   const double edges_per_second =
       serial_seconds > 0.0 ? static_cast<double>(streamed_edges) / serial_seconds : 0.0;
 
   std::printf("{\n");
-  std::printf("  \"schema\": \"graphhd-bench-shard/v1\",\n");
+  std::printf("  \"schema\": \"graphhd-bench-shard/v2\",\n");
   std::printf("  \"graphs\": %zu,\n", num_graphs);
   std::printf("  \"edges_total\": %zu,\n", streamed_edges);
   std::printf("  \"vertices_per_graph\": %zu,\n", vertices);
@@ -262,9 +342,16 @@ int main() {
   std::printf("  \"rss_ceiling_mb\": %zu,\n", rss_ceiling_mb);
   std::printf("  \"rss_ok\": %s,\n", rss_ok ? "true" : "false");
   std::printf("  \"shards_identical\": %s,\n", shards_identical ? "true" : "false");
+  std::printf("  \"parallel_workers\": %zu,\n", parallel_workers);
+  std::printf("  \"parallel_seconds\": %.3f,\n", parallel_seconds);
+  std::printf("  \"parallel_slack\": %.2f,\n", parallel_slack);
+  std::printf("  \"parallel_identical\": %s,\n", parallel_identical ? "true" : "false");
+  std::printf("  \"parallel_ok\": %s,\n", parallel_ok ? "true" : "false");
   std::printf("  \"crash_injected\": %s,\n", crash_injected ? "true" : "false");
   std::printf("  \"resume_identical\": %s,\n", resume_identical ? "true" : "false");
-  std::printf("  \"checkpoints_cleaned\": %s\n", checkpoints_cleaned ? "true" : "false");
+  std::printf("  \"checkpoints_cleaned\": %s,\n", checkpoints_cleaned ? "true" : "false");
+  std::printf("  \"merge_roundtrip_identical\": %s\n",
+              merge_roundtrip_identical ? "true" : "false");
   std::printf("}\n");
   return ok ? 0 : 1;
 }

@@ -5,9 +5,13 @@
 ///   graphhd_cli train   --data DIR --name DS --out MODEL [--dimension N]
 ///                       [--seed S] [--retrain K] [--prototypes P]
 ///                       [--backend dense|packed]  (GRAPHHD_BACKEND also works)
-///                       [--chunk N] [--shards W] [--checkpoint PATH]
+///                       [--chunk N] [--shards W] [--shard-workers N]
+///                       [--shard-index K] [--checkpoint PATH]
 ///                       [--checkpoint-interval N] [--resume] [--no-prefetch]
 ///                       (any of these selects bounded-memory streaming ingestion)
+///   graphhd_cli merge-checkpoints OUT IN... [--finish --data DIR --name DS]
+///                       (combine per-shard checkpoint artifacts — possibly
+///                       from different machines — into one model)
 ///   graphhd_cli predict --model MODEL --data DIR --name DS [--chunk N]
 ///   graphhd_cli eval    --data DIR --name DS [--folds K] [--reps R]
 ///                       [--chunk N]  (two-pass streaming k-fold CV)
@@ -30,9 +34,14 @@
 /// (data/stream.hpp): TUDataset files are read incrementally, N graphs at a
 /// time, with predictions bit-identical to the materialized path.  `train`
 /// additionally accepts `--shards W` (map-reduce sharded fit, bit-identical
-/// to serial), `--checkpoint PATH` / `--checkpoint-interval N` /
-/// `--resume` (crash-safe counter checkpoints, see docs/training.md) and
-/// `--no-prefetch` (disable the chunk N+1 read-ahead thread).  For `eval` this is the two-pass streaming k-fold
+/// to serial), `--shard-workers N` (fit up to N shards concurrently on
+/// dedicated worker threads — still bit-identical), `--shard-index K`
+/// (bundle ONLY shard K of the W-way partition and write a checkpoint
+/// artifact instead of a model — the per-machine half of a distributed fit,
+/// see `merge-checkpoints`), `--checkpoint PATH` /
+/// `--checkpoint-interval N` / `--resume` (crash-safe counter checkpoints,
+/// see docs/training.md) and `--no-prefetch` (disable the chunk N+1
+/// read-ahead thread).  For `eval` this is the two-pass streaming k-fold
 /// protocol (eval/cross_validation.hpp): a label scan plans stratified
 /// folds, then each fold trains and tests through filtered replays —
 /// accuracies bit-identical to the in-memory protocol, memory bounded by
@@ -43,12 +52,14 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <optional>
 #include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/options.hpp"
 #include "core/pipeline.hpp"
@@ -112,7 +123,7 @@ class Args {
 };
 
 /// Boolean flags shared by every --flag command (harmless where unused).
-constexpr std::string_view kBooleanFlags[] = {"resume", "no-prefetch"};
+constexpr std::string_view kBooleanFlags[] = {"resume", "no-prefetch", "finish"};
 
 [[nodiscard]] data::GraphDataset load_dataset(const Args& args) {
   const std::string name = args.require("name");
@@ -179,6 +190,47 @@ struct StreamSource {
   return source;
 }
 
+/// Stream-opener source for worker-threaded sharded fits: each shard worker
+/// re-opens the source through the opener for a private cursor, so the
+/// opener must be callable concurrently.  TUDataset directories re-open the
+/// files per call; the synthetic fallback shares one immutable materialized
+/// dataset across all DatasetStream views.
+struct OpenerSource {
+  data::StreamOpener opener;
+  std::size_t num_graphs = 0;
+  std::size_t num_classes = 0;
+};
+
+[[nodiscard]] OpenerSource open_stream_opener(const Args& args) {
+  const std::string name = args.require("name");
+  const std::string dir = args.get("data", "data");
+  const std::string path = dir + "/" + name;
+  OpenerSource source;
+  if (data::tudataset_exists(path, name)) {
+    data::TUDatasetStream probe(path, name);
+    source.num_graphs = probe.labels().size();
+    source.num_classes = probe.num_classes();
+    source.opener = [path, name]() -> std::unique_ptr<data::GraphStream> {
+      return std::make_unique<data::TUDatasetStream>(path, name);
+    };
+    std::fprintf(stderr, "streaming %s: %zu graphs, %zu classes\n", name.c_str(),
+                 source.num_graphs, source.num_classes);
+  } else {
+    const double scale = std::stod(args.get("scale", "1.0"));
+    const auto seed = static_cast<std::uint64_t>(std::stoull(args.get("seed", "2022")));
+    auto dataset = std::make_shared<const data::GraphDataset>(
+        data::make_synthetic_replica(name, seed, scale));
+    source.num_graphs = dataset->size();
+    source.num_classes = dataset->num_classes();
+    source.opener = [dataset]() -> std::unique_ptr<data::GraphStream> {
+      return std::make_unique<data::DatasetStream>(*dataset);
+    };
+    std::fprintf(stderr, "streaming synthetic %s: %zu graphs, %zu classes\n", name.c_str(),
+                 source.num_graphs, source.num_classes);
+  }
+  return source;
+}
+
 /// The requested chunk size: --chunk wins, --stream is the deprecated
 /// pre-PR-8 alias; 0 = no streaming flag given.
 [[nodiscard]] std::size_t stream_chunk_of(const Args& args) {
@@ -208,6 +260,10 @@ struct StreamSource {
     options.shards = std::stoull(shards);
     streaming = true;
   }
+  if (const std::string workers = args.get("shard-workers", ""); !workers.empty()) {
+    options.workers = std::stoull(workers);  // 0 = auto (min(shards, pool threads)).
+    streaming = true;
+  }
   if (const std::string checkpoint = args.get("checkpoint", ""); !checkpoint.empty()) {
     options.checkpoint = checkpoint;
     streaming = true;
@@ -223,16 +279,61 @@ struct StreamSource {
   return options;
 }
 
+/// Per-shard progress/RSS lines for sharded fits (stderr, observational).
+void print_train_stats(const core::TrainStats& stats) {
+  if (stats.shards.size() <= 1 && stats.workers_used <= 1) return;
+  for (const auto& shard : stats.shards) {
+    std::fprintf(stderr, "shard %zu: %zu samples in %.3f s (peak RSS %zu MB)\n", shard.shard,
+                 shard.samples, shard.seconds, shard.peak_rss_kb / 1024);
+  }
+  std::fprintf(stderr, "%zu worker%s | merge %.3f s | retrain %.3f s\n", stats.workers_used,
+               stats.workers_used == 1 ? "" : "s", stats.merge_seconds, stats.retrain_seconds);
+}
+
 int cmd_train(const Args& args) {
   const std::string out = args.require("out");
-  if (const auto options = train_options_of(args)) {
+  if (const std::string index = args.get("shard-index", ""); !index.empty()) {
+    // Distributed building block: bundle ONLY shard K of the --shards-way
+    // partition and write a checkpoint artifact (not a model) for
+    // merge-checkpoints to combine later — see docs/training.md.
+    core::TrainOptions options = train_options_of(args).value_or(core::TrainOptions{});
     auto source = open_stream(args);
     core::GraphHdModel model(config_from(args), source.stream->num_classes());
-    model.fit_stream(*source.stream, *options);
+    const auto progress = model.fit_stream_shard(*source.stream, std::stoull(index), options);
+    core::save_checkpoint(model, progress, out);
+    std::printf("bundled shard %ju/%ju (%ju samples); checkpoint written to %s\n",
+                static_cast<std::uintmax_t>(progress.shard_index),
+                static_cast<std::uintmax_t>(progress.shard_count),
+                static_cast<std::uintmax_t>(progress.samples_consumed), out.c_str());
+    return 0;
+  }
+  if (const auto parsed = train_options_of(args)) {
+    core::TrainOptions options = *parsed;
+    core::TrainStats stats;
+    options.stats = &stats;
+    core::GraphHdConfig config = config_from(args);
+    if (options.workers != 1) {
+      // Worker-threaded sharded fit: needs the StreamOpener form so every
+      // shard worker pulls a private cursor.
+      auto source = open_stream_opener(args);
+      core::GraphHdModel model(config, source.num_classes);
+      model.fit_stream_sharded(source.opener, options);
+      core::save_model(model, out);
+      std::printf(
+          "stream-trained on %zu graphs (chunk %zu, %zu shards, %zu workers); model written "
+          "to %s\n",
+          source.num_graphs, options.chunk, options.shards, stats.workers_used, out.c_str());
+      print_train_stats(stats);
+      return 0;
+    }
+    auto source = open_stream(args);
+    core::GraphHdModel model(config, source.stream->num_classes());
+    model.fit_stream(*source.stream, options);
     core::save_model(model, out);
     std::printf("stream-trained on %zu graphs (chunk %zu, %zu shard%s); model written to %s\n",
-                source.labels.size(), options->chunk, options->shards,
-                options->shards == 1 ? "" : "s", out.c_str());
+                source.labels.size(), options.chunk, options.shards,
+                options.shards == 1 ? "" : "s", out.c_str());
+    print_train_stats(stats);
     return 0;
   }
   const auto dataset = load_dataset(args);
@@ -382,6 +483,52 @@ int cmd_gen(const Args& args) {
   return 0;
 }
 
+void usage();
+
+/// merge-checkpoints OUT IN... [--finish --data DIR --name DS [--chunk N]]
+///
+/// Combines the per-shard checkpoint artifacts of one sharded bundling pass
+/// (written by `train --shards W --shard-index K`, possibly on W different
+/// machines) into the exact counter state a single-process sharded fit would
+/// have bundled.  Without --finish the merged state is written as a
+/// checkpoint artifact (retraining still pending); with --finish the
+/// retraining epochs run over the named stream and OUT is a finished model —
+/// byte-for-byte the artifact `train --shards W` would have produced.
+int cmd_merge_checkpoints(int argc, char** argv) {
+  int first_flag = 2;
+  std::vector<std::string> positionals;
+  while (first_flag < argc && std::strncmp(argv[first_flag], "--", 2) != 0) {
+    positionals.emplace_back(argv[first_flag]);
+    ++first_flag;
+  }
+  if (positionals.size() < 2) {
+    usage();
+    return 2;
+  }
+  const Args args(argc, argv, first_flag, kBooleanFlags);
+  const std::string out = positionals.front();
+  const std::vector<std::filesystem::path> inputs(positionals.begin() + 1, positionals.end());
+  auto merged = core::merge_checkpoint_files(inputs);
+  if (args.has("finish")) {
+    const std::size_t chunk = stream_chunk_of(args);
+    auto source = open_stream(args);
+    merged.model.finish_training(*source.stream,
+                                 stream_options_of(args, chunk == 0 ? 64 : chunk));
+    core::save_model(merged.model, out);
+    std::printf("merged %zu shard checkpoints (%ju samples), finished retraining; model "
+                "written to %s\n",
+                inputs.size(), static_cast<std::uintmax_t>(merged.progress.samples_consumed),
+                out.c_str());
+    return 0;
+  }
+  core::save_checkpoint(merged.model, merged.progress, out);
+  std::printf("merged %zu shard checkpoints (%ju samples); checkpoint written to %s "
+              "(retraining pending — rerun with --finish or resume it)\n",
+              inputs.size(), static_cast<std::uintmax_t>(merged.progress.samples_consumed),
+              out.c_str());
+  return 0;
+}
+
 int cmd_model_info(const std::string& path) {
   const auto info = core::inspect_model(path);
   std::printf("artifact           %s\n", path.c_str());
@@ -467,14 +614,20 @@ int cmd_synth(const Args& args) {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: graphhd_cli "
-               "<train|predict|eval|env|synth|gen|stats|model-info|convert> [--flag value ...]\n"
+               "usage: graphhd_cli <train|predict|eval|env|synth|gen|stats|model-info|convert"
+               "|merge-checkpoints> [--flag value ...]\n"
                "  train      --data DIR --name DS --out MODEL [--dimension N] [--retrain K]\n"
                "             [--backend dense|packed]   (or GRAPHHD_BACKEND env)\n"
                "             [--chunk N]                (bounded-memory chunked ingestion)\n"
                "             [--shards W]               (sharded map-reduce fit, == serial)\n"
+               "             [--shard-workers N]        (fit N shards concurrently; 0 = auto)\n"
+               "             [--shard-index K]          (bundle only shard K; --out is then a\n"
+               "                                         checkpoint for merge-checkpoints)\n"
                "             [--checkpoint PATH] [--checkpoint-interval N] [--resume]\n"
                "             [--no-prefetch]            (disable chunk read-ahead)\n"
+               "  merge-checkpoints OUT IN...           (combine per-shard checkpoints, e.g.\n"
+               "             from W machines; add --finish --data DIR --name DS [--chunk N]\n"
+               "             to run the retraining epochs and write a finished model)\n"
                "  predict    --model MODEL --data DIR --name DS [--chunk N] [--no-prefetch]\n"
                "  eval       --data DIR --name DS [--folds K] [--reps R] [--scale X]\n"
                "             [--backend dense|packed] [--chunk N] [--no-prefetch]\n"
@@ -516,6 +669,9 @@ int main(int argc, char** argv) {
     }
     if (command == "env") {
       return cmd_env();
+    }
+    if (command == "merge-checkpoints") {
+      return cmd_merge_checkpoints(argc, argv);
     }
     const Args args(argc, argv, 2, kBooleanFlags);
     if (command == "train") return cmd_train(args);

@@ -1,19 +1,30 @@
 #include "core/model.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <future>
 #include <optional>
 #include <stdexcept>
 #include <string>
 #include <system_error>
+#include <thread>
 #include <utility>
 
+#include "core/runtime.hpp"
 #include "core/serialize.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace graphhd::core {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
 
 /// Double-buffered chunk puller: with prefetch on, chunk N+1 is pulled and
 /// parsed on one background thread while the caller encodes chunk N.  The
@@ -77,6 +88,28 @@ void remove_if_exists(const std::filesystem::path& path) {
   if (path.empty()) return;
   std::error_code ignored;
   std::filesystem::remove(path, ignored);
+}
+
+/// Removes every `<base>.shard<digits>` sibling of a sharded fit's
+/// checkpoint base — not just the current shard count's files.  A previous
+/// *wider* run may have left higher-numbered files behind; they would fail
+/// the resume topology check loudly, but the success path must not leave
+/// that trap armed (and must not leak disk).
+void cleanup_shard_checkpoints(const std::filesystem::path& base) {
+  if (base.empty()) return;
+  const std::string prefix = base.filename().string() + ".shard";
+  std::filesystem::path dir = base.parent_path();
+  if (dir.empty()) dir = ".";
+  std::error_code list_error;
+  std::filesystem::directory_iterator entries(dir, list_error);
+  if (list_error) return;
+  for (const std::filesystem::directory_entry& entry : entries) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= prefix.size() || name.compare(0, prefix.size(), prefix) != 0) continue;
+    if (name.find_first_not_of("0123456789", prefix.size()) != std::string::npos) continue;
+    std::error_code ignored;
+    std::filesystem::remove(entry.path(), ignored);
+  }
 }
 
 }  // namespace
@@ -177,8 +210,16 @@ void GraphHdModel::fit_stream(data::GraphStream& stream, const TrainOptions& opt
   // then one stream replay per retraining epoch.  Chunk boundaries are
   // invisible to the result — encoding is seed-deterministic per sample and
   // the bundle/retrain updates run in stream order.
-  bundle_stream(stream, options, nullptr);
+  if (options.stats != nullptr) *options.stats = TrainStats{};
+  const auto bundle_start = Clock::now();
+  const std::size_t samples = bundle_stream(stream, options, nullptr, 1, 0);
+  if (options.stats != nullptr) {
+    options.stats->shards.push_back(
+        {0, samples, seconds_since(bundle_start), runtime::peak_rss_kb()});
+  }
+  const auto retrain_start = Clock::now();
   retrain_stream(stream, options.stream());
+  if (options.stats != nullptr) options.stats->retrain_seconds = seconds_since(retrain_start);
   fitted_ = true;
   // Success: the checkpoint has served its purpose.
   remove_if_exists(options.checkpoint);
@@ -192,8 +233,10 @@ void GraphHdModel::fit_stream(data::GraphStream& stream, std::size_t chunk_size)
   fit_stream(stream, TrainOptions{.chunk = chunk_size});
 }
 
-void GraphHdModel::bundle_stream(data::GraphStream& stream, const TrainOptions& options,
-                                 const std::function<std::size_t(std::size_t)>* replica_for) {
+std::size_t GraphHdModel::bundle_stream(
+    data::GraphStream& stream, const TrainOptions& options,
+    const std::function<std::size_t(std::size_t)>* replica_for, std::size_t shard_count,
+    std::size_t shard_index) {
   // Resume: adopt the persisted counters and skip the already-consumed
   // prefix.  A missing file simply starts fresh (first run of a resumable
   // job); a corrupt file throws in resume_checkpoint.
@@ -206,10 +249,28 @@ void GraphHdModel::bundle_stream(data::GraphStream& stream, const TrainOptions& 
                                options.checkpoint.string() +
                                " was written by a model with a different configuration");
     }
+    // samples_consumed indexes into the checkpoint's round-robin shard view;
+    // under any other {shard_count, shard_index} that prefix names different
+    // samples, so a mismatched resume would silently skip or duplicate data.
+    const CheckpointProgress& progress = resumed.progress;
+    if (progress.shard_count == 0) {
+      throw std::runtime_error("GraphHdModel::fit_stream: checkpoint " +
+                               options.checkpoint.string() +
+                               " predates shard-topology progress (v1) — its shard "
+                               "assignment is unknown; delete it and restart the fit");
+    }
+    if (progress.shard_count != shard_count || progress.shard_index != shard_index) {
+      throw std::runtime_error(
+          "GraphHdModel::fit_stream: checkpoint " + options.checkpoint.string() +
+          " was written as shard " + std::to_string(progress.shard_index) + " of " +
+          std::to_string(progress.shard_count) + " but this fit runs shard " +
+          std::to_string(shard_index) + " of " + std::to_string(shard_count) +
+          " — resuming would skip or duplicate samples");
+    }
     adopt_state(resumed.model);
     fitted_ = false;  // mid-training state, whatever the artifact says.
-    if (resumed.progress.bundle_complete) return;
-    start_index = static_cast<std::size_t>(resumed.progress.samples_consumed);
+    if (progress.bundle_complete) return static_cast<std::size_t>(progress.samples_consumed);
+    start_index = static_cast<std::size_t>(progress.samples_consumed);
   }
 
   stream.reset();
@@ -226,7 +287,8 @@ void GraphHdModel::bundle_stream(data::GraphStream& stream, const TrainOptions& 
   const auto maybe_checkpoint = [&](bool bundle_complete) {
     if (options.checkpoint.empty()) return;
     if (!bundle_complete && index - last_saved < options.checkpoint_interval) return;
-    save_checkpoint(*this, {index, bundle_complete}, options.checkpoint);
+    save_checkpoint(*this, {index, bundle_complete, shard_count, shard_index},
+                    options.checkpoint);
     // save_checkpoint builds (and caches) a snapshot of the mid-fit state;
     // drop it so later snapshot() calls never serve stale counters.
     invalidate_snapshot();
@@ -265,6 +327,7 @@ void GraphHdModel::bundle_stream(data::GraphStream& stream, const TrainOptions& 
   // Bundle-complete marker: a crash during (deterministic, restartable)
   // retraining resumes from here instead of re-ingesting the stream.
   maybe_checkpoint(true);
+  return index;
 }
 
 void GraphHdModel::retrain_stream(data::GraphStream& stream, const StreamOptions& options) {
@@ -302,8 +365,56 @@ void GraphHdModel::retrain_stream(data::GraphStream& stream, const StreamOptions
   }
 }
 
+std::vector<std::size_t> GraphHdModel::global_replica_assignment(data::GraphStream& stream) {
+  // Serial fit assigns sample -> replica by per-class arrival order.  A
+  // shard only sees every W-th sample, so with vectors_per_class > 1 its
+  // local arrival order would pick different replicas than the serial fit.
+  // One cheap label pass (label_scan when the source supports it) rebuilds
+  // the *global* assignment; each shard then bundles its samples into
+  // exactly the slots the serial fit would have used.
+  std::vector<std::size_t> replica_of;
+  if (config_.vectors_per_class <= 1) return replica_of;
+  const std::vector<std::size_t> labels = data::collect_labels(stream);
+  replica_of.resize(labels.size());
+  std::vector<std::size_t> seen(num_classes_, 0);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] >= num_classes_) {
+      throw std::invalid_argument(
+          "GraphHdModel::fit_stream_sharded: stream label exceeds the model's class count");
+    }
+    replica_of[i] = seen[labels[i]]++ % config_.vectors_per_class;
+  }
+  return replica_of;
+}
+
+namespace {
+
+/// Shard `shard`'s local sample k is global sample shard + k * W; the bound
+/// check catches a source that grew between the label pass and the bundle
+/// pass (the assignment would no longer be the serial one).
+[[nodiscard]] std::function<std::size_t(std::size_t)> shard_replica_map(
+    const std::vector<std::size_t>& replica_of, std::size_t shard, std::size_t shards) {
+  if (replica_of.empty()) return {};
+  return [&replica_of, shard, shards](std::size_t local) {
+    const std::size_t global = shard + local * shards;
+    if (global >= replica_of.size()) {
+      throw std::runtime_error(
+          "GraphHdModel::fit_stream_sharded: stream grew between the label pass and "
+          "the bundle pass");
+    }
+    return replica_of[global];
+  };
+}
+
+}  // namespace
+
 void GraphHdModel::fit_stream_sharded(data::GraphStream& stream, const TrainOptions& options) {
   options.validate("GraphHdModel::fit_stream_sharded");
+  if (options.workers != 1) {
+    throw std::invalid_argument(
+        "GraphHdModel::fit_stream_sharded: options.workers != 1 requires the StreamOpener "
+        "form — a borrowed stream has a single cursor and cannot be pulled concurrently");
+  }
   if (fitted_) {
     throw std::logic_error("GraphHdModel::fit_stream_sharded: model already fitted");
   }
@@ -313,26 +424,12 @@ void GraphHdModel::fit_stream_sharded(data::GraphStream& stream, const TrainOpti
   }
   invalidate_snapshot();
   const std::size_t shards = options.shards;
-
-  // Serial fit assigns sample -> replica by per-class arrival order.  A
-  // shard only sees every W-th sample, so with vectors_per_class > 1 its
-  // local arrival order would pick different replicas than the serial fit.
-  // One cheap label pass (label_scan when the source supports it) rebuilds
-  // the *global* assignment; each shard then bundles its samples into
-  // exactly the slots the serial fit would have used.
-  std::vector<std::size_t> replica_of;
-  if (config_.vectors_per_class > 1) {
-    const std::vector<std::size_t> labels = data::collect_labels(stream);
-    replica_of.resize(labels.size());
-    std::vector<std::size_t> seen(num_classes_, 0);
-    for (std::size_t i = 0; i < labels.size(); ++i) {
-      if (labels[i] >= num_classes_) {
-        throw std::invalid_argument(
-            "GraphHdModel::fit_stream_sharded: stream label exceeds the model's class count");
-      }
-      replica_of[i] = seen[labels[i]]++ % config_.vectors_per_class;
-    }
+  if (options.stats != nullptr) {
+    *options.stats = TrainStats{};
+    options.stats->shards.assign(shards, ShardProgress{});
   }
+
+  const std::vector<std::size_t> replica_of = global_replica_assignment(stream);
 
   // Map: bundle each shard into a private model, then reduce by merge().
   // Shards run one after another — the parallelism inside each shard's
@@ -343,34 +440,32 @@ void GraphHdModel::fit_stream_sharded(data::GraphStream& stream, const TrainOpti
     GraphHdModel shard_model(config_, num_classes_);
     TrainOptions shard_options = options;
     shard_options.shards = 1;
+    shard_options.workers = 1;
+    shard_options.stats = nullptr;
     shard_options.checkpoint = shard_checkpoint_path(options.checkpoint, shard);
 
-    std::function<std::size_t(std::size_t)> shard_replica;
-    if (!replica_of.empty()) {
-      // Shard `shard`'s k-th sample is global sample shard + k * W.
-      shard_replica = [&replica_of, shard, shards](std::size_t local) {
-        const std::size_t global = shard + local * shards;
-        if (global >= replica_of.size()) {
-          throw std::runtime_error(
-              "GraphHdModel::fit_stream_sharded: stream grew between the label pass and "
-              "the bundle pass");
-        }
-        return replica_of[global];
-      };
+    const std::function<std::size_t(std::size_t)> shard_replica =
+        shard_replica_map(replica_of, shard, shards);
+    const auto shard_start = Clock::now();
+    const std::size_t samples = shard_model.bundle_stream(
+        shard_view, shard_options, shard_replica ? &shard_replica : nullptr, shards, shard);
+    if (options.stats != nullptr) {
+      options.stats->shards[shard] =
+          ShardProgress{shard, samples, seconds_since(shard_start), runtime::peak_rss_kb()};
     }
-    shard_model.bundle_stream(shard_view, shard_options,
-                              shard_replica ? &shard_replica : nullptr);
+    const auto merge_start = Clock::now();
     merge(std::move(shard_model));
+    if (options.stats != nullptr) options.stats->merge_seconds += seconds_since(merge_start);
   }
 
   // Reduce done; retraining is sequential by nature and runs on the merged
   // counters — which equal the serial bundle counters exactly, so the
   // retrained model is bit-identical to serial fit_stream.
+  const auto retrain_start = Clock::now();
   retrain_stream(stream, options.stream());
+  if (options.stats != nullptr) options.stats->retrain_seconds = seconds_since(retrain_start);
   fitted_ = true;
-  for (std::size_t shard = 0; shard < shards; ++shard) {
-    remove_if_exists(shard_checkpoint_path(options.checkpoint, shard));
-  }
+  cleanup_shard_checkpoints(options.checkpoint);
 }
 
 void GraphHdModel::fit_stream_sharded(const data::StreamOpener& opener,
@@ -378,10 +473,178 @@ void GraphHdModel::fit_stream_sharded(const data::StreamOpener& opener,
   if (!opener) {
     throw std::invalid_argument("GraphHdModel::fit_stream_sharded: opener must be callable");
   }
-  // ReplayableStream turns the opener into a rewindable source; the shard
-  // views and retrain replays rewind it by re-opening.
-  data::ReplayableStream stream(opener);
-  fit_stream_sharded(stream, options);
+  options.validate("GraphHdModel::fit_stream_sharded");
+  const std::size_t workers =
+      options.workers == 0 ? std::min(options.shards, parallel::configured_threads())
+                           : std::min(options.workers, options.shards);
+  if (workers <= 1) {
+    // ReplayableStream turns the opener into a rewindable source; the shard
+    // views and retrain replays rewind it by re-opening.
+    TrainOptions serial = options;
+    serial.workers = 1;
+    data::ReplayableStream stream(opener);
+    fit_stream_sharded(stream, serial);
+    if (options.stats != nullptr) options.stats->workers_used = 1;
+    return;
+  }
+
+  if (fitted_) {
+    throw std::logic_error("GraphHdModel::fit_stream_sharded: model already fitted");
+  }
+  invalidate_snapshot();
+  if (options.stats != nullptr) *options.stats = TrainStats{};
+
+  std::vector<std::size_t> replica_of;
+  {
+    data::ReplayableStream probe(opener);
+    if (probe.num_classes() > num_classes_) {
+      throw std::invalid_argument(
+          "GraphHdModel::fit_stream_sharded: stream has more classes than the model");
+    }
+    replica_of = global_replica_assignment(probe);
+  }
+
+  bundle_shards_parallel(opener, options, replica_of, workers);
+
+  const auto retrain_start = Clock::now();
+  data::ReplayableStream retrain_source(opener);
+  retrain_stream(retrain_source, options.stream());
+  if (options.stats != nullptr) options.stats->retrain_seconds = seconds_since(retrain_start);
+  fitted_ = true;
+  cleanup_shard_checkpoints(options.checkpoint);
+}
+
+void GraphHdModel::bundle_shards_parallel(const data::StreamOpener& opener,
+                                          const TrainOptions& options,
+                                          const std::vector<std::size_t>& replica_of,
+                                          std::size_t workers) {
+  const std::size_t shards = options.shards;
+  if (options.stats != nullptr) {
+    options.stats->shards.assign(shards, ShardProgress{});
+    options.stats->workers_used = workers;
+  }
+
+  // Each worker claims shards off an atomic counter and bundles them into
+  // private models over private owning shard views — no shared mutable
+  // state beyond the counter, the per-shard result/error slots (each written
+  // by exactly one worker, read only after the joins) and whatever the
+  // opener shares internally.  The encode passes inside bundle_stream go
+  // through the process-wide pool, whose one-batch-at-a-time discipline
+  // keeps concurrent shard encodes from oversubscribing the cores: workers
+  // overlap stream pull/parse/prefetch with each other's encode batches.
+  std::vector<std::unique_ptr<GraphHdModel>> shard_models(shards);
+  std::vector<std::exception_ptr> shard_errors(shards);
+  std::atomic<std::size_t> next_shard{0};
+  std::atomic<bool> abort{false};
+
+  const auto worker_loop = [&] {
+    for (;;) {
+      if (abort.load(std::memory_order_relaxed)) return;
+      const std::size_t shard = next_shard.fetch_add(1, std::memory_order_relaxed);
+      if (shard >= shards) return;
+      try {
+        data::ShardedStream shard_view(opener, shard, shards);
+        auto shard_model = std::make_unique<GraphHdModel>(config_, num_classes_);
+        TrainOptions shard_options = options;
+        shard_options.shards = 1;
+        shard_options.workers = 1;
+        shard_options.stats = nullptr;
+        shard_options.checkpoint = shard_checkpoint_path(options.checkpoint, shard);
+
+        const std::function<std::size_t(std::size_t)> shard_replica =
+            shard_replica_map(replica_of, shard, shards);
+        const auto shard_start = Clock::now();
+        const std::size_t samples = shard_model->bundle_stream(
+            shard_view, shard_options, shard_replica ? &shard_replica : nullptr, shards,
+            shard);
+        if (options.stats != nullptr) {
+          options.stats->shards[shard] =
+              ShardProgress{shard, samples, seconds_since(shard_start), runtime::peak_rss_kb()};
+        }
+        shard_models[shard] = std::move(shard_model);
+      } catch (...) {
+        shard_errors[shard] = std::current_exception();
+        abort.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) threads.emplace_back(worker_loop);
+  for (std::thread& thread : threads) thread.join();
+
+  // Deterministic error propagation: the lowest failed shard's exception
+  // wins, whatever order the workers actually hit their errors in.
+  for (std::size_t shard = 0; shard < shards; ++shard) {
+    if (shard_errors[shard] != nullptr) std::rethrow_exception(shard_errors[shard]);
+  }
+
+  // Reduce on the calling thread, in shard order.  merge() is commutative,
+  // so any order would produce the same counters — index order just makes
+  // the equivalence to the serial loop obvious.
+  const auto merge_start = Clock::now();
+  for (std::size_t shard = 0; shard < shards; ++shard) {
+    merge(std::move(*shard_models[shard]));
+  }
+  if (options.stats != nullptr) options.stats->merge_seconds = seconds_since(merge_start);
+}
+
+CheckpointProgress GraphHdModel::fit_stream_shard(data::GraphStream& stream,
+                                                  std::size_t shard_index,
+                                                  const TrainOptions& options) {
+  options.validate("GraphHdModel::fit_stream_shard");
+  if (shard_index >= options.shards) {
+    throw std::invalid_argument("GraphHdModel::fit_stream_shard: shard index " +
+                                std::to_string(shard_index) + " out of range for " +
+                                std::to_string(options.shards) + " shards");
+  }
+  if (fitted_) {
+    throw std::logic_error("GraphHdModel::fit_stream_shard: model already fitted");
+  }
+  if (stream.num_classes() > num_classes_) {
+    throw std::invalid_argument(
+        "GraphHdModel::fit_stream_shard: stream has more classes than the model");
+  }
+  invalidate_snapshot();
+  if (options.stats != nullptr) *options.stats = TrainStats{};
+
+  // The replica assignment comes from the GLOBAL label order — every machine
+  // computes the same one from the same full stream, so the union of the
+  // per-machine bundles lands in exactly the serial fit's slots.
+  const std::vector<std::size_t> replica_of = global_replica_assignment(stream);
+  data::ShardedStream shard_view(stream, shard_index, options.shards);
+  TrainOptions shard_options = options;
+  shard_options.shards = 1;
+  shard_options.workers = 1;
+  shard_options.stats = nullptr;
+  // options.checkpoint is used as-is: this process owns exactly one shard,
+  // so there is no sibling to disambiguate from.
+  const std::function<std::size_t(std::size_t)> shard_replica =
+      shard_replica_map(replica_of, shard_index, options.shards);
+  const auto shard_start = Clock::now();
+  const std::size_t samples =
+      bundle_stream(shard_view, shard_options, shard_replica ? &shard_replica : nullptr,
+                    options.shards, shard_index);
+  if (options.stats != nullptr) {
+    options.stats->shards.push_back(
+        {shard_index, samples, seconds_since(shard_start), runtime::peak_rss_kb()});
+  }
+  return CheckpointProgress{samples, true, options.shards, shard_index};
+}
+
+void GraphHdModel::finish_training(data::GraphStream& stream, const StreamOptions& options) {
+  options.validate("GraphHdModel::finish_training");
+  if (fitted_) {
+    throw std::logic_error("GraphHdModel::finish_training: model already fitted");
+  }
+  if (stream.num_classes() > num_classes_) {
+    throw std::invalid_argument(
+        "GraphHdModel::finish_training: stream has more classes than the model");
+  }
+  invalidate_snapshot();
+  retrain_stream(stream, options);
+  fitted_ = true;
 }
 
 void GraphHdModel::merge(GraphHdModel&& other) {

@@ -96,11 +96,42 @@ class GraphHdModel {
   /// model, so the final model is bit-identical to serial fit_stream end to
   /// end.  With options.checkpoint set, each shard checkpoints to
   /// `<checkpoint>.shard<k>` and a killed run resumes shard by shard.
+  /// Borrowing form: the single stream cursor forces sequential shard fits,
+  /// so options.workers must be 1.
   void fit_stream_sharded(data::GraphStream& stream, const TrainOptions& options);
 
   /// Opener form for sources that cannot rewind in place: every replay
   /// (shard views, retrain epochs) re-opens the source through `opener`.
+  /// This form also unlocks options.workers != 1 — dedicated shard-worker
+  /// threads each pull a private owning ShardedStream and bundle
+  /// concurrently, then the shard models merge in index order on the calling
+  /// thread (bit-identical to serial at any worker count).  With workers
+  /// != 1 the opener is invoked concurrently and must be thread-safe.
   void fit_stream_sharded(const data::StreamOpener& opener, const TrainOptions& options);
+
+  /// Distributed building block: bundles ONLY shard `shard_index` of the
+  /// `options.shards`-way round-robin partition of `stream` into *this —
+  /// what one machine of a multi-machine fit runs.  The stream is the FULL
+  /// training stream (every machine sees the same one); replica assignment
+  /// (vectors_per_class > 1) is precomputed from the global label order so
+  /// the shard bundles into exactly the slots a one-process fit would.  No
+  /// retraining runs and the model stays unfitted; persist the result with
+  /// save_checkpoint(model, returned_progress, path), ship the per-shard
+  /// files to one place, and combine them with core::merge_checkpoint_files
+  /// followed by finish_training.  Returns the shard's progress (samples
+  /// bundled, bundle_complete, and the {shards, shard_index} topology).
+  /// options.checkpoint, when set, is used as-is for this shard's mid-run
+  /// crash checkpoints (no `.shard<k>` suffix — the file is per-machine).
+  CheckpointProgress fit_stream_shard(data::GraphStream& stream, std::size_t shard_index,
+                                      const TrainOptions& options);
+
+  /// Completes training on a bundled-but-unfitted model (the output of
+  /// core::merge_checkpoint_files, or a resumed bundle-complete checkpoint):
+  /// runs the sequential retraining epochs over `stream` and marks the model
+  /// fitted.  Applied to the exact merged counters this reproduces the
+  /// one-process sharded fit byte for byte.  Throws std::logic_error when
+  /// the model is already fitted.
+  void finish_training(data::GraphStream& stream, const StreamOptions& options = {});
 
   /// Folds another model trained on disjoint (or overlapping — the merge is
   /// a plain counter sum) samples into *this: per-slot counter addition,
@@ -202,9 +233,23 @@ class GraphHdModel {
   /// `replica_for`, when non-null, overrides the round-robin cursor with a
   /// precomputed replica per stream-local sample index (the sharded fit's
   /// serial-identical replica assignment); the cursors still advance so
-  /// merge() arithmetic stays exact.
-  void bundle_stream(data::GraphStream& stream, const TrainOptions& options,
-                     const std::function<std::size_t(std::size_t)>* replica_for);
+  /// merge() arithmetic stays exact.  `shard_count`/`shard_index` name the
+  /// round-robin topology `stream` represents ({1, 0} for a plain fit):
+  /// checkpoints record it, and resume rejects a checkpoint written under a
+  /// different topology — its consumed-sample prefix indexes a different
+  /// view.  Returns the stream-local samples consumed (the resumed prefix
+  /// included).
+  std::size_t bundle_stream(data::GraphStream& stream, const TrainOptions& options,
+                            const std::function<std::size_t(std::size_t)>* replica_for,
+                            std::size_t shard_count, std::size_t shard_index);
+
+  /// The worker-threaded shard loop of the opener fit_stream_sharded form.
+  void bundle_shards_parallel(const data::StreamOpener& opener, const TrainOptions& options,
+                              const std::vector<std::size_t>& replica_of, std::size_t workers);
+
+  /// The serial-identical replica assignment of every stream sample (empty
+  /// when vectors_per_class == 1 — the cursor path is already exact).
+  [[nodiscard]] std::vector<std::size_t> global_replica_assignment(data::GraphStream& stream);
 
   /// The perceptron retraining passes over `stream` (config_.retrain_epochs).
   void retrain_stream(data::GraphStream& stream, const StreamOptions& options);

@@ -19,11 +19,33 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <filesystem>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace graphhd::core {
+
+/// Mid-training progress carried by a checkpoint artifact (the `progress`
+/// section, id 4, of the v3 format — see core/serialize.hpp and
+/// docs/formats.md).  `samples_consumed` counts stream samples already
+/// folded into the counters; resume skips exactly that prefix.
+///
+/// Since progress v2 the section also records the *shard topology* the
+/// counters were produced under: `samples_consumed` indexes into the shard's
+/// round-robin view of the stream, so a checkpoint is only meaningful for
+/// the exact {shard_count, shard_index} it was written with — resuming it
+/// under a different topology would silently skip or duplicate samples.
+/// Progress-v1 files predate the topology fields and load with
+/// `shard_count == 0` ("unknown"); resume and merge paths reject that
+/// rather than guess.
+struct CheckpointProgress {
+  std::uint64_t samples_consumed = 0;
+  bool bundle_complete = false;   ///< bundling pass finished (retraining may remain).
+  std::uint64_t shard_count = 1;  ///< round-robin shard count W; 0 = unknown (v1 file).
+  std::uint64_t shard_index = 0;  ///< this checkpoint's shard k (samples i with i % W == k).
+};
 
 /// Knobs of a read-only streaming pass (predict_stream, score_stream, the
 /// per-fold streams of cross_validate_stream).
@@ -47,6 +69,26 @@ struct StreamOptions {
   }
 
   friend bool operator==(const StreamOptions&, const StreamOptions&) = default;
+};
+
+/// Per-shard progress of one sharded bundling pass, reported through
+/// TrainOptions::stats.  Each shard worker fills exactly its own entry, so
+/// the vector is written without synchronization beyond the fit's own joins.
+struct ShardProgress {
+  std::size_t shard = 0;        ///< shard index k (samples i with i % W == k).
+  std::size_t samples = 0;      ///< samples bundled by this shard.
+  double seconds = 0.0;         ///< wall-clock of this shard's bundling pass.
+  std::size_t peak_rss_kb = 0;  ///< process VmHWM (KB) sampled after the shard; 0 = unknown.
+};
+
+/// Aggregate statistics of one fit_stream / fit_stream_sharded call, filled
+/// when TrainOptions::stats points at an instance.  Purely observational —
+/// the trained state is bit-identical whether or not stats are collected.
+struct TrainStats {
+  std::vector<ShardProgress> shards;  ///< one entry per shard, index order.
+  std::size_t workers_used = 1;       ///< shard-worker threads actually spawned.
+  double merge_seconds = 0.0;         ///< reduce phase (counter merges).
+  double retrain_seconds = 0.0;       ///< sequential retraining epochs.
 };
 
 /// Knobs of a training pass (fit_stream / fit_stream_sharded).  The first
@@ -79,9 +121,28 @@ struct TrainOptions {
   /// Resume from `checkpoint` when the file exists: the persisted counters
   /// are adopted and the already-consumed samples are skipped (pulled but
   /// not encoded).  A missing checkpoint file starts fresh; a corrupt one
-  /// throws std::runtime_error.  The final model is bit-identical to an
-  /// uninterrupted fit over the same stream.
+  /// throws std::runtime_error; one written under a different shard topology
+  /// (other `shards`, other shard index) throws too — its sample prefix
+  /// indexes a different round-robin view.  The final model is bit-identical
+  /// to an uninterrupted fit over the same stream.
   bool resume = false;
+
+  /// Shard-worker threads of a sharded fit: 1 (default) bundles the shards
+  /// sequentially; N > 1 runs up to N shard fits on dedicated threads, each
+  /// pulling a private owning ShardedStream; 0 = auto
+  /// (min(shards, parallel::configured_threads())).  Any value other than 1
+  /// requires the StreamOpener form of fit_stream_sharded — a borrowed
+  /// stream has one cursor and cannot be pulled concurrently.  The encode
+  /// passes still go through the process-wide thread pool, which serializes
+  /// concurrent top-level batches, so shard workers overlap stream
+  /// pull/parse with encode instead of oversubscribing cores.  Bit-identical
+  /// to serial at any worker count (merge order is fixed by shard index).
+  std::size_t workers = 1;
+
+  /// When non-null, per-shard progress/RSS and phase timings of the fit are
+  /// written here (see TrainStats).  Observational only; the pointer must
+  /// outlive the fit call.
+  TrainStats* stats = nullptr;
 
   /// The read-only subset of these options (replay passes, shard views).
   [[nodiscard]] StreamOptions stream() const { return {.chunk = chunk, .prefetch = prefetch}; }

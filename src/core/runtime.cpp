@@ -1,7 +1,9 @@
 #include "core/runtime.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 
 #if !defined(_WIN32)
@@ -102,6 +104,10 @@ constexpr EnvKnob kKnobs[] = {
      "edges per generated graph in the sharded-training stress run", false},
     {"GRAPHHD_SHARD_RSS_MB", KnobKind::kSize, "768", "bench/stress_shard",
      "peak-RSS ceiling (MB) of the sharded-training stress run", false},
+    {"GRAPHHD_SHARD_SLACK", KnobKind::kDouble, "1.5", "bench/stress_shard",
+     "wall-clock gate: parallel-workers run must finish within serial x slack", false},
+    {"GRAPHHD_SHARD_WORKERS", KnobKind::kSize, "4", "bench/stress_shard",
+     "shard-worker threads of the parallel-workers stress phase", false},
     {"GRAPHHD_SIMD_KERNELS", KnobKind::kString, "ON", "build (cmake)",
      "CMake option: compile the AVX2/AVX-512 kernel variants", true},
     {"GRAPHHD_SIZE_STEP", KnobKind::kSize, "320", "bench/fig4_scalability",
@@ -215,6 +221,25 @@ std::vector<std::string> unknown_env_vars() {
   unknown.erase(std::unique(unknown.begin(), unknown.end()), unknown.end());
 #endif
   return unknown;
+}
+
+std::size_t peak_rss_kb() {
+#if defined(__linux__)
+  std::FILE* status = std::fopen("/proc/self/status", "r");
+  if (status == nullptr) return 0;
+  char line[256];
+  std::size_t kb = 0;
+  while (std::fgets(line, sizeof(line), status) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      kb = static_cast<std::size_t>(std::strtoull(line + 6, nullptr, 10));
+      break;
+    }
+  }
+  std::fclose(status);
+  return kb;
+#else
+  return 0;
+#endif
 }
 
 }  // namespace graphhd::core::runtime

@@ -76,4 +76,9 @@ struct EnvKnob {
 /// bench harnesses print).  Sorted.
 [[nodiscard]] std::vector<std::string> unknown_env_vars();
 
+/// Process peak resident set size in KB (VmHWM from /proc/self/status on
+/// Linux); 0 when the platform does not expose it.  Feeds the per-shard
+/// TrainStats RSS column and the bench RSS gates.
+[[nodiscard]] std::size_t peak_rss_kb();
+
 }  // namespace graphhd::core::runtime

@@ -379,23 +379,39 @@ struct BinaryTable {
   return table;
 }
 
-constexpr std::uint32_t kProgressVersion = 1;
-constexpr std::size_t kProgressBytes = 16;  // version + flags + samples_consumed.
+constexpr std::uint32_t kProgressVersion = 2;
+constexpr std::size_t kProgressBytesV1 = 16;  // version + flags + samples_consumed.
+constexpr std::size_t kProgressBytes = 32;    // v1 fields + shard_count + shard_index.
 
 [[nodiscard]] CheckpointProgress parse_progress_section(const unsigned char* data,
                                                         std::size_t length) {
-  require(length == kProgressBytes,
+  require(length == kProgressBytesV1 || length == kProgressBytes,
           "progress section length " + std::to_string(length) + " (expected " +
-              std::to_string(kProgressBytes) + ")");
+              std::to_string(kProgressBytesV1) + " or " + std::to_string(kProgressBytes) + ")");
   ByteReader reader(data, length);
   const std::uint32_t version = reader.u32("progress version");
-  require(version == kProgressVersion,
+  require(version == 1 || version == kProgressVersion,
           "unsupported progress section version " + std::to_string(version));
+  require(length == (version == 1 ? kProgressBytesV1 : kProgressBytes),
+          "progress section length does not match its version");
   const std::uint32_t flags = reader.u32("progress flags");
   require((flags >> 1) == 0, "unknown progress flag bits set");
   CheckpointProgress progress;
   progress.bundle_complete = (flags & 1u) != 0;
   progress.samples_consumed = reader.u64("progress sample count");
+  if (version == 1) {
+    // v1 predates the topology fields: shard_count 0 marks it unknown, so
+    // resume paths that need the topology reject instead of guessing.
+    progress.shard_count = 0;
+    progress.shard_index = 0;
+    return progress;
+  }
+  progress.shard_count = reader.u64("progress shard count");
+  progress.shard_index = reader.u64("progress shard index");
+  require(progress.shard_count >= 1, "progress shard count must be >= 1");
+  require(progress.shard_index < progress.shard_count,
+          "progress shard index " + std::to_string(progress.shard_index) +
+              " out of range for " + std::to_string(progress.shard_count) + " shards");
   return progress;
 }
 
@@ -540,6 +556,8 @@ struct ParsedConfig {
     progress_section.put_u32(kProgressVersion);
     progress_section.put_u32(progress->bundle_complete ? 1u : 0u);
     progress_section.put_u64(progress->samples_consumed);
+    progress_section.put_u64(progress->shard_count);
+    progress_section.put_u64(progress->shard_index);
   }
 
   const std::uint32_t count = progress != nullptr ? 4 : 3;
@@ -876,6 +894,11 @@ void save_model(const GraphHdModel& model, const std::filesystem::path& path) {
 
 void save_checkpoint(const GraphHdModel& model, const CheckpointProgress& progress,
                      const std::filesystem::path& path) {
+  if (progress.shard_count == 0 || progress.shard_index >= progress.shard_count) {
+    throw std::invalid_argument(
+        "save_checkpoint: progress shard topology {" + std::to_string(progress.shard_count) +
+        ", " + std::to_string(progress.shard_index) + "} is invalid");
+  }
   const auto snapshot = model.snapshot();
   atomic_write_file(path, [&snapshot, &progress](std::ostream& out) {
     const std::string artifact = build_v3_artifact(*snapshot, &progress);
@@ -900,6 +923,66 @@ ResumedCheckpoint resume_checkpoint(const std::filesystem::path& path) {
   // truncated or bit-flipped checkpoint fails loudly here.
   const auto snapshot = snapshot_from_binary(as_bytes(blob), blob.size());
   return ResumedCheckpoint{model_from_snapshot(*snapshot), progress};
+}
+
+MergedCheckpoints merge_checkpoint_files(const std::vector<std::filesystem::path>& inputs) {
+  if (inputs.empty()) {
+    throw std::invalid_argument("merge_checkpoint_files: no checkpoint files given");
+  }
+  const std::uint64_t shard_count = inputs.size();
+  // Load everything up front, then merge in *shard-index* order (not input
+  // order) so the result matches a one-process sharded fit byte for byte.
+  std::vector<std::optional<ResumedCheckpoint>> by_index(inputs.size());
+  for (const std::filesystem::path& path : inputs) {
+    ResumedCheckpoint loaded = resume_checkpoint(path);
+    const CheckpointProgress& progress = loaded.progress;
+    if (progress.shard_count == 0) {
+      throw std::runtime_error("merge_checkpoint_files: " + path.string() +
+                               " predates shard-topology progress (v1) — its shard "
+                               "assignment is unknown and cannot be merged safely");
+    }
+    if (!progress.bundle_complete) {
+      throw std::runtime_error("merge_checkpoint_files: " + path.string() +
+                               " is a mid-bundling checkpoint (shard " +
+                               std::to_string(progress.shard_index) +
+                               " incomplete) — finish or resume that shard first");
+    }
+    if (progress.shard_count != shard_count) {
+      throw std::runtime_error(
+          "merge_checkpoint_files: " + path.string() + " was written for " +
+          std::to_string(progress.shard_count) + " shards but " +
+          std::to_string(shard_count) + " checkpoint files were given");
+    }
+    std::optional<ResumedCheckpoint>& slot = by_index[progress.shard_index];
+    if (slot.has_value()) {
+      throw std::runtime_error("merge_checkpoint_files: duplicate checkpoint for shard " +
+                               std::to_string(progress.shard_index) + " (" + path.string() +
+                               ")");
+    }
+    slot = std::move(loaded);
+  }
+  // Every index occupied exactly once: with shard_count == inputs.size() and
+  // no duplicates, a full by_index *is* the 0..W-1 cover.
+  for (std::size_t shard = 0; shard < by_index.size(); ++shard) {
+    if (!by_index[shard].has_value()) {
+      throw std::runtime_error("merge_checkpoint_files: no checkpoint covers shard " +
+                               std::to_string(shard));
+    }
+  }
+  const GraphHdModel& first = by_index.front()->model;
+  MergedCheckpoints merged{GraphHdModel(first.config(), first.num_classes()),
+                           CheckpointProgress{0, true, 1, 0}};
+  for (std::size_t shard = 0; shard < by_index.size(); ++shard) {
+    ResumedCheckpoint& shard_checkpoint = *by_index[shard];
+    if (!(shard_checkpoint.model.config() == first.config()) ||
+        shard_checkpoint.model.num_classes() != first.num_classes()) {
+      throw std::runtime_error("merge_checkpoint_files: shard " + std::to_string(shard) +
+                               " was written by a model with a different configuration");
+    }
+    merged.progress.samples_consumed += shard_checkpoint.progress.samples_consumed;
+    merged.model.merge(std::move(shard_checkpoint.model));
+  }
+  return merged;
 }
 
 GraphHdModel load_model(std::istream& in) {

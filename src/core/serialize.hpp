@@ -110,13 +110,9 @@ void save_model_text(const GraphHdModel& model, const std::filesystem::path& pat
 [[nodiscard]] std::shared_ptr<const InferenceSnapshot> load_snapshot(
     const std::filesystem::path& path, SnapshotLoad mode = SnapshotLoad::kAuto);
 
-/// Mid-training progress carried by a checkpoint artifact (section id 4 of
-/// the v3 format).  `samples_consumed` counts stream samples already folded
-/// into the counters; resume skips exactly that prefix.
-struct CheckpointProgress {
-  std::uint64_t samples_consumed = 0;
-  bool bundle_complete = false;  ///< bundling pass finished (retraining may remain).
-};
+// CheckpointProgress (the payload of the progress section, id 4) lives in
+// core/options.hpp next to TrainOptions: GraphHdModel::fit_stream_shard
+// returns it, and model.hpp cannot include this header back.
 
 /// Writes `model` plus training progress to `path` as a v3 artifact with a
 /// progress section, atomically (temp file + rename — a crash mid-save
@@ -137,6 +133,29 @@ struct ResumedCheckpoint {
 /// never as a silently wrong model).  A plain model artifact without a
 /// progress section is rejected — it carries no resume point.
 [[nodiscard]] ResumedCheckpoint resume_checkpoint(const std::filesystem::path& path);
+
+/// Result of merge_checkpoint_files: the exact merged counter state plus a
+/// progress record describing it (sum of shard samples, bundle complete,
+/// topology collapsed back to {1, 0} so the merged file is itself a valid
+/// single-stream checkpoint — save it and `resume` to finish retraining).
+struct MergedCheckpoints {
+  GraphHdModel model;
+  CheckpointProgress progress;
+};
+
+/// Merges the per-shard checkpoint artifacts of one sharded bundling pass —
+/// possibly produced on different machines — into the single model a
+/// one-process sharded fit would have bundled (byte-for-byte: merge is exact
+/// counter addition, applied in shard-index order).  Every input must be a
+/// bundle-complete checkpoint written under the same config/class count with
+/// `shard_count == inputs.size()`, and the shard indices must cover
+/// 0..W-1 exactly once; progress-v1 checkpoints (unknown topology) are
+/// rejected.  Throws std::invalid_argument on an empty input list and
+/// std::runtime_error on any incompatibility.  The merged model is *not*
+/// fitted — run the retraining epochs (GraphHdModel::finish_training) to get
+/// the final model.
+[[nodiscard]] MergedCheckpoints merge_checkpoint_files(
+    const std::vector<std::filesystem::path>& inputs);
 
 /// One section of a v3 artifact as reported by inspect_model.
 struct SectionInfo {

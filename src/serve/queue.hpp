@@ -20,6 +20,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 #include <utility>
@@ -33,10 +34,20 @@ class BoundedMpmcQueue {
  public:
   /// \param capacity  minimum number of in-flight elements the queue must
   ///                  hold; rounded up to the next power of two (>= 2).
-  ///                  Throws std::invalid_argument on 0.
+  ///                  Throws std::invalid_argument on 0 and on capacities
+  ///                  above the largest representable power of two (the
+  ///                  round-up would overflow to 0 and the loop below would
+  ///                  never terminate).
   explicit BoundedMpmcQueue(std::size_t capacity) {
     if (capacity == 0) {
       throw std::invalid_argument("BoundedMpmcQueue: capacity must be positive");
+    }
+    constexpr std::size_t kMaxCapacity = std::size_t{1}
+                                         << (std::numeric_limits<std::size_t>::digits - 1);
+    if (capacity > kMaxCapacity) {
+      throw std::invalid_argument(
+          "BoundedMpmcQueue: capacity exceeds the largest power of two representable in "
+          "size_t");
     }
     std::size_t rounded = 2;
     while (rounded < capacity) rounded <<= 1;

@@ -352,6 +352,142 @@ TEST(ShardedCheckpoint, MidShardCrashResumesBitIdentical) {
 }
 
 // ---------------------------------------------------------------------------
+// Shard-topology-safe resume (progress v2)
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointTopology, ProgressTopologyRoundTrips) {
+  const fs::path dir = fresh_temp_dir("topology");
+  const auto dataset = checkpoint_dataset(41);
+  core::GraphHdModel model(checkpoint_config(core::Backend::kDenseBipolar),
+                           dataset.num_classes());
+  DatasetStream stream(dataset);
+  model.fit_stream(stream, core::TrainOptions{.chunk = 6});
+
+  const fs::path path = dir / "topo.ghd";
+  core::save_checkpoint(
+      model,
+      {.samples_consumed = 17, .bundle_complete = true, .shard_count = 4, .shard_index = 2},
+      path);
+  const auto resumed = core::resume_checkpoint(path);
+  EXPECT_EQ(resumed.progress.shard_count, 4u);
+  EXPECT_EQ(resumed.progress.shard_index, 2u);
+
+  // Inconsistent topologies must never reach disk.
+  EXPECT_THROW(core::save_checkpoint(model, {.shard_count = 0}, path), std::invalid_argument);
+  EXPECT_THROW(
+      core::save_checkpoint(model, {.shard_count = 2, .shard_index = 2}, path),
+      std::invalid_argument);
+  fs::remove_all(dir);
+}
+
+TEST(CheckpointTopology, ResumeUnderDifferentShardTopologyIsRejected) {
+  // Regression: before progress v2 a checkpoint written under --shards 2
+  // resumed silently under --shards 3 — shard 0's counters were adopted but
+  // samples_consumed then indexed a *3-way* round-robin view, skipping and
+  // duplicating samples without any error.  The topology now rides in the
+  // progress section and the mismatch must throw.
+  const fs::path dir = fresh_temp_dir("topo_mismatch");
+  const auto dataset = checkpoint_dataset(43, 28);
+  const auto config = checkpoint_config(core::Backend::kDenseBipolar);
+
+  core::TrainOptions options;
+  options.chunk = 4;
+  options.shards = 2;
+  options.checkpoint = dir / "ckpt.ghd";
+  options.checkpoint_interval = 8;
+  {
+    core::GraphHdModel crashed(config, dataset.num_classes());
+    DatasetStream source(dataset);
+    FailAfter failing(source, 40);  // inside shard 1's bundling pass.
+    EXPECT_THROW(crashed.fit_stream_sharded(failing, options), std::runtime_error);
+    ASSERT_TRUE(fs::exists(dir / "ckpt.ghd.shard0"));
+  }
+
+  options.resume = true;
+  options.shards = 3;  // same checkpoint file names, different topology.
+  core::GraphHdModel resumed(config, dataset.num_classes());
+  DatasetStream stream(dataset);
+  try {
+    resumed.fit_stream_sharded(stream, options);
+    FAIL() << "resume adopted a shard checkpoint written under a different topology";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("shard"), std::string::npos) << error.what();
+  }
+  fs::remove_all(dir);
+}
+
+TEST(CheckpointTopology, ShrinkingShardsAfterACrashIsRejectedNotSilentlyWrong) {
+  // The shrink direction is the nasty one: every .shard<k> file a narrower
+  // rerun looks for exists (left by the wider run), so without the topology
+  // check the resume would "succeed" on stale state.
+  const fs::path dir = fresh_temp_dir("shrink");
+  const auto dataset = checkpoint_dataset(47, 28);
+  const auto config = checkpoint_config(core::Backend::kDenseBipolar);
+
+  core::TrainOptions options;
+  options.chunk = 4;
+  options.shards = 4;
+  options.checkpoint = dir / "ckpt.ghd";
+  options.checkpoint_interval = 4;
+  {
+    core::GraphHdModel crashed(config, dataset.num_classes());
+    DatasetStream source(dataset);
+    FailAfter failing(source, 100);  // inside shard 3 (4 shards x 28 pulls).
+    EXPECT_THROW(crashed.fit_stream_sharded(failing, options), std::runtime_error);
+    ASSERT_TRUE(fs::exists(dir / "ckpt.ghd.shard0"));
+    ASSERT_TRUE(fs::exists(dir / "ckpt.ghd.shard2"));
+  }
+
+  core::TrainOptions narrower = options;
+  narrower.resume = true;
+  narrower.shards = 2;
+  core::GraphHdModel resumed(config, dataset.num_classes());
+  DatasetStream stream(dataset);
+  EXPECT_THROW(resumed.fit_stream_sharded(stream, narrower), std::runtime_error);
+  fs::remove_all(dir);
+}
+
+TEST(CheckpointTopology, SuccessfulRunSweepsStaleShardFilesFromAWiderRun) {
+  // A fresh (non-resuming) narrower run must not leave the wider run's
+  // .shard2/.shard3 behind: a later --shards 4 --resume would otherwise
+  // adopt those stale counters as if they were its own.
+  const fs::path dir = fresh_temp_dir("stale_sweep");
+  const auto dataset = checkpoint_dataset(53, 28);
+  const auto config = checkpoint_config(core::Backend::kDenseBipolar);
+
+  core::TrainOptions options;
+  options.chunk = 4;
+  options.shards = 4;
+  options.checkpoint = dir / "ckpt.ghd";
+  options.checkpoint_interval = 4;
+  {
+    core::GraphHdModel crashed(config, dataset.num_classes());
+    DatasetStream source(dataset);
+    FailAfter failing(source, 100);
+    EXPECT_THROW(crashed.fit_stream_sharded(failing, options), std::runtime_error);
+    ASSERT_TRUE(fs::exists(dir / "ckpt.ghd.shard2"));
+  }
+
+  core::GraphHdModel reference(config, dataset.num_classes());
+  DatasetStream reference_stream(dataset);
+  reference.fit_stream(reference_stream, core::TrainOptions{.chunk = 4});
+
+  core::TrainOptions narrower = options;
+  narrower.shards = 2;  // fresh run (no resume) — overwrites shard0/shard1.
+  core::GraphHdModel rerun(config, dataset.num_classes());
+  DatasetStream stream(dataset);
+  rerun.fit_stream_sharded(stream, narrower);
+  EXPECT_EQ(artifact_of(rerun), artifact_of(reference));
+  for (int k = 0; k < 4; ++k) {
+    fs::path shard_file = narrower.checkpoint;
+    shard_file += ".shard" + std::to_string(k);
+    EXPECT_FALSE(fs::exists(shard_file))
+        << shard_file << " survived a successful sharded fit";
+  }
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
 // Corruption fuzz: truncations and byte flips
 // ---------------------------------------------------------------------------
 

@@ -1,0 +1,279 @@
+/// \file test_distributed.cpp
+/// Cross-machine training round trip (PR 9): per-shard bundles written as
+/// checkpoint artifacts (fit_stream_shard + save_checkpoint — what each of W
+/// separate machines runs), combined with core::merge_checkpoint_files and
+/// completed with GraphHdModel::finish_training, must reproduce the
+/// single-process artifact byte for byte; and the merge must reject
+/// topology lies (duplicate shards, missing shards, foreign configs,
+/// unfinished bundles) loudly instead of summing counters that don't add up.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+#include "core/options.hpp"
+#include "core/serialize.hpp"
+#include "data/stream.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace graphhd;
+using data::DatasetStream;
+using data::GraphDataset;
+
+[[nodiscard]] fs::path fresh_temp_dir(const std::string& tag) {
+  const fs::path dir = fs::temp_directory_path() /
+                       ("graphhd_dist_" + std::to_string(::getpid()) + "_" + tag);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+[[nodiscard]] std::string artifact_of(const core::GraphHdModel& model) {
+  std::ostringstream out;
+  core::save_model(model, out);
+  return out.str();
+}
+
+[[nodiscard]] GraphDataset distributed_dataset(std::uint64_t seed, std::size_t count = 26) {
+  data::GeneratorStream stream(count, 2, seed,
+                               [](std::size_t, std::size_t label, hdc::Rng& rng) {
+                                 graph::RmatParams params;
+                                 params.a = 0.4 + 0.1 * static_cast<double>(label);
+                                 params.b = 0.2;
+                                 params.c = 0.2;
+                                 return graph::rmat(18, 40, params, rng);
+                               });
+  return data::materialize(stream);
+}
+
+/// One simulated machine: bundle shard `k` of `shards` on a fresh model and
+/// write the checkpoint artifact another machine could pick up.
+[[nodiscard]] fs::path bundle_one_shard(const fs::path& dir, const GraphDataset& dataset,
+                                        const core::GraphHdConfig& config, std::size_t shard,
+                                        std::size_t shards, std::size_t chunk = 5) {
+  core::GraphHdModel model(config, dataset.num_classes());
+  DatasetStream stream(dataset);
+  core::TrainOptions options;
+  options.chunk = chunk;
+  options.shards = shards;
+  const auto progress = model.fit_stream_shard(stream, shard, options);
+  EXPECT_TRUE(progress.bundle_complete);
+  EXPECT_EQ(progress.shard_count, shards);
+  EXPECT_EQ(progress.shard_index, shard);
+  const fs::path file = dir / ("shard" + std::to_string(shard) + ".ghd");
+  core::save_checkpoint(model, progress, file);
+  return file;
+}
+
+// ---------------------------------------------------------------------------
+// The round trip.
+// ---------------------------------------------------------------------------
+
+class DistributedRoundTrip : public ::testing::TestWithParam<core::Backend> {};
+
+TEST_P(DistributedRoundTrip, ShardMergeFinishReproducesTheSerialArtifact) {
+  const fs::path dir = fresh_temp_dir("roundtrip");
+  const auto dataset = distributed_dataset(79);
+  core::GraphHdConfig config;
+  config.dimension = 128;
+  config.backend = GetParam();
+  config.retrain_epochs = 2;  // retraining happens after the merge, not per shard.
+
+  core::GraphHdModel reference(config, dataset.num_classes());
+  DatasetStream reference_stream(dataset);
+  reference.fit_stream(reference_stream, core::TrainOptions{.chunk = 5});
+
+  constexpr std::size_t kMachines = 3;
+  std::vector<fs::path> files;
+  for (std::size_t machine = 0; machine < kMachines; ++machine) {
+    files.push_back(bundle_one_shard(dir, dataset, config, machine, kMachines));
+  }
+
+  // Merge accepts the files in any order — shard indices come from the
+  // progress sections, not the argument order.
+  std::swap(files.front(), files.back());
+  auto merged = core::merge_checkpoint_files(files);
+  EXPECT_EQ(merged.progress.samples_consumed, dataset.size());
+  EXPECT_TRUE(merged.progress.bundle_complete);
+
+  DatasetStream finish_stream(dataset);
+  merged.model.finish_training(finish_stream, {.chunk = 5});
+  EXPECT_EQ(artifact_of(merged.model), artifact_of(reference));
+  fs::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, DistributedRoundTrip,
+                         ::testing::Values(core::Backend::kDenseBipolar,
+                                           core::Backend::kPackedBinary),
+                         [](const auto& info) {
+                           return info.param == core::Backend::kDenseBipolar ? "dense" : "packed";
+                         });
+
+TEST(Distributed, RoundTripCoversPrototypeReplicas) {
+  // vectors_per_class > 1 is the subtle case: replica assignment is global
+  // (sample index across the whole stream), so every machine must derive the
+  // same mapping from its full-stream label pass.
+  const fs::path dir = fresh_temp_dir("replicas");
+  const auto dataset = distributed_dataset(83);
+  core::GraphHdConfig config;
+  config.dimension = 128;
+  config.vectors_per_class = 3;
+
+  core::GraphHdModel reference(config, dataset.num_classes());
+  DatasetStream reference_stream(dataset);
+  reference.fit_stream(reference_stream, core::TrainOptions{.chunk = 4});
+
+  std::vector<fs::path> files;
+  for (std::size_t machine = 0; machine < 2; ++machine) {
+    files.push_back(bundle_one_shard(dir, dataset, config, machine, 2, /*chunk=*/4));
+  }
+  auto merged = core::merge_checkpoint_files(files);
+  DatasetStream finish_stream(dataset);
+  merged.model.finish_training(finish_stream, {.chunk = 4});
+  EXPECT_EQ(artifact_of(merged.model), artifact_of(reference));
+  fs::remove_all(dir);
+}
+
+TEST(Distributed, MergedCheckpointResumesThroughFitStream) {
+  // The merged state is itself a valid single-stream checkpoint (topology
+  // collapsed to {1, 0}): saving it and resuming through plain fit_stream
+  // runs just the retraining epochs and lands on the serial artifact.
+  const fs::path dir = fresh_temp_dir("resume_merged");
+  const auto dataset = distributed_dataset(89);
+  core::GraphHdConfig config;
+  config.dimension = 128;
+  config.retrain_epochs = 1;
+
+  core::GraphHdModel reference(config, dataset.num_classes());
+  DatasetStream reference_stream(dataset);
+  reference.fit_stream(reference_stream, core::TrainOptions{.chunk = 5});
+
+  std::vector<fs::path> files;
+  for (std::size_t machine = 0; machine < 2; ++machine) {
+    files.push_back(bundle_one_shard(dir, dataset, config, machine, 2));
+  }
+  auto merged = core::merge_checkpoint_files(files);
+  const fs::path merged_file = dir / "merged.ghd";
+  core::save_checkpoint(merged.model, merged.progress, merged_file);
+
+  core::TrainOptions options;
+  options.chunk = 5;
+  options.checkpoint = merged_file;
+  options.resume = true;
+  core::GraphHdModel resumed(config, dataset.num_classes());
+  DatasetStream stream(dataset);
+  resumed.fit_stream(stream, options);
+  EXPECT_EQ(artifact_of(resumed), artifact_of(reference));
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Validation.
+// ---------------------------------------------------------------------------
+
+TEST(Distributed, MergeValidatesItsInputs) {
+  const fs::path dir = fresh_temp_dir("validate");
+  const auto dataset = distributed_dataset(97);
+  core::GraphHdConfig config;
+  config.dimension = 128;
+
+  const fs::path shard0 = bundle_one_shard(dir, dataset, config, 0, 2);
+  const fs::path shard1 = bundle_one_shard(dir, dataset, config, 1, 2);
+
+  // No inputs at all.
+  EXPECT_THROW((void)core::merge_checkpoint_files({}), std::invalid_argument);
+
+  // Fewer files than the recorded shard count: a shard is missing.
+  EXPECT_THROW((void)core::merge_checkpoint_files({shard0}), std::runtime_error);
+
+  // The same shard twice (e.g. one machine's output copied under two names).
+  const fs::path shard0_copy = dir / "shard0_copy.ghd";
+  fs::copy_file(shard0, shard0_copy);
+  EXPECT_THROW((void)core::merge_checkpoint_files({shard0, shard0_copy}),
+               std::runtime_error);
+
+  // A plain model artifact carries no progress section — not mergeable.
+  const fs::path plain = dir / "plain.ghd";
+  {
+    core::GraphHdModel model(config, dataset.num_classes());
+    DatasetStream stream(dataset);
+    model.fit_stream(stream, core::TrainOptions{.chunk = 5});
+    core::save_model(model, plain);
+  }
+  EXPECT_THROW((void)core::merge_checkpoint_files({shard0, plain}), std::runtime_error);
+
+  // A mid-bundle checkpoint (bundle_complete=false) cannot be merged — its
+  // shard has samples outstanding.
+  const fs::path partial = dir / "partial.ghd";
+  {
+    core::GraphHdModel model(config, dataset.num_classes());
+    DatasetStream stream(dataset);
+    core::TrainOptions options;
+    options.chunk = 5;
+    options.shards = 2;
+    (void)model.fit_stream_shard(stream, 1, options);
+    core::save_checkpoint(
+        model,
+        {.samples_consumed = 4, .bundle_complete = false, .shard_count = 2, .shard_index = 1},
+        partial);
+  }
+  EXPECT_THROW((void)core::merge_checkpoint_files({shard0, partial}), std::runtime_error);
+
+  // A shard bundled under a different model config cannot be summed in.
+  core::GraphHdConfig other = config;
+  other.dimension = 256;
+  const fs::path foreign = dir / "foreign.ghd";
+  {
+    core::GraphHdModel model(other, dataset.num_classes());
+    DatasetStream stream(dataset);
+    core::TrainOptions options;
+    options.chunk = 5;
+    options.shards = 2;
+    const auto progress = model.fit_stream_shard(stream, 1, options);
+    core::save_checkpoint(model, progress, foreign);
+  }
+  EXPECT_THROW((void)core::merge_checkpoint_files({shard0, foreign}), std::runtime_error);
+
+  // The happy pair still merges after all those rejections.
+  EXPECT_NO_THROW((void)core::merge_checkpoint_files({shard0, shard1}));
+  fs::remove_all(dir);
+}
+
+TEST(Distributed, FitStreamShardAndFinishTrainingValidate) {
+  const auto dataset = distributed_dataset(101);
+  core::GraphHdConfig config;
+  config.dimension = 128;
+  core::TrainOptions options;
+  options.chunk = 5;
+  options.shards = 2;
+
+  core::GraphHdModel model(config, dataset.num_classes());
+  {
+    DatasetStream stream(dataset);
+    EXPECT_THROW((void)model.fit_stream_shard(stream, 2, options), std::invalid_argument)
+        << "shard index out of range accepted";
+  }
+
+  DatasetStream fit_stream(dataset);
+  model.fit_stream(fit_stream, core::TrainOptions{.chunk = 5});
+  {
+    DatasetStream stream(dataset);
+    EXPECT_THROW((void)model.fit_stream_shard(stream, 0, options), std::logic_error)
+        << "fitted model accepted another shard bundle";
+    EXPECT_THROW(model.finish_training(stream), std::logic_error)
+        << "fitted model accepted finish_training";
+  }
+}
+
+}  // namespace

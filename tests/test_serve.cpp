@@ -11,6 +11,7 @@
 #include <atomic>
 #include <future>
 #include <iterator>
+#include <limits>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -91,6 +92,21 @@ TEST(ServeQueue, RoundsCapacityUpToAPowerOfTwo) {
   EXPECT_EQ(BoundedMpmcQueue<int>(64).capacity(), 64u);
   EXPECT_EQ(BoundedMpmcQueue<int>(65).capacity(), 128u);
   EXPECT_THROW(BoundedMpmcQueue<int>(0), std::invalid_argument);
+}
+
+TEST(ServeQueue, RejectsCapacitiesWhoseRoundUpWouldOverflow) {
+  // Above the largest representable power of two the round-up loop used to
+  // shift the candidate to 0 and spin forever; the constructor must reject
+  // instead (nobody can allocate such a ring anyway).
+  constexpr std::size_t kMax = std::size_t{1}
+                               << (std::numeric_limits<std::size_t>::digits - 1);
+  EXPECT_THROW(BoundedMpmcQueue<int>(kMax + 1), std::invalid_argument);
+  EXPECT_THROW(BoundedMpmcQueue<int>(std::numeric_limits<std::size_t>::max()),
+               std::invalid_argument);
+  // The boundary itself is representable — it must still be accepted (the
+  // allocation is absurd, so only the validation path is exercised via the
+  // throw cases above; kMax - 1 rounds *to* kMax and is equally absurd).
+  EXPECT_NO_THROW(BoundedMpmcQueue<int>(2));
 }
 
 TEST(ServeQueue, IsFifoAndBoundedSerially) {
