@@ -1,0 +1,365 @@
+/// \file stress_net.cpp
+/// Network-serving stress gate: loopback TCP load against the
+/// serve::net::TcpServer front end, plus a malformed-frame fuzz pass.
+///
+/// Builds a packed GraphHD model at serving scale through restore_state with
+/// seeded random counters (stress_serve's idiom — the socket path, not the
+/// fit, is what is being measured), pre-encodes a pool of random packed
+/// queries, and computes every expected answer once via the direct
+/// InferenceSnapshot::predict_encoded_batch path.  Then:
+///
+///   * *load* — for 1, 2 and 8 concurrent connections, each connection's
+///     thread drives its own TcpClient with windowed pipelining
+///     (GRAPHHD_NET_WINDOW requests in flight) over its share of the
+///     request budget.  Every response — every connection count — is
+///     checked bit-identical to the direct predict_encoded_batch answer,
+///     so the harness is a correctness gate as well as a throughput one.
+///     Per connection count it reports QPS plus p50/p99 submit-to-collect
+///     latency.
+///
+///   * *fuzz* — GRAPHHD_NET_FUZZ_CASES (default 300, CI-gated >= 256)
+///     seeded mutations (truncate / byte-flip / garbage-insert) of a valid
+///     ClientHello + request byte stream, each fired at the live server
+///     over a raw socket.  The server must survive every case — the
+///     offending connection may error or close, but after the full sweep a
+///     fresh well-formed TcpClient must still be served bit-identically.
+///
+/// Exit 1 on any divergence or fuzz failure.  Output: one JSON object
+/// (schema "graphhd-bench-net/v1") on stdout; progress on stderr.  Gated in
+/// CI by bench/baselines/net.json.
+///
+/// Environment knobs (registered in core/runtime.cpp):
+///   GRAPHHD_NET_DIM         hypervector dimension            (default 2048)
+///   GRAPHHD_NET_CLASSES     classes in the model             (default 16)
+///   GRAPHHD_NET_REQUESTS    requests per connection count    (default 8000)
+///   GRAPHHD_NET_QUERIES     distinct pre-encoded queries     (default 256)
+///   GRAPHHD_NET_WINDOW      pipelined requests in flight     (default 32)
+///   GRAPHHD_NET_FUZZ_CASES  malformed-frame fuzz cases       (default 300)
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "core/model.hpp"
+#include "core/snapshot.hpp"
+#include "hdc/kernels/kernels.hpp"
+#include "hdc/random.hpp"
+#include "serve/net/tcp_client.hpp"
+#include "serve/net/tcp_server.hpp"
+#include "serve/net/wire.hpp"
+#include "serve/server.hpp"
+#include "support/env.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+using graphhd::bench::env_size;
+using graphhd::core::Prediction;
+using graphhd::serve::Server;
+using graphhd::serve::ServerConfig;
+using namespace graphhd::serve::net;
+
+/// A serving-scale model without a training pass: seeded random odd counters
+/// so the majority threshold is tie-free.
+graphhd::core::GraphHdModel make_model(std::size_t dimension, std::size_t num_classes) {
+  graphhd::core::GraphHdConfig config;
+  config.dimension = dimension;
+  config.seed = 0x5e12e5eedULL;
+  config.backend = graphhd::core::Backend::kPackedBinary;
+  graphhd::core::GraphHdModel model(config, num_classes);
+
+  graphhd::hdc::Rng rng(0x10ad);
+  std::vector<graphhd::hdc::BundleAccumulator> accumulators;
+  accumulators.reserve(num_classes);
+  for (std::size_t slot = 0; slot < num_classes; ++slot) {
+    std::vector<std::int32_t> counts(dimension);
+    for (auto& c : counts) {
+      c = static_cast<std::int32_t>(rng.next_below(19)) - 9;
+      if ((c & 1) == 0) c += c >= 0 ? 1 : -1;
+    }
+    accumulators.push_back(
+        graphhd::hdc::BundleAccumulator::from_raw(std::move(counts), 9, /*parity=*/true));
+  }
+  model.restore_state(std::move(accumulators),
+                      std::vector<std::size_t>(num_classes, 9),
+                      std::vector<std::size_t>(num_classes, 0), /*fitted=*/true);
+  return model;
+}
+
+bool predictions_equal(const Prediction& a, const Prediction& b) {
+  return a.label == b.label &&
+         std::bit_cast<std::uint64_t>(a.score) == std::bit_cast<std::uint64_t>(b.score) &&
+         a.class_scores == b.class_scores;
+}
+
+struct RunResult {
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  std::size_t requests = 0;
+};
+
+double percentile_us(std::vector<std::uint64_t>& ns, double fraction) {
+  if (ns.empty()) return 0.0;
+  const std::size_t rank = std::min(
+      ns.size() - 1, static_cast<std::size_t>(fraction * static_cast<double>(ns.size())));
+  std::nth_element(ns.begin(), ns.begin() + static_cast<std::ptrdiff_t>(rank), ns.end());
+  return static_cast<double>(ns[rank]) / 1000.0;
+}
+
+/// One load run: `connections` threads, each with its own TcpClient, push
+/// `per_connection` requests with up to `window` pipelined in flight.
+/// Latency is submit-to-collect per request id.  Responses are verified
+/// against `expected`; mismatches accumulate in `wrong`.
+RunResult run_load(std::uint16_t port,
+                   const std::vector<graphhd::hdc::PackedHypervector>& queries,
+                   const std::vector<Prediction>& expected, std::size_t connections,
+                   std::size_t per_connection, std::size_t window,
+                   std::atomic<std::size_t>& wrong) {
+  const std::size_t total = connections * per_connection;
+  std::vector<std::uint64_t> latencies_ns(total);
+
+  const auto started = Clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(connections);
+  for (std::size_t t = 0; t < connections; ++t) {
+    clients.emplace_back([&, t] {
+      TcpClient client("127.0.0.1", port);
+      struct InFlight {
+        std::uint64_t id = 0;
+        std::size_t query = 0;
+        std::size_t index = 0;
+        Clock::time_point submitted;
+      };
+      std::vector<InFlight> pending;
+      pending.reserve(window);
+      const auto collect_front = [&] {
+        const InFlight front = pending.front();
+        pending.erase(pending.begin());
+        const Prediction prediction = client.wait(front.id);
+        latencies_ns[front.index] = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                 front.submitted)
+                .count());
+        if (!predictions_equal(prediction, expected[front.query])) wrong.fetch_add(1);
+      };
+      for (std::size_t i = 0; i < per_connection; ++i) {
+        if (pending.size() >= window) collect_front();
+        const std::size_t index = t * per_connection + i;
+        const std::size_t q = index % queries.size();
+        pending.push_back(
+            {.id = client.submit(queries[q]), .query = q, .index = index,
+             .submitted = Clock::now()});
+      }
+      while (!pending.empty()) collect_front();
+    });
+  }
+  for (auto& client : clients) client.join();
+  const double elapsed = std::chrono::duration<double>(Clock::now() - started).count();
+
+  RunResult result;
+  result.requests = total;
+  result.qps = elapsed > 0.0 ? static_cast<double>(total) / elapsed : 0.0;
+  result.p50_us = percentile_us(latencies_ns, 0.50);
+  result.p99_us = percentile_us(latencies_ns, 0.99);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Malformed-frame fuzz over raw sockets.
+
+struct RawConn {
+  int fd = -1;
+
+  explicit RawConn(std::uint16_t port) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+
+  ~RawConn() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  void send(const std::vector<std::uint8_t>& bytes) const {
+    std::size_t sent = 0;
+    while (fd >= 0 && sent < bytes.size()) {
+      const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) break;
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+
+  /// Reads until EOF or `timeout_ms` of silence (truncated frames leave the
+  /// server rightly waiting for more bytes — that is not a wedge).
+  void drain(int timeout_ms) const {
+    std::uint8_t buffer[4096];
+    while (fd >= 0) {
+      pollfd pfd{.fd = fd, .events = POLLIN, .revents = 0};
+      if (::poll(&pfd, 1, timeout_ms) <= 0) break;
+      if (::recv(fd, buffer, sizeof buffer, 0) <= 0) break;
+    }
+  }
+};
+
+/// Applies one seeded truncate/flip/insert mutation to the session blob.
+std::vector<std::uint8_t> mutate(std::vector<std::uint8_t> blob, graphhd::hdc::Rng& rng) {
+  const std::size_t offset = static_cast<std::size_t>(rng.next_below(blob.size()));
+  switch (rng.next_below(3)) {
+    case 0:
+      blob.resize(offset);
+      break;
+    case 1:
+      blob[offset] ^= static_cast<std::uint8_t>(rng.next_below(255) + 1);
+      break;
+    default: {
+      std::uint8_t garbage[4];
+      for (auto& g : garbage) g = static_cast<std::uint8_t>(rng.next_below(256));
+      blob.insert(blob.begin() + static_cast<std::ptrdiff_t>(offset), garbage,
+                  garbage + sizeof garbage);
+      break;
+    }
+  }
+  return blob;
+}
+
+/// Fires `cases` mutated sessions at the server; returns true when the
+/// server still serves a fresh well-formed connection bit-identically after
+/// every case (checked every 32 cases and once at the end).
+bool run_fuzz(std::uint16_t port, std::size_t cases,
+              const std::vector<graphhd::hdc::PackedHypervector>& queries,
+              const std::vector<Prediction>& expected) {
+  std::vector<std::uint8_t> pristine = encode_client_hello();
+  const auto request = encode_request_frame(1, queries[0]);
+  pristine.insert(pristine.end(), request.begin(), request.end());
+
+  const auto still_serving = [&](std::size_t after) {
+    try {
+      TcpClient client("127.0.0.1", port, TcpClientConfig{.read_timeout_ms = 10000});
+      const std::size_t q = after % queries.size();
+      return predictions_equal(client.predict(queries[q]), expected[q]);
+    } catch (const NetError& error) {
+      std::fprintf(stderr, "stress_net: FAIL — connection after fuzz case %zu: %s (%s)\n",
+                   after, error.what(), to_string(error.kind()));
+      return false;
+    }
+  };
+
+  graphhd::hdc::Rng rng(0xf122);
+  for (std::size_t i = 0; i < cases; ++i) {
+    RawConn raw(port);
+    if (raw.fd < 0) {
+      std::fprintf(stderr, "stress_net: FAIL — server refused fuzz connection %zu\n", i);
+      return false;
+    }
+    raw.send(mutate(pristine, rng));
+    raw.drain(/*timeout_ms=*/100);
+    if ((i + 1) % 32 == 0 && !still_serving(i)) return false;
+  }
+  return still_serving(cases);
+}
+
+void print_run(std::size_t connections, const RunResult& run, bool last) {
+  std::printf("    \"c%zu\": {\"qps\": %.1f, \"p50_us\": %.1f, \"p99_us\": %.1f, "
+              "\"requests\": %zu}%s\n",
+              connections, run.qps, run.p50_us, run.p99_us, run.requests, last ? "" : ",");
+  std::fprintf(stderr, "stress_net: c%zu — %.0f qps, p50 %.1f us, p99 %.1f us\n",
+               connections, run.qps, run.p50_us, run.p99_us);
+}
+
+}  // namespace
+
+int main() {
+  using namespace graphhd;
+  namespace kernels = hdc::kernels;
+
+  const std::size_t dimension = env_size("GRAPHHD_NET_DIM", 2048);
+  const std::size_t num_classes = env_size("GRAPHHD_NET_CLASSES", 16);
+  const std::size_t requests = std::max<std::size_t>(64, env_size("GRAPHHD_NET_REQUESTS", 8000));
+  const std::size_t num_queries = std::max<std::size_t>(1, env_size("GRAPHHD_NET_QUERIES", 256));
+  const std::size_t window = std::max<std::size_t>(1, env_size("GRAPHHD_NET_WINDOW", 32));
+  const std::size_t fuzz_cases = env_size("GRAPHHD_NET_FUZZ_CASES", 300);
+
+  auto model = make_model(dimension, num_classes);
+  const auto snapshot = model.snapshot();
+
+  // The query pool and — via the direct batch path — every expected answer.
+  hdc::Rng rng(0xbea7);
+  std::vector<hdc::PackedHypervector> queries;
+  queries.reserve(num_queries);
+  for (std::size_t q = 0; q < num_queries; ++q) {
+    queries.push_back(hdc::PackedHypervector::random(dimension, rng));
+  }
+  const std::vector<Prediction> expected = snapshot->predict_encoded_batch(queries);
+
+  Server server(snapshot, ServerConfig{.max_batch = 128, .worker_threads = 1});
+  serve::net::TcpServer tcp(server);
+
+  std::fprintf(stderr,
+               "stress_net: d=%zu, %zu classes, %zu requests/run over %zu queries, "
+               "window=%zu, port=%u, kernel=%s\n",
+               dimension, num_classes, requests, num_queries, window, tcp.port(),
+               kernels::active().name);
+
+  const std::size_t connection_counts[] = {1, 2, 8};
+  std::atomic<std::size_t> wrong{0};
+  RunResult runs[3];
+  for (std::size_t i = 0; i < 3; ++i) {
+    const std::size_t connections = connection_counts[i];
+    const std::size_t per_connection = std::max<std::size_t>(1, requests / connections);
+    runs[i] = run_load(tcp.port(), queries, expected, connections, per_connection, window,
+                       wrong);
+  }
+
+  const bool identical = wrong.load() == 0;
+  if (!identical) {
+    std::fprintf(stderr,
+                 "stress_net: FAIL — %zu responses diverged from predict_encoded_batch\n",
+                 wrong.load());
+  }
+
+  std::fprintf(stderr, "stress_net: fuzzing %zu malformed sessions\n", fuzz_cases);
+  const bool fuzz_ok = run_fuzz(tcp.port(), fuzz_cases, queries, expected);
+  if (!fuzz_ok) {
+    std::fprintf(stderr, "stress_net: FAIL — server did not survive the fuzz pass\n");
+  }
+
+  const auto stats = tcp.stats();
+  std::printf("{\n");
+  std::printf("  \"schema\": \"graphhd-bench-net/v1\",\n");
+  std::printf("  \"kernel\": \"%s\",\n", kernels::active().name);
+  std::printf("  \"dimension\": %zu,\n", dimension);
+  std::printf("  \"classes\": %zu,\n", num_classes);
+  std::printf("  \"distinct_queries\": %zu,\n", num_queries);
+  std::printf("  \"window\": %zu,\n", window);
+  std::printf("  \"connections\": {\n");
+  for (std::size_t i = 0; i < 3; ++i) print_run(connection_counts[i], runs[i], i == 2);
+  std::printf("  },\n");
+  std::printf("  \"served_connections\": %zu,\n",
+              static_cast<std::size_t>(stats.connections));
+  std::printf("  \"served_requests\": %zu,\n", static_cast<std::size_t>(stats.requests));
+  std::printf("  \"protocol_errors\": %zu,\n",
+              static_cast<std::size_t>(stats.protocol_errors));
+  std::printf("  \"fuzz_cases\": %zu,\n", fuzz_cases);
+  std::printf("  \"fuzz_ok\": %s,\n", fuzz_ok ? "true" : "false");
+  std::printf("  \"identical\": %s\n", identical ? "true" : "false");
+  std::printf("}\n");
+  return identical && fuzz_ok ? 0 : 1;
+}

@@ -1,6 +1,6 @@
 /// \file graphhd_cli.cpp
-/// Command-line front end for the library — train, evaluate, predict and
-/// generate datasets without writing C++.
+/// Command-line front end for the library — train, evaluate, predict, serve
+/// and generate datasets without writing C++.
 ///
 ///   graphhd_cli train   --data DIR --name DS --out MODEL [--dimension N]
 ///                       [--seed S] [--retrain K] [--prototypes P]
@@ -12,7 +12,13 @@
 ///   graphhd_cli merge-checkpoints OUT IN... [--finish --data DIR --name DS]
 ///                       (combine per-shard checkpoint artifacts — possibly
 ///                       from different machines — into one model)
+///   graphhd_cli serve   MODEL [--port P] [--workers N] [--max-batch B]
+///                       [--requests N]   (TCP inference server; port 0 picks
+///                       an ephemeral port and prints it — docs/serving.md)
 ///   graphhd_cli predict --model MODEL --data DIR --name DS [--chunk N]
+///   graphhd_cli predict --remote HOST:PORT --data DIR --name DS
+///                       (encode locally, classify over the wire protocol;
+///                       the handshake supplies the encoder config)
 ///   graphhd_cli eval    --data DIR --name DS [--folds K] [--reps R]
 ///                       [--chunk N]  (two-pass streaming k-fold CV)
 ///   graphhd_cli env     (the GRAPHHD_* knob table + unknown-variable audit)
@@ -28,6 +34,14 @@
 /// Datasets are TUDataset-format directories (DIR/DS/DS_A.txt, ...); when
 /// the files are missing, `eval` and `train` fall back to the synthetic
 /// replica of DS (one of DD, ENZYMES, MUTAG, NCI1, PROTEINS, PTC_FM).
+///
+/// Input validation: every flag is checked against the
+/// subcommand's allowed set — an unknown flag exits 1 naming it and the
+/// nearest valid one (`--dimention` used to be silently ignored and the run
+/// trained at the d=10000 default) — and every numeric value is parsed
+/// strictly through core/cli.hpp (`--dimension -1` used to wrap to 2^64−1,
+/// `--folds 10x` used to run 10 folds, and an out-of-range value terminated
+/// the process with an uncaught std::out_of_range).
 ///
 /// `--chunk N` (deprecated alias: `--stream N`) runs
 /// training/prediction/evaluation through the GraphStream pipeline
@@ -50,17 +64,22 @@
 /// materializing the dataset — workloads far beyond RAM are fine.
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
-#include <map>
 #include <memory>
 #include <optional>
 #include <span>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
+#include "core/cli.hpp"
+#include "core/encoder.hpp"
 #include "core/options.hpp"
 #include "core/pipeline.hpp"
 #include "core/runtime.hpp"
@@ -73,63 +92,72 @@
 #include "eval/experiment.hpp"
 #include "graph/generators.hpp"
 #include "graph/stats.hpp"
+#include "serve/net/tcp_client.hpp"
+#include "serve/net/tcp_server.hpp"
+#include "serve/server.hpp"
 
 namespace {
 
 using namespace graphhd;
+using core::cli::Args;
+using core::cli::FlagSpec;
+using core::cli::parse_double;
+using core::cli::parse_u64;
+using core::cli::parse_u64_any_base;
 
-/// Minimal --key value parser.  Flags named in `boolean` take no value
-/// (presence == true); every other flag must be followed by one.  A trailing
-/// valued flag without its value is an error (pre-PR-8 it was silently
-/// dropped — part of the flag audit).
-class Args {
- public:
-  Args(int argc, char** argv, int first, std::span<const std::string_view> boolean = {}) {
-    for (int i = first; i < argc;) {
-      if (std::strncmp(argv[i], "--", 2) != 0) {
-        throw std::runtime_error(std::string("expected --flag, got ") + argv[i]);
-      }
-      const std::string key = argv[i] + 2;
-      if (std::find(boolean.begin(), boolean.end(), key) != boolean.end()) {
-        values_.insert_or_assign(key, std::string("1"));
-        i += 1;
-        continue;
-      }
-      if (i + 1 >= argc) {
-        throw std::runtime_error("flag --" + key + " expects a value");
-      }
-      values_[key] = argv[i + 1];
-      i += 2;
-    }
-  }
+// ---- per-subcommand allowed-flag sets (the typo audit) --------------------
+// Every subcommand lists exactly the flags it reads; Args rejects anything
+// else, naming the nearest valid flag.  A new flag must be added here AND
+// read below — keeping both in one file makes the pairing reviewable.
 
-  [[nodiscard]] bool has(const std::string& key) const { return values_.count(key) != 0; }
+constexpr std::string_view kTrainValued[] = {
+    "data", "name", "out", "scale", "seed", "dimension", "model-seed", "retrain",
+    "prototypes", "backend", "chunk", "stream", "shards", "shard-workers",
+    "shard-index", "checkpoint", "checkpoint-interval"};
+constexpr std::string_view kTrainBoolean[] = {"resume", "no-prefetch"};
 
-  [[nodiscard]] std::string get(const std::string& key, const std::string& fallback) const {
-    const auto it = values_.find(key);
-    return it == values_.end() ? fallback : it->second;
-  }
+constexpr std::string_view kPredictValued[] = {"model", "remote", "data", "name",
+                                               "scale", "seed", "chunk", "stream",
+                                               "window"};
+constexpr std::string_view kPredictBoolean[] = {"no-prefetch"};
 
-  [[nodiscard]] std::string require(const std::string& key) const {
-    const auto it = values_.find(key);
-    if (it == values_.end()) {
-      throw std::runtime_error("missing required flag --" + key);
-    }
-    return it->second;
-  }
+constexpr std::string_view kEvalValued[] = {"data", "name", "scale", "seed", "folds",
+                                            "reps", "dimension", "model-seed",
+                                            "retrain", "prototypes", "backend",
+                                            "chunk", "stream"};
+constexpr std::string_view kEvalBoolean[] = {"no-prefetch"};
 
- private:
-  std::map<std::string, std::string> values_;
-};
+constexpr std::string_view kSynthValued[] = {"name", "out", "scale", "seed"};
 
-/// Boolean flags shared by every --flag command (harmless where unused).
-constexpr std::string_view kBooleanFlags[] = {"resume", "no-prefetch", "finish"};
+constexpr std::string_view kGenValued[] = {"kind", "name",   "out",     "graphs", "vertices",
+                                           "edges", "radius", "classes", "seed"};
+
+constexpr std::string_view kStatsValued[] = {"data", "name", "scale", "seed"};
+
+constexpr std::string_view kConvertValued[] = {"format"};
+
+constexpr std::string_view kMergeValued[] = {"data", "name", "scale", "seed", "chunk",
+                                             "stream"};
+constexpr std::string_view kMergeBoolean[] = {"finish", "no-prefetch"};
+
+constexpr std::string_view kServeValued[] = {"port", "workers", "max-batch", "queue",
+                                             "requests"};
+
+constexpr FlagSpec kTrainSpec{kTrainValued, kTrainBoolean};
+constexpr FlagSpec kPredictSpec{kPredictValued, kPredictBoolean};
+constexpr FlagSpec kEvalSpec{kEvalValued, kEvalBoolean};
+constexpr FlagSpec kSynthSpec{kSynthValued, {}};
+constexpr FlagSpec kGenSpec{kGenValued, {}};
+constexpr FlagSpec kStatsSpec{kStatsValued, {}};
+constexpr FlagSpec kConvertSpec{kConvertValued, {}};
+constexpr FlagSpec kMergeSpec{kMergeValued, kMergeBoolean};
+constexpr FlagSpec kServeSpec{kServeValued, {}};
 
 [[nodiscard]] data::GraphDataset load_dataset(const Args& args) {
   const std::string name = args.require("name");
   const std::string dir = args.get("data", "data");
-  const double scale = std::stod(args.get("scale", "1.0"));
-  const auto seed = static_cast<std::uint64_t>(std::stoull(args.get("seed", "2022")));
+  const double scale = parse_double("scale", args.get("scale", "1.0"));
+  const std::uint64_t seed = parse_u64("seed", args.get("seed", "2022"));
   auto dataset = data::load_or_synthesize(dir, name, seed, scale);
   std::fprintf(stderr, "loaded %s: %zu graphs, %zu classes\n", name.c_str(), dataset.size(),
                dataset.num_classes());
@@ -138,10 +166,10 @@ constexpr std::string_view kBooleanFlags[] = {"resume", "no-prefetch", "finish"}
 
 [[nodiscard]] core::GraphHdConfig config_from(const Args& args) {
   core::GraphHdConfig config;
-  config.dimension = std::stoull(args.get("dimension", "10000"));
-  config.seed = std::stoull(args.get("model-seed", "0x9badb055"), nullptr, 0);
-  config.retrain_epochs = std::stoull(args.get("retrain", "0"));
-  config.vectors_per_class = std::stoull(args.get("prototypes", "1"));
+  config.dimension = parse_u64("dimension", args.get("dimension", "10000"));
+  config.seed = parse_u64_any_base("model-seed", args.get("model-seed", "0x9badb055"));
+  config.retrain_epochs = parse_u64("retrain", args.get("retrain", "0"));
+  config.vectors_per_class = parse_u64("prototypes", args.get("prototypes", "1"));
   // Backend: --backend flag wins over GRAPHHD_BACKEND wins over the default.
   config.backend = core::backend_from_env(config.backend);
   if (const std::string flag = args.get("backend", ""); !flag.empty()) {
@@ -179,8 +207,8 @@ struct StreamSource {
     std::fprintf(stderr, "streaming %s: %zu graphs, %zu classes\n", name.c_str(),
                  source.labels.size(), source.stream->num_classes());
   } else {
-    const double scale = std::stod(args.get("scale", "1.0"));
-    const auto seed = static_cast<std::uint64_t>(std::stoull(args.get("seed", "2022")));
+    const double scale = parse_double("scale", args.get("scale", "1.0"));
+    const std::uint64_t seed = parse_u64("seed", args.get("seed", "2022"));
     source.fallback = data::make_synthetic_replica(name, seed, scale);
     source.labels = source.fallback.labels();
     source.stream = std::make_unique<data::DatasetStream>(source.fallback);
@@ -216,8 +244,8 @@ struct OpenerSource {
     std::fprintf(stderr, "streaming %s: %zu graphs, %zu classes\n", name.c_str(),
                  source.num_graphs, source.num_classes);
   } else {
-    const double scale = std::stod(args.get("scale", "1.0"));
-    const auto seed = static_cast<std::uint64_t>(std::stoull(args.get("seed", "2022")));
+    const double scale = parse_double("scale", args.get("scale", "1.0"));
+    const std::uint64_t seed = parse_u64("seed", args.get("seed", "2022"));
     auto dataset = std::make_shared<const data::GraphDataset>(
         data::make_synthetic_replica(name, seed, scale));
     source.num_graphs = dataset->size();
@@ -234,8 +262,13 @@ struct OpenerSource {
 /// The requested chunk size: --chunk wins, --stream is the deprecated
 /// pre-PR-8 alias; 0 = no streaming flag given.
 [[nodiscard]] std::size_t stream_chunk_of(const Args& args) {
-  const std::string value = args.get("chunk", args.get("stream", ""));
-  return value.empty() ? 0 : std::stoull(value);
+  if (args.has("chunk")) {
+    return parse_u64("chunk", args.get("chunk", ""));
+  }
+  if (args.has("stream")) {
+    return parse_u64("stream", args.get("stream", ""));
+  }
+  return 0;
 }
 
 /// Read-only streaming options (predict/eval) from the flags.
@@ -256,20 +289,22 @@ struct OpenerSource {
     options.chunk = chunk;
     streaming = true;
   }
-  if (const std::string shards = args.get("shards", ""); !shards.empty()) {
-    options.shards = std::stoull(shards);
+  if (args.has("shards")) {
+    options.shards = parse_u64("shards", args.get("shards", ""));
     streaming = true;
   }
-  if (const std::string workers = args.get("shard-workers", ""); !workers.empty()) {
-    options.workers = std::stoull(workers);  // 0 = auto (min(shards, pool threads)).
+  if (args.has("shard-workers")) {
+    // 0 = auto (min(shards, pool threads)).
+    options.workers = parse_u64("shard-workers", args.get("shard-workers", ""));
     streaming = true;
   }
   if (const std::string checkpoint = args.get("checkpoint", ""); !checkpoint.empty()) {
     options.checkpoint = checkpoint;
     streaming = true;
   }
-  if (const std::string interval = args.get("checkpoint-interval", ""); !interval.empty()) {
-    options.checkpoint_interval = std::stoull(interval);
+  if (args.has("checkpoint-interval")) {
+    options.checkpoint_interval =
+        parse_u64("checkpoint-interval", args.get("checkpoint-interval", ""));
   }
   options.resume = args.has("resume");
   options.prefetch = !args.has("no-prefetch");
@@ -292,14 +327,15 @@ void print_train_stats(const core::TrainStats& stats) {
 
 int cmd_train(const Args& args) {
   const std::string out = args.require("out");
-  if (const std::string index = args.get("shard-index", ""); !index.empty()) {
+  if (args.has("shard-index")) {
     // Distributed building block: bundle ONLY shard K of the --shards-way
     // partition and write a checkpoint artifact (not a model) for
     // merge-checkpoints to combine later — see docs/training.md.
+    const std::uint64_t index = parse_u64("shard-index", args.get("shard-index", ""));
     core::TrainOptions options = train_options_of(args).value_or(core::TrainOptions{});
     auto source = open_stream(args);
     core::GraphHdModel model(config_from(args), source.stream->num_classes());
-    const auto progress = model.fit_stream_shard(*source.stream, std::stoull(index), options);
+    const auto progress = model.fit_stream_shard(*source.stream, index, options);
     core::save_checkpoint(model, progress, out);
     std::printf("bundled shard %ju/%ju (%ju samples); checkpoint written to %s\n",
                 static_cast<std::uintmax_t>(progress.shard_index),
@@ -345,7 +381,78 @@ int cmd_train(const Args& args) {
   return 0;
 }
 
+/// Splits a --remote HOST:PORT target; the port goes through the same strict
+/// parser as every numeric flag.
+[[nodiscard]] std::pair<std::string, std::uint16_t> split_host_port(const std::string& target) {
+  const std::size_t colon = target.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= target.size()) {
+    throw core::cli::UsageError("--remote expects HOST:PORT, got '" + target + "'");
+  }
+  const std::uint64_t port = parse_u64("remote", target.substr(colon + 1));
+  if (port == 0 || port > 65535) {
+    throw core::cli::UsageError("--remote port " + std::to_string(port) +
+                                " out of range [1, 65535]");
+  }
+  return {target.substr(0, colon), static_cast<std::uint16_t>(port)};
+}
+
+/// Remote prediction over the wire protocol: encode locally with the config
+/// the handshake supplied (no model artifact needed on this machine), then
+/// pipeline request frames `--window` deep — same output format and same
+/// bits as the local path (the server coalesces into predict_encoded_batch).
+int cmd_predict_remote(const Args& args) {
+  const auto [host, port] = split_host_port(args.require("remote"));
+  serve::net::TcpClientConfig client_config;
+  client_config.connect_timeout_ms =
+      core::runtime::env_size("GRAPHHD_NET_TIMEOUT_MS", client_config.connect_timeout_ms);
+  client_config.read_timeout_ms =
+      core::runtime::env_size("GRAPHHD_NET_TIMEOUT_MS", client_config.read_timeout_ms);
+  serve::net::TcpClient client(host, port, client_config);
+  std::fprintf(stderr,
+               "connected to %s:%u — %s model, d=%zu, %ju classes, config hash %016jx\n",
+               host.c_str(), port, core::to_string(client.config().backend),
+               client.config().dimension, static_cast<std::uintmax_t>(client.num_classes()),
+               static_cast<std::uintmax_t>(client.config_hash()));
+
+  const auto dataset = load_dataset(args);
+  core::GraphHdEncoder encoder(client.config());
+  // Mirror serve::Client: the packed backend encodes packed, the dense
+  // backend encodes dense (the server converts to its scoring mode exactly).
+  const bool packed_backend = client.config().backend == core::Backend::kPackedBinary;
+  const std::size_t window =
+      std::max<std::size_t>(1, parse_u64("window", args.get("window", "64")));
+
+  std::size_t hits = 0;
+  std::vector<std::uint64_t> pending;  // ids in flight, oldest first.
+  std::size_t next_print = 0;          // dataset index of pending.front().
+  const auto collect_one = [&] {
+    const core::Prediction prediction = client.wait(pending.front());
+    pending.erase(pending.begin());
+    std::printf("%zu\t%zu\t%.4f\n", next_print, prediction.label, prediction.score);
+    hits += prediction.label == dataset.label(next_print) ? 1 : 0;
+    ++next_print;
+  };
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    if (pending.size() >= window) {
+      collect_one();
+    }
+    pending.push_back(packed_backend
+                          ? client.submit(encoder.encode_packed(dataset.graph(i)))
+                          : client.submit(encoder.encode(dataset.graph(i))));
+  }
+  while (!pending.empty()) {
+    collect_one();
+  }
+  std::fprintf(stderr, "accuracy vs stored labels: %.1f%%\n",
+               100.0 * static_cast<double>(hits) /
+                   static_cast<double>(dataset.size() == 0 ? 1 : dataset.size()));
+  return 0;
+}
+
 int cmd_predict(const Args& args) {
+  if (args.has("remote")) {
+    return cmd_predict_remote(args);
+  }
   auto model = core::load_model(args.require("model"));
   if (const std::size_t chunk = stream_chunk_of(args); chunk > 0) {
     auto source = open_stream(args);
@@ -372,6 +479,78 @@ int cmd_predict(const Args& args) {
   return 0;
 }
 
+namespace serve_signal {
+std::atomic<bool> stop_requested{false};
+extern "C" void handle(int) { stop_requested.store(true); }
+}  // namespace serve_signal
+
+/// serve MODEL [--port P] [--workers N] [--max-batch B] [--queue C]
+///             [--requests N]
+///
+/// Cold-starts an InferenceSnapshot from the artifact (mmap when possible),
+/// stands up the batching serve::Server and the TCP front end, prints the
+/// bound port (stdout, machine-readable) and runs until SIGINT/SIGTERM — or,
+/// with --requests N, until N requests have been answered (scripted tests).
+int cmd_serve(const std::string& model_path, const Args& args) {
+  const std::uint64_t port_value =
+      parse_u64("port", args.get("port", std::to_string(core::runtime::env_size(
+                                            "GRAPHHD_NET_PORT", 0))));
+  if (port_value > 65535) {
+    throw core::cli::UsageError("--port " + std::to_string(port_value) +
+                                " out of range [0, 65535]");
+  }
+  serve::ServerConfig server_config;
+  server_config.worker_threads =
+      std::max<std::uint64_t>(1, parse_u64("workers", args.get("workers", "1")));
+  server_config.max_batch =
+      std::max<std::uint64_t>(1, parse_u64("max-batch", args.get("max-batch", "64")));
+  server_config.queue_capacity =
+      std::max<std::uint64_t>(2, parse_u64("queue", args.get("queue", "1024")));
+  const std::uint64_t request_limit = parse_u64("requests", args.get("requests", "0"));
+
+  auto snapshot = core::load_snapshot(model_path, core::SnapshotLoad::kAuto);
+  serve::Server server(std::move(snapshot), server_config);
+  serve::net::TcpServerConfig net_config;
+  net_config.port = static_cast<std::uint16_t>(port_value);
+  serve::net::TcpServer tcp(server, net_config);
+
+  const auto& config = server.snapshot()->config();
+  std::printf("%u\n", tcp.port());  // machine-readable: first line is the port.
+  std::fflush(stdout);
+  std::fprintf(stderr,
+               "serving %s (d=%zu, %zu classes, %s backend) on 127.0.0.1:%u — "
+               "%zu worker%s, max batch %zu%s\n",
+               model_path.c_str(), config.dimension, server.snapshot()->num_classes(),
+               core::to_string(config.backend), tcp.port(), server_config.worker_threads,
+               server_config.worker_threads == 1 ? "" : "s", server_config.max_batch,
+               request_limit > 0
+                   ? (" (exits after " + std::to_string(request_limit) + " requests)").c_str()
+                   : "");
+
+  std::signal(SIGINT, serve_signal::handle);
+  std::signal(SIGTERM, serve_signal::handle);
+  while (!serve_signal::stop_requested.load()) {
+    if (request_limit > 0 && tcp.stats().responses >= request_limit) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  tcp.stop();
+  server.shutdown();
+  const auto net_stats = tcp.stats();
+  const auto stats = server.stats();
+  std::fprintf(stderr,
+               "served %ju requests over %ju connections (%ju batches, max batch %ju, "
+               "%ju protocol errors)\n",
+               static_cast<std::uintmax_t>(net_stats.responses),
+               static_cast<std::uintmax_t>(net_stats.connections),
+               static_cast<std::uintmax_t>(stats.batches),
+               static_cast<std::uintmax_t>(stats.max_batch),
+               static_cast<std::uintmax_t>(net_stats.protocol_errors));
+  return 0;
+}
+
 void print_cv_summary(const eval::CvResult& result, const std::string& name,
                       const eval::CvConfig& cv) {
   const auto acc = result.accuracy();
@@ -383,8 +562,8 @@ void print_cv_summary(const eval::CvResult& result, const std::string& name,
 
 int cmd_eval(const Args& args) {
   eval::CvConfig cv;
-  cv.folds = std::stoull(args.get("folds", "10"));
-  cv.repetitions = std::stoull(args.get("reps", "1"));
+  cv.folds = parse_u64("folds", args.get("folds", "10"));
+  cv.repetitions = parse_u64("reps", args.get("reps", "1"));
   // config_from already resolved flag-beats-env precedence; the factory must
   // not re-apply the env on top of an explicit --backend.
   if (const std::size_t chunk = stream_chunk_of(args); chunk > 0) {
@@ -459,12 +638,13 @@ int cmd_gen(const Args& args) {
   const std::string kind = args.require("kind");
   const std::string name = args.require("name");
   const std::string out = args.require("out");
-  const std::size_t graphs = std::stoull(args.get("graphs", "64"));
-  const std::size_t vertices = std::stoull(args.get("vertices", "256"));
-  const std::size_t edges = std::stoull(args.get("edges", std::to_string(4 * vertices)));
-  const double radius = std::stod(args.get("radius", "0.08"));
-  const std::size_t classes = std::stoull(args.get("classes", "2"));
-  const auto seed = static_cast<std::uint64_t>(std::stoull(args.get("seed", "2022")));
+  const std::size_t graphs = parse_u64("graphs", args.get("graphs", "64"));
+  const std::size_t vertices = parse_u64("vertices", args.get("vertices", "256"));
+  const std::size_t edges =
+      parse_u64("edges", args.get("edges", std::to_string(4 * vertices)));
+  const double radius = parse_double("radius", args.get("radius", "0.08"));
+  const std::size_t classes = parse_u64("classes", args.get("classes", "2"));
+  const std::uint64_t seed = parse_u64("seed", args.get("seed", "2022"));
 
   data::GeneratorStream stream(graphs, classes,
                                graphhd::hdc::derive_seed(seed, "cli-gen"),
@@ -505,7 +685,7 @@ int cmd_merge_checkpoints(int argc, char** argv) {
     usage();
     return 2;
   }
-  const Args args(argc, argv, first_flag, kBooleanFlags);
+  const Args args(argc, argv, first_flag, kMergeSpec);
   const std::string out = positionals.front();
   const std::vector<std::filesystem::path> inputs(positionals.begin() + 1, positionals.end());
   auto merged = core::merge_checkpoint_files(inputs);
@@ -603,8 +783,8 @@ int cmd_env() {
 int cmd_synth(const Args& args) {
   const std::string name = args.require("name");
   const std::string out = args.require("out");
-  const double scale = std::stod(args.get("scale", "1.0"));
-  const auto seed = static_cast<std::uint64_t>(std::stoull(args.get("seed", "2022")));
+  const double scale = parse_double("scale", args.get("scale", "1.0"));
+  const std::uint64_t seed = parse_u64("seed", args.get("seed", "2022"));
   const auto dataset = data::make_synthetic_replica(name, seed, scale);
   data::save_tudataset(dataset, std::string(out) + "/" + name);
   std::printf("wrote %zu graphs to %s/%s in TUDataset format\n", dataset.size(), out.c_str(),
@@ -614,8 +794,8 @@ int cmd_synth(const Args& args) {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: graphhd_cli <train|predict|eval|env|synth|gen|stats|model-info|convert"
-               "|merge-checkpoints> [--flag value ...]\n"
+               "usage: graphhd_cli <train|predict|eval|serve|env|synth|gen|stats|model-info"
+               "|convert|merge-checkpoints> [--flag value ...]\n"
                "  train      --data DIR --name DS --out MODEL [--dimension N] [--retrain K]\n"
                "             [--backend dense|packed]   (or GRAPHHD_BACKEND env)\n"
                "             [--chunk N]                (bounded-memory chunked ingestion)\n"
@@ -628,7 +808,13 @@ void usage() {
                "  merge-checkpoints OUT IN...           (combine per-shard checkpoints, e.g.\n"
                "             from W machines; add --finish --data DIR --name DS [--chunk N]\n"
                "             to run the retraining epochs and write a finished model)\n"
+               "  serve      MODEL [--port P] [--workers N] [--max-batch B] [--queue C]\n"
+               "             [--requests N]   (TCP inference server on 127.0.0.1; port 0 =\n"
+               "             ephemeral, printed on stdout — see docs/serving.md)\n"
                "  predict    --model MODEL --data DIR --name DS [--chunk N] [--no-prefetch]\n"
+               "  predict    --remote HOST:PORT --data DIR --name DS [--window N]\n"
+               "             (classify over the wire protocol; encoder config comes from\n"
+               "             the server handshake — no local model file needed)\n"
                "  eval       --data DIR --name DS [--folds K] [--reps R] [--scale X]\n"
                "             [--backend dense|packed] [--chunk N] [--no-prefetch]\n"
                "  env        (GRAPHHD_* knob table, current values, unknown-var warnings)\n"
@@ -638,9 +824,11 @@ void usage() {
                "  stats      --data DIR --name DS\n"
                "  model-info PATH            (artifact header + checksums; no model built)\n"
                "  convert    IN OUT [--format v3|text]   (upgrade v1/v2 text to binary v3)\n"
-               "flag audit (PR 8): --stream N is a deprecated alias of --chunk N; boolean\n"
-               "flags (--resume, --no-prefetch) take no value; a trailing valued flag\n"
-               "without its value is now an error instead of being silently ignored.\n");
+               "input validation: flags are checked against each subcommand's\n"
+               "allowed set (a typo'd flag errors out naming the nearest valid one), and\n"
+               "numeric values are parsed strictly (no sign wrap, no trailing garbage).\n"
+               "--stream N is a deprecated alias of --chunk N; boolean flags (--resume,\n"
+               "--no-prefetch, --finish) take no value.\n");
 }
 
 }  // namespace
@@ -665,7 +853,7 @@ int main(int argc, char** argv) {
         usage();
         return 2;
       }
-      return cmd_convert(argv[2], argv[3], Args(argc, argv, 4));
+      return cmd_convert(argv[2], argv[3], Args(argc, argv, 4, kConvertSpec));
     }
     if (command == "env") {
       return cmd_env();
@@ -673,13 +861,19 @@ int main(int argc, char** argv) {
     if (command == "merge-checkpoints") {
       return cmd_merge_checkpoints(argc, argv);
     }
-    const Args args(argc, argv, 2, kBooleanFlags);
-    if (command == "train") return cmd_train(args);
-    if (command == "predict") return cmd_predict(args);
-    if (command == "eval") return cmd_eval(args);
-    if (command == "synth") return cmd_synth(args);
-    if (command == "gen") return cmd_gen(args);
-    if (command == "stats") return cmd_stats(args);
+    if (command == "serve") {
+      if (argc < 3 || std::strncmp(argv[2], "--", 2) == 0) {
+        usage();
+        return 2;
+      }
+      return cmd_serve(argv[2], Args(argc, argv, 3, kServeSpec));
+    }
+    if (command == "train") return cmd_train(Args(argc, argv, 2, kTrainSpec));
+    if (command == "predict") return cmd_predict(Args(argc, argv, 2, kPredictSpec));
+    if (command == "eval") return cmd_eval(Args(argc, argv, 2, kEvalSpec));
+    if (command == "synth") return cmd_synth(Args(argc, argv, 2, kSynthSpec));
+    if (command == "gen") return cmd_gen(Args(argc, argv, 2, kGenSpec));
+    if (command == "stats") return cmd_stats(Args(argc, argv, 2, kStatsSpec));
     usage();
     return 2;
   } catch (const std::exception& error) {

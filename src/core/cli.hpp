@@ -1,0 +1,101 @@
+/// \file cli.hpp
+/// Strict command-line flag parsing for the graphhd_cli front end.
+///
+/// Two long-standing input-validation holes lived in the CLI (the
+/// network-facing entry point of the serving stack, src/serve/net/):
+///
+///  * every numeric flag was parsed with raw std::stoull/std::stod —
+///    negatives wrapped (`--dimension -1` trained at d = 2^64 - 1), trailing
+///    garbage was accepted (`--folds 10x` ran 10 folds), and out-of-range
+///    values terminated the process with an uncaught std::out_of_range;
+///  * mistyped flags were silently collected and ignored (`--dimention 5000`
+///    trained at the d = 10000 default without a word).
+///
+/// This header closes both: Args validates every --key against the active
+/// subcommand's FlagSpec (unknown keys error out naming the nearest valid
+/// flag), and the parse_* helpers consume the *entire* value or throw a
+/// one-line UsageError naming the flag.  It lives in the library (not the
+/// CLI translation unit) so tests/test_cli.cpp can drive the exact
+/// production parsing logic through round trips.
+///
+/// All failures throw cli::UsageError; the CLI main catches std::exception,
+/// prints `error: <what>` and exits 1 — so every malformed input is one
+/// clean diagnostic line, never a wrapped value or a terminate().
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace graphhd::core::cli {
+
+/// A malformed invocation (unknown flag, missing value, unparsable number).
+/// what() is the complete one-line diagnostic.
+class UsageError : public std::runtime_error {
+ public:
+  explicit UsageError(const std::string& message) : std::runtime_error(message) {}
+};
+
+/// The flags one subcommand accepts.  `valued` flags consume the following
+/// argument; `boolean` flags take none (presence == true).  A key in
+/// neither list is rejected with a nearest-match suggestion.
+struct FlagSpec {
+  std::span<const std::string_view> valued;
+  std::span<const std::string_view> boolean;
+};
+
+/// Levenshtein distance between two flag names (the suggestion metric).
+[[nodiscard]] std::size_t edit_distance(std::string_view a, std::string_view b);
+
+/// The closest flag to `unknown` across both spec lists, empty when nothing
+/// is plausibly near (distance > max(2, |unknown| / 2) — "--x" should not
+/// suggest "--out").
+[[nodiscard]] std::string nearest_flag(std::string_view unknown, const FlagSpec& spec);
+
+/// Strict --key value parser.  Every key must appear in `spec`; flags in
+/// `spec.boolean` take no value, every other flag must be followed by one.
+/// Unknown keys, bare positionals and a trailing valued flag without its
+/// value all throw UsageError.
+class Args {
+ public:
+  Args(int argc, char** argv, int first, const FlagSpec& spec);
+
+  [[nodiscard]] bool has(const std::string& key) const { return values_.count(key) != 0; }
+
+  [[nodiscard]] std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  [[nodiscard]] std::string require(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+      throw UsageError("missing required flag --" + key);
+    }
+    return it->second;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// Parses a base-10 unsigned integer, consuming the whole of `text`.
+/// Rejects the empty string, signs (`-1` names the flag instead of wrapping
+/// to 2^64 - 1; `+1` is equally not a digit string), whitespace, trailing
+/// garbage (`10x`), and out-of-range values — each as a UsageError naming
+/// `flag`.
+[[nodiscard]] std::uint64_t parse_u64(std::string_view flag, std::string_view text);
+
+/// parse_u64 that also accepts a 0x/0X prefix (hexadecimal) — the
+/// `--model-seed 0x9badb055` form.  Same strictness otherwise.
+[[nodiscard]] std::uint64_t parse_u64_any_base(std::string_view flag, std::string_view text);
+
+/// Parses a finite double, consuming the whole of `text`; UsageError (naming
+/// `flag`) on empty input, trailing garbage, inf/nan or range errors.
+[[nodiscard]] double parse_double(std::string_view flag, std::string_view text);
+
+}  // namespace graphhd::core::cli

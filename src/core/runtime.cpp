@@ -72,6 +72,22 @@ constexpr EnvKnob kKnobs[] = {
      "self-gate: minimum batched-vs-scalar Hamming speedup", false},
     {"GRAPHHD_MIN_QUERY_SPEEDUP", KnobKind::kDouble, "0 (off)", "bench/micro_backend",
      "self-gate: minimum packed-vs-dense query speedup", false},
+    {"GRAPHHD_NET_CLASSES", KnobKind::kSize, "16", "bench/stress_net",
+     "class count of the served model in the network stress run", false},
+    {"GRAPHHD_NET_DIM", KnobKind::kSize, "2048", "bench/stress_net",
+     "hypervector dimension of the network stress run", false},
+    {"GRAPHHD_NET_FUZZ_CASES", KnobKind::kSize, "300", "bench/stress_net",
+     "malformed-frame fuzz cases of the network stress run", false},
+    {"GRAPHHD_NET_PORT", KnobKind::kSize, "0 (ephemeral)", "serve/net + cli serve",
+     "default TCP port of `graphhd_cli serve` (0 = kernel-assigned)", false},
+    {"GRAPHHD_NET_QUERIES", KnobKind::kSize, "256", "bench/stress_net",
+     "distinct pre-encoded queries cycled by the network load clients", false},
+    {"GRAPHHD_NET_REQUESTS", KnobKind::kSize, "8000", "bench/stress_net",
+     "requests per connection per phase in the network stress run", false},
+    {"GRAPHHD_NET_TIMEOUT_MS", KnobKind::kSize, "5000", "serve/net + cli",
+     "connect/read timeout (ms) of the TCP client paths", false},
+    {"GRAPHHD_NET_WINDOW", KnobKind::kSize, "32", "bench/stress_net",
+     "pipelined requests in flight per connection in the network stress run", false},
     {"GRAPHHD_PROPTEST_CASE", KnobKind::kSize, "0 (all)", "tests/support/proptest",
      "replay exactly one property-test case index", false},
     {"GRAPHHD_PROPTEST_CASES", KnobKind::kSize, "100", "tests/support/proptest",

@@ -1,0 +1,293 @@
+#include "serve/net/tcp_client.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+namespace graphhd::serve::net {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) {
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  }
+}
+
+}  // namespace
+
+const char* to_string(NetErrorKind kind) noexcept {
+  switch (kind) {
+    case NetErrorKind::kRefused: return "refused";
+    case NetErrorKind::kConnectTimeout: return "connect-timeout";
+    case NetErrorKind::kTimeout: return "timeout";
+    case NetErrorKind::kHandshakeMismatch: return "handshake-mismatch";
+    case NetErrorKind::kProtocol: return "protocol";
+    case NetErrorKind::kOversizedFrame: return "oversized-frame";
+    case NetErrorKind::kClosed: return "closed";
+    case NetErrorKind::kRemoteError: return "remote-error";
+  }
+  return "unknown";
+}
+
+TcpClient::TcpClient(const std::string& host, std::uint16_t port, TcpClientConfig config)
+    : config_(config) {
+  try {
+    connect_with_timeout(host, port);
+    handshake();
+  } catch (...) {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+    throw;
+  }
+}
+
+TcpClient::~TcpClient() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+void TcpClient::connect_with_timeout(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    // Not a literal address: resolve the name (loopback deployments mostly
+    // pass "localhost").
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* result = nullptr;
+    if (::getaddrinfo(host.c_str(), nullptr, &hints, &result) != 0 || result == nullptr) {
+      throw NetError(NetErrorKind::kRefused, "cannot resolve host '" + host + "'");
+    }
+    addr.sin_addr = reinterpret_cast<sockaddr_in*>(result->ai_addr)->sin_addr;
+    ::freeaddrinfo(result);
+  }
+
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw NetError(NetErrorKind::kRefused, std::string("socket: ") + std::strerror(errno));
+  }
+  set_nonblocking(fd_);
+  const int rc = ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+  if (rc < 0 && errno != EINPROGRESS) {
+    throw NetError(NetErrorKind::kRefused,
+                   "connect " + host + ":" + std::to_string(port) + ": " +
+                       std::strerror(errno));
+  }
+  if (rc < 0) {
+    pollfd pfd{.fd = fd_, .events = POLLOUT, .revents = 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(config_.connect_timeout_ms));
+    if (ready == 0) {
+      throw NetError(NetErrorKind::kConnectTimeout,
+                     "connect " + host + ":" + std::to_string(port) + " timed out after " +
+                         std::to_string(config_.connect_timeout_ms) + " ms");
+    }
+    int err = 0;
+    socklen_t err_len = sizeof err;
+    if (ready < 0 || ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &err_len) < 0 ||
+        err != 0) {
+      throw NetError(NetErrorKind::kRefused,
+                     "connect " + host + ":" + std::to_string(port) + ": " +
+                         std::strerror(err != 0 ? err : errno));
+    }
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+void TcpClient::handshake() {
+  const std::vector<std::uint8_t> hello = encode_client_hello();
+  send_all(hello);
+
+  std::uint8_t fixed[kServerHelloFixedBytes];
+  read_exact(fixed, sizeof fixed);
+  std::uint64_t config_len = 0;
+  try {
+    config_len = check_server_hello_fixed({fixed, sizeof fixed});
+  } catch (const WireError& error) {
+    throw NetError(NetErrorKind::kHandshakeMismatch, error.what());
+  }
+  if (config_len > config_.max_frame_bytes) {
+    throw NetError(NetErrorKind::kOversizedFrame,
+                   "handshake config section of " + std::to_string(config_len) + " bytes");
+  }
+  std::vector<std::uint8_t> config_bytes(config_len);
+  read_exact(config_bytes.data(), config_bytes.size());
+  try {
+    hello_ = decode_server_hello({fixed, sizeof fixed}, config_bytes);
+  } catch (const WireError& error) {
+    throw NetError(NetErrorKind::kHandshakeMismatch, error.what());
+  }
+  if (config_.expect_config_hash && *config_.expect_config_hash != hello_.config_hash) {
+    throw NetError(NetErrorKind::kHandshakeMismatch,
+                   "server model config hash mismatch (encoder incompatibility)");
+  }
+}
+
+void TcpClient::send_all(std::span<const std::uint8_t> bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{.fd = fd_, .events = POLLOUT, .revents = 0};
+      const int ready = ::poll(&pfd, 1, static_cast<int>(config_.read_timeout_ms));
+      if (ready == 0) {
+        throw NetError(NetErrorKind::kTimeout, "send timed out");
+      }
+      if (ready < 0 && errno != EINTR) {
+        throw NetError(NetErrorKind::kClosed, std::string("send: ") + std::strerror(errno));
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    throw NetError(NetErrorKind::kClosed, std::string("send: ") + std::strerror(errno));
+  }
+}
+
+void TcpClient::read_exact(std::uint8_t* out, std::size_t size) {
+  std::size_t received = 0;
+  while (received < size) {
+    const ssize_t n = ::recv(fd_, out + received, size - received, 0);
+    if (n > 0) {
+      received += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      throw NetError(NetErrorKind::kClosed,
+                     "mid-stream EOF: server closed the connection with " +
+                         std::to_string(size - received) + " bytes outstanding");
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      pollfd pfd{.fd = fd_, .events = POLLIN, .revents = 0};
+      const int ready = ::poll(&pfd, 1, static_cast<int>(config_.read_timeout_ms));
+      if (ready == 0) {
+        throw NetError(NetErrorKind::kTimeout,
+                       "read timed out after " + std::to_string(config_.read_timeout_ms) +
+                           " ms");
+      }
+      if (ready < 0 && errno != EINTR) {
+        throw NetError(NetErrorKind::kClosed, std::string("poll: ") + std::strerror(errno));
+      }
+      continue;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    throw NetError(NetErrorKind::kClosed, std::string("recv: ") + std::strerror(errno));
+  }
+}
+
+std::vector<std::uint8_t> TcpClient::read_frame_body() {
+  std::uint8_t prefix[sizeof(std::uint32_t)];
+  read_exact(prefix, sizeof prefix);
+  std::uint32_t length = 0;
+  std::memcpy(&length, prefix, sizeof length);
+  if (length > config_.max_frame_bytes) {
+    throw NetError(NetErrorKind::kOversizedFrame,
+                   "server declared a " + std::to_string(length) + "-byte frame (limit " +
+                       std::to_string(config_.max_frame_bytes) + ")");
+  }
+  std::vector<std::uint8_t> body(length);
+  read_exact(body.data(), body.size());
+  return body;
+}
+
+std::uint64_t TcpClient::submit(const hdc::PackedHypervector& query) {
+  const std::uint64_t id = next_id_++;
+  send_all(encode_request_frame(id, query));
+  return id;
+}
+
+std::uint64_t TcpClient::submit(const hdc::Hypervector& query) {
+  const std::uint64_t id = next_id_++;
+  send_all(encode_request_frame(id, query));
+  return id;
+}
+
+core::Prediction TcpClient::wait(std::uint64_t id) {
+  for (;;) {
+    const auto parked = parked_.find(id);
+    if (parked != parked_.end()) {
+      Frame frame = std::move(parked->second);
+      parked_.erase(parked);
+      if (frame.type == FrameType::kError) {
+        throw NetError(NetErrorKind::kRemoteError,
+                       std::string(to_string(frame.error.code)) + ": " + frame.error.message);
+      }
+      return std::move(frame.response.prediction);
+    }
+
+    Frame frame;
+    try {
+      frame = decode_frame(read_frame_body());
+    } catch (const WireError& error) {
+      throw NetError(NetErrorKind::kProtocol, error.what());
+    }
+    switch (frame.type) {
+      case FrameType::kResponse:
+        parked_.emplace(frame.response.request_id, std::move(frame));
+        break;
+      case FrameType::kError: {
+        // Connection-level errors (id 0) poison every pending call; request-
+        // scoped errors park until their id is waited on.
+        if (frame.error.request_id == 0) {
+          throw NetError(NetErrorKind::kRemoteError,
+                         std::string(to_string(frame.error.code)) + ": " +
+                             frame.error.message);
+        }
+        parked_.emplace(frame.error.request_id, std::move(frame));
+        break;
+      }
+      case FrameType::kRequest:
+        throw NetError(NetErrorKind::kProtocol, "server sent a request frame");
+    }
+  }
+}
+
+core::Prediction TcpClient::predict(const hdc::PackedHypervector& query) {
+  return wait(submit(query));
+}
+
+core::Prediction TcpClient::predict(const hdc::Hypervector& query) {
+  return wait(submit(query));
+}
+
+std::vector<core::Prediction> TcpClient::predict_batch(
+    std::span<const hdc::PackedHypervector> queries) {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(queries.size());
+  for (const auto& query : queries) {
+    ids.push_back(submit(query));
+  }
+  std::vector<core::Prediction> predictions;
+  predictions.reserve(queries.size());
+  for (const std::uint64_t id : ids) {
+    predictions.push_back(wait(id));
+  }
+  return predictions;
+}
+
+}  // namespace graphhd::serve::net

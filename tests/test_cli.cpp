@@ -1,0 +1,195 @@
+/// Tests for the strict CLI argument layer (src/core/cli.*): parse_u64 /
+/// parse_double rejection of signs, trailing garbage and overflow; the
+/// per-subcommand FlagSpec whitelists (unknown flags error out with a
+/// nearest-valid-flag suggestion); and the boolean-vs-valued distinction.
+/// The parsers live in the library precisely so these tests exercise the
+/// exact code path `graphhd_cli` runs — the PR 10 bugfix sweep replaced
+/// every raw std::stoull call with them.
+
+#include "core/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace {
+
+using graphhd::core::cli::Args;
+using graphhd::core::cli::FlagSpec;
+using graphhd::core::cli::UsageError;
+using graphhd::core::cli::edit_distance;
+using graphhd::core::cli::nearest_flag;
+using graphhd::core::cli::parse_double;
+using graphhd::core::cli::parse_u64;
+using graphhd::core::cli::parse_u64_any_base;
+
+/// Runs Args over a brace-list of tokens the way main() would: argv[0] is
+/// the program name, parsing starts at `first` = 1.
+Args parse(std::vector<std::string> tokens, const FlagSpec& spec) {
+  std::vector<char*> argv;
+  static std::vector<std::vector<std::string>> keepalive;  // argv must outlive Args
+  keepalive.push_back(std::move(tokens));
+  argv.push_back(const_cast<char*>("graphhd_cli"));
+  for (auto& token : keepalive.back()) {
+    argv.push_back(token.data());
+  }
+  return Args(static_cast<int>(argv.size()), argv.data(), 1, spec);
+}
+
+/// Expects a UsageError whose message contains every listed fragment.
+template <typename Fn>
+void expect_usage_error(Fn&& fn, std::initializer_list<const char*> fragments) {
+  try {
+    fn();
+    FAIL() << "expected UsageError";
+  } catch (const UsageError& error) {
+    const std::string message = error.what();
+    for (const char* fragment : fragments) {
+      EXPECT_NE(message.find(fragment), std::string::npos)
+          << "message '" << message << "' should mention '" << fragment << "'";
+    }
+  }
+}
+
+constexpr std::array<std::string_view, 4> kValued = {"data", "dimension", "scale", "seed"};
+constexpr std::array<std::string_view, 2> kBoolean = {"resume", "no-prefetch"};
+constexpr FlagSpec kSpec{.valued = kValued, .boolean = kBoolean};
+
+// ---------------------------------------------------------------------------
+// parse_u64: the std::stoull replacement.
+
+TEST(ParseU64, AcceptsPlainDecimal) {
+  EXPECT_EQ(parse_u64("dimension", "0"), 0u);
+  EXPECT_EQ(parse_u64("dimension", "4096"), 4096u);
+  EXPECT_EQ(parse_u64("seed", "18446744073709551615"),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(ParseU64, RejectsNegative) {
+  // std::stoull would happily wrap "-1" to 2^64 - 1; the strict parser must not.
+  expect_usage_error([] { (void)parse_u64("dimension", "-1"); },
+                     {"--dimension", "-1", "unsigned"});
+  expect_usage_error([] { (void)parse_u64("seed", "-42"); }, {"--seed"});
+}
+
+TEST(ParseU64, RejectsTrailingGarbage) {
+  expect_usage_error([] { (void)parse_u64("chunk", "10x"); }, {"--chunk", "10x"});
+  expect_usage_error([] { (void)parse_u64("chunk", "1 "); }, {"--chunk"});
+  expect_usage_error([] { (void)parse_u64("chunk", " 1"); }, {"--chunk"});
+  expect_usage_error([] { (void)parse_u64("chunk", "1.5"); }, {"--chunk"});
+  expect_usage_error([] { (void)parse_u64("chunk", "+7"); }, {"--chunk"});
+  expect_usage_error([] { (void)parse_u64("chunk", ""); }, {"--chunk"});
+  expect_usage_error([] { (void)parse_u64("chunk", "0x10"); }, {"--chunk"});
+}
+
+TEST(ParseU64, RejectsOverflow) {
+  expect_usage_error([] { (void)parse_u64("seed", "18446744073709551616"); },
+                     {"--seed", "out of range"});
+  expect_usage_error([] { (void)parse_u64("seed", "99999999999999999999999"); },
+                     {"out of range"});
+}
+
+TEST(ParseU64AnyBase, AcceptsHexPrefix) {
+  // --model-seed historically took hex seeds; only the 0x form may.
+  EXPECT_EQ(parse_u64_any_base("model-seed", "0x10"), 16u);
+  EXPECT_EQ(parse_u64_any_base("model-seed", "0X5e21"), 0x5e21u);
+  EXPECT_EQ(parse_u64_any_base("model-seed", "255"), 255u);
+  expect_usage_error([] { (void)parse_u64_any_base("model-seed", "0xg1"); },
+                     {"--model-seed"});
+  expect_usage_error([] { (void)parse_u64_any_base("model-seed", "0x"); },
+                     {"--model-seed"});
+}
+
+TEST(ParseDouble, StrictConsumption) {
+  EXPECT_DOUBLE_EQ(parse_double("scale", "0.25"), 0.25);
+  EXPECT_DOUBLE_EQ(parse_double("scale", "-1.5e2"), -150.0);
+  expect_usage_error([] { (void)parse_double("scale", "1.5x"); }, {"--scale", "1.5x"});
+  expect_usage_error([] { (void)parse_double("scale", ""); }, {"--scale"});
+  expect_usage_error([] { (void)parse_double("scale", " 1.0"); }, {"--scale"});
+  expect_usage_error([] { (void)parse_double("scale", "nan"); }, {"--scale"});
+  expect_usage_error([] { (void)parse_double("scale", "1e999"); }, {"out of range"});
+}
+
+// ---------------------------------------------------------------------------
+// Args: whitelists, suggestions, boolean-vs-valued.
+
+TEST(CliArgs, RoundTripsValuedAndBooleanFlags) {
+  const Args args =
+      parse({"--data", "/tmp/x", "--dimension", "4096", "--resume"}, kSpec);
+  EXPECT_TRUE(args.has("data"));
+  EXPECT_EQ(args.get("data", ""), "/tmp/x");
+  EXPECT_EQ(parse_u64("dimension", args.require("dimension")), 4096u);
+  EXPECT_TRUE(args.has("resume"));
+  EXPECT_FALSE(args.has("no-prefetch"));
+  EXPECT_EQ(args.get("scale", "1.0"), "1.0");  // default when absent
+}
+
+TEST(CliArgs, UnknownFlagSuggestsNearest) {
+  expect_usage_error([] { (void)parse({"--dimenson", "4096"}, kSpec); },
+                     {"unknown flag --dimenson", "did you mean --dimension?"});
+  expect_usage_error([] { (void)parse({"--sed", "7"}, kSpec); },
+                     {"unknown flag --sed", "did you mean --seed?"});
+}
+
+TEST(CliArgs, UnknownFlagWithoutCloseMatchHasNoSuggestion) {
+  try {
+    (void)parse({"--zzzzzzzzzz", "1"}, kSpec);
+    FAIL() << "expected UsageError";
+  } catch (const UsageError& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("unknown flag --zzzzzzzzzz"), std::string::npos) << message;
+    EXPECT_EQ(message.find("did you mean"), std::string::npos) << message;
+  }
+}
+
+TEST(CliArgs, BooleanFlagConsumesNoValue) {
+  // `--resume` must not swallow the next token: here it is followed by
+  // another flag, which must still be parsed as a flag.
+  const Args args = parse({"--resume", "--seed", "7"}, kSpec);
+  EXPECT_TRUE(args.has("resume"));
+  EXPECT_EQ(args.require("seed"), "7");
+}
+
+TEST(CliArgs, BooleanTypoSuggestsBooleanFlag) {
+  // Suggestions must cover boolean flags too, not just valued ones.
+  expect_usage_error([] { (void)parse({"--resum"}, kSpec); },
+                     {"unknown flag --resum", "did you mean --resume?"});
+}
+
+TEST(CliArgs, ValuedFlagAtEndRequiresValue) {
+  expect_usage_error([] { (void)parse({"--seed"}, kSpec); },
+                     {"--seed", "requires a value"});
+}
+
+TEST(CliArgs, RejectsBareWords) {
+  expect_usage_error([] { (void)parse({"seed", "7"}, kSpec); }, {"unexpected argument"});
+  expect_usage_error([] { (void)parse({"-seed", "7"}, kSpec); }, {"unexpected argument"});
+}
+
+TEST(CliArgs, RequireMissingFlagNamesIt) {
+  const Args args = parse({}, kSpec);
+  expect_usage_error([&] { (void)args.require("data"); },
+                     {"missing required flag --data"});
+}
+
+TEST(CliEditDistance, MatchesKnownValues) {
+  EXPECT_EQ(edit_distance("", ""), 0u);
+  EXPECT_EQ(edit_distance("seed", "seed"), 0u);
+  EXPECT_EQ(edit_distance("seed", "sed"), 1u);
+  EXPECT_EQ(edit_distance("kitten", "sitting"), 3u);
+  EXPECT_EQ(edit_distance("", "abc"), 3u);
+}
+
+TEST(CliNearestFlag, ThresholdScalesWithLength) {
+  // Short unknowns only match within distance 2; long ones within half their
+  // length — so wild garbage never produces a misleading suggestion.
+  EXPECT_EQ(nearest_flag("dimension", kSpec), "dimension");
+  EXPECT_EQ(nearest_flag("dimensionality", kSpec), "dimension");
+  EXPECT_EQ(nearest_flag("qq", kSpec), "");
+}
+
+}  // namespace
